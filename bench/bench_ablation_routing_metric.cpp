@@ -1,0 +1,46 @@
+// Ablation A2: the paper routes on the additive cost 1/(eta + eps)
+// (Algorithm 1). That metric is not product-optimal: maximising end-to-end
+// transmissivity corresponds to minimising -sum log eta. This harness
+// quantifies how much fidelity Algorithm 1 leaves on the table versus the
+// product-optimal metric and a plain hop-count baseline, on the hybrid
+// network where alternative paths actually exist.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace qntn;
+
+  struct MetricCase {
+    const char* name;
+    net::CostMetric metric;
+  };
+  const MetricCase cases[] = {
+      {"1/(eta+eps)  [paper]", net::CostMetric::InverseEta},
+      {"-log eta  [optimal]", net::CostMetric::NegLogEta},
+      {"hop count", net::CostMetric::HopCount},
+  };
+
+  Table table("Ablation A2 — routing metric (hybrid network, 36 satellites)");
+  table.set_header({"metric", "served [%]", "mean fidelity", "mean eta",
+                    "mean hops"});
+  for (const MetricCase& c : cases) {
+    core::QntnConfig config;
+    config.enable_hap_satellite = true;
+    config.metric = c.metric;
+    const core::SweepPoint point = core::evaluate_hybrid(config, 36);
+    table.add_row({c.name, Table::num(point.served_percent, 2),
+                   Table::num(point.mean_fidelity, 4),
+                   Table::num(point.mean_transmissivity, 4),
+                   Table::num(point.mean_hops, 2)});
+  }
+  bench::emit(table, "ablation_routing_metric.csv");
+  std::printf(
+      "\nserved%% is metric-independent (reachability is), and with the "
+      "QNTN topology's\nstar-like relays all metrics usually find the same "
+      "2-hop routes; the product-optimal\nmetric only wins when longer "
+      "alternative paths exist. Algorithm 1 is adequate here.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation A3: sensitivity of the headline numbers to the transmissivity
+// threshold (the paper fixes 0.7 from its Fig. 5 reading and notes it "may
+// be adjusted to meet the fidelity requirements of specific applications").
+// Sweeps the threshold and reports the coverage / service / fidelity
+// trade-off at 108 satellites plus the air-ground architecture.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  Table table("Ablation A3 — transmissivity threshold sweep (108 satellites)");
+  table.set_header({"threshold", "space cover [%]", "space served [%]",
+                    "space fidelity", "air served [%]", "air fidelity"});
+  for (const double threshold : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    core::QntnConfig config;
+    config.transmissivity_threshold = threshold;
+    const core::SweepPoint space = core::evaluate_space_ground(config, 108);
+    const core::AirGroundResult air = core::evaluate_air_ground(config);
+    table.add_row({Table::num(threshold, 2),
+                   Table::num(space.coverage_percent, 2),
+                   Table::num(space.served_percent, 2),
+                   Table::num(space.mean_fidelity, 4),
+                   Table::num(air.served_percent, 2),
+                   Table::num(air.mean_fidelity, 4)});
+  }
+  bench::emit(table, "ablation_threshold.csv");
+  std::printf(
+      "\nthe trade-off the paper's Section IV-A gestures at: lowering the "
+      "threshold buys\ncoverage and service at the cost of fidelity; above "
+      "~0.9 the HAP links themselves\ndrop out and the air-ground "
+      "architecture loses its 100%% guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension: capacity-limited serving (relaxing the paper's "infinite
+// queue capacity / every node serves all requests" assumption, Section
+// III-D). Sweeps the per-node capacity and reports served requests for
+// both architectures. The single HAP is a serving bottleneck the
+// infinite-capacity model hides; the constellation degrades more
+// gracefully because load spreads across whichever satellites are up.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "sim/capacity.hpp"
+
+namespace {
+
+using namespace qntn;
+
+/// Average capacity-limited served fraction over the scenario's snapshots.
+double served_with_capacity(const sim::NetworkModel& model,
+                            const sim::TopologyBuilder& topology,
+                            const core::QntnConfig& config,
+                            std::size_t capacity) {
+  Rng rng(config.request_seed);
+  const auto requests =
+      sim::generate_requests(model, config.request_count, rng);
+  const sim::ScenarioConfig sc = config.scenario_config();
+  RunningStats served;
+  for (std::size_t step = 0; step < sc.request_steps; ++step) {
+    const double t = static_cast<double>(step) * sc.request_step_interval;
+    sim::CapacityPolicy policy;
+    policy.per_node_capacity = capacity;
+    const sim::CapacityServeResult result = sim::serve_requests_with_capacity(
+        topology.graph_at(t), requests, policy);
+    served.add(result.base.served_fraction());
+  }
+  return 100.0 * served.mean();
+}
+
+}  // namespace
+
+int main() {
+  core::QntnConfig config;
+  config.request_steps = 25;  // capacity serving is costlier per snapshot
+
+  const sim::NetworkModel air = core::build_air_ground_model(config);
+  const sim::TopologyBuilder air_topology(air, config.link_policy());
+  const sim::NetworkModel space = core::build_space_ground_model(config, 108);
+  const sim::TopologyBuilder space_topology(space, config.link_policy());
+
+  Table table("Extension — served % vs per-node capacity (100 requests)");
+  table.set_header({"capacity", "air-ground served [%]",
+                    "space-ground served [%]"});
+  for (const std::size_t capacity : {5u, 10u, 20u, 40u, 60u, 80u, 100u}) {
+    table.add_row(
+        {std::to_string(capacity),
+         Table::num(served_with_capacity(air, air_topology, config, capacity), 2),
+         Table::num(
+             served_with_capacity(space, space_topology, config, capacity),
+             2)});
+  }
+  bench::emit(table, "ext_capacity.csv");
+
+  std::printf(
+      "\nboth architectures funnel through a tiny relay set — the HAP, or "
+      "the one-or-two\nsatellites currently above threshold — so both "
+      "scale linearly with capacity and the\nspace-ground curve is just "
+      "the air-ground curve scaled by its ~56%% availability.\nThe paper's "
+      "infinite-capacity assumption therefore inflates absolute service "
+      "for both\narchitectures but does not change their ordering.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension: night-only operation. Solar background limits free-space
+// quantum links to darkness (Micius operated at night); the paper's
+// full-day availability numbers assume daylight operation works. This
+// bench re-runs Table III's headline metrics with FSO links gated to local
+// night, across the seasons.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "repro_common.hpp"
+#include "sim/daylight.hpp"
+
+namespace {
+
+using namespace qntn;
+
+struct Season {
+  const char* name;
+  double declination_deg;
+};
+
+double gated_coverage(const sim::NetworkModel& model,
+                      const sim::TopologyBuilder& base,
+                      const core::QntnConfig& config, double declination_deg) {
+  sim::DaylightPolicy policy;
+  policy.sun.declination = deg_to_rad(declination_deg);
+  policy.sun.subsolar_longitude0 = deg_to_rad(-85.0);  // local noon at t = 0
+  const sim::DaylightGatedTopology gated(base, model, policy);
+  sim::CoverageOptions options;
+  options.duration = config.day_duration;
+  options.step = 120.0;
+  return sim::analyze_coverage(model, gated, options).percent;
+}
+
+}  // namespace
+
+int main() {
+  const core::QntnConfig config;
+  const Season seasons[] = {
+      {"summer solstice", 23.44}, {"equinox", 0.0}, {"winter solstice", -23.44}};
+
+  const sim::NetworkModel air = core::build_air_ground_model(config);
+  const sim::TopologyBuilder air_base(air, config.link_policy());
+  const sim::NetworkModel space = core::build_space_ground_model(config, 108);
+  const sim::TopologyBuilder space_base(space, config.link_policy());
+
+  Table table("Extension — night-only FSO operation (coverage %)");
+  table.set_header({"season", "air-ground", "space-ground @108",
+                    "ideal air", "ideal space"});
+  sim::CoverageOptions options;
+  options.duration = config.day_duration;
+  options.step = 120.0;
+  const double ideal_air =
+      sim::analyze_coverage(air, air_base, options).percent;
+  const double ideal_space =
+      sim::analyze_coverage(space, space_base, options).percent;
+  for (const Season& season : seasons) {
+    table.add_row({season.name,
+                   Table::num(gated_coverage(air, air_base, config,
+                                             season.declination_deg), 2),
+                   Table::num(gated_coverage(space, space_base, config,
+                                             season.declination_deg), 2),
+                   Table::num(ideal_air, 2), Table::num(ideal_space, 2)});
+  }
+  bench::emit(table, "ext_daylight.csv");
+
+  std::printf(
+      "\nnight gating costs both architectures a bit more than half their "
+      "availability at\nTennessee's latitude; crucially the air-ground "
+      "architecture loses its headline 100%%\nand lands *below* the ideal "
+      "space-ground constellation — the paper's comparison\ninverts unless "
+      "daytime-capable filtering is assumed for both.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Extension: HAP endurance (the paper's headline caveat — "limited
+// operational time due to power constraints"). Sweeps the HAP duty cycle
+// and reports how the air-ground architecture's 100% coverage claim erodes
+// with availability, including the fragmentation into episodes.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "sim/endurance.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_air_ground_model(config);
+  const sim::TopologyBuilder base(model, config.link_policy());
+
+  struct Case {
+    const char* name;
+    double active_h;
+    double down_h;
+  };
+  const Case cases[] = {
+      {"ideal (paper)", 24.0, 0.0},
+      {"22h on / 2h service", 22.0, 2.0},
+      {"16h on / 8h recharge", 16.0, 8.0},
+      {"12h on / 12h (solar-limited)", 12.0, 12.0},
+      {"8h on / 16h", 8.0, 16.0},
+  };
+
+  Table table("Extension — air-ground coverage vs HAP endurance");
+  table.set_header({"schedule", "availability [%]", "coverage [%]",
+                    "episodes", "served [%]"});
+  for (const Case& c : cases) {
+    const sim::DutyCycle cycle{c.active_h * 3600.0, c.down_h * 3600.0, 0.0};
+    const sim::DutyCycledTopology topology(base, {model.hap_ids().front()},
+                                           cycle);
+    const sim::ScenarioResult result =
+        sim::run_scenario(model, topology, config.scenario_config());
+    table.add_row({c.name, Table::num(100.0 * cycle.availability(), 1),
+                   Table::num(result.coverage.percent, 2),
+                   std::to_string(result.coverage.intervals.episode_count()),
+                   Table::num(100.0 * result.served_fraction, 2)});
+  }
+  bench::emit(table, "ext_endurance.csv");
+
+  std::printf(
+      "\ncoverage degrades linearly with availability — an 8h-endurance HAP "
+      "covers only a third\nof the day, *below* the 108-satellite "
+      "constellation's 55%%. The paper's Table III ordering\ninverts once "
+      "endurance drops under ~13h/day, quantifying its Section V caveat.\n");
+  return 0;
+}

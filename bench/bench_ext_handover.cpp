@@ -1,0 +1,63 @@
+// Extension E11: relay handover and session continuity. Coverage
+// percentages hide how fragmented the service is — a satellite bridge
+// lives only for one pass, while the HAP never hands over. Long
+// entanglement sessions (distillation runs, key blocks) care about
+// session length, not just availability.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "repro_common.hpp"
+#include "sim/handover.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const core::QntnConfig config;
+  Table table("Extension — TTU<->ORNL relay sessions over one day");
+  table.set_header({"architecture", "bridged [%]", "handovers/day",
+                    "sessions", "mean session [min]", "longest [min]"});
+
+  const auto row = [&table](const char* name, const sim::HandoverStats& stats) {
+    table.add_row({name, Table::num(100.0 * stats.bridged_fraction(), 2),
+                   std::to_string(stats.handovers),
+                   std::to_string(stats.session_length.count()),
+                   stats.session_length.count() > 0
+                       ? Table::num(s_to_minutes(stats.session_length.mean()), 2)
+                       : "-",
+                   stats.session_length.count() > 0
+                       ? Table::num(s_to_minutes(stats.session_length.max()), 2)
+                       : "-"});
+  };
+
+  {
+    const sim::NetworkModel model = core::build_air_ground_model(config);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    row("air-ground",
+        sim::analyze_handovers(model, topology, 0, 2, 86'400.0, 60.0));
+  }
+  for (const std::size_t n : {36u, 108u}) {
+    const sim::NetworkModel model = core::build_space_ground_model(config, n);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    const std::string name = "space-ground @" + std::to_string(n);
+    row(name.c_str(),
+        sim::analyze_handovers(model, topology, 0, 2, 86'400.0, 60.0));
+  }
+  {
+    const sim::NetworkModel model = core::build_hybrid_model(config, 108);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    row("hybrid @108",
+        sim::analyze_handovers(model, topology, 0, 2, 86'400.0, 60.0));
+  }
+  bench::emit(table, "ext_handover.csv");
+
+  std::printf(
+      "\nthe constellation's service is sliced into ~3-minute pass "
+      "sessions; the HAP delivers one\nuninterrupted day-long session. The "
+      "greedy max-min relay choice makes the hybrid churn\neven harder "
+      "(every strong satellite pass briefly beats the HAP's ~0.93 links), "
+      "so a\nproduction hybrid needs a sticky handover policy — continuity "
+      "is a real design axis\nthat the paper's coverage metric cannot "
+      "see.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension: multipath redundancy. The paper routes every request on one
+// Bellman-Ford path; this bench uses Yen's k-shortest paths to measure how
+// many alternative routes each architecture offers and how disjoint they
+// are — the redundancy that protects against satellite handover and HAP
+// downtime.
+
+#include <cstdio>
+
+#include "net/kpaths.hpp"
+#include "repro_common.hpp"
+#include "sim/requests.hpp"
+
+namespace {
+
+using namespace qntn;
+
+struct MultipathStats {
+  RunningStats route_count;
+  RunningStats diversity;
+  RunningStats second_best_eta;
+};
+
+MultipathStats analyze(const sim::NetworkModel& model,
+                       const sim::TopologyBuilder& topology,
+                       const core::QntnConfig& config, double t) {
+  Rng rng(config.request_seed);
+  const auto requests = sim::generate_requests(model, 30, rng);
+  MultipathStats stats;
+  const net::Graph graph = topology.graph_at(t);
+  for (const sim::Request& req : requests) {
+    const auto routes =
+        net::k_shortest_paths(graph, req.source, req.destination, 3);
+    stats.route_count.add(static_cast<double>(routes.size()));
+    if (routes.size() >= 2) {
+      stats.diversity.add(net::path_diversity(routes));
+      stats.second_best_eta.add(routes[1].transmissivity);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  core::QntnConfig config;
+  config.enable_hap_satellite = true;
+
+  Table table("Extension — multipath redundancy (k = 3, 30 requests)");
+  table.set_header({"architecture", "mean routes", "mean diversity",
+                    "mean 2nd-route eta"});
+
+  const auto row = [&table](const char* name, const MultipathStats& stats) {
+    table.add_row({name, Table::num(stats.route_count.mean(), 2),
+                   stats.diversity.count() > 0
+                       ? Table::num(stats.diversity.mean(), 3)
+                       : "-",
+                   stats.second_best_eta.count() > 0
+                       ? Table::num(stats.second_best_eta.mean(), 4)
+                       : "-"});
+  };
+
+  {
+    const sim::NetworkModel model = core::build_air_ground_model(config);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    row("air-ground", analyze(model, topology, config, 0.0));
+  }
+  {
+    const sim::NetworkModel model = core::build_space_ground_model(config, 108);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    // Pick a covered instant (early passes exist at t = 90 s in this run).
+    row("space-ground @108", analyze(model, topology, config, 90.0));
+  }
+  {
+    const sim::NetworkModel model = core::build_hybrid_model(config, 108);
+    const sim::TopologyBuilder topology(model, config.link_policy());
+    row("hybrid @108", analyze(model, topology, config, 90.0));
+  }
+  bench::emit(table, "ext_multipath.csv");
+
+  std::printf(
+      "\nthe air-ground network has exactly one relay, so its alternatives "
+      "reuse the HAP\n(diversity ~0 beyond intra-LAN detours); the hybrid "
+      "combines the HAP route with\nsatellite routes into genuinely "
+      "node-disjoint alternatives.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension: pass structure behind Fig. 6. Per-satellite pass statistics
+// over the QNTN centroid explain the coverage curve: each satellite
+// contributes a handful of short passes per day, their total is nearly
+// constant per satellite, and the Walker planes keep overlaps small —
+// hence the near-linear Fig. 6.
+
+#include <cstdio>
+
+#include "common/histogram.hpp"
+#include "common/units.hpp"
+#include "core/ground_networks.hpp"
+#include "orbit/constellation.hpp"
+#include "orbit/passes.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const geo::Geodetic site = core::qntn_centroid();
+  // The serving mask is the ~27 deg elevation where the calibrated FSO
+  // budget crosses the 0.7 threshold (tools/calibrate_fso).
+  const double serving_mask = deg_to_rad(27.0);
+
+  const auto elements = orbit::qntn_constellation(108);
+  Table table("Extension — per-plane pass statistics over the QNTN centroid");
+  table.set_header({"plane (RAAN deg)", "passes/day", "contact [min/day]",
+                    "mean pass [min]", "best elevation [deg]"});
+  Histogram durations(0.0, 10.0, 20);
+  double total_contact = 0.0;
+  for (std::size_t plane = 0; plane < 18; ++plane) {
+    orbit::PassStatistics plane_stats;
+    for (std::size_t s = 0; s < 6; ++s) {
+      const orbit::TwoBodyPropagator prop(elements[plane * 6 + s]);
+      const orbit::Ephemeris eph =
+          orbit::Ephemeris::generate(prop, 86'400.0, 30.0);
+      const auto passes = find_passes(eph, site, 86'400.0, serving_mask);
+      const orbit::PassStatistics stats = orbit::summarize_passes(passes);
+      plane_stats.count += stats.count;
+      plane_stats.total_contact += stats.total_contact;
+      plane_stats.max_elevation =
+          std::max(plane_stats.max_elevation, stats.max_elevation);
+      for (const orbit::Pass& pass : passes) {
+        durations.add(pass.duration() / 60.0);
+      }
+    }
+    total_contact += plane_stats.total_contact;
+    table.add_row({Table::num(orbit::qntn_plane_raans_deg()[plane], 0),
+                   std::to_string(plane_stats.count),
+                   Table::num(s_to_minutes(plane_stats.total_contact), 1),
+                   Table::num(plane_stats.count > 0
+                                  ? s_to_minutes(plane_stats.total_contact /
+                                                 static_cast<double>(
+                                                     plane_stats.count))
+                                  : 0.0,
+                              2),
+                   Table::num(rad_to_deg(plane_stats.max_elevation), 1)});
+  }
+  bench::emit(table, "ext_passes.csv");
+
+  std::printf("\npass duration distribution [min]:\n%s",
+              durations.to_string(32).c_str());
+  std::printf(
+      "raw single-satellite contact totals %.0f min/day; the measured "
+      "Fig. 6 coverage at 108\nsatellites is %.0f min — the difference is "
+      "pass overlap between satellites plus the\nstricter all-three-LANs "
+      "requirement.\n",
+      s_to_minutes(total_contact), 0.5497 * 1440.0);
+  return 0;
+}

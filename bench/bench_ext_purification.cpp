@@ -1,0 +1,61 @@
+// Extension: entanglement purification on QNTN link states. The
+// architectures deliver F ~ 0.94 (space) / 0.97 (air); nested purification
+// trades extra raw pairs for application-grade fidelity. Also demonstrates
+// the pairing effect documented in purification.hpp: published DEJMPS
+// rotations are ~neutral on amplitude-damped pairs, while the plain
+// bilateral-CNOT pairing purifies them.
+
+#include <cstdio>
+
+#include "quantum/channels.hpp"
+#include "quantum/purification.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+  using namespace qntn::quantum;
+
+  // Representative end-to-end transmissivities from the Table III runs:
+  // space-ground mean path eta ~ 0.79, air-ground ~ 0.87, threshold-floor
+  // relay 0.49.
+  struct Case {
+    const char* name;
+    double eta;
+  };
+  const Case cases[] = {
+      {"threshold-floor relay (eta 0.49)", 0.49},
+      {"space-ground mean path (eta 0.79)", 0.79},
+      {"air-ground mean path (eta 0.87)", 0.87},
+  };
+
+  Table table("Extension — purification ladders (Optimal pairing)");
+  table.set_header({"link", "round", "fidelity", "success p",
+                    "raw pairs per output"});
+  for (const Case& c : cases) {
+    const Matrix rho = transmit_bell_half(c.eta);
+    const auto steps =
+        purification_ladder(rho, 6, PurificationProtocol::Optimal);
+    for (const LadderStep& step : steps) {
+      table.add_row({c.name, std::to_string(step.round),
+                     Table::num(step.fidelity, 4),
+                     Table::num(step.success_probability, 4),
+                     Table::num(step.expected_cost, 1)});
+    }
+  }
+  bench::emit(table, "ext_purification.csv");
+
+  // Pairing comparison at the space-ground operating point.
+  const Matrix rho = transmit_bell_half(0.79);
+  const PurificationRound plain = bbpssw_round(rho);
+  const PurificationRound rotated = dejmps_round(rho);
+  std::printf(
+      "\npairing effect at eta = 0.79: plain circuit F = %.4f vs published "
+      "DEJMPS rotations F = %.4f\n(amplitude damping concentrates error in "
+      "Psi+/Psi-, so the plain (Phi+,Phi-) pairing wins).\n",
+      plain.fidelity, rotated.fidelity);
+  std::printf(
+      "two optimal rounds lift a threshold-floor pair from F = 0.85 to "
+      ">= 0.99 at ~4-5 raw pairs per output —\nthe cost of running QNTN at "
+      "application-grade fidelity.\n");
+  return 0;
+}

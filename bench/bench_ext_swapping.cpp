@@ -1,0 +1,42 @@
+// Extension: validating the product-transmissivity shortcut. The simulator
+// (like the paper) treats a routed k-hop path as one amplitude-damping
+// channel with the product transmissivity; the physical mechanism is k-1
+// entanglement swaps at the relays. This bench compares the two across hop
+// counts and link qualities.
+
+#include <cstdio>
+
+#include "quantum/fidelity.hpp"
+#include "quantum/swapping.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+  using namespace qntn::quantum;
+
+  Table table("Extension — physical swap chain vs product shortcut");
+  table.set_header({"hops", "per-hop eta", "shortcut F", "swapped F",
+                    "difference"});
+  for (const double eta : {0.95, 0.9, 0.8, 0.7}) {
+    for (const std::size_t hops : {1u, 2u, 3u, 4u}) {
+      const std::vector<double> chain(hops, eta);
+      const SwapResult swapped = swap_damped_chain(chain);
+      double product = 1.0;
+      for (const double e : chain) product *= e;
+      const double shortcut =
+          bell_fidelity_after_damping(product, FidelityConvention::Uhlmann);
+      table.add_row({std::to_string(hops), Table::num(eta, 2),
+                     Table::num(shortcut, 4), Table::num(swapped.fidelity, 4),
+                     Table::num(swapped.fidelity - shortcut, 4)});
+    }
+  }
+  bench::emit(table, "ext_swapping.csv");
+
+  std::printf(
+      "\nthe shortcut is *fidelity-exact*: swapping amplitude-damped pairs "
+      "yields a different\ndensity matrix (loss spreads over |01> and |10>) "
+      "but its PhiPlus fidelity equals the\nproduct-transmissivity formula "
+      "to machine precision at every hop count — so the\npaper's modelling "
+      "choice introduces no fidelity error at all.\n");
+  return 0;
+}

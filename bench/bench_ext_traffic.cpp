@@ -1,0 +1,51 @@
+// Extension: dynamic traffic. The paper's instantaneous-serving model is
+// replaced by the event-driven simulator — Poisson arrivals, bounded
+// per-node concurrency, queueing, light-time heralding and memory
+// decoherence — sweeping the offered load on the air-ground network.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+#include "sim/traffic.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_air_ground_model(config);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+
+  Table table("Extension — air-ground under Poisson load (capacity 4/node)");
+  table.set_header({"arrivals [1/s]", "served [%]", "throughput [1/s]",
+                    "mean latency [ms]", "mean wait [ms]", "mean fidelity"});
+  for (const double rate : {1.0, 10.0, 50.0, 100.0, 200.0, 400.0}) {
+    sim::TrafficConfig tc;
+    tc.duration = 300.0;
+    tc.arrival_rate = rate;
+    tc.node_capacity = 4;
+    tc.service_overhead = 0.01;
+    tc.max_queue_delay = 0.25;
+    tc.memory.t1 = 1.0;
+    tc.memory.t2 = 0.3;
+    const sim::TrafficResult result =
+        sim::run_traffic_simulation(model, topology, tc);
+    table.add_row({Table::num(rate, 0),
+                   Table::num(100.0 * result.served_fraction(), 2),
+                   Table::num(result.throughput(tc.duration), 1),
+                   Table::num(result.latency.mean() * 1e3, 2),
+                   Table::num(result.waiting.mean() * 1e3, 2),
+                   result.fidelity.count() > 0
+                       ? Table::num(result.fidelity.mean(), 4)
+                       : "-"});
+  }
+  bench::emit(table, "ext_traffic.csv");
+
+  std::printf(
+      "\nthe single HAP relay saturates near capacity/service_time "
+      "(~4/0.011 ~ 360 1/s);\nbeyond that, waiting time grows into the "
+      "memory's T2 and the *delivered* fidelity\nfalls even though every "
+      "optical link is unchanged — the cost of the paper's\ninfinite-"
+      "capacity assumption expressed in fidelity, not just in served "
+      "percent.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 7 reproduction: percentage of served entanglement distribution
+// requests vs number of satellites — 100 random inter-LAN requests,
+// re-served at 100 snapshots of satellite movement and averaged.
+//
+// Paper anchor: 108 satellites serve 57.75% of requests.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const auto sweep = bench::run_paper_sweep();
+
+  Table table("Fig. 7 — served requests %% vs number of satellites");
+  table.set_header({"satellites", "served [%]"});
+  for (const core::SweepPoint& point : sweep) {
+    table.add_row({std::to_string(point.satellites),
+                   Table::num(point.served_percent, 2)});
+  }
+  bench::emit(table, "fig7_served_requests.csv");
+
+  const core::SweepPoint& full = sweep.back();
+  std::printf("\npaper @108: %.2f%%   measured @108: %.2f%%   (delta %.2f)\n",
+              bench::kPaperServed108, full.served_percent,
+              full.served_percent - bench::kPaperServed108);
+  std::printf("served%% tracks coverage%% (same @108 run: %.2f%% coverage), "
+              "running slightly above it\nbecause partial constellations can "
+              "serve individual LAN pairs without full triangle coverage.\n",
+              full.coverage_percent);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 8 reproduction: average entanglement fidelity of the resolved
+// requests vs number of satellites (same workload as Fig. 7, fidelity
+// recorded per served request via the paper's Bellman-Ford route).
+//
+// Paper anchor: the space-ground architecture averages F = 0.96.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  const auto sweep = bench::run_paper_sweep();
+
+  Table table("Fig. 8 — average entanglement fidelity vs number of satellites");
+  table.set_header({"satellites", "mean fidelity", "mean path eta", "mean hops"});
+  for (const core::SweepPoint& point : sweep) {
+    table.add_row({std::to_string(point.satellites),
+                   Table::num(point.mean_fidelity, 4),
+                   Table::num(point.mean_transmissivity, 4),
+                   Table::num(point.mean_hops, 2)});
+  }
+  bench::emit(table, "fig8_avg_fidelity.csv");
+
+  const core::SweepPoint& full = sweep.back();
+  std::printf("\npaper @108: %.2f   measured @108: %.4f   (delta %.3f)\n",
+              bench::kPaperFidelitySpace, full.mean_fidelity,
+              full.mean_fidelity - bench::kPaperFidelitySpace);
+  std::printf("flat-with-size shape: fidelity is set by the per-link "
+              "threshold, not the constellation size\n(min %.4f / max %.4f "
+              "across the sweep).\n",
+              [&] {
+                double lo = 1.0;
+                for (const auto& p : sweep) lo = std::min(lo, p.mean_fidelity);
+                return lo;
+              }(),
+              [&] {
+                double hi = 0.0;
+                for (const auto& p : sweep) hi = std::max(hi, p.mean_fidelity);
+                return hi;
+              }());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension A4 (the paper's future work, Section V): hybrid space+air
+// architecture — HAP plus constellation, with HAP-satellite FSO links
+// enabled. Compares all three architectures across constellation sizes.
+
+#include <cstdio>
+
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  core::QntnConfig config;
+  config.enable_hap_satellite = true;
+  const core::AirGroundResult air = core::evaluate_air_ground(config);
+
+  Table table("Extension A4 — hybrid space+air architecture");
+  table.set_header({"satellites", "space cover [%]", "hybrid cover [%]",
+                    "space served [%]", "hybrid served [%]",
+                    "space fidelity", "hybrid fidelity"});
+  for (const std::size_t n : {12u, 36u, 72u, 108u}) {
+    const core::SweepPoint space = core::evaluate_space_ground(config, n);
+    const core::SweepPoint hybrid = core::evaluate_hybrid(config, n);
+    table.add_row({std::to_string(n), Table::num(space.coverage_percent, 2),
+                   Table::num(hybrid.coverage_percent, 2),
+                   Table::num(space.served_percent, 2),
+                   Table::num(hybrid.served_percent, 2),
+                   Table::num(space.mean_fidelity, 4),
+                   Table::num(hybrid.mean_fidelity, 4)});
+  }
+  bench::emit(table, "hybrid_architecture.csv");
+
+  std::printf("\nair-ground alone: served %.2f%%, fidelity %.4f\n",
+              air.served_percent, air.mean_fidelity);
+  std::printf(
+      "the hybrid pins coverage and service at 100%% (the HAP floor) while "
+      "satellite\npasses add alternative routes; with the paper's "
+      "single-relay topology the\nfidelity gain over air-ground alone is "
+      "marginal — the real win is redundancy\nagainst the HAP's weather and "
+      "endurance limits that the paper flags.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Performance of the FSO channel: the one-shot evaluate_fso (recomputes the
+// Cn^2 integrals) vs the cached FsoLinkEvaluator the simulator's inner loop
+// uses — the cache is what makes million-link days cheap.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "channel/fso.hpp"
+#include "common/constants.hpp"
+
+namespace {
+
+using namespace qntn;
+using namespace qntn::channel;
+
+FsoGeometry sat_geometry(double elevation) {
+  const double s = kEarthRadius * std::sin(elevation);
+  FsoGeometry g;
+  g.range = -s + std::sqrt(s * s + 500e3 * 500e3 + 2.0 * kEarthRadius * 500e3);
+  g.elevation = elevation;
+  g.altitude_low = 0.0;
+  g.altitude_high = 500e3;
+  return g;
+}
+
+void BM_EvaluateFsoOneShot(benchmark::State& state) {
+  const FsoConfig config;
+  const OpticalTerminal t{1.2, 1e-7};
+  double el = 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_fso(config, t, t, sat_geometry(el)));
+    el = el < 1.5 ? el + 0.001 : 0.4;
+  }
+}
+BENCHMARK(BM_EvaluateFsoOneShot);
+
+void BM_EvaluatorCached(benchmark::State& state) {
+  const FsoConfig config;
+  const OpticalTerminal t{1.2, 1e-7};
+  const FsoLinkEvaluator evaluator(config, t, t, 0.0, 500e3);
+  double el = 0.4;
+  for (auto _ : state) {
+    const FsoGeometry g = sat_geometry(el);
+    benchmark::DoNotOptimize(evaluator.symmetric(g.range, g.elevation));
+    el = el < 1.5 ? el + 0.001 : 0.4;
+  }
+}
+BENCHMARK(BM_EvaluatorCached);
+
+void BM_EvaluatorVacuumIsl(benchmark::State& state) {
+  const FsoConfig config;
+  const OpticalTerminal t{1.2, 1e-7};
+  const FsoLinkEvaluator evaluator(config, t, t, 500e3, 500e3);
+  double range = 400e3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.symmetric(range, kPi / 2.0));
+    range = range < 4000e3 ? range + 1000.0 : 400e3;
+  }
+}
+BENCHMARK(BM_EvaluatorVacuumIsl);
+
+void BM_Cn2Integration(benchmark::State& state) {
+  const atmosphere::HufnagelValley profile;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.integrated_cn2(0.0, 30'000.0));
+  }
+}
+BENCHMARK(BM_Cn2Integration);
+
+}  // namespace

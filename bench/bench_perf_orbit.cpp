@@ -1,0 +1,70 @@
+// Performance of the orbit stack: Kepler solves, state evaluation, and
+// full-day ephemeris generation (the STK-replacement pipeline).
+
+#include <benchmark/benchmark.h>
+
+#include "orbit/constellation.hpp"
+#include "orbit/ephemeris.hpp"
+
+namespace {
+
+using namespace qntn::orbit;
+
+void BM_SolveKepler(benchmark::State& state) {
+  const double e = static_cast<double>(state.range(0)) / 100.0;
+  double m = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_kepler(m, e));
+    m += 0.37;
+  }
+}
+BENCHMARK(BM_SolveKepler)->Arg(0)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_ElementsToState(benchmark::State& state) {
+  KeplerianElements el = qntn_constellation(6).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elements_to_state(el));
+    el.true_anomaly += 0.01;
+  }
+}
+BENCHMARK(BM_ElementsToState);
+
+void BM_PropagatorStateAt(benchmark::State& state) {
+  const TwoBodyPropagator prop(qntn_constellation(6).front());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prop.state_at(t));
+    t += 30.0;
+  }
+}
+BENCHMARK(BM_PropagatorStateAt);
+
+void BM_EphemerisGenerateFullDay(benchmark::State& state) {
+  const TwoBodyPropagator prop(qntn_constellation(6).front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ephemeris::generate(prop, 86'400.0, 30.0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2881);
+}
+BENCHMARK(BM_EphemerisGenerateFullDay);
+
+void BM_EphemerisLookup(benchmark::State& state) {
+  const TwoBodyPropagator prop(qntn_constellation(6).front());
+  const Ephemeris eph = Ephemeris::generate(prop, 86'400.0, 30.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eph.position_ecef(t));
+    t = t < 86'000.0 ? t + 17.3 : 0.0;
+  }
+}
+BENCHMARK(BM_EphemerisLookup);
+
+void BM_ConstellationBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qntn_constellation(n));
+  }
+}
+BENCHMARK(BM_ConstellationBuild)->Arg(6)->Arg(36)->Arg(108);
+
+}  // namespace

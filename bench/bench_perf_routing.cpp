@@ -1,0 +1,82 @@
+// Performance of the routing layer on QNTN-shaped graphs (31 ground nodes
+// + n satellites): the paper's distance-vector Algorithm 1 vs single-source
+// Bellman-Ford vs Dijkstra.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "net/routing.hpp"
+
+namespace {
+
+using namespace qntn;
+using namespace qntn::net;
+
+/// QNTN-like topology: three fiber cliques plus satellites linked to random
+/// ground nodes (threshold-passing links only).
+Graph qntn_like_graph(std::size_t satellites, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  const std::size_t lan_sizes[] = {5, 15, 11};
+  std::size_t base = 0;
+  for (const std::size_t size : lan_sizes) {
+    for (std::size_t i = 0; i < size; ++i) g.add_node();
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = i + 1; j < size; ++j) {
+        g.add_edge(base + i, base + j, 0.999);
+      }
+    }
+    base += size;
+  }
+  for (std::size_t s = 0; s < satellites; ++s) {
+    const NodeId sat = g.add_node();
+    // Each visible satellite sees a handful of ground nodes.
+    const auto links = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    for (std::size_t l = 0; l < links; ++l) {
+      const auto ground = static_cast<NodeId>(rng.uniform_int(0, 30));
+      g.add_edge(sat, ground, rng.uniform(0.7, 0.98));
+    }
+  }
+  return g;
+}
+
+void BM_BellmanFordTree(benchmark::State& state) {
+  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bellman_ford_tree(g, 0, CostMetric::InverseEta));
+  }
+}
+BENCHMARK(BM_BellmanFordTree)->Arg(6)->Arg(36)->Arg(108);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dijkstra(g, 0, g.node_count() - 1, CostMetric::InverseEta));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(6)->Arg(36)->Arg(108);
+
+void BM_DistanceVectorConvergence(benchmark::State& state) {
+  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceVectorRouter(g));
+  }
+}
+BENCHMARK(BM_DistanceVectorConvergence)->Arg(6)->Arg(36);
+
+void BM_ServeHundredRequests(benchmark::State& state) {
+  const Graph g = qntn_like_graph(108, 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    // 100 requests from ~15 distinct sources, the Fig. 7 inner loop.
+    for (int i = 0; i < 15; ++i) {
+      const auto src = static_cast<NodeId>(rng.uniform_int(0, 30));
+      benchmark::DoNotOptimize(bellman_ford_tree(g, src, CostMetric::InverseEta));
+    }
+  }
+}
+BENCHMARK(BM_ServeHundredRequests);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Performance of the simulator's per-time-step work: topology snapshot
+// construction and one coverage-analysis step, at the paper's constellation
+// sizes. A full Fig. 6 day is 2880 such steps.
+
+#include <benchmark/benchmark.h>
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "sim/coverage.hpp"
+
+namespace {
+
+using namespace qntn;
+
+void BM_TopologySnapshot(benchmark::State& state) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(
+      config, static_cast<std::size_t>(state.range(0)));
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.graph_at(t));
+    t += 30.0;
+  }
+}
+BENCHMARK(BM_TopologySnapshot)->Arg(6)->Arg(36)->Arg(108);
+
+void BM_CoverageStep(benchmark::State& state) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(
+      config, static_cast<std::size_t>(state.range(0)));
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  double t = 0.0;
+  for (auto _ : state) {
+    const net::Graph graph = topology.graph_at(t);
+    benchmark::DoNotOptimize(sim::all_lans_connected(model, graph));
+    t += 30.0;
+  }
+}
+BENCHMARK(BM_CoverageStep)->Arg(36)->Arg(108);
+
+void BM_AirGroundSnapshot(benchmark::State& state) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_air_ground_model(config);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.graph_at(0.0));
+  }
+}
+BENCHMARK(BM_AirGroundSnapshot);
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const core::QntnConfig config;
+  for (auto _ : state) {
+    // Includes generating a full-day 30 s ephemeris per satellite.
+    benchmark::DoNotOptimize(core::build_space_ground_model(
+        config, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ModelConstruction)->Arg(6)->Arg(36)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Table I reproduction: the coordinates of all 31 QNTN ground nodes, plus
+// derived geometry (intra-LAN spans, inter-city distances) that the paper's
+// architecture discussion relies on.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/ground_networks.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace qntn;
+
+  Table table("Table I — coordinates of ground nodes");
+  table.set_header({"LAN", "node", "latitude [deg]", "longitude [deg]"});
+  for (const core::LanDefinition& lan : core::qntn_lans()) {
+    for (std::size_t i = 0; i < lan.nodes.size(); ++i) {
+      table.add_row({lan.name, std::to_string(i),
+                     Table::num(rad_to_deg(lan.nodes[i].latitude), 5),
+                     Table::num(rad_to_deg(lan.nodes[i].longitude), 5)});
+    }
+  }
+  bench::emit(table, "table1_ground_networks.csv");
+
+  std::printf("\nderived geometry:\n");
+  const auto lans = core::qntn_lans();
+  for (std::size_t i = 0; i < lans.size(); ++i) {
+    double max_span = 0.0;
+    for (const geo::Geodetic& node : lans[i].nodes) {
+      max_span = std::max(
+          max_span, geo::great_circle_distance(lans[i].nodes.front(), node));
+    }
+    std::printf("  %-5s %2zu nodes, max intra-LAN span %6.2f km\n",
+                lans[i].name.c_str(), lans[i].nodes.size(),
+                m_to_km(max_span));
+  }
+  for (std::size_t i = 0; i < lans.size(); ++i) {
+    for (std::size_t j = i + 1; j < lans.size(); ++j) {
+      std::printf("  %-5s <-> %-5s %7.1f km\n", lans[i].name.c_str(),
+                  lans[j].name.c_str(),
+                  m_to_km(geo::great_circle_distance(lans[i].nodes.front(),
+                                                     lans[j].nodes.front())));
+    }
+  }
+  return 0;
+}

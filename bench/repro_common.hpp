@@ -1,0 +1,44 @@
+#pragma once
+
+/// Shared plumbing for the reproduction harnesses in bench/: the paper's
+/// reference series (digitised headline numbers) and a helper that runs the
+/// full constellation sweep on a thread pool.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/experiments.hpp"
+
+namespace qntn::bench {
+
+/// Paper headline operating points (Section IV / Table III). Only the
+/// 108-satellite and air-ground rows are given numerically in the text;
+/// the figures are compared by shape.
+inline constexpr double kPaperCoverage108 = 55.17;   // %
+inline constexpr double kPaperServed108 = 57.75;     // %
+inline constexpr double kPaperFidelitySpace = 0.96;
+inline constexpr double kPaperFidelityAir = 0.98;
+
+/// Run the full 6..108 sweep with the library defaults.
+inline std::vector<core::SweepPoint> run_paper_sweep() {
+  const core::QntnConfig config;
+  ThreadPool pool;
+  return core::space_ground_sweep(config, core::paper_constellation_sizes(),
+                                  pool);
+}
+
+/// Emit a table to stdout and a CSV next to the working directory.
+inline void emit(const Table& table, const std::string& csv_name) {
+  std::fputs(table.to_string().c_str(), stdout);
+  try {
+    table.write_csv(csv_name);
+    std::printf("(series written to %s)\n", csv_name.c_str());
+  } catch (const Error&) {
+    // CSV output is best-effort (read-only working directories).
+  }
+}
+
+}  // namespace qntn::bench

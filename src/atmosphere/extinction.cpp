@@ -1,0 +1,38 @@
+#include "atmosphere/extinction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::atmosphere {
+
+double kasten_young_airmass(double zenith_angle) {
+  const double z = std::clamp(zenith_angle, 0.0, kPi / 2.0);
+  const double apparent_el_deg = 90.0 - rad_to_deg(z);
+  return 1.0 / (std::cos(z) + 0.50572 * std::pow(apparent_el_deg + 6.07995, -1.6364));
+}
+
+double ExtinctionModel::column_fraction(double h_lo, double h_hi) const {
+  QNTN_REQUIRE(h_hi >= h_lo, "altitude band reversed");
+  const double lo = std::max(h_lo, 0.0);
+  const double hi = std::max(h_hi, 0.0);
+  // With beta(h) = beta0 exp(-h/H), the band integral over the full column
+  // integral is exp(-lo/H) - exp(-hi/H).
+  return std::exp(-lo / scale_height) - std::exp(-hi / scale_height);
+}
+
+double ExtinctionModel::transmittance(double zenith_angle, double h_lo,
+                                      double h_hi) const {
+  QNTN_REQUIRE(zenith_transmittance > 0.0 && zenith_transmittance <= 1.0,
+               "zenith transmittance must be in (0, 1]");
+  const double tau_zenith = -std::log(zenith_transmittance);
+  const double tau = tau_zenith * column_fraction(std::min(h_lo, h_hi),
+                                                  std::max(h_lo, h_hi)) *
+                     kasten_young_airmass(zenith_angle);
+  return std::exp(-tau);
+}
+
+}  // namespace qntn::atmosphere

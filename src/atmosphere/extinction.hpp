@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file extinction.hpp
+/// Clear-air absorption/scattering losses along slant paths (the eta_atm
+/// factor of the paper's Eq. 2). Modelled as Beer-Lambert with an
+/// exponentially decaying extinction coefficient and a Kasten-Young airmass
+/// that stays finite at the horizon. The HAP sits above most of the
+/// atmosphere, so ground-HAP links see nearly the full column while
+/// HAP-satellite links see almost none — the model handles arbitrary
+/// endpoint altitudes via the altitude-band column integral.
+
+namespace qntn::atmosphere {
+
+struct ExtinctionModel {
+  /// Transmittance of the full vertical column at zenith (clear sky).
+  /// 0.98 corresponds to the paper's "ideal conditions" assumption at the
+  /// calibrated wavelength; degrade towards ~0.6 for haze (see
+  /// WeatherProfile in the channel module).
+  double zenith_transmittance = 0.98;
+
+  /// Scale height [m] of the extinction coefficient's exponential decay.
+  double scale_height = 6600.0;
+
+  /// Fraction of the full vertical optical depth contained between
+  /// altitudes [h_lo, h_hi] (both in metres; 0 -> ground).
+  [[nodiscard]] double column_fraction(double h_lo, double h_hi) const;
+
+  /// Transmittance along a slant path between altitudes h_lo and h_hi at
+  /// the given zenith angle [rad].
+  [[nodiscard]] double transmittance(double zenith_angle, double h_lo,
+                                     double h_hi) const;
+};
+
+/// Kasten-Young (1989) relative airmass; ~1 at zenith, ~38 at the horizon,
+/// finite everywhere (unlike sec(zeta)). zenith_angle in radians.
+[[nodiscard]] double kasten_young_airmass(double zenith_angle);
+
+}  // namespace qntn::atmosphere

@@ -1,0 +1,85 @@
+#include "atmosphere/turbulence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace qntn::atmosphere {
+
+double HufnagelValley::cn2(double altitude) const {
+  const double h = altitude < 0.0 ? 0.0 : altitude;
+  const double h_km10 = h * 1e-5;  // h / 10^5 in the canonical formula
+  const double w_term = 0.00594 * std::pow(wind_speed / 27.0, 2.0) *
+                        std::pow(h_km10, 10.0) * std::exp(-h / 1000.0);
+  const double mid_term = 2.7e-16 * std::exp(-h / 1500.0);
+  const double ground_term = ground_cn2 * std::exp(-h / 100.0);
+  return w_term + mid_term + ground_term;
+}
+
+namespace {
+
+/// Simpson integration of f over [a, b] with n (even) panels.
+template <typename F>
+double simpson(const F& f, double a, double b, int n) {
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + h * i) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double HufnagelValley::integrated_cn2(double h_lo, double h_hi) const {
+  QNTN_REQUIRE(h_hi >= h_lo, "integration bounds reversed");
+  if (h_hi == h_lo) return 0.0;
+  // The profile varies fastest near the ground (100 m scale height); split
+  // the integral into a fine low band and a coarser upper band. The split
+  // point is clamped into [h_lo, h_hi] so high-altitude bands (e.g. a
+  // HAP-to-satellite path) integrate only their own span.
+  auto f = [this](double h) { return cn2(h); };
+  const double split = std::clamp(3000.0, h_lo, h_hi);
+  double total = 0.0;
+  if (split > h_lo) total += simpson(f, h_lo, split, 600);
+  if (h_hi > split) total += simpson(f, split, h_hi, 400);
+  return total;
+}
+
+double fried_parameter(const HufnagelValley& profile, double wavelength,
+                       double zenith_angle, double h_lo, double h_hi) {
+  QNTN_REQUIRE(wavelength > 0.0, "wavelength must be positive");
+  QNTN_REQUIRE(zenith_angle >= 0.0 && zenith_angle < kPi / 2.0,
+               "zenith angle must be in [0, pi/2)");
+  const double k = kTwoPi / wavelength;
+  const double mu0 = profile.integrated_cn2(h_lo, h_hi);
+  if (mu0 <= 0.0) return 1e9;  // effectively no turbulence on this path
+  const double sec_zeta = 1.0 / std::cos(zenith_angle);
+  return std::pow(0.423 * k * k * sec_zeta * mu0, -3.0 / 5.0);
+}
+
+double rytov_variance(const HufnagelValley& profile, double wavelength,
+                      double zenith_angle, double h_lo, double h_hi) {
+  QNTN_REQUIRE(wavelength > 0.0, "wavelength must be positive");
+  const double k = kTwoPi / wavelength;
+  const double sec_zeta = 1.0 / std::cos(zenith_angle);
+  auto f = [&](double h) {
+    return profile.cn2(h) * std::pow(std::max(h - h_lo, 0.0), 5.0 / 6.0);
+  };
+  // Same band-split integration as integrated_cn2.
+  const double split = std::clamp(3000.0, h_lo, h_hi);
+  double integral = 0.0;
+  auto simpson_local = [&](double a, double b, int n) {
+    const double step = (b - a) / n;
+    double sum = f(a) + f(b);
+    for (int i = 1; i < n; ++i) sum += f(a + step * i) * (i % 2 == 1 ? 4.0 : 2.0);
+    return sum * step / 3.0;
+  };
+  if (split > h_lo) integral += simpson_local(h_lo, split, 600);
+  if (h_hi > split) integral += simpson_local(split, h_hi, 400);
+  return 2.25 * std::pow(k, 7.0 / 6.0) * std::pow(sec_zeta, 11.0 / 6.0) * integral;
+}
+
+}  // namespace qntn::atmosphere

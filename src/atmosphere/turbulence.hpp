@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file turbulence.hpp
+/// Optical turbulence along slant paths. Implements the Hufnagel-Valley 5/7
+/// refractive-index structure profile Cn^2(h), its integrated moments, the
+/// Fried coherence length r0, and the (weak-fluctuation) Rytov variance.
+/// These feed the FSO channel's turbulence transmissivity, standing in for
+/// Eq. (16) of the paper's reference [19] (Ghalaii & Pirandola 2022), which
+/// is not bundled here — see DESIGN.md §1.
+
+namespace qntn::atmosphere {
+
+/// Parameters of the Hufnagel-Valley profile. Defaults give the canonical
+/// HV5/7 model: r0 ≈ 5 cm and isoplanatic angle ≈ 7 urad at 0.5 um, zenith.
+struct HufnagelValley {
+  double wind_speed = 21.0;          ///< upper-atmosphere RMS wind [m/s]
+  double ground_cn2 = 1.7e-14;       ///< A, ground-level Cn^2 [m^-2/3]
+
+  /// Cn^2 at altitude h [m] above sea level.
+  [[nodiscard]] double cn2(double altitude) const;
+
+  /// Integral of Cn^2 over altitude from h_lo to h_hi [m] (vertical column).
+  /// Computed by adaptive-step Simpson integration; accurate to ~1e-4
+  /// relative for the smooth HV profile.
+  [[nodiscard]] double integrated_cn2(double h_lo, double h_hi) const;
+};
+
+/// Fried parameter r0 [m] for a plane wave propagating along a slant path
+/// with the given zenith angle, between altitudes [h_lo, h_hi].
+///   r0 = (0.423 k^2 sec(zeta) * integral Cn^2)^(-3/5)
+/// Larger r0 = calmer atmosphere. Paths entirely above the profile's
+/// significant region return a very large r0 (no turbulence).
+[[nodiscard]] double fried_parameter(const HufnagelValley& profile,
+                                     double wavelength, double zenith_angle,
+                                     double h_lo, double h_hi);
+
+/// Rytov (log-amplitude) variance for a plane wave on the same geometry:
+///   sigma_R^2 = 2.25 k^(7/6) sec(zeta)^(11/6) * int Cn^2(h) h^(5/6) dh.
+/// Used to report the scintillation regime; the mean-transmissivity budget
+/// uses r0-based beam spreading.
+[[nodiscard]] double rytov_variance(const HufnagelValley& profile,
+                                    double wavelength, double zenith_angle,
+                                    double h_lo, double h_hi);
+
+}  // namespace qntn::atmosphere

@@ -1,0 +1,25 @@
+#include "channel/fiber.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::channel {
+
+double FiberChannel::transmissivity() const {
+  QNTN_REQUIRE(length >= 0.0, "fiber length must be non-negative");
+  QNTN_REQUIRE(attenuation_db_per_km >= 0.0, "attenuation must be non-negative");
+  const double alpha = db_per_km_to_neper_per_m(attenuation_db_per_km);
+  return std::exp(-alpha * length);
+}
+
+double FiberChannel::length_for_transmissivity(double eta,
+                                               double attenuation_db_per_km) {
+  QNTN_REQUIRE(eta > 0.0 && eta <= 1.0, "eta must be in (0, 1]");
+  QNTN_REQUIRE(attenuation_db_per_km > 0.0, "attenuation must be positive");
+  const double alpha = db_per_km_to_neper_per_m(attenuation_db_per_km);
+  return -std::log(eta) / alpha;
+}
+
+}  // namespace qntn::channel

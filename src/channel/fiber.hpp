@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file fiber.hpp
+/// Fiber-optic channel model, paper Eq. (1): eta = exp(-alpha * l) with the
+/// attenuation coefficient quoted in dB/km (0.15 dB/km in Section IV).
+
+namespace qntn::channel {
+
+struct FiberChannel {
+  double length = 0.0;            ///< [m]
+  double attenuation_db_per_km = 0.15;
+
+  /// Transmissivity eta in (0, 1]; eta = 1 at zero length.
+  [[nodiscard]] double transmissivity() const;
+
+  /// Length [m] at which transmissivity falls to the given value.
+  [[nodiscard]] static double length_for_transmissivity(
+      double eta, double attenuation_db_per_km);
+};
+
+}  // namespace qntn::channel

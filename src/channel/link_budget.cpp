@@ -1,0 +1,43 @@
+#include "channel/link_budget.hpp"
+
+#include <algorithm>
+
+#include "common/constants.hpp"
+
+namespace qntn::channel {
+
+Endpoint Endpoint::from_geodetic(const geo::Geodetic& g) {
+  return {g, geo::geodetic_to_ecef(g)};
+}
+
+Endpoint Endpoint::from_ecef(const Vec3& p) {
+  return {geo::ecef_to_geodetic(p), p};
+}
+
+FsoGeometry make_fso_geometry(const Endpoint& a, const Endpoint& b) {
+  const bool a_lower = a.geodetic.altitude <= b.geodetic.altitude;
+  const Endpoint& low = a_lower ? a : b;
+  const Endpoint& high = a_lower ? b : a;
+
+  FsoGeometry g;
+  g.range = distance(a.ecef, b.ecef);
+  g.elevation = geo::look_angles(low.geodetic, high.ecef).elevation;
+  g.altitude_low = low.geodetic.altitude;
+  g.altitude_high = high.geodetic.altitude;
+  return g;
+}
+
+bool fso_link_visible(const Endpoint& a, const Endpoint& b,
+                      double elevation_mask) {
+  const double alt_lo = std::min(a.geodetic.altitude, b.geodetic.altitude);
+  if (alt_lo > kAtmosphereTopAltitude) {
+    // Exoatmospheric path: require clearance above the atmosphere shell so
+    // the beam never grazes dense air or the Earth itself.
+    return geo::line_of_sight(a.ecef, b.ecef,
+                              kEarthRadius + kAtmosphereTopAltitude);
+  }
+  const FsoGeometry g = make_fso_geometry(a, b);
+  return g.elevation >= elevation_mask;
+}
+
+}  // namespace qntn::channel

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "channel/fso.hpp"
+#include "common/vec3.hpp"
+#include "geo/frames.hpp"
+#include "geo/geodetic.hpp"
+
+/// \file link_budget.hpp
+/// Glue between node positions and the channel models: builds the FSO
+/// geometry (slant range, elevation at the lower endpoint, altitude band)
+/// from two endpoint positions and performs the visibility gates the
+/// simulator applies before querying transmissivity.
+
+namespace qntn::channel {
+
+/// A link endpoint: geodetic position plus its ECEF equivalent (callers
+/// typically already have both; keeping them together avoids recomputation
+/// in the per-time-step inner loop).
+struct Endpoint {
+  geo::Geodetic geodetic;
+  Vec3 ecef;
+
+  [[nodiscard]] static Endpoint from_geodetic(const geo::Geodetic& g);
+  [[nodiscard]] static Endpoint from_ecef(const Vec3& p);
+};
+
+/// Build the FSO geometry between two endpoints. The elevation is measured
+/// at the lower-altitude endpoint (the one inside/closest to the
+/// atmosphere, which dominates the slant-path turbulence and extinction).
+[[nodiscard]] FsoGeometry make_fso_geometry(const Endpoint& a, const Endpoint& b);
+
+/// Visibility gates for a candidate FSO link:
+///  - both-high (inter-satellite): straight-line clearance above the
+///    atmosphere grazing shell;
+///  - ground/aerial involved: elevation at the lower endpoint must meet the
+///    mask (the paper uses pi/9).
+[[nodiscard]] bool fso_link_visible(const Endpoint& a, const Endpoint& b,
+                                    double elevation_mask);
+
+}  // namespace qntn::channel

@@ -1,0 +1,50 @@
+#include "channel/qkd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qntn::channel {
+
+double binary_entropy(double p) {
+  QNTN_REQUIRE(p >= 0.0 && p <= 1.0, "entropy argument must be in [0, 1]");
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double QkdSystem::qber(double eta) const {
+  QNTN_REQUIRE(eta >= 0.0 && eta <= 1.0, "transmissivity must be in [0, 1]");
+  const double p_signal = mean_photon_number * eta * detector_efficiency;
+  const double p_noise = dark_count_probability;
+  if (p_signal + p_noise <= 0.0) return 0.5;
+  const double e =
+      (misalignment_error * p_signal + 0.5 * p_noise) / (p_signal + p_noise);
+  return std::clamp(e, 0.0, 0.5);
+}
+
+double QkdSystem::key_fraction(double eta) const {
+  const double p_signal = mean_photon_number * eta * detector_efficiency;
+  const double p_click = p_signal + dark_count_probability;
+  const double e = qber(eta);
+  // Asymptotic BB84 with identical bit/phase error: r = 1 - 2 h2(e).
+  const double r = 1.0 - 2.0 * binary_entropy(e);
+  return 0.5 * p_click * std::max(0.0, r);
+}
+
+double QkdSystem::key_rate(double eta) const {
+  return repetition_rate * key_fraction(eta);
+}
+
+double QkdSystem::cutoff_transmissivity() const {
+  if (key_fraction(1.0) <= 0.0) return 0.0;
+  if (key_fraction(0.0) > 0.0) return 0.0;  // noise-free detector corner
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (key_fraction(mid) > 0.0 ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace qntn::channel

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file qkd.hpp
+/// Asymptotic BB84 secret-key-rate model over a lossy channel. The paper's
+/// related work contrasts QKD-only regional networks ([14], Micius,
+/// EuroQCI) with QNTN's entanglement distribution; this model lets the
+/// benches report what the same QNTN links would deliver as a trusted-node
+/// QKD service — daily secret-key volume per architecture — connecting the
+/// two service models quantitatively.
+///
+/// Model: weak-coherent BB84 without decoy-state analysis, in the
+/// asymptotic limit. Per clock cycle:
+///   p_signal = mu * eta * eta_detector     (expected signal detections)
+///   p_noise  = dark_count_probability      (per-gate noise detections)
+///   QBER     = (e_misalignment * p_signal + 0.5 * p_noise)
+///              / (p_signal + p_noise)
+///   rate     = 0.5 * (p_signal + p_noise) * max(0, 1 - 2 h2(QBER))
+/// where h2 is the binary entropy and the 0.5 is basis sifting.
+
+namespace qntn::channel {
+
+/// Binary entropy h2(p), 0 at p in {0, 1}.
+[[nodiscard]] double binary_entropy(double p);
+
+struct QkdSystem {
+  double mean_photon_number = 0.5;     ///< mu, per pulse
+  double detector_efficiency = 0.6;    ///< eta_detector
+  double dark_count_probability = 2e-6;///< per detection gate
+  double misalignment_error = 0.015;   ///< intrinsic optical QBER
+  double repetition_rate = 100e6;      ///< clock [Hz]
+
+  /// Quantum bit error rate at channel transmissivity eta, in [0, 0.5].
+  [[nodiscard]] double qber(double eta) const;
+
+  /// Secret key fraction per clock cycle (dimensionless, >= 0).
+  [[nodiscard]] double key_fraction(double eta) const;
+
+  /// Secret key rate [bit/s] at channel transmissivity eta.
+  [[nodiscard]] double key_rate(double eta) const;
+
+  /// Smallest transmissivity with a positive key rate (bisection on the
+  /// QBER's 11% BB84 breakdown; 0 if even eta = 1 yields nothing).
+  [[nodiscard]] double cutoff_transmissivity() const;
+};
+
+}  // namespace qntn::channel

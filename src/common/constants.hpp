@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical and mathematical constants used across the QNTN libraries.
+/// All values are SI unless the name says otherwise.
+
+namespace qntn {
+
+/// Mathematical constants (C++20 <numbers> exists, but we keep the project's
+/// constants in one place together with the physical ones).
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kDegPerRad = 180.0 / kPi;
+inline constexpr double kRadPerDeg = kPi / 180.0;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Standard gravitational parameter of Earth, GM [m^3/s^2] (WGS84).
+inline constexpr double kEarthMu = 3.986004418e14;
+
+/// Mean Earth radius [m] (spherical model used by the paper's geometry).
+inline constexpr double kEarthRadius = 6'371'000.0;
+
+/// WGS84 ellipsoid semi-major axis [m].
+inline constexpr double kWgs84A = 6'378'137.0;
+
+/// WGS84 flattening (dimensionless).
+inline constexpr double kWgs84F = 1.0 / 298.257223563;
+
+/// WGS84 first eccentricity squared.
+inline constexpr double kWgs84E2 = kWgs84F * (2.0 - kWgs84F);
+
+/// Earth rotation rate [rad/s] (sidereal).
+inline constexpr double kEarthRotationRate = 7.2921150e-5;
+
+/// J2 zonal harmonic coefficient of Earth's gravity field.
+inline constexpr double kEarthJ2 = 1.08262668e-3;
+
+/// Seconds per day / minutes per day as used by the paper's Eq. (7).
+inline constexpr double kSecondsPerDay = 86'400.0;
+inline constexpr double kMinutesPerDay = 1'440.0;
+
+/// Altitude [m] above which atmospheric turbulence and extinction are
+/// negligible for the link budgets in this project (HV5/7 Cn^2 has decayed
+/// by many orders of magnitude by 20 km; we use 30 km to be conservative).
+inline constexpr double kAtmosphereTopAltitude = 30'000.0;
+
+}  // namespace qntn

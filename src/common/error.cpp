@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace qntn::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace qntn::detail

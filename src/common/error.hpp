@@ -1,0 +1,45 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error handling policy for the project: programming errors and violated
+/// preconditions throw qntn::Error (derived from std::logic_error /
+/// std::runtime_error as appropriate). Numerical routines that can fail for
+/// data-dependent reasons document and throw NumericalError.
+
+namespace qntn {
+
+/// Base exception for all QNTN errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an iterative numerical routine fails to converge.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+}  // namespace detail
+
+}  // namespace qntn
+
+/// Precondition check that is always on (cheap checks guarding public API).
+#define QNTN_REQUIRE(expr, message)                                              \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::qntn::detail::throw_precondition(#expr, __FILE__, __LINE__, (message));  \
+    }                                                                            \
+  } while (false)

@@ -1,0 +1,77 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qntn {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  QNTN_REQUIRE(hi > lo, "histogram range must be non-empty");
+  QNTN_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  QNTN_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  QNTN_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  QNTN_REQUIRE(bin < counts_.size(), "bin out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  QNTN_REQUIRE(total_ > 0, "quantile of an empty histogram");
+  QNTN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double next = cumulative + static_cast<double>(counts_[bin]);
+    if (next >= target) {
+      const double within =
+          counts_[bin] > 0
+              ? (target - cumulative) / static_cast<double>(counts_[bin])
+              : 0.0;
+      return bin_low(bin) + within * (bin_high(bin) - bin_low(bin));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (counts_[bin] == 0) continue;
+    const auto bar = peak > 0 ? counts_[bin] * max_width / peak : 0;
+    os << '[' << bin_low(bin) << ", " << bin_high(bin) << ") "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << ' '
+       << counts_[bin] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qntn

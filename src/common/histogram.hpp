@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file histogram.hpp
+/// Fixed-bin histogram for reporting distributions (fidelity of served
+/// requests, pass durations, latency) in the bench harnesses and reports.
+
+namespace qntn {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins covering [lo, hi); out-of-range samples are
+  /// counted in saturating edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// Fraction of samples in [bin_low, bin_high) of the given bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Approximate quantile from the binned data (linear within the bin).
+  /// Precondition: at least one sample; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact ASCII rendering, one line per non-empty bin.
+  [[nodiscard]] std::string to_string(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qntn

@@ -1,0 +1,43 @@
+#include "common/interval_set.hpp"
+
+#include <algorithm>
+
+namespace qntn {
+
+void IntervalSet::add_sample(double t, double dt, bool active) {
+  if (active) add_interval(t, t + dt);
+}
+
+void IntervalSet::add_interval(double start, double end) {
+  if (start >= end) return;
+  // Fast path: extend the previous interval when samples arrive in order and
+  // abut exactly (the common case when fed from a fixed-step simulation).
+  if (!raw_.empty() && raw_.back().end == start) {
+    raw_.back().end = end;
+    return;
+  }
+  raw_.push_back({start, end});
+}
+
+std::vector<Interval> IntervalSet::merged() const {
+  std::vector<Interval> sorted = raw_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> out;
+  for (const Interval& iv : sorted) {
+    if (!out.empty() && iv.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+double IntervalSet::total() const {
+  double sum = 0.0;
+  for (const Interval& iv : merged()) sum += iv.length();
+  return sum;
+}
+
+}  // namespace qntn

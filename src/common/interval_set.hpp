@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+/// \file interval_set.hpp
+/// Accumulates half-open time intervals [start, end) and reports their total
+/// measure and merged form. This implements the bookkeeping behind the
+/// paper's coverage period, Eq. (6): T_c = sum_k (t_end,k - t_start,k).
+
+namespace qntn {
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double length() const { return end - start; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Builds a set of disjoint intervals from a monotone stream of boolean
+/// samples ("connected at time t?") or from explicit interval insertions.
+class IntervalSet {
+ public:
+  /// Feed one sample of a piecewise-constant signal observed at time t with
+  /// sampling period dt: if active, the interval [t, t+dt) is covered.
+  /// Samples must be fed in non-decreasing time order.
+  void add_sample(double t, double dt, bool active);
+
+  /// Insert an explicit interval [start, end); ignored if start >= end.
+  void add_interval(double start, double end);
+
+  /// Total covered measure (Eq. 6's T_c), after merging overlaps.
+  [[nodiscard]] double total() const;
+
+  /// Disjoint, sorted, merged intervals.
+  [[nodiscard]] std::vector<Interval> merged() const;
+
+  /// Number of merged disjoint intervals (connectivity episodes).
+  [[nodiscard]] std::size_t episode_count() const { return merged().size(); }
+
+  [[nodiscard]] bool empty() const { return raw_.empty(); }
+
+ private:
+  std::vector<Interval> raw_;
+};
+
+}  // namespace qntn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+/// \file rng.hpp
+/// Deterministic random number generation. Every stochastic component of the
+/// simulator draws from an Rng constructed from a named seed in the scenario
+/// config, so results are reproducible across runs and thread counts.
+
+namespace qntn {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled by sigma.
+  [[nodiscard]] double normal(double mean, double sigma) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Derive an independent child generator; used to give each parallel task
+  /// its own stream while keeping the whole run a function of one seed.
+  [[nodiscard]] Rng fork() {
+    return Rng(engine_());
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qntn

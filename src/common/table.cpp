@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qntn {
+
+void Table::set_header(std::vector<std::string> header) {
+  QNTN_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  QNTN_REQUIRE(header_.empty() || row.size() == header_.size(),
+               "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i]))
+         << std::left << row[i];
+    }
+    os << " |\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 1;
+    for (std::size_t w : widths) total += w + 3;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << to_csv();
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace qntn

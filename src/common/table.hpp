@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// ASCII table / CSV emission used by the reproduction harnesses in bench/
+/// to print the paper's tables and figure series.
+
+namespace qntn {
+
+/// Column-aligned ASCII table with an optional title; also serializable
+/// to CSV so the figure series can be plotted externally.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+  /// Render the table with box-drawing-free ASCII (pipes and dashes).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header + rows, comma separated, RFC-4180-ish quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to a file path; throws qntn::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qntn

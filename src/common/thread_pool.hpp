@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size thread pool plus a deterministic parallel_for_index helper.
+/// The simulator's sweeps (constellation sizes, time steps) are
+/// embarrassingly parallel; each index writes to its own slot of a
+/// preallocated results vector, so no synchronization is needed beyond the
+/// pool's queue and the results are identical for any thread count.
+
+namespace qntn {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least one worker is always created).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, count) on the pool; blocks until all complete.
+/// Exceptions from tasks are rethrown (the first one encountered).
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace qntn

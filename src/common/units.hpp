@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+/// \file units.hpp
+/// Tiny unit-conversion helpers. The codebase stores everything in SI
+/// (metres, radians, seconds); these helpers exist so call sites can speak
+/// the units the paper uses (km, degrees, dB/km) without silent mistakes.
+
+namespace qntn {
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept { return deg * kRadPerDeg; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept { return rad * kDegPerRad; }
+[[nodiscard]] constexpr double km_to_m(double km) noexcept { return km * 1000.0; }
+[[nodiscard]] constexpr double m_to_km(double m) noexcept { return m / 1000.0; }
+[[nodiscard]] constexpr double minutes_to_s(double min) noexcept { return min * 60.0; }
+[[nodiscard]] constexpr double s_to_minutes(double s) noexcept { return s / 60.0; }
+
+/// Convert a fiber attenuation coefficient given in dB/km (the unit used by
+/// the paper, 0.15 dB/km) into the Napierian coefficient alpha [1/m] such
+/// that transmissivity eta = exp(-alpha * length_m)  (paper Eq. 1).
+[[nodiscard]] inline double db_per_km_to_neper_per_m(double db_per_km) noexcept {
+  // 10^(-dB/10) = e^(-alpha l)  =>  alpha = dB * ln(10) / 10 per km.
+  return db_per_km * std::log(10.0) / 10.0 / 1000.0;
+}
+
+/// Power ratio -> decibels (guards against zero by returning -inf).
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Decibels -> power ratio.
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Wrap an angle to [0, 2*pi).
+[[nodiscard]] inline double wrap_two_pi(double angle) noexcept {
+  double a = std::fmod(angle, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+/// Wrap an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_pi(double angle) noexcept {
+  double a = wrap_two_pi(angle);
+  if (a > kPi) a -= kTwoPi;
+  return a;
+}
+
+}  // namespace qntn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+/// \file vec3.hpp
+/// Minimal 3-vector for geometry and orbital mechanics. Value type, all
+/// operations constexpr-friendly and allocation-free.
+
+namespace qntn {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr double norm_sq() const { return dot(*this); }
+  [[nodiscard]] double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction. Precondition: norm() > 0 (returns the
+  /// zero vector unchanged if it is exactly zero, so callers can branch).
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Angle between two nonzero vectors in [0, pi], numerically stable near 0/pi.
+[[nodiscard]] inline double angle_between(const Vec3& a, const Vec3& b) {
+  // atan2 of |a x b| and a.b avoids acos() precision loss near the ends.
+  return std::atan2(a.cross(b).norm(), a.dot(b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace qntn

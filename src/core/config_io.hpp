@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "core/qntn_config.hpp"
+
+/// \file config_io.hpp
+/// Plain-text serialization of QntnConfig (key = value lines, '#' comments)
+/// so experiment configurations can be versioned, diffed, and replayed
+/// exactly — the reproducibility glue for the CLI and for external sweeps.
+
+namespace qntn::core {
+
+/// Render the configuration as a key = value document (stable key order,
+/// all keys always present).
+[[nodiscard]] std::string serialize_config(const QntnConfig& config);
+
+/// Parse a key = value document. Unknown keys, malformed lines and
+/// out-of-domain values throw qntn::Error. Keys omitted from the document
+/// keep their defaults.
+[[nodiscard]] QntnConfig parse_config(const std::string& text);
+
+/// File variants.
+void save_config(const std::string& path, const QntnConfig& config);
+[[nodiscard]] QntnConfig load_config(const std::string& path);
+
+}  // namespace qntn::core

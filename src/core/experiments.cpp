@@ -1,0 +1,116 @@
+#include "core/experiments.hpp"
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::core {
+
+std::vector<FidelityPoint> fig5_fidelity_sweep(
+    quantum::FidelityConvention convention, double step) {
+  QNTN_REQUIRE(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
+  std::vector<FidelityPoint> out;
+  const auto count = static_cast<std::size_t>(std::round(1.0 / step));
+  out.reserve(count + 1);
+  const quantum::ColumnVector ideal =
+      quantum::bell_state(quantum::BellState::PhiPlus);
+  for (std::size_t i = 0; i <= count; ++i) {
+    const double eta = std::min(1.0, static_cast<double>(i) * step);
+    FidelityPoint point;
+    point.transmissivity = eta;
+    const quantum::Matrix rho = quantum::transmit_bell_half(eta);
+    point.fidelity_simulated = quantum::fidelity_to_pure(rho, ideal, convention);
+    point.fidelity_closed_form =
+        quantum::bell_fidelity_after_damping(eta, convention);
+    out.push_back(point);
+  }
+  return out;
+}
+
+double transmissivity_threshold_for(const std::vector<FidelityPoint>& sweep,
+                                    double target_fidelity) {
+  for (const FidelityPoint& point : sweep) {
+    if (point.fidelity_simulated >= target_fidelity) {
+      return point.transmissivity;
+    }
+  }
+  return 1.0;
+}
+
+std::vector<std::size_t> paper_constellation_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 6; n <= 108; n += 6) sizes.push_back(n);
+  return sizes;
+}
+
+namespace {
+
+SweepPoint summarize(std::size_t n_satellites, const sim::ScenarioResult& r) {
+  SweepPoint point;
+  point.satellites = n_satellites;
+  point.coverage_percent = r.coverage.percent;
+  point.served_percent = 100.0 * r.served_fraction;
+  point.mean_fidelity = r.fidelity.mean();
+  point.mean_transmissivity = r.transmissivity.mean();
+  point.mean_hops = r.hops.mean();
+  return point;
+}
+
+}  // namespace
+
+SweepPoint evaluate_space_ground(const QntnConfig& config,
+                                 std::size_t n_satellites) {
+  const sim::NetworkModel model = build_space_ground_model(config, n_satellites);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  const sim::ScenarioResult result =
+      sim::run_scenario(model, topology, config.scenario_config());
+  return summarize(n_satellites, result);
+}
+
+std::vector<SweepPoint> space_ground_sweep(const QntnConfig& config,
+                                           const std::vector<std::size_t>& sizes,
+                                           ThreadPool& pool) {
+  std::vector<SweepPoint> out(sizes.size());
+  parallel_for_index(pool, sizes.size(), [&](std::size_t i) {
+    out[i] = evaluate_space_ground(config, sizes[i]);
+  });
+  return out;
+}
+
+AirGroundResult evaluate_air_ground(const QntnConfig& config) {
+  const sim::NetworkModel model = build_air_ground_model(config);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  const sim::ScenarioResult result =
+      sim::run_scenario(model, topology, config.scenario_config());
+  AirGroundResult out;
+  out.coverage_percent = result.coverage.percent;
+  out.served_percent = 100.0 * result.served_fraction;
+  out.mean_fidelity = result.fidelity.mean();
+  out.mean_transmissivity = result.transmissivity.mean();
+  out.mean_hops = result.hops.mean();
+  return out;
+}
+
+std::vector<ComparisonRow> table3_comparison(const QntnConfig& config,
+                                             std::size_t space_ground_satellites) {
+  const SweepPoint space =
+      evaluate_space_ground(config, space_ground_satellites);
+  const AirGroundResult air = evaluate_air_ground(config);
+  return {
+      {"Space-Ground", space.coverage_percent, space.served_percent,
+       space.mean_fidelity},
+      {"Air-Ground", air.coverage_percent, air.served_percent,
+       air.mean_fidelity},
+  };
+}
+
+SweepPoint evaluate_hybrid(const QntnConfig& config, std::size_t n_satellites) {
+  const sim::NetworkModel model = build_hybrid_model(config, n_satellites);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  const sim::ScenarioResult result =
+      sim::run_scenario(model, topology, config.scenario_config());
+  return summarize(n_satellites, result);
+}
+
+}  // namespace qntn::core

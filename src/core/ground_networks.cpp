@@ -1,0 +1,88 @@
+#include "core/ground_networks.hpp"
+
+#include "common/error.hpp"
+
+namespace qntn::core {
+
+namespace {
+
+LanDefinition make_lan(std::string name,
+                       std::initializer_list<std::pair<double, double>> coords) {
+  LanDefinition lan{std::move(name), {}};
+  lan.nodes.reserve(coords.size());
+  for (const auto& [lat, lon] : coords) {
+    lan.nodes.push_back(geo::Geodetic::from_degrees(lat, lon, 0.0));
+  }
+  return lan;
+}
+
+}  // namespace
+
+LanDefinition tennessee_tech() {
+  // Table I, "Tennessee Tech University".
+  return make_lan("TTU", {
+                             {36.1757, -85.5066},
+                             {36.1751, -85.5067},
+                             {36.1754, -85.5074},
+                             {36.1755, -85.5058},
+                             {36.1756, -85.5080},
+                         });
+}
+
+LanDefinition epb_chattanooga() {
+  // Table I, "EBP commercial network" (EPB, Chattanooga).
+  return make_lan("EPB", {
+                             {35.04159, -85.2799},
+                             {35.04169, -85.2801},
+                             {35.04179, -85.2803},
+                             {35.04189, -85.2805},
+                             {35.04199, -85.2807},
+                             {35.04051, -85.2806},
+                             {35.04061, -85.2807},
+                             {35.04071, -85.2808},
+                             {35.04081, -85.2809},
+                             {35.04091, -85.2810},
+                             {35.03971, -85.2810},
+                             {35.03981, -85.2811},
+                             {35.03991, -85.2812},
+                             {35.04001, -85.2813},
+                             {35.04011, -85.2814},
+                         });
+}
+
+LanDefinition oak_ridge() {
+  // Table I, "Oak Ridge National Laboratory".
+  return make_lan("ORNL", {
+                              {35.91, -84.3},
+                              {35.91, -84.303},
+                              {35.918, -84.304},
+                              {35.92, -84.321},
+                              {35.927, -84.313},
+                              {35.92380, -84.316},
+                              {35.9285, -84.31283},
+                              {35.9294, -84.3101},
+                              {35.9293, -84.3106},
+                              {35.9298, -84.3106},
+                              {35.9309, -84.308},
+                          });
+}
+
+std::vector<LanDefinition> qntn_lans() {
+  return {tennessee_tech(), epb_chattanooga(), oak_ridge()};
+}
+
+geo::Geodetic qntn_centroid() {
+  double lat = 0.0, lon = 0.0;
+  std::size_t count = 0;
+  for (const LanDefinition& lan : qntn_lans()) {
+    for (const geo::Geodetic& g : lan.nodes) {
+      lat += g.latitude;
+      lon += g.longitude;
+      ++count;
+    }
+  }
+  QNTN_REQUIRE(count > 0, "no ground nodes");
+  return {lat / static_cast<double>(count), lon / static_cast<double>(count), 0.0};
+}
+
+}  // namespace qntn::core

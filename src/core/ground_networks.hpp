@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geodetic.hpp"
+
+/// \file ground_networks.hpp
+/// The three QNTN local area networks with the exact node coordinates of
+/// the paper's Table I: Tennessee Tech University (5 nodes, Cookeville),
+/// the EPB commercial quantum network (15 nodes, Chattanooga), and Oak
+/// Ridge National Laboratory (11 nodes).
+
+namespace qntn::core {
+
+struct LanDefinition {
+  std::string name;
+  std::vector<geo::Geodetic> nodes;
+};
+
+/// Tennessee Tech University — 5 nodes covering the engineering quad.
+[[nodiscard]] LanDefinition tennessee_tech();
+
+/// EPB commercial quantum network, Chattanooga — 15 nodes.
+[[nodiscard]] LanDefinition epb_chattanooga();
+
+/// Oak Ridge National Laboratory — 11 nodes.
+[[nodiscard]] LanDefinition oak_ridge();
+
+/// All three LANs in the paper's Table I order (TTU, EPB, ORNL).
+[[nodiscard]] std::vector<LanDefinition> qntn_lans();
+
+/// Geodetic centroid of all ground nodes (useful for geometry sanity
+/// checks and the HAP placement analysis).
+[[nodiscard]] geo::Geodetic qntn_centroid();
+
+}  // namespace qntn::core

@@ -1,0 +1,47 @@
+#include "core/qntn_config.hpp"
+
+namespace qntn::core {
+
+sim::LinkPolicy QntnConfig::link_policy() const {
+  sim::LinkPolicy policy;
+  policy.fso.wavelength = wavelength;
+  policy.fso.receiver_efficiency = receiver_efficiency;
+  policy.fso.ao_gain = ao_gain;
+  policy.fso.extinction.zenith_transmittance = zenith_transmittance;
+  policy.fso.weather = weather;
+  policy.fiber_attenuation_db_per_km = fiber_attenuation_db_per_km;
+  policy.transmissivity_threshold = transmissivity_threshold;
+  policy.elevation_mask = elevation_mask;
+  policy.lan_topology = lan_topology;
+  policy.enable_inter_satellite = enable_inter_satellite;
+  policy.enable_hap_satellite = enable_hap_satellite;
+  return policy;
+}
+
+sim::ScenarioConfig QntnConfig::scenario_config() const {
+  sim::ScenarioConfig config;
+  config.coverage.duration = day_duration;
+  config.coverage.step = ephemeris_step;
+  config.request_count = request_count;
+  config.request_steps = request_steps;
+  config.request_step_interval =
+      day_duration / static_cast<double>(request_steps);
+  config.metric = metric;
+  config.convention = convention;
+  config.request_seed = request_seed;
+  return config;
+}
+
+channel::OpticalTerminal QntnConfig::ground_terminal() const {
+  return {ground_aperture_radius, pointing_jitter};
+}
+
+channel::OpticalTerminal QntnConfig::satellite_terminal() const {
+  return {satellite_aperture_radius, pointing_jitter};
+}
+
+channel::OpticalTerminal QntnConfig::hap_terminal() const {
+  return {hap_aperture_radius, pointing_jitter};
+}
+
+}  // namespace qntn::core

@@ -1,0 +1,55 @@
+#include "core/scenario_factory.hpp"
+
+#include "core/ground_networks.hpp"
+#include "orbit/constellation.hpp"
+
+namespace qntn::core {
+
+sim::NetworkModel build_ground_model(const QntnConfig& config) {
+  sim::NetworkModel model;
+  for (const LanDefinition& lan : qntn_lans()) {
+    model.add_lan(lan.name, lan.nodes, config.ground_terminal());
+  }
+  return model;
+}
+
+namespace {
+
+void add_constellation(sim::NetworkModel& model, const QntnConfig& config,
+                       std::size_t n_satellites) {
+  const auto elements = orbit::qntn_constellation(n_satellites);
+  orbit::PropagatorOptions options;
+  options.include_j2 = config.include_j2;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const orbit::TwoBodyPropagator propagator(elements[i], options);
+    orbit::Ephemeris ephemeris = orbit::Ephemeris::generate(
+        propagator, config.day_duration, config.ephemeris_step, config.gmst0);
+    model.add_satellite("sat" + std::to_string(i), std::move(ephemeris),
+                        config.satellite_terminal());
+  }
+}
+
+}  // namespace
+
+sim::NetworkModel build_space_ground_model(const QntnConfig& config,
+                                           std::size_t n_satellites) {
+  sim::NetworkModel model = build_ground_model(config);
+  add_constellation(model, config, n_satellites);
+  return model;
+}
+
+sim::NetworkModel build_air_ground_model(const QntnConfig& config) {
+  sim::NetworkModel model = build_ground_model(config);
+  model.add_hap("HAP", config.hap_position, config.hap_terminal());
+  return model;
+}
+
+sim::NetworkModel build_hybrid_model(const QntnConfig& config,
+                                     std::size_t n_satellites) {
+  sim::NetworkModel model = build_ground_model(config);
+  model.add_hap("HAP", config.hap_position, config.hap_terminal());
+  add_constellation(model, config, n_satellites);
+  return model;
+}
+
+}  // namespace qntn::core

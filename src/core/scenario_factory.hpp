@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/qntn_config.hpp"
+#include "sim/network_model.hpp"
+
+/// \file scenario_factory.hpp
+/// Builders assembling the paper's two architectures (plus the hybrid
+/// future-work variant) into simulation-ready NetworkModels.
+
+namespace qntn::core {
+
+/// Ground-only model: the three Table I LANs with fiber links. The common
+/// base of every architecture.
+[[nodiscard]] sim::NetworkModel build_ground_model(const QntnConfig& config);
+
+/// Space-ground architecture (Section II-B): ground LANs plus the Table II
+/// constellation truncated to `n_satellites` (multiple of 6, <= 108), each
+/// satellite carrying a precomputed one-day ephemeris at the config's step.
+[[nodiscard]] sim::NetworkModel build_space_ground_model(
+    const QntnConfig& config, std::size_t n_satellites);
+
+/// Air-ground architecture (Section II-C): ground LANs plus one HAP at
+/// (35.6692, -85.0662), 30 km altitude.
+[[nodiscard]] sim::NetworkModel build_air_ground_model(const QntnConfig& config);
+
+/// Hybrid architecture (the paper's future-work direction): HAP plus
+/// constellation. Enable config.enable_hap_satellite to also allow
+/// HAP-satellite FSO links.
+[[nodiscard]] sim::NetworkModel build_hybrid_model(const QntnConfig& config,
+                                                   std::size_t n_satellites);
+
+}  // namespace qntn::core

@@ -1,0 +1,58 @@
+#include "geo/geodetic.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::geo {
+
+Geodetic Geodetic::from_degrees(double lat_deg, double lon_deg, double alt_m) {
+  return Geodetic{deg_to_rad(lat_deg), deg_to_rad(lon_deg), alt_m};
+}
+
+Vec3 geodetic_to_ecef(const Geodetic& g, EarthModel model) {
+  const double slat = std::sin(g.latitude);
+  const double clat = std::cos(g.latitude);
+  const double slon = std::sin(g.longitude);
+  const double clon = std::cos(g.longitude);
+  if (model == EarthModel::Spherical) {
+    const double r = kEarthRadius + g.altitude;
+    return {r * clat * clon, r * clat * slon, r * slat};
+  }
+  // WGS84: prime-vertical radius of curvature N.
+  const double n = kWgs84A / std::sqrt(1.0 - kWgs84E2 * slat * slat);
+  return {(n + g.altitude) * clat * clon,
+          (n + g.altitude) * clat * slon,
+          (n * (1.0 - kWgs84E2) + g.altitude) * slat};
+}
+
+Geodetic ecef_to_geodetic(const Vec3& ecef, EarthModel model) {
+  const double p = std::hypot(ecef.x, ecef.y);
+  const double lon = std::atan2(ecef.y, ecef.x);
+  if (model == EarthModel::Spherical) {
+    const double r = ecef.norm();
+    return {std::atan2(ecef.z, p), lon, r - kEarthRadius};
+  }
+  // Bowring iteration on geodetic latitude.
+  double lat = std::atan2(ecef.z, p * (1.0 - kWgs84E2));
+  double alt = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double slat = std::sin(lat);
+    const double n = kWgs84A / std::sqrt(1.0 - kWgs84E2 * slat * slat);
+    alt = p / std::cos(lat) - n;
+    lat = std::atan2(ecef.z, p * (1.0 - kWgs84E2 * n / (n + alt)));
+  }
+  return {lat, lon, alt};
+}
+
+double great_circle_distance(const Geodetic& a, const Geodetic& b) {
+  const double dlat = b.latitude - a.latitude;
+  const double dlon = b.longitude - a.longitude;
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(a.latitude) * std::cos(b.latitude) * t * t;
+  return 2.0 * kEarthRadius * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace qntn::geo

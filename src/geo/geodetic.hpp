@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/vec3.hpp"
+
+/// \file geodetic.hpp
+/// Geodetic coordinates and conversions to/from Earth-centred Earth-fixed
+/// (ECEF) Cartesian coordinates. Two Earth models are supported:
+///  - Spherical (mean radius) — what the paper's simple geometry implies;
+///  - WGS84 ellipsoid — for higher-accuracy ground-station placement.
+/// The simulator uses WGS84 by default; the difference is < 0.2% in the link
+/// ranges that matter here, and tests pin both models.
+
+namespace qntn::geo {
+
+enum class EarthModel {
+  Spherical,
+  Wgs84,
+};
+
+/// Geodetic position: latitude/longitude in radians, altitude in metres
+/// above the reference surface.
+struct Geodetic {
+  double latitude = 0.0;   ///< [rad], positive north
+  double longitude = 0.0;  ///< [rad], positive east
+  double altitude = 0.0;   ///< [m] above reference surface
+
+  /// Convenience constructor from degrees (the unit in the paper's Table I).
+  [[nodiscard]] static Geodetic from_degrees(double lat_deg, double lon_deg,
+                                             double alt_m = 0.0);
+};
+
+/// Geodetic -> ECEF [m].
+[[nodiscard]] Vec3 geodetic_to_ecef(const Geodetic& g,
+                                    EarthModel model = EarthModel::Wgs84);
+
+/// ECEF [m] -> geodetic. For WGS84 uses Bowring's iteration (converges to
+/// sub-millimetre in a few rounds for any LEO-relevant altitude).
+[[nodiscard]] Geodetic ecef_to_geodetic(const Vec3& ecef,
+                                        EarthModel model = EarthModel::Wgs84);
+
+/// Great-circle (haversine) surface distance [m] between two geodetic points,
+/// ignoring altitude, on the spherical Earth.
+[[nodiscard]] double great_circle_distance(const Geodetic& a, const Geodetic& b);
+
+}  // namespace qntn::geo

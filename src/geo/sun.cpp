@@ -1,0 +1,40 @@
+#include "geo/sun.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::geo {
+
+double SunModel::solar_elevation(const Geodetic& site, double t) const {
+  // Subsolar longitude drifts westward one revolution per mean solar day.
+  const double subsolar_lon =
+      wrap_pi(subsolar_longitude0 - kTwoPi * t / kSecondsPerDay);
+  const double hour_angle = wrap_pi(site.longitude - subsolar_lon);
+  const double sin_el =
+      std::sin(site.latitude) * std::sin(declination) +
+      std::cos(site.latitude) * std::cos(declination) * std::cos(hour_angle);
+  return std::asin(std::clamp(sin_el, -1.0, 1.0));
+}
+
+bool SunModel::is_night(const Geodetic& site, double t,
+                        double twilight_angle) const {
+  return solar_elevation(site, t) < twilight_angle;
+}
+
+double SunModel::night_fraction(const Geodetic& site, double duration,
+                                double step) const {
+  QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
+  std::size_t dark = 0;
+  std::size_t total = 0;
+  for (double t = 0.0; t < duration; t += step) {
+    ++total;
+    if (is_night(site, t)) ++dark;
+  }
+  return static_cast<double>(dark) / static_cast<double>(total);
+}
+
+}  // namespace qntn::geo

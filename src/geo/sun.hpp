@@ -1,0 +1,40 @@
+#pragma once
+
+#include "geo/geodetic.hpp"
+
+/// \file sun.hpp
+/// Simplified solar geometry for day/night gating. Free-space quantum
+/// links are drowned by solar background during the day (Micius operated
+/// at night); the paper's ideal-conditions model ignores this, and the
+/// night-only ablation quantifies the cost.
+///
+/// Model: the subsolar point circles the Earth westward once per 86400 s
+/// at a fixed declination (configurable; 0 = equinox, +-23.44 deg =
+/// solstices). This captures the diurnal geometry exactly and the seasonal
+/// geometry to first order, which is all the gating needs — the absolute
+/// epoch of the simulation clock is arbitrary (DESIGN.md §1).
+
+namespace qntn::geo {
+
+struct SunModel {
+  /// Solar declination [rad]; 0 = equinox.
+  double declination = 0.0;
+  /// Longitude of the subsolar point at simulation time 0 [rad].
+  double subsolar_longitude0 = 0.0;
+
+  /// Sun elevation [rad] above the local horizon at `site`, time t [s].
+  [[nodiscard]] double solar_elevation(const Geodetic& site, double t) const;
+
+  /// True when the site is dark enough for FSO quantum links. The default
+  /// threshold is civil twilight (sun 6 deg below the horizon).
+  [[nodiscard]] bool is_night(const Geodetic& site, double t,
+                              double twilight_angle = -0.10471975511965977)
+      const;
+
+  /// Fraction of a span [0, duration) during which the site is dark,
+  /// sampled on the given grid.
+  [[nodiscard]] double night_fraction(const Geodetic& site, double duration,
+                                      double step = 60.0) const;
+};
+
+}  // namespace qntn::geo

@@ -1,0 +1,71 @@
+#include "net/graph.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qntn::net {
+
+NodeId Graph::add_node(std::string name) {
+  const NodeId id = names_.size();
+  if (name.empty()) name = "node" + std::to_string(id);
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double transmissivity) {
+  QNTN_REQUIRE(a < node_count() && b < node_count(), "edge endpoint out of range");
+  QNTN_REQUIRE(a != b, "self-loops are not allowed");
+  QNTN_REQUIRE(transmissivity >= 0.0 && transmissivity <= 1.0,
+               "transmissivity must be in [0, 1]");
+  edges_.push_back({a, b, transmissivity});
+  adjacency_[a].push_back({b, transmissivity});
+  adjacency_[b].push_back({a, transmissivity});
+}
+
+bool Graph::connected(NodeId u, NodeId v) const {
+  QNTN_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+  if (u == v) return true;
+  std::vector<bool> seen(node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(u);
+  seen[u] = true;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop();
+    for (const Adjacency& adj : adjacency_[cur]) {
+      if (adj.to == v) return true;
+      if (!seen[adj.to]) {
+        seen[adj.to] = true;
+        frontier.push(adj.to);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> Graph::components() const {
+  std::vector<std::size_t> label(node_count(), SIZE_MAX);
+  std::size_t next = 0;
+  for (NodeId start = 0; start < node_count(); ++start) {
+    if (label[start] != SIZE_MAX) continue;
+    const std::size_t comp = next++;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    label[start] = comp;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop();
+      for (const Adjacency& adj : adjacency_[cur]) {
+        if (label[adj.to] == SIZE_MAX) {
+          label[adj.to] = comp;
+          frontier.push(adj.to);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace qntn::net

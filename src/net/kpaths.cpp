@@ -1,0 +1,170 @@
+#include "net/kpaths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qntn::net {
+
+namespace {
+
+/// Dijkstra on `graph` with some nodes and edges masked out. Edges are
+/// identified by their endpoints plus transmissivity (sufficient here:
+/// masking removes all parallel edges of a spur, which only prunes
+/// duplicates of the same path prefix).
+std::optional<Route> masked_dijkstra(const Graph& graph, NodeId src, NodeId dst,
+                                     CostMetric metric,
+                                     const std::set<NodeId>& banned_nodes,
+                                     const std::set<std::pair<NodeId, NodeId>>&
+                                         banned_edges) {
+  const std::size_t n = graph.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(n, kInf);
+  std::vector<std::optional<NodeId>> previous(n);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  if (banned_nodes.count(src) != 0 || banned_nodes.count(dst) != 0) {
+    return std::nullopt;
+  }
+  cost[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [c, u] = heap.top();
+    heap.pop();
+    if (c > cost[u]) continue;
+    if (u == dst) break;
+    for (const Adjacency& adj : graph.neighbors(u)) {
+      if (banned_nodes.count(adj.to) != 0) continue;
+      if (banned_edges.count(std::make_pair(std::min(u, adj.to),
+                                            std::max(u, adj.to))) != 0) {
+        continue;
+      }
+      const double nc = c + edge_cost(adj.transmissivity, metric);
+      if (nc < cost[adj.to]) {
+        cost[adj.to] = nc;
+        previous[adj.to] = u;
+        heap.emplace(nc, adj.to);
+      }
+    }
+  }
+  if (cost[dst] == kInf) return std::nullopt;
+  Route out;
+  NodeId cur = dst;
+  out.path.push_back(cur);
+  while (cur != src) {
+    cur = *previous[cur];
+    out.path.push_back(cur);
+  }
+  std::reverse(out.path.begin(), out.path.end());
+  out.cost = cost[dst];
+  out.transmissivity = 1.0;
+  for (std::size_t i = 0; i + 1 < out.path.size(); ++i) {
+    double best = 0.0;
+    for (const Adjacency& adj : graph.neighbors(out.path[i])) {
+      if (adj.to == out.path[i + 1]) best = std::max(best, adj.transmissivity);
+    }
+    out.transmissivity *= best;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Route> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst,
+                                    std::size_t k, CostMetric metric) {
+  QNTN_REQUIRE(src < graph.node_count() && dst < graph.node_count(),
+               "node out of range");
+  QNTN_REQUIRE(k > 0, "k must be positive");
+  std::vector<Route> accepted;
+  const auto first = masked_dijkstra(graph, src, dst, metric, {}, {});
+  if (!first) return accepted;
+  accepted.push_back(*first);
+
+  // Candidate pool ordered by cost.
+  auto cmp = [](const Route& a, const Route& b) { return a.cost > b.cost; };
+  std::vector<Route> candidates;
+
+  while (accepted.size() < k) {
+    const Route& last = accepted.back();
+    // Spur from every node of the previous path except the terminal.
+    for (std::size_t i = 0; i + 1 < last.path.size(); ++i) {
+      const NodeId spur = last.path[i];
+      std::vector<NodeId> root(last.path.begin(),
+                               last.path.begin() +
+                                   static_cast<std::ptrdiff_t>(i + 1));
+
+      std::set<std::pair<NodeId, NodeId>> banned_edges;
+      for (const Route& p : accepted) {
+        if (p.path.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.path.begin())) {
+          banned_edges.insert({std::min(p.path[i], p.path[i + 1]),
+                               std::max(p.path[i], p.path[i + 1])});
+        }
+      }
+      std::set<NodeId> banned_nodes(root.begin(), root.end());
+      banned_nodes.erase(spur);
+
+      const auto spur_route =
+          masked_dijkstra(graph, spur, dst, metric, banned_nodes, banned_edges);
+      if (!spur_route) continue;
+
+      Route total;
+      total.path = root;
+      total.path.insert(total.path.end(), spur_route->path.begin() + 1,
+                        spur_route->path.end());
+      double cost = spur_route->cost;
+      double eta = spur_route->transmissivity;
+      for (std::size_t j = 0; j + 1 < root.size(); ++j) {
+        double best = 0.0;
+        for (const Adjacency& adj : graph.neighbors(root[j])) {
+          if (adj.to == root[j + 1]) best = std::max(best, adj.transmissivity);
+        }
+        cost += edge_cost(best, metric);
+        eta *= best;
+      }
+      total.cost = cost;
+      total.transmissivity = eta;
+
+      const auto same_path = [&total](const Route& r) {
+        return r.path == total.path;
+      };
+      if (std::none_of(accepted.begin(), accepted.end(), same_path) &&
+          std::none_of(candidates.begin(), candidates.end(), same_path)) {
+        candidates.push_back(std::move(total));
+        std::push_heap(candidates.begin(), candidates.end(), cmp);
+      }
+    }
+    if (candidates.empty()) break;
+    std::pop_heap(candidates.begin(), candidates.end(), cmp);
+    accepted.push_back(std::move(candidates.back()));
+    candidates.pop_back();
+  }
+  return accepted;
+}
+
+double path_diversity(const std::vector<Route>& routes) {
+  if (routes.size() < 2) return 1.0;
+  std::size_t shared = 0;
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < routes.size(); ++a) {
+    for (std::size_t b = a + 1; b < routes.size(); ++b) {
+      const auto interior = [](const Route& r) {
+        return std::set<NodeId>(r.path.begin() + 1, r.path.end() - 1);
+      };
+      const std::set<NodeId> ia = interior(routes[a]);
+      const std::set<NodeId> ib = interior(routes[b]);
+      std::vector<NodeId> common;
+      std::set_intersection(ia.begin(), ia.end(), ib.begin(), ib.end(),
+                            std::back_inserter(common));
+      shared += common.size();
+      total += std::max(ia.size(), ib.size());
+    }
+  }
+  if (total == 0) return 1.0;
+  return 1.0 - static_cast<double>(shared) / static_cast<double>(total);
+}
+
+}  // namespace qntn::net

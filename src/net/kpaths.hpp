@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "net/routing.hpp"
+
+/// \file kpaths.hpp
+/// K-shortest loopless paths (Yen's algorithm) on the transmissivity
+/// graph. Extends the paper's single-path Bellman-Ford routing with path
+/// diversity: a network that can offer several disjoint-ish routes per
+/// request degrades gracefully when links churn (satellite handover, HAP
+/// downtime), which the hybrid-architecture bench quantifies.
+
+namespace qntn::net {
+
+/// Up to k best loopless routes from src to dst under the metric, ordered
+/// by cost (ties broken arbitrarily but deterministically). Fewer than k
+/// are returned when the graph has fewer distinct loopless paths.
+[[nodiscard]] std::vector<Route> k_shortest_paths(
+    const Graph& graph, NodeId src, NodeId dst, std::size_t k,
+    CostMetric metric = CostMetric::InverseEta);
+
+/// Diversity of a route set: 1 - (shared intermediate nodes / total
+/// intermediate nodes across pairs); 1 means fully node-disjoint interiors,
+/// 0 means every alternative reuses the same relays. Routes with no
+/// interior nodes (direct edges) count as disjoint. Returns 1.0 for fewer
+/// than two routes.
+[[nodiscard]] double path_diversity(const std::vector<Route>& routes);
+
+}  // namespace qntn::net

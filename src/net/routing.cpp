@@ -1,0 +1,222 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qntn::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Highest-transmissivity edge between u and v (parallel edges allowed);
+/// 0 if not adjacent. The best edge under every supported metric is the
+/// max-eta edge, since all metrics are decreasing in eta.
+double best_edge_eta(const Graph& graph, NodeId u, NodeId v) {
+  double best = 0.0;
+  bool found = false;
+  for (const Adjacency& adj : graph.neighbors(u)) {
+    if (adj.to == v) {
+      best = std::max(best, adj.transmissivity);
+      found = true;
+    }
+  }
+  QNTN_REQUIRE(found, "route step between non-adjacent nodes");
+  return best;
+}
+
+double path_transmissivity(const Graph& graph, const std::vector<NodeId>& path) {
+  double eta = 1.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    eta *= best_edge_eta(graph, path[i], path[i + 1]);
+  }
+  return eta;
+}
+
+}  // namespace
+
+double edge_cost(double transmissivity, CostMetric metric) {
+  QNTN_REQUIRE(transmissivity >= 0.0 && transmissivity <= 1.0,
+               "transmissivity must be in [0, 1]");
+  switch (metric) {
+    case CostMetric::InverseEta:
+      return 1.0 / (transmissivity + kRoutingEpsilon);
+    case CostMetric::NegLogEta:
+      return -std::log(std::clamp(transmissivity, kRoutingEpsilon, 1.0));
+    case CostMetric::HopCount:
+      return 1.0;
+  }
+  throw PreconditionError("unknown cost metric");
+}
+
+DistanceVectorRouter::DistanceVectorRouter(const Graph& graph, CostMetric metric)
+    : graph_(graph), metric_(metric) {
+  const std::size_t n = graph.node_count();
+  QNTN_REQUIRE(n > 0, "routing over an empty graph");
+
+  // INITIALIZE: cost 0 to self, edge cost to adjacent nodes, infinity else.
+  tables_.assign(n, std::vector<RoutingEntry>(n, {kInf, std::nullopt}));
+  for (NodeId node = 0; node < n; ++node) {
+    tables_[node][node] = {0.0, node};
+    for (const Adjacency& adj : graph.neighbors(node)) {
+      const double c = edge_cost(adj.transmissivity, metric_);
+      if (c < tables_[node][adj.to].cost) {
+        tables_[node][adj.to] = {c, adj.to};
+      }
+    }
+  }
+
+  // Main loop: N-1 sweeps; UPDATE relaxes every node's table against the
+  // current tables of the edge endpoints (Gauss-Seidel order, mirroring the
+  // paper's note that all tables are accessible within one process).
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (NodeId node = 0; node < n; ++node) {
+      std::vector<RoutingEntry>& table = tables_[node];
+      for (const Edge& e : graph_.edges()) {
+        // Relax node->...->v->...->u for both orientations of the edge.
+        const auto relax = [&](NodeId u, NodeId v) {
+          const double via_cost = table[v].cost + tables_[v][u].cost;
+          if (via_cost < table[u].cost) {
+            table[u] = {via_cost, v};
+            changed = true;
+          }
+        };
+        relax(e.a, e.b);
+        relax(e.b, e.a);
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+const std::vector<RoutingEntry>& DistanceVectorRouter::table(NodeId node) const {
+  QNTN_REQUIRE(node < tables_.size(), "node out of range");
+  return tables_[node];
+}
+
+std::optional<Route> DistanceVectorRouter::route(NodeId src, NodeId dst) const {
+  QNTN_REQUIRE(src < tables_.size() && dst < tables_.size(), "node out of range");
+  // Expand the via-chain: R[src][dst].via = v means "reach v first, then
+  // follow v's table to dst". Depth is bounded by the node count; deeper
+  // recursion indicates an inconsistent table and is reported as a failure.
+  const std::size_t n = tables_.size();
+  std::vector<NodeId> path;
+  // Iterative expansion with an explicit work stack of (from, to) segments.
+  struct Segment {
+    NodeId from;
+    NodeId to;
+  };
+  std::vector<Segment> stack{{src, dst}};
+  path.push_back(src);
+  std::size_t guard = 0;
+  while (!stack.empty()) {
+    if (++guard > 4 * n * n) return std::nullopt;  // inconsistent tables
+    const Segment seg = stack.back();
+    stack.pop_back();
+    if (seg.from == seg.to) continue;
+    const RoutingEntry& entry = tables_[seg.from][seg.to];
+    if (!entry.via.has_value()) return std::nullopt;  // unreachable
+    const NodeId via = *entry.via;
+    if (via == seg.to) {
+      path.push_back(seg.to);  // direct edge
+      continue;
+    }
+    // Process (from -> via) first, then (via -> to): push in reverse order.
+    stack.push_back({via, seg.to});
+    stack.push_back({seg.from, via});
+  }
+  Route out;
+  out.path = std::move(path);
+  out.cost = tables_[src][dst].cost;
+  out.transmissivity = path_transmissivity(graph_, out.path);
+  return out;
+}
+
+ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
+                                   CostMetric metric) {
+  QNTN_REQUIRE(src < graph.node_count(), "source out of range");
+  const std::size_t n = graph.node_count();
+  ShortestPathTree tree{std::vector<double>(n, kInf),
+                        std::vector<std::optional<NodeId>>(n)};
+  tree.cost[src] = 0.0;
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (const Edge& e : graph.edges()) {
+      const double c = edge_cost(e.transmissivity, metric);
+      if (tree.cost[e.a] + c < tree.cost[e.b]) {
+        tree.cost[e.b] = tree.cost[e.a] + c;
+        tree.previous[e.b] = e.a;
+        changed = true;
+      }
+      if (tree.cost[e.b] + c < tree.cost[e.a]) {
+        tree.cost[e.a] = tree.cost[e.b] + c;
+        tree.previous[e.a] = e.b;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return tree;
+}
+
+std::optional<Route> route_from_tree(const Graph& graph,
+                                     const ShortestPathTree& tree, NodeId src,
+                                     NodeId dst) {
+  if (tree.cost[dst] == kInf) return std::nullopt;
+  Route out;
+  NodeId cur = dst;
+  out.path.push_back(cur);
+  while (cur != src) {
+    QNTN_REQUIRE(tree.previous[cur].has_value(), "broken shortest-path tree");
+    cur = *tree.previous[cur];
+    out.path.push_back(cur);
+    QNTN_REQUIRE(out.path.size() <= graph.node_count(), "cycle in tree");
+  }
+  std::reverse(out.path.begin(), out.path.end());
+  out.cost = tree.cost[dst];
+  out.transmissivity = path_transmissivity(graph, out.path);
+  return out;
+}
+
+std::optional<Route> bellman_ford(const Graph& graph, NodeId src, NodeId dst,
+                                  CostMetric metric) {
+  QNTN_REQUIRE(dst < graph.node_count(), "destination out of range");
+  const ShortestPathTree tree = bellman_ford_tree(graph, src, metric);
+  return route_from_tree(graph, tree, src, dst);
+}
+
+std::optional<Route> dijkstra(const Graph& graph, NodeId src, NodeId dst,
+                              CostMetric metric) {
+  QNTN_REQUIRE(src < graph.node_count() && dst < graph.node_count(),
+               "node out of range");
+  const std::size_t n = graph.node_count();
+  std::vector<double> cost(n, kInf);
+  std::vector<std::optional<NodeId>> previous(n);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  cost[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [c, u] = heap.top();
+    heap.pop();
+    if (c > cost[u]) continue;  // stale entry
+    if (u == dst) break;
+    for (const Adjacency& adj : graph.neighbors(u)) {
+      const double nc = c + edge_cost(adj.transmissivity, metric);
+      if (nc < cost[adj.to]) {
+        cost[adj.to] = nc;
+        previous[adj.to] = u;
+        heap.emplace(nc, adj.to);
+      }
+    }
+  }
+  ShortestPathTree tree{std::move(cost), std::move(previous)};
+  return route_from_tree(graph, tree, src, dst);
+}
+
+}  // namespace qntn::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+
+/// \file routing.hpp
+/// Entanglement routing. The paper adopts Bellman-Ford with the additive
+/// edge cost 1/(eta + eps) (Section III-B, Algorithm 1); we implement that
+/// algorithm faithfully in its distance-vector form, plus two baselines on
+/// the same graph for the routing-metric ablation:
+///  - Dijkstra on the same cost (identical optimal costs, used as an oracle
+///    in tests),
+///  - the product-optimal metric -log(eta), which maximises end-to-end
+///    transmissivity (what a fidelity-optimal router would use).
+
+namespace qntn::net {
+
+/// Epsilon of the paper's cost metric 1/(eta + eps); prevents division by
+/// zero on dead links.
+inline constexpr double kRoutingEpsilon = 1e-9;
+
+enum class CostMetric {
+  InverseEta,  ///< 1/(eta + eps) — the paper's Algorithm 1 metric
+  NegLogEta,   ///< -log(eta + eps) — maximises the transmissivity product
+  HopCount,    ///< 1 per edge — shortest-path baseline
+};
+
+/// Edge cost under a metric.
+[[nodiscard]] double edge_cost(double transmissivity, CostMetric metric);
+
+/// A resolved route.
+struct Route {
+  std::vector<NodeId> path;     ///< node sequence, source first
+  double cost = 0.0;            ///< total additive cost under the metric
+  double transmissivity = 1.0;  ///< product of edge transmissivities
+};
+
+/// One entry of a node's routing table (Algorithm 1's R[i] = {cost, via}).
+struct RoutingEntry {
+  double cost = 0.0;
+  std::optional<NodeId> via;  ///< intermediate target; nullopt = unreachable
+};
+
+/// Faithful implementation of the paper's Algorithm 1: every node holds a
+/// routing table; INITIALIZE seeds self/adjacent/infinity entries; UPDATE
+/// relaxes each node's table against its neighbours' tables; the main loop
+/// runs N-1 sweeps. The simulation shortcut of Section III-B (tables of
+/// other nodes are directly accessible, step 2 omitted) matches the paper.
+class DistanceVectorRouter {
+ public:
+  explicit DistanceVectorRouter(const Graph& graph,
+                                CostMetric metric = CostMetric::InverseEta);
+
+  /// Routing table of `node` after convergence.
+  [[nodiscard]] const std::vector<RoutingEntry>& table(NodeId node) const;
+
+  /// Reconstruct the route from src to dst by expanding the `via` chain;
+  /// nullopt if dst is unreachable.
+  [[nodiscard]] std::optional<Route> route(NodeId src, NodeId dst) const;
+
+ private:
+  const Graph& graph_;
+  CostMetric metric_;
+  std::vector<std::vector<RoutingEntry>> tables_;  // [node][dest]
+};
+
+/// Classic single-source Bellman-Ford with predecessor tracking; returns
+/// the route or nullopt if unreachable. Used by the simulator's serving
+/// loop (one run per distinct request source per time step).
+[[nodiscard]] std::optional<Route> bellman_ford(const Graph& graph, NodeId src,
+                                                NodeId dst,
+                                                CostMetric metric =
+                                                    CostMetric::InverseEta);
+
+/// All-destination single-source Bellman-Ford: cost and predecessor arrays.
+struct ShortestPathTree {
+  std::vector<double> cost;                     ///< infinity if unreachable
+  std::vector<std::optional<NodeId>> previous;  ///< predecessor on best path
+};
+[[nodiscard]] ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
+                                                 CostMetric metric);
+
+/// Dijkstra with a binary heap on the same metrics (costs are non-negative
+/// for every metric above, so it applies). Oracle/baseline for tests and
+/// the perf benches.
+[[nodiscard]] std::optional<Route> dijkstra(const Graph& graph, NodeId src,
+                                            NodeId dst,
+                                            CostMetric metric =
+                                                CostMetric::InverseEta);
+
+/// Extract a route from a shortest-path tree.
+[[nodiscard]] std::optional<Route> route_from_tree(const Graph& graph,
+                                                   const ShortestPathTree& tree,
+                                                   NodeId src, NodeId dst);
+
+}  // namespace qntn::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "common/vec3.hpp"
+
+/// \file elements.hpp
+/// Classical (Keplerian) orbital elements and the conversions the propagator
+/// needs: Kepler's equation (mean -> eccentric anomaly), anomaly conversions,
+/// and elements -> inertial Cartesian state. Built from scratch to replace
+/// the Ansys STK dependency of the paper (DESIGN.md §1).
+
+namespace qntn::orbit {
+
+/// Classical orbital elements. Angles in radians, semi-major axis in metres.
+/// Valid for elliptical orbits (0 <= e < 1); the constellation in the paper
+/// is circular (e = 0).
+struct KeplerianElements {
+  double semi_major_axis = 0.0;  ///< a [m]
+  double eccentricity = 0.0;     ///< e, in [0, 1)
+  double inclination = 0.0;      ///< i [rad]
+  double raan = 0.0;             ///< right ascension of ascending node [rad]
+  double arg_perigee = 0.0;      ///< argument of perigee [rad]
+  double true_anomaly = 0.0;     ///< nu at epoch [rad]
+
+  /// Orbital period [s] from Kepler's third law.
+  [[nodiscard]] double period() const;
+
+  /// Mean motion n [rad/s].
+  [[nodiscard]] double mean_motion() const;
+};
+
+/// Cartesian state in the Earth-centred inertial frame.
+struct StateVector {
+  Vec3 position;  ///< [m]
+  Vec3 velocity;  ///< [m/s]
+};
+
+/// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E.
+/// Newton-Raphson with a third-order starter; converges to |f(E)| < 1e-13
+/// for all e in [0, 0.99]. Throws NumericalError if it fails to converge.
+[[nodiscard]] double solve_kepler(double mean_anomaly, double eccentricity);
+
+/// Eccentric anomaly -> true anomaly.
+[[nodiscard]] double eccentric_to_true_anomaly(double eccentric_anomaly,
+                                               double eccentricity);
+
+/// True anomaly -> eccentric anomaly.
+[[nodiscard]] double true_to_eccentric_anomaly(double true_anomaly,
+                                               double eccentricity);
+
+/// True anomaly -> mean anomaly (via eccentric anomaly).
+[[nodiscard]] double true_to_mean_anomaly(double true_anomaly,
+                                          double eccentricity);
+
+/// Convert elements to an ECI Cartesian state (perifocal -> inertial via the
+/// standard 3-1-3 rotation by RAAN, inclination, argument of perigee).
+[[nodiscard]] StateVector elements_to_state(const KeplerianElements& el);
+
+}  // namespace qntn::orbit

@@ -1,0 +1,47 @@
+#include "orbit/ephemeris.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geo/frames.hpp"
+
+namespace qntn::orbit {
+
+Ephemeris Ephemeris::generate(const TwoBodyPropagator& prop, double duration,
+                              double step, double gmst0) {
+  QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration and step must be positive");
+  const auto n = static_cast<std::size_t>(std::ceil(duration / step)) + 1;
+  std::vector<Vec3> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::min(static_cast<double>(i) * step, duration);
+    const Vec3 eci = prop.state_at(t).position;
+    samples.push_back(geo::eci_to_ecef(eci, geo::gmst_at(t, gmst0)));
+  }
+  return Ephemeris(std::move(samples), step);
+}
+
+Ephemeris::Ephemeris(std::vector<Vec3> ecef_samples, double step)
+    : samples_(std::move(ecef_samples)), step_(step) {
+  QNTN_REQUIRE(samples_.size() >= 2, "ephemeris needs at least two samples");
+  QNTN_REQUIRE(step_ > 0.0, "ephemeris step must be positive");
+}
+
+Vec3 Ephemeris::position_ecef(double t) const {
+  if (t <= 0.0) return samples_.front();
+  const double idx = t / step_;
+  const auto lo = static_cast<std::size_t>(idx);
+  if (lo >= samples_.size() - 1) return samples_.back();
+  const double frac = idx - static_cast<double>(lo);
+  const Vec3& a = samples_[lo];
+  const Vec3& b = samples_[lo + 1];
+  return a + (b - a) * frac;
+}
+
+geo::Geodetic Ephemeris::ground_point(double t) const {
+  geo::Geodetic g = geo::ecef_to_geodetic(position_ecef(t));
+  g.altitude = 0.0;
+  return g;
+}
+
+}  // namespace qntn::orbit

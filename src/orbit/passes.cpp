@@ -1,0 +1,93 @@
+#include "orbit/passes.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "geo/frames.hpp"
+
+namespace qntn::orbit {
+
+namespace {
+
+double elevation_at(const Ephemeris& ephemeris, const geo::Geodetic& site,
+                    double t) {
+  return geo::look_angles(site, ephemeris.position_ecef(t)).elevation;
+}
+
+/// Bisect the elevation-mask crossing within [lo, hi]; `rising` selects the
+/// crossing direction. Preconditions: the crossing is bracketed.
+double refine_crossing(const Ephemeris& ephemeris, const geo::Geodetic& site,
+                       double mask, double lo, double hi, bool rising) {
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const bool above = elevation_at(ephemeris, site, mid) >= mask;
+    if (above == rising) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-3) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::vector<Pass> find_passes(const Ephemeris& ephemeris,
+                              const geo::Geodetic& site, double duration,
+                              double min_elevation, double step) {
+  QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
+  std::vector<Pass> passes;
+  bool in_pass = elevation_at(ephemeris, site, 0.0) >= min_elevation;
+  Pass current;
+  if (in_pass) {
+    current.aos = 0.0;
+    current.max_elevation = elevation_at(ephemeris, site, 0.0);
+    current.culmination = 0.0;
+  }
+  double prev_t = 0.0;
+  for (double t = step; t <= duration + step * 0.5; t += step) {
+    const double clamped = std::min(t, duration);
+    const double elevation = elevation_at(ephemeris, site, clamped);
+    const bool above = elevation >= min_elevation;
+    if (above && !in_pass) {
+      current = Pass{};
+      current.aos = refine_crossing(ephemeris, site, min_elevation, prev_t,
+                                    clamped, /*rising=*/true);
+      current.max_elevation = elevation;
+      current.culmination = clamped;
+      in_pass = true;
+    } else if (above && in_pass) {
+      if (elevation > current.max_elevation) {
+        current.max_elevation = elevation;
+        current.culmination = clamped;
+      }
+    } else if (!above && in_pass) {
+      current.los = refine_crossing(ephemeris, site, min_elevation, prev_t,
+                                    clamped, /*rising=*/false);
+      passes.push_back(current);
+      in_pass = false;
+    }
+    prev_t = clamped;
+  }
+  if (in_pass) {
+    current.los = duration;
+    passes.push_back(current);
+  }
+  return passes;
+}
+
+PassStatistics summarize_passes(const std::vector<Pass>& passes) {
+  PassStatistics stats;
+  stats.count = passes.size();
+  for (const Pass& pass : passes) {
+    stats.total_contact += pass.duration();
+    stats.max_elevation = std::max(stats.max_elevation, pass.max_elevation);
+  }
+  if (stats.count > 0) {
+    stats.mean_duration = stats.total_contact / static_cast<double>(stats.count);
+  }
+  return stats;
+}
+
+}  // namespace qntn::orbit

@@ -1,0 +1,42 @@
+#include "orbit/propagator.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::orbit {
+
+TwoBodyPropagator::TwoBodyPropagator(const KeplerianElements& epoch_elements,
+                                     PropagatorOptions options)
+    : epoch_(epoch_elements) {
+  mean_anomaly0_ = true_to_mean_anomaly(epoch_.true_anomaly, epoch_.eccentricity);
+  mean_motion_ = epoch_.mean_motion();
+  if (options.include_j2) {
+    const double a = epoch_.semi_major_axis;
+    const double e = epoch_.eccentricity;
+    const double p = a * (1.0 - e * e);
+    const double factor = 1.5 * kEarthJ2 * mean_motion_ *
+                          (kWgs84A / p) * (kWgs84A / p);
+    const double ci = std::cos(epoch_.inclination);
+    const double si = std::sin(epoch_.inclination);
+    raan_rate_ = -factor * ci;
+    argp_rate_ = factor * (2.0 - 2.5 * si * si);
+  }
+}
+
+KeplerianElements TwoBodyPropagator::elements_at(double t) const {
+  KeplerianElements el = epoch_;
+  el.raan = wrap_two_pi(epoch_.raan + raan_rate_ * t);
+  el.arg_perigee = wrap_two_pi(epoch_.arg_perigee + argp_rate_ * t);
+  const double m = mean_anomaly0_ + mean_motion_ * t;
+  const double e_anom = solve_kepler(m, el.eccentricity);
+  el.true_anomaly = eccentric_to_true_anomaly(e_anom, el.eccentricity);
+  return el;
+}
+
+StateVector TwoBodyPropagator::state_at(double t) const {
+  return elements_to_state(elements_at(t));
+}
+
+}  // namespace qntn::orbit

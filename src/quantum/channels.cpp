@@ -1,0 +1,116 @@
+#include "quantum/channels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+KrausChannel::KrausChannel(std::string name, std::vector<Matrix> kraus_ops)
+    : name_(std::move(name)), ops_(std::move(kraus_ops)) {
+  QNTN_REQUIRE(!ops_.empty(), "channel needs at least one Kraus operator");
+  const std::size_t d = ops_.front().rows();
+  for (const Matrix& k : ops_) {
+    QNTN_REQUIRE(k.rows() == d && k.cols() == d,
+                 "Kraus operators must be square with equal dimensions");
+  }
+}
+
+Matrix KrausChannel::apply(const Matrix& rho) const {
+  QNTN_REQUIRE(rho.rows() == dimension() && rho.cols() == dimension(),
+               "state dimension does not match channel");
+  Matrix out(rho.rows(), rho.cols());
+  for (const Matrix& k : ops_) {
+    out += k * rho * k.dagger();
+  }
+  return out;
+}
+
+Matrix KrausChannel::apply_to_qubit(const Matrix& rho, std::size_t which) const {
+  QNTN_REQUIRE(dimension() == 2, "apply_to_qubit needs a single-qubit channel");
+  const std::size_t n = qubit_count(rho);
+  QNTN_REQUIRE(which < n, "qubit index out of range");
+  Matrix out(rho.rows(), rho.cols());
+  for (const Matrix& k : ops_) {
+    // Build I ⊗ ... ⊗ K ⊗ ... ⊗ I with K at position `which` (MSB first).
+    Matrix lifted = which == 0 ? k : Matrix::identity(2);
+    for (std::size_t q = 1; q < n; ++q) {
+      lifted = lifted.kron(q == which ? k : Matrix::identity(2));
+    }
+    out += lifted * rho * lifted.dagger();
+  }
+  return out;
+}
+
+bool KrausChannel::is_trace_preserving(double tol) const {
+  Matrix sum(dimension(), dimension());
+  for (const Matrix& k : ops_) {
+    sum += k.dagger() * k;
+  }
+  return sum.max_abs_diff(Matrix::identity(dimension())) < tol;
+}
+
+KrausChannel KrausChannel::then(const KrausChannel& other) const {
+  QNTN_REQUIRE(dimension() == other.dimension(),
+               "cannot compose channels of different dimension");
+  std::vector<Matrix> ops;
+  ops.reserve(ops_.size() * other.ops_.size());
+  for (const Matrix& b : other.ops_) {
+    for (const Matrix& a : ops_) {
+      ops.push_back(b * a);
+    }
+  }
+  return KrausChannel(other.name_ + "∘" + name_, std::move(ops));
+}
+
+KrausChannel amplitude_damping(double eta) {
+  QNTN_REQUIRE(eta >= 0.0 && eta <= 1.0, "transmissivity must be in [0, 1]");
+  const double root_eta = std::sqrt(eta);
+  const double root_loss = std::sqrt(1.0 - eta);
+  Matrix k0{{1.0, 0.0}, {0.0, root_eta}};
+  Matrix k1{{0.0, root_loss}, {0.0, 0.0}};
+  return KrausChannel("amplitude_damping", {std::move(k0), std::move(k1)});
+}
+
+KrausChannel depolarizing(double p) {
+  QNTN_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  const Complex i{0.0, 1.0};
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p / 3.0);
+  Matrix k0{{a, 0.0}, {0.0, a}};
+  Matrix kx{{0.0, b}, {b, 0.0}};
+  Matrix ky{{0.0, -i * b}, {i * b, 0.0}};
+  Matrix kz{{b, 0.0}, {0.0, -b}};
+  return KrausChannel("depolarizing",
+                      {std::move(k0), std::move(kx), std::move(ky), std::move(kz)});
+}
+
+KrausChannel dephasing(double p) {
+  QNTN_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p);
+  Matrix k0{{a, 0.0}, {0.0, a}};
+  Matrix k1{{b, 0.0}, {0.0, -b}};
+  return KrausChannel("dephasing", {std::move(k0), std::move(k1)});
+}
+
+KrausChannel bit_flip(double p) {
+  QNTN_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p);
+  Matrix k0{{a, 0.0}, {0.0, a}};
+  Matrix k1{{0.0, b}, {b, 0.0}};
+  return KrausChannel("bit_flip", {std::move(k0), std::move(k1)});
+}
+
+KrausChannel identity_channel() {
+  return KrausChannel("identity", {Matrix::identity(2)});
+}
+
+Matrix transmit_bell_half(double eta) {
+  const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
+  return amplitude_damping(eta).apply_to_qubit(rho, 1);
+}
+
+}  // namespace qntn::quantum

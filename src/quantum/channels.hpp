@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quantum/matrix.hpp"
+
+/// \file channels.hpp
+/// Quantum channels in Kraus form. The paper degrades entangled states with
+/// an amplitude-damping channel whose Kraus operators are parameterised by
+/// the optical transmissivity eta (Eqs. 3-4); additional standard channels
+/// (depolarizing, dephasing, bit flip) are provided for the extension
+/// studies and the test suite's CPTP property checks.
+
+namespace qntn::quantum {
+
+/// A completely positive trace-preserving map given by Kraus operators
+/// {K_i}: rho' = sum_i K_i rho K_i^dagger, with sum_i K_i^dagger K_i = I.
+class KrausChannel {
+ public:
+  KrausChannel(std::string name, std::vector<Matrix> kraus_ops);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Matrix>& kraus_operators() const { return ops_; }
+
+  /// Dimension the channel acts on.
+  [[nodiscard]] std::size_t dimension() const { return ops_.front().rows(); }
+
+  /// rho' = sum_i K_i rho K_i^dagger. Precondition: rho matches dimension().
+  [[nodiscard]] Matrix apply(const Matrix& rho) const;
+
+  /// Apply this (single-qubit) channel to qubit `which` (0-based, MSB first)
+  /// of an n-qubit state, i.e. with Kraus operators I ⊗...⊗ K_i ⊗...⊗ I.
+  [[nodiscard]] Matrix apply_to_qubit(const Matrix& rho, std::size_t which) const;
+
+  /// Verify sum_i K_i^dagger K_i = I within tol.
+  [[nodiscard]] bool is_trace_preserving(double tol = 1e-10) const;
+
+  /// Sequential composition: (other ∘ this), i.e. `other` applied after
+  /// this channel. Kraus set is the pairwise products.
+  [[nodiscard]] KrausChannel then(const KrausChannel& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Matrix> ops_;
+};
+
+/// Amplitude damping parameterised by transmissivity eta in [0, 1]
+/// (paper Eq. 3): K0 = diag(1, sqrt(eta)), K1 = sqrt(1-eta) |0><1|.
+/// eta = 1 is the identity channel; eta = 0 maps everything to |0>.
+[[nodiscard]] KrausChannel amplitude_damping(double eta);
+
+/// Single-qubit depolarizing channel with error probability p in [0, 1]:
+/// rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+[[nodiscard]] KrausChannel depolarizing(double p);
+
+/// Phase damping (dephasing) with probability p in [0, 1].
+[[nodiscard]] KrausChannel dephasing(double p);
+
+/// Bit-flip channel with probability p in [0, 1].
+[[nodiscard]] KrausChannel bit_flip(double p);
+
+/// Identity channel on one qubit.
+[[nodiscard]] KrausChannel identity_channel();
+
+/// The paper's link model: distribute one half of a Bell pair through an
+/// optical channel of transmissivity eta; the travelling qubit (qubit 1,
+/// the second one) passes through amplitude damping. Returns rho' of Eq. 4.
+[[nodiscard]] Matrix transmit_bell_half(double eta);
+
+}  // namespace qntn::quantum

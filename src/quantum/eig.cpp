@@ -1,0 +1,154 @@
+#include "quantum/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qntn::quantum {
+
+namespace {
+
+/// Frobenius norm of the strictly off-diagonal part.
+double off_diagonal_norm(const Matrix& m) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (i != j) sum += std::norm(m(i, j));
+    }
+  }
+  return std::sqrt(sum);
+}
+
+/// One Jacobi rotation zeroing the (p, q) element of Hermitian `h`,
+/// accumulating the rotation into `v`. Derivation: with a = h_pp, b = h_qq
+/// (real) and h_pq = |h| e^{i phi}, the plane rotation
+///   J_pp = c, J_pq = -s e^{i phi}, J_qp = s e^{-i phi}, J_qq = c
+/// zeroes (J^dag H J)_pq when tan(2 theta) = 2|h| / (a - b); we use the
+/// standard stable tangent formula to pick the smaller rotation angle.
+void jacobi_rotate(Matrix& h, Matrix& v, std::size_t p, std::size_t q) {
+  const Complex hpq = h(p, q);
+  const double habs = std::abs(hpq);
+  if (habs == 0.0) return;
+  const Complex phase = hpq / habs;  // e^{i phi}
+
+  const double a = h(p, p).real();
+  const double b = h(q, q).real();
+  const double tau = (a - b) / (2.0 * habs);
+  const double sign = tau >= 0.0 ? 1.0 : -1.0;
+  const double t = sign / (std::abs(tau) + std::sqrt(tau * tau + 1.0));
+  const double c = 1.0 / std::sqrt(t * t + 1.0);
+  const double s = t * c;
+
+  const std::size_t n = h.rows();
+  // H <- J^dag H J, updating only rows/columns p and q.
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex hkp = h(k, p);
+    const Complex hkq = h(k, q);
+    h(k, p) = c * hkp + s * std::conj(phase) * hkq;
+    h(k, q) = -s * phase * hkp + c * hkq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex hpk = h(p, k);
+    const Complex hqk = h(q, k);
+    h(p, k) = c * hpk + s * phase * hqk;
+    h(q, k) = -s * std::conj(phase) * hpk + c * hqk;
+  }
+  // Clean the pivot pair exactly; rounding noise here slows convergence.
+  h(p, q) = 0.0;
+  h(q, p) = 0.0;
+  h(p, p) = Complex(h(p, p).real(), 0.0);
+  h(q, q) = Complex(h(q, q).real(), 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex vkp = v(k, p);
+    const Complex vkq = v(k, q);
+    v(k, p) = c * vkp + s * std::conj(phase) * vkq;
+    v(k, q) = -s * phase * vkp + c * vkq;
+  }
+}
+
+}  // namespace
+
+EigenDecomposition eigen_hermitian(const Matrix& m, double hermitian_tol) {
+  QNTN_REQUIRE(m.is_square(), "eigen_hermitian requires a square matrix");
+  QNTN_REQUIRE(m.is_hermitian(hermitian_tol),
+               "eigen_hermitian requires a Hermitian matrix");
+  const std::size_t n = m.rows();
+
+  // Work on the Hermitian average to kill any tol-level asymmetry.
+  Matrix h = (m + m.dagger()) * Complex(0.5, 0.0);
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(h.frobenius_norm(), 1.0);
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_norm(h) < 1e-13 * scale) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        jacobi_rotate(h, v, p, q);
+      }
+    }
+    if (sweep == kMaxSweeps - 1) {
+      throw NumericalError("eigen_hermitian: Jacobi failed to converge");
+    }
+  }
+
+  // Sort eigenvalues (diagonal of h) ascending, permuting eigenvectors.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&h](std::size_t i, std::size_t j) {
+    return h(i, i).real() < h(j, j).real();
+  });
+
+  EigenDecomposition out{std::vector<double>(n), Matrix(n, n)};
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = h(order[j], order[j]).real();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+Matrix sqrt_psd(const Matrix& m, double clamp_tol) {
+  EigenDecomposition eig = eigen_hermitian(m);
+  const std::size_t n = m.rows();
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double lambda = eig.eigenvalues[k];
+    QNTN_REQUIRE(lambda > -clamp_tol, "sqrt_psd: matrix is not PSD");
+    lambda = std::max(lambda, 0.0);
+    const double root = std::sqrt(lambda);
+    if (root == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex vik = eig.eigenvectors(i, k);
+      if (vik == Complex{}) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out(i, j) += root * vik * std::conj(eig.eigenvectors(j, k));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix spectral_apply(const Matrix& m, double (*fn)(double)) {
+  EigenDecomposition eig = eigen_hermitian(m);
+  const std::size_t n = m.rows();
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double fv = fn(eig.eigenvalues[k]);
+    if (fv == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex vik = eig.eigenvectors(i, k);
+      if (vik == Complex{}) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out(i, j) += fv * vik * std::conj(eig.eigenvectors(j, k));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qntn::quantum

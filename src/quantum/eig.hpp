@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "quantum/matrix.hpp"
+
+/// \file eig.hpp
+/// Eigendecomposition of Hermitian matrices via the complex Jacobi rotation
+/// method, plus the spectral functions the fidelity computation needs
+/// (PSD square root). Jacobi is quadratically convergent and unconditionally
+/// stable for Hermitian input; the matrices here are at most 2^n x 2^n for a
+/// few qubits, where it is also fast.
+
+namespace qntn::quantum {
+
+struct EigenDecomposition {
+  /// Real eigenvalues in ascending order.
+  std::vector<double> eigenvalues;
+  /// Unitary matrix whose column j is the eigenvector of eigenvalues[j].
+  Matrix eigenvectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix. Throws PreconditionError if the
+/// input is not square or not Hermitian (within hermitian_tol), and
+/// NumericalError if Jacobi fails to converge (does not happen for
+/// well-formed Hermitian input).
+[[nodiscard]] EigenDecomposition eigen_hermitian(const Matrix& m,
+                                                 double hermitian_tol = 1e-9);
+
+/// Principal square root of a positive semi-definite Hermitian matrix.
+/// Eigenvalues in [-clamp_tol, 0) are treated as exact zeros (they arise
+/// from rounding in products of Kraus operators); a more negative
+/// eigenvalue throws PreconditionError.
+[[nodiscard]] Matrix sqrt_psd(const Matrix& m, double clamp_tol = 1e-9);
+
+/// Apply a real scalar function to the spectrum of a Hermitian matrix:
+/// f(M) = V diag(f(lambda)) V^dagger.
+[[nodiscard]] Matrix spectral_apply(const Matrix& m, double (*fn)(double));
+
+}  // namespace qntn::quantum

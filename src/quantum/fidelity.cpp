@@ -1,0 +1,95 @@
+#include "quantum/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/eig.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+double fidelity(const Matrix& rho, const Matrix& sigma,
+                FidelityConvention convention) {
+  QNTN_REQUIRE(rho.rows() == sigma.rows() && rho.is_square() && sigma.is_square(),
+               "fidelity needs square matrices of equal dimension");
+  const Matrix root = sqrt_psd(rho);
+  const Matrix inner = root * sigma * root;
+  // Tr sqrt(inner) = sum of sqrt of eigenvalues of the PSD matrix `inner`.
+  const EigenDecomposition eig = eigen_hermitian(inner);
+  double sum = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    sum += std::sqrt(std::max(lambda, 0.0));
+  }
+  return convention == FidelityConvention::Jozsa ? sum * sum : sum;
+}
+
+double fidelity_to_pure(const Matrix& rho, const ColumnVector& psi,
+                        FidelityConvention convention) {
+  QNTN_REQUIRE(psi.cols() == 1 && psi.rows() == rho.rows(),
+               "pure target must be a column vector matching rho");
+  const Matrix expectation = psi.dagger() * rho * psi;
+  const double f2 = std::max(expectation(0, 0).real(), 0.0);
+  return convention == FidelityConvention::Jozsa ? f2 : std::sqrt(f2);
+}
+
+double bell_fidelity_after_damping(double eta, FidelityConvention convention) {
+  QNTN_REQUIRE(eta >= 0.0 && eta <= 1.0, "transmissivity must be in [0, 1]");
+  const double uhlmann = (1.0 + std::sqrt(eta)) / 2.0;
+  return convention == FidelityConvention::Jozsa ? uhlmann * uhlmann : uhlmann;
+}
+
+double trace_distance(const Matrix& rho, const Matrix& sigma) {
+  const Matrix diff = rho - sigma;
+  const EigenDecomposition eig = eigen_hermitian(diff);
+  double sum = 0.0;
+  for (double lambda : eig.eigenvalues) sum += std::fabs(lambda);
+  return 0.5 * sum;
+}
+
+double concurrence(const Matrix& rho) {
+  QNTN_REQUIRE(rho.rows() == 4 && rho.cols() == 4,
+               "concurrence is defined for two-qubit states");
+  // rho_tilde = (Y ⊗ Y) rho* (Y ⊗ Y); concurrence from the square roots of
+  // the eigenvalues of rho * rho_tilde (Wootters 1998).
+  const Complex i{0.0, 1.0};
+  Matrix y{{0.0, -i}, {i, 0.0}};
+  const Matrix yy = y.kron(y);
+
+  Matrix rho_conj(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      rho_conj(r, c) = std::conj(rho(r, c));
+    }
+  }
+  const Matrix product = rho * yy * rho_conj * yy;
+  // product is similar to a PSD matrix: its eigenvalues are real and >= 0,
+  // but the matrix itself is not Hermitian, so we cannot use the Hermitian
+  // solver directly. Instead use R = sqrt(sqrt(rho) rho_tilde sqrt(rho)),
+  // which shares the sqrt-eigenvalues and is Hermitian PSD.
+  const Matrix root_rho = sqrt_psd(rho);
+  const Matrix rho_tilde = yy * rho_conj * yy;
+  const Matrix herm = root_rho * rho_tilde * root_rho;
+  EigenDecomposition eig = eigen_hermitian(herm);
+  // lambdas (descending) are the sqrt of these eigenvalues.
+  std::vector<double> lams;
+  lams.reserve(4);
+  for (double lambda : eig.eigenvalues) {
+    lams.push_back(std::sqrt(std::max(lambda, 0.0)));
+  }
+  std::sort(lams.begin(), lams.end(), std::greater<>());
+  return std::max(0.0, lams[0] - lams[1] - lams[2] - lams[3]);
+}
+
+double negativity(const Matrix& rho) {
+  QNTN_REQUIRE(qubit_count(rho) == 2, "negativity implemented for two qubits");
+  const Matrix pt = partial_transpose_qubit(rho, 1);
+  const EigenDecomposition eig = eigen_hermitian(pt);
+  double sum = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    if (lambda < 0.0) sum += -lambda;
+  }
+  return sum;
+}
+
+}  // namespace qntn::quantum

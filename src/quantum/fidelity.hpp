@@ -1,0 +1,59 @@
+#pragma once
+
+#include "quantum/matrix.hpp"
+
+/// \file fidelity.hpp
+/// State fidelity and entanglement measures.
+///
+/// Two fidelity conventions coexist in the literature and the distinction
+/// matters for reproducing the paper (see DESIGN.md §1 "Fidelity
+/// convention"):
+///  - Jozsa / squared:   F = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2
+///    — this is the paper's Eq. (5) as printed;
+///  - Uhlmann / sqrt:    F = Tr sqrt(sqrt(rho) sigma sqrt(rho))
+///    — this is the convention the paper's *numbers* are consistent with
+///    (eta = 0.7 -> F = 0.918 > 0.9, matching Fig. 5's stated reading).
+/// Both are exposed; harnesses pick via FidelityConvention.
+
+namespace qntn::quantum {
+
+enum class FidelityConvention {
+  Jozsa,    ///< squared fidelity, Eq. (5) as printed in the paper
+  Uhlmann,  ///< square-root fidelity, consistent with the paper's numbers
+};
+
+/// General fidelity between two density matrices under the chosen
+/// convention. Both inputs must be valid density matrices of equal
+/// dimension (Hermitian PSD; trace need not be exactly 1 to tolerate
+/// accumulated rounding, but should be close).
+[[nodiscard]] double fidelity(const Matrix& rho, const Matrix& sigma,
+                              FidelityConvention convention);
+
+/// Fidelity of rho against a pure target |psi>. Uses the closed form
+/// F_jozsa = <psi|rho|psi> (and its square root for Uhlmann), avoiding the
+/// matrix square roots of the general path.
+[[nodiscard]] double fidelity_to_pure(const Matrix& rho, const ColumnVector& psi,
+                                      FidelityConvention convention);
+
+/// Entanglement fidelity of the paper's link model in closed form: a
+/// PhiPlus pair with its travelling half sent through amplitude damping of
+/// transmissivity eta has
+///   F_jozsa(eta)   = (1 + sqrt(eta))^2 / 4,
+///   F_uhlmann(eta) = (1 + sqrt(eta)) / 2.
+/// Used by tests to pin the simulated channel and by the routing layer to
+/// turn path transmissivity into fidelity without building matrices.
+[[nodiscard]] double bell_fidelity_after_damping(double eta,
+                                                 FidelityConvention convention);
+
+/// Trace distance (1/2) * Tr|rho - sigma|.
+[[nodiscard]] double trace_distance(const Matrix& rho, const Matrix& sigma);
+
+/// Wootters concurrence of a two-qubit density matrix; 0 for separable
+/// states, 1 for maximally entangled ones.
+[[nodiscard]] double concurrence(const Matrix& rho);
+
+/// Negativity: sum of |negative eigenvalues| of the partial transpose over
+/// the second qubit. Positive iff the two-qubit state is entangled (PPT).
+[[nodiscard]] double negativity(const Matrix& rho);
+
+}  // namespace qntn::quantum

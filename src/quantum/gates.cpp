@@ -1,0 +1,95 @@
+#include "quantum/gates.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+namespace {
+const Complex kI{0.0, 1.0};
+}
+
+Matrix pauli_x() { return Matrix{{0.0, 1.0}, {1.0, 0.0}}; }
+
+Matrix pauli_y() { return Matrix{{0.0, -kI}, {kI, 0.0}}; }
+
+Matrix pauli_z() { return Matrix{{1.0, 0.0}, {0.0, -1.0}}; }
+
+Matrix hadamard() {
+  const double r = 1.0 / std::sqrt(2.0);
+  return Matrix{{r, r}, {r, -r}};
+}
+
+Matrix phase(double phi) {
+  return Matrix{{1.0, 0.0}, {0.0, std::polar(1.0, phi)}};
+}
+
+Matrix rotation_x(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix{{c, -kI * s}, {-kI * s, c}};
+}
+
+Matrix lift_single(const Matrix& gate, std::size_t n_qubits, std::size_t which) {
+  QNTN_REQUIRE(gate.rows() == 2 && gate.cols() == 2,
+               "lift_single expects a single-qubit gate");
+  QNTN_REQUIRE(which < n_qubits, "qubit index out of range");
+  Matrix lifted = which == 0 ? gate : Matrix::identity(2);
+  for (std::size_t q = 1; q < n_qubits; ++q) {
+    lifted = lifted.kron(q == which ? gate : Matrix::identity(2));
+  }
+  return lifted;
+}
+
+Matrix cnot(std::size_t n_qubits, std::size_t control, std::size_t target) {
+  QNTN_REQUIRE(control < n_qubits && target < n_qubits && control != target,
+               "cnot needs distinct in-range qubits");
+  const std::size_t d = std::size_t{1} << n_qubits;
+  Matrix gate(d, d);
+  const std::size_t control_bit = std::size_t{1} << (n_qubits - 1 - control);
+  const std::size_t target_bit = std::size_t{1} << (n_qubits - 1 - target);
+  for (std::size_t col = 0; col < d; ++col) {
+    const std::size_t row = (col & control_bit) != 0 ? col ^ target_bit : col;
+    gate(row, col) = 1.0;
+  }
+  return gate;
+}
+
+Matrix apply_unitary(const Matrix& unitary, const Matrix& rho) {
+  QNTN_REQUIRE(unitary.rows() == rho.rows() && unitary.is_square(),
+               "unitary/state dimension mismatch");
+  return unitary * rho * unitary.dagger();
+}
+
+MeasurementBranches measure_qubit(const Matrix& rho, std::size_t which) {
+  const std::size_t n = qubit_count(rho);
+  QNTN_REQUIRE(which < n, "qubit index out of range");
+  const std::size_t d = rho.rows();
+  const std::size_t bit = std::size_t{1} << (n - 1 - which);
+
+  MeasurementBranches branches;
+  for (int outcome = 0; outcome < 2; ++outcome) {
+    // Projector P = sum over basis states whose `which` bit equals outcome.
+    Matrix projected(d, d);
+    for (std::size_t r = 0; r < d; ++r) {
+      if (static_cast<int>((r & bit) != 0) != outcome) continue;
+      for (std::size_t c = 0; c < d; ++c) {
+        if (static_cast<int>((c & bit) != 0) != outcome) continue;
+        projected(r, c) = rho(r, c);
+      }
+    }
+    const double probability = projected.trace().real();
+    MeasurementOutcome& out = outcome == 0 ? branches.zero : branches.one;
+    out.probability = probability;
+    if (probability > 1e-15) {
+      out.post_state = projected * Complex(1.0 / probability, 0.0);
+    } else {
+      out.post_state = Matrix(d, d);  // zero state for impossible branch
+    }
+  }
+  return branches;
+}
+
+}  // namespace qntn::quantum

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+
+#include "quantum/matrix.hpp"
+
+/// \file gates.hpp
+/// Unitary gates and projective measurement on multi-qubit density
+/// matrices. The purification protocols (purification.hpp) are built from
+/// these; they are also generally useful for extending the simulator with
+/// gate-level node behaviour.
+///
+/// Qubit index convention matches state.hpp: qubit 0 is the most
+/// significant bit of the computational basis index (kron order).
+
+namespace qntn::quantum {
+
+/// Single-qubit Pauli and Clifford gates.
+[[nodiscard]] Matrix pauli_x();
+[[nodiscard]] Matrix pauli_y();
+[[nodiscard]] Matrix pauli_z();
+[[nodiscard]] Matrix hadamard();
+/// Phase rotation diag(1, e^{i phi}).
+[[nodiscard]] Matrix phase(double phi);
+/// X-axis rotation exp(-i theta X / 2).
+[[nodiscard]] Matrix rotation_x(double theta);
+
+/// Lift a single-qubit unitary to qubit `which` of an n-qubit register.
+[[nodiscard]] Matrix lift_single(const Matrix& gate, std::size_t n_qubits,
+                                 std::size_t which);
+
+/// CNOT with the given control and target qubits on an n-qubit register.
+[[nodiscard]] Matrix cnot(std::size_t n_qubits, std::size_t control,
+                          std::size_t target);
+
+/// Apply a unitary: rho' = U rho U^dagger.
+[[nodiscard]] Matrix apply_unitary(const Matrix& unitary, const Matrix& rho);
+
+/// Outcome of a projective measurement of one qubit in the Z basis.
+struct MeasurementOutcome {
+  double probability = 0.0;  ///< Born probability of this outcome
+  Matrix post_state;         ///< normalised post-measurement state (same
+                             ///< register size; the measured qubit collapses)
+
+  MeasurementOutcome() : post_state(1, 1) {}
+};
+
+/// Measure qubit `which` in the computational basis; returns the outcome
+/// branches for result 0 and result 1. A zero-probability branch carries an
+/// unnormalised (zero) state.
+struct MeasurementBranches {
+  MeasurementOutcome zero;
+  MeasurementOutcome one;
+};
+[[nodiscard]] MeasurementBranches measure_qubit(const Matrix& rho,
+                                                std::size_t which);
+
+}  // namespace qntn::quantum

@@ -1,0 +1,168 @@
+#include "quantum/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qntn::quantum {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {
+  QNTN_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+    : rows_(rows.size()), cols_(rows.begin()->size()) {
+  QNTN_REQUIRE(rows_ > 0 && cols_ > 0, "matrix dimensions must be positive");
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    QNTN_REQUIRE(row.size() == cols_, "ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  QNTN_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  QNTN_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(Complex s) {
+  for (Complex& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix out = *this;
+  out += o;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix out = *this;
+  out -= o;
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  QNTN_REQUIRE(cols_ == o.rows_, "shape mismatch in matrix product");
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Complex aik = (*this)(i, k);
+      if (aik == Complex{}) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        out(i, j) += aik * o(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(Complex s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(Complex s, const Matrix& m) { return m * s; }
+
+Matrix Matrix::dagger() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(j, i) = std::conj((*this)(i, j));
+    }
+  }
+  return out;
+}
+
+Complex Matrix::trace() const {
+  QNTN_REQUIRE(is_square(), "trace of non-square matrix");
+  Complex t{};
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+Matrix Matrix::kron(const Matrix& o) const {
+  Matrix out(rows_ * o.rows_, cols_ * o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const Complex aij = (*this)(i, j);
+      if (aij == Complex{}) continue;
+      for (std::size_t k = 0; k < o.rows_; ++k) {
+        for (std::size_t l = 0; l < o.cols_; ++l) {
+          out(i * o.rows_ + k, j * o.cols_ + l) = aij * o(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const Complex& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs_diff(const Matrix& o) const {
+  QNTN_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+bool Matrix::is_hermitian(double tol) const {
+  if (!is_square()) return false;
+  return max_abs_diff(dagger()) < tol;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (!is_square()) return false;
+  return (dagger() * *this).max_abs_diff(identity(rows_)) < tol;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const Complex v = m(i, j);
+      os << '(' << v.real() << (v.imag() >= 0 ? "+" : "") << v.imag() << "i)";
+      if (j + 1 != m.cols()) os << ", ";
+    }
+    os << (i + 1 == m.rows() ? "]" : ";\n");
+  }
+  return os;
+}
+
+ColumnVector column_vector(std::initializer_list<Complex> amps) {
+  ColumnVector v(amps.size(), 1);
+  std::size_t i = 0;
+  for (const Complex& a : amps) v(i++, 0) = a;
+  return v;
+}
+
+Matrix outer(const ColumnVector& a, const ColumnVector& b) {
+  QNTN_REQUIRE(a.cols() == 1 && b.cols() == 1, "outer() expects column vectors");
+  return a * b.dagger();
+}
+
+}  // namespace qntn::quantum

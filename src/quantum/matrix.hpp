@@ -1,0 +1,90 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+/// \file matrix.hpp
+/// Dense complex matrix used for density operators and Kraus operators.
+/// Dimensions in this project are tiny (2^n for n <= 3 qubits in practice),
+/// so the implementation favours clarity and correctness over blocking;
+/// the perf benches confirm the kernels are nowhere near the simulation's
+/// critical path.
+
+namespace qntn::quantum {
+
+using Complex = std::complex<double>;
+
+class Matrix {
+ public:
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Row-major brace construction: Matrix{{a,b},{c,d}}.
+  Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] static Matrix zero(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool is_square() const { return rows_ == cols_; }
+
+  [[nodiscard]] Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Complex& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(Complex s);
+  [[nodiscard]] Matrix operator+(const Matrix& o) const;
+  [[nodiscard]] Matrix operator-(const Matrix& o) const;
+  [[nodiscard]] Matrix operator*(const Matrix& o) const;
+  [[nodiscard]] Matrix operator*(Complex s) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] Matrix dagger() const;
+
+  /// Trace (square matrices only).
+  [[nodiscard]] Complex trace() const;
+
+  /// Kronecker (tensor) product: this ⊗ other.
+  [[nodiscard]] Matrix kron(const Matrix& o) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  [[nodiscard]] double max_abs_diff(const Matrix& o) const;
+
+  /// True if ||A - A^dagger||_max < tol.
+  [[nodiscard]] bool is_hermitian(double tol = 1e-10) const;
+
+  /// True if ||A^dagger A - I||_max < tol.
+  [[nodiscard]] bool is_unitary(double tol = 1e-10) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Complex> data_;
+};
+
+[[nodiscard]] Matrix operator*(Complex s, const Matrix& m);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// Column vector as an n x 1 Matrix.
+using ColumnVector = Matrix;
+
+/// Build a column vector from amplitudes.
+[[nodiscard]] ColumnVector column_vector(std::initializer_list<Complex> amps);
+
+/// Outer product |a><b| of two column vectors.
+[[nodiscard]] Matrix outer(const ColumnVector& a, const ColumnVector& b);
+
+}  // namespace qntn::quantum

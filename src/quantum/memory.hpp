@@ -1,0 +1,38 @@
+#pragma once
+
+#include "quantum/matrix.hpp"
+
+/// \file memory.hpp
+/// Quantum-memory decoherence during storage. Stored qubits relax
+/// (amplitude damping, time constant T1) and dephase (time constant T2);
+/// the event-driven traffic simulator applies this to pairs waiting for
+/// classical heralding and queued service, putting a physical price on
+/// latency that the paper's instantaneous-serving model ignores.
+
+namespace qntn::quantum {
+
+struct MemoryModel {
+  double t1 = 1.0;  ///< relaxation time constant [s]
+  double t2 = 0.5;  ///< dephasing time constant [s]; must satisfy T2 <= 2 T1
+
+  /// Survival of the excited-state population after storing for `duration`.
+  [[nodiscard]] double relaxation_survival(double duration) const;
+
+  /// Probability parameter of the extra pure-dephasing channel after
+  /// `duration` (0 = no dephasing beyond what T1 implies).
+  [[nodiscard]] double dephasing_probability(double duration) const;
+
+  /// Apply storage decoherence to qubit `which` of a state for `duration`
+  /// seconds: amplitude damping with e^{-t/T1} followed by pure dephasing
+  /// at the rate 1/T2 - 1/(2 T1).
+  [[nodiscard]] Matrix store(const Matrix& rho, std::size_t which,
+                             double duration) const;
+
+  /// Closed form used by the traffic simulator: the PhiPlus fidelity
+  /// (Uhlmann) of a pair with initial end-to-end transmissivity eta whose
+  /// travelling half is then stored for `duration`. Pinned against the
+  /// density-matrix path by tests.
+  [[nodiscard]] double stored_pair_fidelity(double eta, double duration) const;
+};
+
+}  // namespace qntn::quantum

@@ -1,0 +1,167 @@
+#include "quantum/purification.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+namespace {
+
+/// Shared tail of BBPSSW/DEJMPS: bilateral CNOTs (sources pair 1, targets
+/// pair 2), Z-measure the target pair, keep coincident outcomes, trace the
+/// measured pair out.
+PurificationRound cnot_measure_postselect(const Matrix& rho4) {
+  const Matrix circuit = cnot(4, 1, 3) * cnot(4, 0, 2);
+  const Matrix evolved = apply_unitary(circuit, rho4);
+
+  // Measure qubit 2, then qubit 3 inside each branch.
+  const MeasurementBranches first = measure_qubit(evolved, 2);
+  PurificationRound round;
+  Matrix kept(16, 16);
+  double success = 0.0;
+  for (int outcome = 0; outcome < 2; ++outcome) {
+    const MeasurementOutcome& branch = outcome == 0 ? first.zero : first.one;
+    if (branch.probability <= 1e-15) continue;
+    const MeasurementBranches second = measure_qubit(branch.post_state, 3);
+    const MeasurementOutcome& coincident =
+        outcome == 0 ? second.zero : second.one;
+    const double p = branch.probability * coincident.probability;
+    if (p <= 1e-15) continue;
+    kept += coincident.post_state * Complex(p, 0.0);
+    success += p;
+  }
+  round.success_probability = success;
+  if (success > 1e-15) {
+    const Matrix normalised = kept * Complex(1.0 / success, 0.0);
+    // Trace out the measured pair (qubits 2 and 3 -> trace 3 then 2).
+    round.state =
+        partial_trace_qubit(partial_trace_qubit(normalised, 3), 2);
+    round.fidelity =
+        fidelity_to_pure(round.state, bell_state(BellState::PhiPlus),
+                         FidelityConvention::Uhlmann);
+  } else {
+    round.state = Matrix(4, 4);
+  }
+  return round;
+}
+
+}  // namespace
+
+Matrix twirl_to_werner(const Matrix& rho) {
+  QNTN_REQUIRE(rho.rows() == 4 && rho.cols() == 4,
+               "twirl_to_werner expects a two-qubit state");
+  const double f = fidelity_to_pure(rho, bell_state(BellState::PhiPlus),
+                                    FidelityConvention::Jozsa);
+  const Matrix target = pure_density(bell_state(BellState::PhiPlus));
+  return target * Complex(f, 0.0) +
+         (Matrix::identity(4) - target) * Complex((1.0 - f) / 3.0, 0.0);
+}
+
+PurificationRound bbpssw_round(const Matrix& rho) {
+  QNTN_REQUIRE(rho.rows() == 4, "bbpssw_round expects a two-qubit state");
+  return cnot_measure_postselect(rho.kron(rho));
+}
+
+PurificationRound dejmps_round(const Matrix& rho) {
+  QNTN_REQUIRE(rho.rows() == 4, "dejmps_round expects a two-qubit state");
+  Matrix rho4 = rho.kron(rho);
+  // Bilateral basis rotation: Rx(pi/2) on Alice's qubits (0, 2), Rx(-pi/2)
+  // on Bob's (1, 3).
+  const Matrix ra = rotation_x(-kPi / 2.0);
+  const Matrix rb = rotation_x(kPi / 2.0);
+  Matrix rotation = lift_single(ra, 4, 0) * lift_single(rb, 4, 1) *
+                    lift_single(ra, 4, 2) * lift_single(rb, 4, 3);
+  rho4 = apply_unitary(rotation, rho4);
+  return cnot_measure_postselect(rho4);
+}
+
+PurificationRound optimal_bell_round(const Matrix& rho) {
+  const PurificationRound plain = bbpssw_round(rho);
+  const PurificationRound rotated = dejmps_round(rho);
+  return plain.fidelity >= rotated.fidelity ? plain : rotated;
+}
+
+double bbpssw_success(double fidelity) {
+  QNTN_REQUIRE(fidelity >= 0.0 && fidelity <= 1.0, "fidelity must be in [0,1]");
+  const double rest = (1.0 - fidelity) / 3.0;
+  return fidelity * fidelity + 2.0 * fidelity * rest + 5.0 * rest * rest;
+}
+
+double bbpssw_fidelity(double fidelity) {
+  const double rest = (1.0 - fidelity) / 3.0;
+  return (fidelity * fidelity + rest * rest) / bbpssw_success(fidelity);
+}
+
+Matrix bell_diagonal(const std::vector<double>& coefficients) {
+  QNTN_REQUIRE(coefficients.size() == 4, "need 4 Bell coefficients");
+  double sum = 0.0;
+  for (double c : coefficients) {
+    QNTN_REQUIRE(c >= -1e-12, "coefficients must be non-negative");
+    sum += c;
+  }
+  QNTN_REQUIRE(std::fabs(sum - 1.0) < 1e-9, "coefficients must sum to 1");
+  const BellState order[] = {BellState::PhiPlus, BellState::PsiPlus,
+                             BellState::PsiMinus, BellState::PhiMinus};
+  Matrix rho(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    rho += pure_density(bell_state(order[i])) * Complex(coefficients[i], 0.0);
+  }
+  return rho;
+}
+
+std::vector<double> bell_diagonal_coefficients(const Matrix& rho) {
+  QNTN_REQUIRE(rho.rows() == 4, "expects a two-qubit state");
+  const BellState order[] = {BellState::PhiPlus, BellState::PsiPlus,
+                             BellState::PsiMinus, BellState::PhiMinus};
+  std::vector<double> out;
+  out.reserve(4);
+  for (const BellState s : order) {
+    out.push_back(
+        fidelity_to_pure(rho, bell_state(s), FidelityConvention::Jozsa));
+  }
+  return out;
+}
+
+std::vector<LadderStep> purification_ladder(const Matrix& initial,
+                                            std::size_t rounds,
+                                            PurificationProtocol protocol) {
+  QNTN_REQUIRE(initial.rows() == 4, "expects a two-qubit state");
+  std::vector<LadderStep> steps;
+  Matrix current = initial;
+  double cost = 1.0;
+  double previous_fidelity = fidelity_to_pure(
+      current, bell_state(BellState::PhiPlus), FidelityConvention::Uhlmann);
+  steps.push_back({0, previous_fidelity, 1.0, cost});
+
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    if (protocol == PurificationProtocol::Bbpssw) {
+      current = twirl_to_werner(current);
+    }
+    PurificationRound result;
+    switch (protocol) {
+      case PurificationProtocol::Bbpssw:
+        result = bbpssw_round(current);
+        break;
+      case PurificationProtocol::Dejmps:
+        result = dejmps_round(current);
+        break;
+      case PurificationProtocol::Optimal:
+        result = optimal_bell_round(current);
+        break;
+    }
+    if (result.success_probability < 1e-6) break;
+    cost = 2.0 * cost / result.success_probability;
+    steps.push_back({round, result.fidelity, result.success_probability, cost});
+    if (result.fidelity <= previous_fidelity + 1e-12) break;  // converged
+    previous_fidelity = result.fidelity;
+    current = result.state;
+  }
+  return steps;
+}
+
+}  // namespace qntn::quantum

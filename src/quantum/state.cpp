@@ -1,0 +1,139 @@
+#include "quantum/state.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/eig.hpp"
+
+namespace qntn::quantum {
+
+std::size_t qubit_count(const Matrix& state) {
+  const std::size_t d = state.rows();
+  QNTN_REQUIRE(d > 1 && (d & (d - 1)) == 0, "dimension is not a power of two");
+  std::size_t n = 0;
+  for (std::size_t x = d; x > 1; x >>= 1) ++n;
+  return n;
+}
+
+ColumnVector basis_state(std::size_t n_qubits, std::size_t index) {
+  QNTN_REQUIRE(n_qubits > 0, "need at least one qubit");
+  const std::size_t d = std::size_t{1} << n_qubits;
+  QNTN_REQUIRE(index < d, "basis index out of range");
+  ColumnVector v(d, 1);
+  v(index, 0) = 1.0;
+  return v;
+}
+
+ColumnVector bell_state(BellState which) {
+  const double r = 1.0 / std::sqrt(2.0);
+  switch (which) {
+    case BellState::PhiPlus:
+      return column_vector({r, 0.0, 0.0, r});
+    case BellState::PhiMinus:
+      return column_vector({r, 0.0, 0.0, -r});
+    case BellState::PsiPlus:
+      return column_vector({0.0, r, r, 0.0});
+    case BellState::PsiMinus:
+      return column_vector({0.0, r, -r, 0.0});
+  }
+  throw PreconditionError("unknown Bell state");
+}
+
+Matrix pure_density(const ColumnVector& psi) {
+  QNTN_REQUIRE(psi.cols() == 1, "pure_density expects a column vector");
+  const double norm = psi.frobenius_norm();
+  QNTN_REQUIRE(norm > 0.0, "cannot normalise the zero vector");
+  ColumnVector unit = psi * Complex(1.0 / norm, 0.0);
+  return outer(unit, unit);
+}
+
+Matrix werner_state(double w) {
+  QNTN_REQUIRE(w >= 0.0 && w <= 1.0, "Werner weight must be in [0, 1]");
+  Matrix rho = pure_density(bell_state(BellState::PhiPlus)) * Complex(w, 0.0);
+  rho += Matrix::identity(4) * Complex((1.0 - w) / 4.0, 0.0);
+  return rho;
+}
+
+Matrix maximally_mixed(std::size_t n_qubits) {
+  QNTN_REQUIRE(n_qubits > 0, "need at least one qubit");
+  const std::size_t d = std::size_t{1} << n_qubits;
+  return Matrix::identity(d) * Complex(1.0 / static_cast<double>(d), 0.0);
+}
+
+namespace {
+
+/// Split a basis index of an n-qubit system into (bit of qubit w, rest).
+struct IndexSplit {
+  std::size_t bit;
+  std::size_t rest;
+};
+
+IndexSplit split_index(std::size_t index, std::size_t n, std::size_t which) {
+  const std::size_t shift = n - 1 - which;  // qubit 0 is the MSB
+  const std::size_t bit = (index >> shift) & 1u;
+  const std::size_t high = index >> (shift + 1);
+  const std::size_t low = index & ((std::size_t{1} << shift) - 1);
+  return {bit, (high << shift) | low};
+}
+
+std::size_t join_index(std::size_t bit, std::size_t rest, std::size_t n,
+                       std::size_t which) {
+  const std::size_t shift = n - 1 - which;
+  const std::size_t high = rest >> shift;
+  const std::size_t low = rest & ((std::size_t{1} << shift) - 1);
+  return (high << (shift + 1)) | (bit << shift) | low;
+}
+
+}  // namespace
+
+Matrix partial_trace_qubit(const Matrix& rho, std::size_t which) {
+  const std::size_t n = qubit_count(rho);
+  QNTN_REQUIRE(which < n, "qubit index out of range");
+  QNTN_REQUIRE(n > 1, "cannot trace out the only qubit");
+  const std::size_t d_out = std::size_t{1} << (n - 1);
+  Matrix out(d_out, d_out);
+  for (std::size_t i = 0; i < d_out; ++i) {
+    for (std::size_t j = 0; j < d_out; ++j) {
+      Complex sum{};
+      for (std::size_t b = 0; b < 2; ++b) {
+        sum += rho(join_index(b, i, n, which), join_index(b, j, n, which));
+      }
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix partial_transpose_qubit(const Matrix& rho, std::size_t which) {
+  const std::size_t n = qubit_count(rho);
+  QNTN_REQUIRE(which < n, "qubit index out of range");
+  const std::size_t d = rho.rows();
+  Matrix out(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const IndexSplit si = split_index(i, n, which);
+    for (std::size_t j = 0; j < d; ++j) {
+      const IndexSplit sj = split_index(j, n, which);
+      // Swap the `which` bit between row and column indices.
+      const std::size_t ti = join_index(sj.bit, si.rest, n, which);
+      const std::size_t tj = join_index(si.bit, sj.rest, n, which);
+      out(ti, tj) = rho(i, j);
+    }
+  }
+  return out;
+}
+
+bool is_density_matrix(const Matrix& rho, double tol) {
+  if (!rho.is_square() || !rho.is_hermitian(tol)) return false;
+  if (std::abs(rho.trace() - Complex(1.0, 0.0)) > tol) return false;
+  const EigenDecomposition eig = eigen_hermitian(rho);
+  for (double lambda : eig.eigenvalues) {
+    if (lambda < -tol) return false;
+  }
+  return true;
+}
+
+double purity(const Matrix& rho) {
+  return (rho * rho).trace().real();
+}
+
+}  // namespace qntn::quantum

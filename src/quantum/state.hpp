@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+
+#include "quantum/matrix.hpp"
+
+/// \file state.hpp
+/// Quantum states for the entanglement-distribution model: pure-state
+/// constructors (computational basis, the four Bell states), density
+/// operators, multi-qubit composition helpers (tensor, partial trace,
+/// partial transpose) and validity checks.
+
+namespace qntn::quantum {
+
+/// Number of qubits for a 2^n-dimensional operator; throws if the dimension
+/// is not a power of two.
+[[nodiscard]] std::size_t qubit_count(const Matrix& state);
+
+/// |index> in an n-qubit computational basis (index < 2^n), as a column
+/// vector. Qubit 0 is the most significant bit, matching kron order.
+[[nodiscard]] ColumnVector basis_state(std::size_t n_qubits, std::size_t index);
+
+/// The four Bell states as column vectors.
+/// PhiPlus  = (|00> + |11>)/sqrt(2)   — the paper's ideal |psi> in Eq. (5)
+/// PhiMinus = (|00> - |11>)/sqrt(2)
+/// PsiPlus  = (|01> + |10>)/sqrt(2)
+/// PsiMinus = (|01> - |10>)/sqrt(2)
+enum class BellState { PhiPlus, PhiMinus, PsiPlus, PsiMinus };
+[[nodiscard]] ColumnVector bell_state(BellState which);
+
+/// Density operator |psi><psi| of a pure state (normalises the input).
+[[nodiscard]] Matrix pure_density(const ColumnVector& psi);
+
+/// Werner state: w * |PhiPlus><PhiPlus| + (1 - w) * I/4, for w in [0, 1].
+[[nodiscard]] Matrix werner_state(double w);
+
+/// Maximally mixed state I/d on `n_qubits`.
+[[nodiscard]] Matrix maximally_mixed(std::size_t n_qubits);
+
+/// Trace out qubit `which` (0-based, MSB first) of an n-qubit density
+/// matrix, returning the (n-1)-qubit reduced state.
+[[nodiscard]] Matrix partial_trace_qubit(const Matrix& rho, std::size_t which);
+
+/// Partial transpose over qubit `which` of an n-qubit density matrix
+/// (used by the negativity entanglement measure).
+[[nodiscard]] Matrix partial_transpose_qubit(const Matrix& rho, std::size_t which);
+
+/// Validity: Hermitian, unit trace, PSD (eigenvalues > -tol).
+[[nodiscard]] bool is_density_matrix(const Matrix& rho, double tol = 1e-9);
+
+/// Purity Tr(rho^2), in (0, 1]; 1 iff pure.
+[[nodiscard]] double purity(const Matrix& rho);
+
+}  // namespace qntn::quantum

@@ -1,0 +1,77 @@
+#include "quantum/swapping.hpp"
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+SwapResult entanglement_swap(const Matrix& rho_am, const Matrix& rho_mb) {
+  QNTN_REQUIRE(rho_am.rows() == 4 && rho_mb.rows() == 4,
+               "entanglement_swap expects two-qubit states");
+  // Register layout: A M1 M2 B (qubits 0..3).
+  Matrix rho = rho_am.kron(rho_mb);
+
+  // BSM on (M1, M2): CNOT(M1 -> M2), then H on M1, then measure both.
+  rho = apply_unitary(cnot(4, 1, 2), rho);
+  rho = apply_unitary(lift_single(hadamard(), 4, 1), rho);
+
+  Matrix combined(4, 4);
+  const MeasurementBranches first = measure_qubit(rho, 1);
+  for (int m1 = 0; m1 < 2; ++m1) {
+    const MeasurementOutcome& branch = m1 == 0 ? first.zero : first.one;
+    if (branch.probability <= 1e-15) continue;
+    const MeasurementBranches second = measure_qubit(branch.post_state, 2);
+    for (int m2 = 0; m2 < 2; ++m2) {
+      const MeasurementOutcome& outcome = m2 == 0 ? second.zero : second.one;
+      const double p = branch.probability * outcome.probability;
+      if (p <= 1e-15) continue;
+      // Correction on B keyed on the BSM outcome: X^{m2} Z^{m1}.
+      Matrix corrected = outcome.post_state;
+      if (m2 == 1) {
+        corrected = apply_unitary(lift_single(pauli_x(), 4, 3), corrected);
+      }
+      if (m1 == 1) {
+        corrected = apply_unitary(lift_single(pauli_z(), 4, 3), corrected);
+      }
+      // Trace out the measured middle qubits (2 then 1).
+      const Matrix end_pair =
+          partial_trace_qubit(partial_trace_qubit(corrected, 2), 1);
+      combined += end_pair * Complex(p, 0.0);
+    }
+  }
+
+  SwapResult result;
+  result.state = combined;
+  result.fidelity =
+      fidelity_to_pure(combined, bell_state(BellState::PhiPlus),
+                       FidelityConvention::Uhlmann);
+  return result;
+}
+
+SwapResult swap_chain(const std::vector<Matrix>& pair_states) {
+  QNTN_REQUIRE(!pair_states.empty(), "swap_chain needs at least one pair");
+  SwapResult result;
+  result.state = pair_states.front();
+  for (std::size_t i = 1; i < pair_states.size(); ++i) {
+    result = entanglement_swap(result.state, pair_states[i]);
+  }
+  result.fidelity =
+      fidelity_to_pure(result.state, bell_state(BellState::PhiPlus),
+                       FidelityConvention::Uhlmann);
+  return result;
+}
+
+SwapResult swap_damped_chain(const std::vector<double>& hop_etas) {
+  QNTN_REQUIRE(!hop_etas.empty(), "need at least one hop");
+  std::vector<Matrix> pairs;
+  pairs.reserve(hop_etas.size());
+  for (const double eta : hop_etas) {
+    pairs.push_back(transmit_bell_half(eta));
+  }
+  return swap_chain(pairs);
+}
+
+}  // namespace qntn::quantum

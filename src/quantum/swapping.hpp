@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "quantum/matrix.hpp"
+
+/// \file swapping.hpp
+/// Entanglement swapping — the physical primitive behind multi-hop
+/// entanglement distribution. The paper's simulator treats a routed path as
+/// one amplitude-damping channel with the product transmissivity; swapping
+/// is how a real network realises that path: the relay performs a Bell
+/// state measurement (BSM) on its two halves, collapsing the end nodes into
+/// one pair, with Pauli corrections keyed on the BSM outcome.
+///
+/// This module implements the full density-matrix protocol so the
+/// product-transmissivity shortcut can be validated against the physical
+/// mechanism (see the swap tests and integration tests).
+
+namespace qntn::quantum {
+
+struct SwapResult {
+  /// Two-qubit state of the end nodes A, B after the swap (all four BSM
+  /// branches kept, with the standard Pauli corrections applied — the
+  /// gate-model BSM is deterministic).
+  Matrix state;
+  /// Fidelity of `state` to PhiPlus (Uhlmann convention).
+  double fidelity = 0.0;
+
+  SwapResult() : state(4, 4) {}
+};
+
+/// Swap two pairs sharing the middle node M: rho_am on (A, M1) and rho_mb
+/// on (M2, B). The BSM is a CNOT + Hadamard + Z-basis measurement on
+/// (M1, M2); outcome (m1, m2) triggers the correction X^{m2} Z^{m1} on B.
+[[nodiscard]] SwapResult entanglement_swap(const Matrix& rho_am,
+                                           const Matrix& rho_mb);
+
+/// Repeated swapping along a chain of pairs (left fold); one pair returns
+/// itself.
+[[nodiscard]] SwapResult swap_chain(const std::vector<Matrix>& pair_states);
+
+/// Convenience for the QNTN link model: build each hop's pair as a PhiPlus
+/// half sent through amplitude damping of the given transmissivity, then
+/// swap the chain.
+[[nodiscard]] SwapResult swap_damped_chain(const std::vector<double>& hop_etas);
+
+}  // namespace qntn::quantum

@@ -1,0 +1,75 @@
+#include "quantum/teleportation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+
+Matrix teleport(const Matrix& pair, const ColumnVector& psi) {
+  QNTN_REQUIRE(pair.rows() == 4 && pair.cols() == 4,
+               "resource must be a two-qubit state");
+  QNTN_REQUIRE(psi.rows() == 2 && psi.cols() == 1,
+               "teleport expects a single-qubit pure state");
+
+  // Register: input (qubit 0), Alice's half (1), Bob's half (2).
+  const Matrix input = pure_density(psi);
+  Matrix rho = input.kron(pair);
+
+  // Alice's BSM on (0, 1).
+  rho = apply_unitary(cnot(3, 0, 1), rho);
+  rho = apply_unitary(lift_single(hadamard(), 3, 0), rho);
+
+  Matrix output(2, 2);
+  const MeasurementBranches first = measure_qubit(rho, 0);
+  for (int m0 = 0; m0 < 2; ++m0) {
+    const MeasurementOutcome& branch = m0 == 0 ? first.zero : first.one;
+    if (branch.probability <= 1e-15) continue;
+    const MeasurementBranches second = measure_qubit(branch.post_state, 1);
+    for (int m1 = 0; m1 < 2; ++m1) {
+      const MeasurementOutcome& outcome = m1 == 0 ? second.zero : second.one;
+      const double p = branch.probability * outcome.probability;
+      if (p <= 1e-15) continue;
+      Matrix corrected = outcome.post_state;
+      if (m1 == 1) {
+        corrected = apply_unitary(lift_single(pauli_x(), 3, 2), corrected);
+      }
+      if (m0 == 1) {
+        corrected = apply_unitary(lift_single(pauli_z(), 3, 2), corrected);
+      }
+      // Bob's qubit: trace out the measured qubits 0 and 1.
+      const Matrix bob =
+          partial_trace_qubit(partial_trace_qubit(corrected, 1), 0);
+      output += bob * Complex(p, 0.0);
+    }
+  }
+  return output;
+}
+
+double teleportation_fidelity(const Matrix& pair, const ColumnVector& psi) {
+  const Matrix out = teleport(pair, psi);
+  const Matrix expectation = psi.dagger() * out * psi;
+  return std::max(expectation(0, 0).real(), 0.0);
+}
+
+double average_teleportation_fidelity(const Matrix& pair) {
+  const double r = 1.0 / std::sqrt(2.0);
+  const Complex i{0.0, 1.0};
+  const ColumnVector cardinals[] = {
+      column_vector({1.0, 0.0}),       // |0>
+      column_vector({0.0, 1.0}),       // |1>
+      column_vector({r, r}),           // |+>
+      column_vector({r, -r}),          // |->
+      column_vector({r, i * r}),       // |+i>
+      column_vector({r, -i * r}),      // |-i>
+  };
+  double sum = 0.0;
+  for (const ColumnVector& psi : cardinals) {
+    sum += teleportation_fidelity(pair, psi);
+  }
+  return sum / 6.0;
+}
+
+}  // namespace qntn::quantum

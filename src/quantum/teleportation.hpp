@@ -1,0 +1,37 @@
+#pragma once
+
+#include "quantum/matrix.hpp"
+
+/// \file teleportation.hpp
+/// Quantum state teleportation through a distributed entangled pair — the
+/// application the paper's fidelity threshold exists for (its Section IV-A
+/// cites ">90% fidelity ... sufficient for high-fidelity teleportation",
+/// refs [34]/[35]). Implements the full three-qubit protocol at the
+/// density-matrix level so a QNTN-distributed pair's usefulness can be
+/// quoted as teleportation fidelity rather than raw entanglement fidelity.
+
+namespace qntn::quantum {
+
+/// Teleport the single-qubit pure state `psi` through the two-qubit
+/// resource state `pair` (Alice holds the first half, Bob the second).
+/// All four BSM branches are kept with the standard corrections, so the
+/// protocol is deterministic. Returns Bob's output state.
+[[nodiscard]] Matrix teleport(const Matrix& pair, const ColumnVector& psi);
+
+/// Fidelity <psi| rho_out |psi> of teleporting `psi` through `pair`
+/// (Jozsa convention, as customary for teleportation benchmarks).
+[[nodiscard]] double teleportation_fidelity(const Matrix& pair,
+                                            const ColumnVector& psi);
+
+/// Average teleportation fidelity over the six cardinal states of the
+/// Bloch sphere (equals the Haar average for any channel).
+/// For a Werner resource of (Jozsa) entanglement fidelity F this is the
+/// textbook (2F + 1)/3, which the tests pin.
+[[nodiscard]] double average_teleportation_fidelity(const Matrix& pair);
+
+/// Classical limit of the average teleportation fidelity (measure and
+/// resend, no entanglement): 2/3. A resource pair is "quantum useful" iff
+/// average_teleportation_fidelity exceeds this.
+inline constexpr double kClassicalTeleportationLimit = 2.0 / 3.0;
+
+}  // namespace qntn::quantum

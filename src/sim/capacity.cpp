@@ -1,0 +1,70 @@
+#include "sim/capacity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qntn::sim {
+
+CapacityServeResult serve_requests_with_capacity(
+    const net::Graph& graph, const std::vector<Request>& requests,
+    const CapacityPolicy& policy, net::CostMetric metric,
+    quantum::FidelityConvention convention) {
+  QNTN_REQUIRE(policy.per_node_capacity > 0, "capacity must be positive");
+
+  CapacityServeResult result;
+  result.base.total = requests.size();
+  std::vector<std::size_t> used(graph.node_count(), 0);
+
+  for (const Request& req : requests) {
+    // Route on the subgraph of nodes that still have capacity; the
+    // endpoints themselves must have headroom too.
+    const auto has_room = [&](net::NodeId id) {
+      return used[id] < policy.per_node_capacity;
+    };
+    if (!has_room(req.source) || !has_room(req.destination)) {
+      // Distinguish "saturated" from "unreachable" by checking the full
+      // graph for any path at all.
+      if (graph.connected(req.source, req.destination)) {
+        ++result.rejected_capacity;
+      } else {
+        ++result.rejected_unreachable;
+      }
+      continue;
+    }
+    net::Graph filtered;
+    for (net::NodeId id = 0; id < graph.node_count(); ++id) {
+      filtered.add_node(graph.name(id));
+    }
+    for (const net::Edge& edge : graph.edges()) {
+      if (has_room(edge.a) && has_room(edge.b)) {
+        filtered.add_edge(edge.a, edge.b, edge.transmissivity);
+      }
+    }
+    const auto route =
+        net::bellman_ford(filtered, req.source, req.destination, metric);
+    if (!route.has_value()) {
+      if (graph.connected(req.source, req.destination)) {
+        ++result.rejected_capacity;
+      } else {
+        ++result.rejected_unreachable;
+      }
+      continue;
+    }
+    for (const net::NodeId id : route->path) ++used[id];
+    ++result.base.served;
+    result.base.transmissivity.add(route->transmissivity);
+    result.base.hops.add(static_cast<double>(route->path.size() - 1));
+    result.base.fidelity.add(
+        quantum::bell_fidelity_after_damping(route->transmissivity, convention));
+  }
+
+  const auto busiest = std::max_element(used.begin(), used.end());
+  if (busiest != used.end()) {
+    result.peak_utilisation = static_cast<double>(*busiest) /
+                              static_cast<double>(policy.per_node_capacity);
+  }
+  return result;
+}
+
+}  // namespace qntn::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "sim/requests.hpp"
+
+/// \file capacity.hpp
+/// Capacity-limited request serving. The paper assumes "each node can serve
+/// all entanglement requests while in range ... infinite queue capacity"
+/// (Section III-D) and defers realistic limits to future work; this module
+/// implements that relaxation: every node can participate in at most
+/// `capacity` concurrent end-to-end pairs per serving epoch. Relay nodes
+/// (the HAP, satellites) saturate first, which is exactly the failure mode
+/// the single-HAP architecture hides under the infinite-capacity
+/// assumption.
+
+namespace qntn::sim {
+
+struct CapacityPolicy {
+  /// Max concurrent pairs a node can take part in per epoch (source,
+  /// destination and every relay on the path each consume one unit).
+  std::size_t per_node_capacity = 8;
+};
+
+struct CapacityServeResult {
+  ServeResult base;
+  /// Requests that had a path but were refused because a node on every
+  /// usable route was saturated.
+  std::size_t rejected_capacity = 0;
+  /// Requests with no path at all (same meaning as unserved in the
+  /// unlimited model).
+  std::size_t rejected_unreachable = 0;
+  /// Peak utilisation of the busiest node, in [0, 1] of its capacity.
+  double peak_utilisation = 0.0;
+};
+
+/// Serve requests greedily in order. Each request is routed on the
+/// subgraph of nodes with remaining capacity (re-routing around saturated
+/// relays when possible), so the result depends on request order — the
+/// generator's seeded order makes it deterministic.
+[[nodiscard]] CapacityServeResult serve_requests_with_capacity(
+    const net::Graph& graph, const std::vector<Request>& requests,
+    const CapacityPolicy& policy,
+    net::CostMetric metric = net::CostMetric::InverseEta,
+    quantum::FidelityConvention convention =
+        quantum::FidelityConvention::Uhlmann);
+
+}  // namespace qntn::sim

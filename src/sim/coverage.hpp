@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "sim/topology.hpp"
+
+/// \file coverage.hpp
+/// Coverage analysis, paper Section IV-B: the coverage period T_c (Eq. 6)
+/// is the total time during which every pair of LANs is interconnected, and
+/// the coverage percentage P (Eq. 7) relates it to the day length. Pairwise
+/// LAN connectivity is transitive over graph components, so "every pair
+/// connected" is equivalent to "all LANs in one connected component".
+
+namespace qntn::sim {
+
+struct CoverageOptions {
+  double duration = 86'400.0;  ///< [s], the paper evaluates one day
+  double step = 30.0;          ///< [s], the paper's STK sampling interval
+};
+
+struct CoverageResult {
+  /// Merged connectivity episodes, in seconds of simulation time.
+  IntervalSet intervals;
+  /// T_c of Eq. (6) [s].
+  double covered_seconds = 0.0;
+  /// P of Eq. (7) [%].
+  double percent = 0.0;
+  /// Per-step connectivity flags (time series for plotting).
+  std::vector<std::uint8_t> step_connected;
+};
+
+/// True if all LANs of the model are in one connected component of `graph`.
+[[nodiscard]] bool all_lans_connected(const NetworkModel& model,
+                                      const net::Graph& graph);
+
+/// Sweep the day and accumulate Eq. (6)/(7).
+[[nodiscard]] CoverageResult analyze_coverage(const NetworkModel& model,
+                                              const TopologyProvider& topology,
+                                              const CoverageOptions& options);
+
+}  // namespace qntn::sim

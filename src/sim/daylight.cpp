@@ -1,0 +1,42 @@
+#include "sim/daylight.hpp"
+
+namespace qntn::sim {
+
+DaylightGatedTopology::DaylightGatedTopology(const TopologyProvider& base,
+                                             const NetworkModel& model,
+                                             DaylightPolicy policy)
+    : base_(base), model_(model), policy_(policy) {}
+
+net::Graph DaylightGatedTopology::graph_at(double t) const {
+  const net::Graph full = base_.graph_at(t);
+
+  net::Graph gated;
+  for (net::NodeId id = 0; id < full.node_count(); ++id) {
+    gated.add_node(full.name(id));
+  }
+  const auto is_daylit_ground = [&](net::NodeId id) {
+    const Node& node = model_.node(id);
+    if (node.kind != NodeKind::Ground) return false;
+    return !policy_.sun.is_night(node.position, t);
+  };
+  for (const net::Edge& edge : full.edges()) {
+    const Node& a = model_.node(edge.a);
+    const Node& b = model_.node(edge.b);
+    const bool fiber =
+        a.kind == NodeKind::Ground && b.kind == NodeKind::Ground;
+    if (!fiber) {
+      const bool involves_hap =
+          a.kind == NodeKind::Hap || b.kind == NodeKind::Hap;
+      const bool gated_kind =
+          involves_hap ? policy_.gate_hap_links : policy_.gate_ground_links;
+      if (gated_kind &&
+          (is_daylit_ground(edge.a) || is_daylit_ground(edge.b))) {
+        continue;
+      }
+    }
+    gated.add_edge(edge.a, edge.b, edge.transmissivity);
+  }
+  return gated;
+}
+
+}  // namespace qntn::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "geo/sun.hpp"
+#include "sim/topology.hpp"
+
+/// \file daylight.hpp
+/// Night-only operation of free-space links. Solar background swamps
+/// single-photon detectors in daylight unless heavy spectral/spatial
+/// filtering is used; Micius-class links operate at night. This decorator
+/// removes FSO links whose ground endpoint is in daylight, turning the
+/// paper's ideal full-day availability into the realistic night-gated one.
+
+namespace qntn::sim {
+
+struct DaylightPolicy {
+  geo::SunModel sun{};
+  /// Gate links with a ground endpoint (always the dominant background
+  /// path; space-space links stay up).
+  bool gate_ground_links = true;
+  /// Also gate ground-HAP links (a HAP telescope looking *down* sees the
+  /// bright Earth in daylight; looking up from the ground sees sky glow).
+  bool gate_hap_links = true;
+};
+
+/// Topology decorator: FSO edges with a daylight ground endpoint are
+/// removed; intra-LAN fiber links are never affected.
+class DaylightGatedTopology final : public TopologyProvider {
+ public:
+  /// `base` and `model` must outlive this object.
+  DaylightGatedTopology(const TopologyProvider& base, const NetworkModel& model,
+                        DaylightPolicy policy);
+
+  [[nodiscard]] net::Graph graph_at(double t) const override;
+
+ private:
+  const TopologyProvider& base_;
+  const NetworkModel& model_;
+  DaylightPolicy policy_;
+};
+
+}  // namespace qntn::sim

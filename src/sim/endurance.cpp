@@ -1,0 +1,48 @@
+#include "sim/endurance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qntn::sim {
+
+bool DutyCycle::active_at(double t) const {
+  QNTN_REQUIRE(active_duration > 0.0, "active duration must be positive");
+  QNTN_REQUIRE(downtime >= 0.0, "downtime must be non-negative");
+  if (downtime == 0.0) return true;
+  const double period = active_duration + downtime;
+  double local = std::fmod(t - phase, period);
+  if (local < 0.0) local += period;
+  return local < active_duration;
+}
+
+double DutyCycle::availability() const {
+  QNTN_REQUIRE(active_duration > 0.0, "active duration must be positive");
+  return active_duration / (active_duration + downtime);
+}
+
+DutyCycledTopology::DutyCycledTopology(const TopologyProvider& base,
+                                       std::vector<net::NodeId> affected_nodes,
+                                       DutyCycle cycle)
+    : base_(base), affected_(std::move(affected_nodes)), cycle_(cycle) {}
+
+net::Graph DutyCycledTopology::graph_at(double t) const {
+  net::Graph full = base_.graph_at(t);
+  if (cycle_.active_at(t)) return full;
+
+  net::Graph filtered;
+  for (net::NodeId id = 0; id < full.node_count(); ++id) {
+    filtered.add_node(full.name(id));
+  }
+  const auto is_down = [this](net::NodeId id) {
+    return std::find(affected_.begin(), affected_.end(), id) != affected_.end();
+  };
+  for (const net::Edge& edge : full.edges()) {
+    if (is_down(edge.a) || is_down(edge.b)) continue;
+    filtered.add_edge(edge.a, edge.b, edge.transmissivity);
+  }
+  return filtered;
+}
+
+}  // namespace qntn::sim

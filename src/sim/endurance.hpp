@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/topology.hpp"
+
+/// \file endurance.hpp
+/// Platform endurance / duty-cycle modelling. The paper assumes "unlimited
+/// flight time" for the HAP and flags limited operational time as the
+/// architecture's key weakness (Sections III-D, IV-D); this decorator
+/// implements that axis: nodes on a duty cycle lose all their links during
+/// downtime (landing, battery recharge, station-keeping maintenance), which
+/// directly erodes the air-ground architecture's 100% coverage claim.
+
+namespace qntn::sim {
+
+/// Periodic availability schedule: active for `active_duration` seconds,
+/// then down for `downtime` seconds, repeating; `phase` shifts the cycle
+/// start (phase 0 = active at t = 0).
+struct DutyCycle {
+  double active_duration = 86'400.0;  ///< [s]
+  double downtime = 0.0;              ///< [s]
+  double phase = 0.0;                 ///< [s]
+
+  /// Is the platform operational at simulation time t?
+  [[nodiscard]] bool active_at(double t) const;
+
+  /// Long-run availability fraction in [0, 1].
+  [[nodiscard]] double availability() const;
+};
+
+/// Topology decorator removing every link incident to `affected` nodes
+/// while their duty cycle is down. Node ids remain stable (the platform
+/// exists, it just has no links).
+class DutyCycledTopology final : public TopologyProvider {
+ public:
+  /// `base` must outlive this object.
+  DutyCycledTopology(const TopologyProvider& base,
+                     std::vector<net::NodeId> affected_nodes, DutyCycle cycle);
+
+  [[nodiscard]] net::Graph graph_at(double t) const override;
+
+  [[nodiscard]] const DutyCycle& cycle() const { return cycle_; }
+
+ private:
+  const TopologyProvider& base_;
+  std::vector<net::NodeId> affected_;
+  DutyCycle cycle_;
+};
+
+}  // namespace qntn::sim

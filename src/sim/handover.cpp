@@ -1,0 +1,86 @@
+#include "sim/handover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qntn::sim {
+
+std::optional<net::NodeId> bridging_relay(const NetworkModel& model,
+                                          const net::Graph& graph,
+                                          std::size_t lan_a, std::size_t lan_b) {
+  QNTN_REQUIRE(lan_a < model.lan_count() && lan_b < model.lan_count(),
+               "LAN index out of range");
+  QNTN_REQUIRE(lan_a != lan_b, "need two distinct LANs");
+
+  // Best link of each relay into each of the two LANs.
+  std::map<net::NodeId, std::pair<double, double>> relay_links;
+  const auto scan = [&](std::size_t lan, bool first) {
+    for (const net::NodeId ground : model.lan_nodes(lan)) {
+      for (const net::Adjacency& adj : graph.neighbors(ground)) {
+        if (model.node(adj.to).kind == NodeKind::Ground) continue;
+        auto& entry = relay_links[adj.to];
+        double& slot = first ? entry.first : entry.second;
+        slot = std::max(slot, adj.transmissivity);
+      }
+    }
+  };
+  scan(lan_a, true);
+  scan(lan_b, false);
+
+  std::optional<net::NodeId> best;
+  double best_score = 0.0;
+  for (const auto& [relay, links] : relay_links) {
+    const double score = std::min(links.first, links.second);
+    if (score > best_score) {
+      best_score = score;
+      best = relay;
+    }
+  }
+  return best_score > 0.0 ? best : std::nullopt;
+}
+
+HandoverStats analyze_handovers(const NetworkModel& model,
+                                const TopologyProvider& topology,
+                                std::size_t lan_a, std::size_t lan_b,
+                                double duration, double step) {
+  QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
+  HandoverStats stats;
+  bool has_current = false;
+  net::NodeId current = 0;
+  double session_start = 0.0;
+  const auto close_session = [&](double t) {
+    if (has_current) {
+      stats.session_length.add(t - session_start);
+    }
+  };
+  const auto steps = static_cast<std::size_t>(std::ceil(duration / step));
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) * step;
+    const net::Graph graph = topology.graph_at(t);
+    const auto relay = bridging_relay(model, graph, lan_a, lan_b);
+    ++stats.total_steps;
+    if (relay.has_value()) {
+      ++stats.bridged_steps;
+      if (!has_current) {
+        has_current = true;
+        current = *relay;
+        session_start = t;
+      } else if (current != *relay) {
+        close_session(t);
+        ++stats.handovers;
+        current = *relay;
+        session_start = t;
+      }
+    } else if (has_current) {
+      close_session(t);
+      has_current = false;
+    }
+  }
+  close_session(duration);
+  return stats;
+}
+
+}  // namespace qntn::sim

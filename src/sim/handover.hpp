@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/topology.hpp"
+
+/// \file handover.hpp
+/// Relay-handover analysis. A satellite bridge between two LANs lasts only
+/// as long as its pass; every handover interrupts entanglement sessions
+/// and costs re-synchronisation. The HAP never hands over. This module
+/// quantifies that operational difference, which coverage percentages
+/// alone hide.
+
+namespace qntn::sim {
+
+/// The relay serving a LAN pair at one instant: the non-ground node with
+/// direct links into both LANs whose worse link is best (max-min
+/// transmissivity). nullopt when no single relay bridges the pair.
+[[nodiscard]] std::optional<net::NodeId> bridging_relay(
+    const NetworkModel& model, const net::Graph& graph, std::size_t lan_a,
+    std::size_t lan_b);
+
+struct HandoverStats {
+  /// Steps during which some relay bridged the pair.
+  std::size_t bridged_steps = 0;
+  std::size_t total_steps = 0;
+  /// Relay changes between consecutive bridged steps (gaps also end a
+  /// session but are not double-counted as handovers).
+  std::size_t handovers = 0;
+  /// Lengths of uninterrupted same-relay sessions [s].
+  RunningStats session_length;
+
+  [[nodiscard]] double bridged_fraction() const {
+    return total_steps > 0 ? static_cast<double>(bridged_steps) /
+                                 static_cast<double>(total_steps)
+                           : 0.0;
+  }
+};
+
+/// Scan [0, duration) at `step` and accumulate handover statistics for one
+/// LAN pair.
+[[nodiscard]] HandoverStats analyze_handovers(const NetworkModel& model,
+                                              const TopologyProvider& topology,
+                                              std::size_t lan_a,
+                                              std::size_t lan_b,
+                                              double duration, double step);
+
+}  // namespace qntn::sim

@@ -1,0 +1,60 @@
+#include "sim/requests.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qntn::sim {
+
+std::vector<Request> generate_requests(const NetworkModel& model,
+                                       std::size_t count, Rng& rng) {
+  QNTN_REQUIRE(model.lan_count() >= 2,
+               "inter-LAN requests need at least two LANs");
+  std::vector<Request> out;
+  out.reserve(count);
+  const auto lan_count = static_cast<std::int64_t>(model.lan_count());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto lan_a = static_cast<std::size_t>(rng.uniform_int(0, lan_count - 1));
+    auto lan_b = static_cast<std::size_t>(rng.uniform_int(0, lan_count - 2));
+    if (lan_b >= lan_a) ++lan_b;  // uniform over LANs distinct from lan_a
+    const std::vector<net::NodeId>& nodes_a = model.lan_nodes(lan_a);
+    const std::vector<net::NodeId>& nodes_b = model.lan_nodes(lan_b);
+    Request req;
+    req.source = nodes_a[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes_a.size()) - 1))];
+    req.destination = nodes_b[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes_b.size()) - 1))];
+    out.push_back(req);
+  }
+  return out;
+}
+
+ServeResult serve_requests(const net::Graph& graph,
+                           const std::vector<Request>& requests,
+                           net::CostMetric metric,
+                           quantum::FidelityConvention convention) {
+  ServeResult result;
+  result.total = requests.size();
+
+  // One shortest-path tree per distinct source.
+  std::map<net::NodeId, net::ShortestPathTree> trees;
+  for (const Request& req : requests) {
+    auto it = trees.find(req.source);
+    if (it == trees.end()) {
+      it = trees.emplace(req.source,
+                         net::bellman_ford_tree(graph, req.source, metric))
+               .first;
+    }
+    const auto route =
+        net::route_from_tree(graph, it->second, req.source, req.destination);
+    if (!route.has_value()) continue;
+    ++result.served;
+    result.transmissivity.add(route->transmissivity);
+    result.hops.add(static_cast<double>(route->path.size() - 1));
+    result.fidelity.add(
+        quantum::bell_fidelity_after_damping(route->transmissivity, convention));
+  }
+  return result;
+}
+
+}  // namespace qntn::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/routing.hpp"
+#include "quantum/fidelity.hpp"
+#include "sim/network_model.hpp"
+
+/// \file requests.hpp
+/// Entanglement distribution requests and the serving loop. The paper's
+/// protocol (Sections IV-B/IV-C): generate 100 random requests whose source
+/// and destination lie in different LANs, route each with Bellman-Ford on
+/// the cost 1/(eta + eps), count the served ones, and record the end-to-end
+/// entanglement fidelity of the established pairs. Amplitude damping
+/// composes multiplicatively along a path — AD(eta1) then AD(eta2) equals
+/// AD(eta1*eta2) — so the end-to-end fidelity is a closed-form function of
+/// the path transmissivity product (pinned against full density-matrix
+/// simulation by the integration tests).
+
+namespace qntn::sim {
+
+struct Request {
+  net::NodeId source = 0;
+  net::NodeId destination = 0;
+};
+
+/// Generate `count` uniformly random requests with endpoints in distinct
+/// LANs (the paper's workload). Deterministic given the Rng state.
+[[nodiscard]] std::vector<Request> generate_requests(const NetworkModel& model,
+                                                     std::size_t count,
+                                                     Rng& rng);
+
+/// Outcome of serving one batch of requests against one topology snapshot.
+struct ServeResult {
+  std::size_t total = 0;
+  std::size_t served = 0;
+  RunningStats fidelity;        ///< over served requests
+  RunningStats transmissivity;  ///< end-to-end product, over served requests
+  RunningStats hops;            ///< path edge count, over served requests
+
+  [[nodiscard]] double served_fraction() const {
+    return total > 0 ? static_cast<double>(served) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Route and serve all requests on the given snapshot. One Bellman-Ford
+/// tree per distinct source amortises the routing cost.
+[[nodiscard]] ServeResult serve_requests(
+    const net::Graph& graph, const std::vector<Request>& requests,
+    net::CostMetric metric = net::CostMetric::InverseEta,
+    quantum::FidelityConvention convention =
+        quantum::FidelityConvention::Uhlmann);
+
+}  // namespace qntn::sim

@@ -1,0 +1,29 @@
+#include "sim/scenario.hpp"
+
+namespace qntn::sim {
+
+ScenarioResult run_scenario(const NetworkModel& model,
+                            const TopologyProvider& topology,
+                            const ScenarioConfig& config) {
+  ScenarioResult result;
+  result.coverage = analyze_coverage(model, topology, config.coverage);
+
+  Rng rng(config.request_seed);
+  const std::vector<Request> requests =
+      generate_requests(model, config.request_count, rng);
+
+  for (std::size_t step = 0; step < config.request_steps; ++step) {
+    const double t = static_cast<double>(step) * config.request_step_interval;
+    const net::Graph graph = topology.graph_at(t);
+    const ServeResult served =
+        serve_requests(graph, requests, config.metric, config.convention);
+    result.served_per_step.add(served.served_fraction());
+    result.fidelity.merge(served.fidelity);
+    result.transmissivity.merge(served.transmissivity);
+    result.hops.merge(served.hops);
+  }
+  result.served_fraction = result.served_per_step.mean();
+  return result;
+}
+
+}  // namespace qntn::sim

@@ -1,0 +1,249 @@
+#include "sim/topology.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "geo/frames.hpp"
+
+namespace qntn::sim {
+
+namespace {
+
+/// All nodes of one class must share a terminal configuration so the
+/// per-class evaluator cache is exact.
+void require_uniform_terminals(const NetworkModel& model, NodeKind kind) {
+  const channel::OpticalTerminal* first = nullptr;
+  for (const Node& node : model.nodes()) {
+    if (node.kind != kind) continue;
+    if (first == nullptr) {
+      first = &node.terminal;
+      continue;
+    }
+    QNTN_REQUIRE(node.terminal.aperture_radius == first->aperture_radius &&
+                     node.terminal.pointing_jitter == first->pointing_jitter,
+                 "all nodes of a class must share one terminal config");
+  }
+}
+
+/// Representative terminal of a node class (first node of that kind).
+std::optional<channel::OpticalTerminal> class_terminal(const NetworkModel& model,
+                                                       NodeKind kind) {
+  for (const Node& node : model.nodes()) {
+    if (node.kind == kind) return node.terminal;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TopologyBuilder::TopologyBuilder(const NetworkModel& model,
+                                 const LinkPolicy& policy)
+    : model_(model), policy_(policy) {
+  require_uniform_terminals(model_, NodeKind::Ground);
+  require_uniform_terminals(model_, NodeKind::Hap);
+  require_uniform_terminals(model_, NodeKind::Satellite);
+
+  const auto ground = class_terminal(model_, NodeKind::Ground);
+  const auto hap = class_terminal(model_, NodeKind::Hap);
+  const auto sat = class_terminal(model_, NodeKind::Satellite);
+
+  // Nominal altitudes for the per-class altitude bands.
+  const double hap_alt = model_.hap_ids().empty()
+                             ? 0.0
+                             : model_.node(model_.hap_ids().front()).position.altitude;
+  double sat_alt = 0.0;
+  if (!model_.satellite_ids().empty()) {
+    sat_alt = model_.endpoint_at(model_.satellite_ids().front(), 0.0)
+                  .geodetic.altitude;
+  }
+
+  if (ground && sat) {
+    ground_sat_.emplace(policy_.fso, *ground, *sat, 0.0, sat_alt);
+  }
+  if (ground && hap) {
+    ground_hap_.emplace(policy_.fso, *ground, *hap, 0.0, hap_alt);
+  }
+  if (hap && sat && policy_.enable_hap_satellite) {
+    hap_sat_.emplace(policy_.fso, *hap, *sat, hap_alt, sat_alt);
+  }
+  if (sat && policy_.enable_inter_satellite) {
+    sat_sat_.emplace(policy_.fso, *sat, *sat, sat_alt, sat_alt);
+  }
+
+  build_static_links();
+}
+
+void TopologyBuilder::build_static_links() {
+  // Fiber links inside each LAN.
+  for (std::size_t lan = 0; lan < model_.lan_count(); ++lan) {
+    const std::vector<net::NodeId>& ids = model_.lan_nodes(lan);
+    auto add_fiber = [this](net::NodeId a, net::NodeId b) {
+      const Vec3 pa = model_.endpoint_at(a, 0.0).ecef;
+      const Vec3 pb = model_.endpoint_at(b, 0.0).ecef;
+      const channel::FiberChannel fiber{distance(pa, pb),
+                                        policy_.fiber_attenuation_db_per_km};
+      const double eta = fiber.transmissivity();
+      if (policy_.threshold_applies_to_fiber &&
+          eta < policy_.transmissivity_threshold) {
+        return;
+      }
+      static_links_.push_back({a, b, eta});
+    };
+    switch (policy_.lan_topology) {
+      case LanTopology::FullMesh:
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          for (std::size_t j = i + 1; j < ids.size(); ++j) {
+            add_fiber(ids[i], ids[j]);
+          }
+        }
+        break;
+      case LanTopology::Chain:
+        for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+          add_fiber(ids[i], ids[i + 1]);
+        }
+        break;
+      case LanTopology::Star:
+        for (std::size_t i = 1; i < ids.size(); ++i) {
+          add_fiber(ids[0], ids[i]);
+        }
+        break;
+    }
+  }
+
+  // Ground-HAP FSO links are fixed (both endpoints hover/stand still).
+  if (ground_hap_) {
+    for (std::size_t lan = 0; lan < model_.lan_count(); ++lan) {
+      for (const net::NodeId g : model_.lan_nodes(lan)) {
+        for (const net::NodeId h : model_.hap_ids()) {
+          const channel::Endpoint eg = model_.endpoint_at(g, 0.0);
+          const channel::Endpoint eh = model_.endpoint_at(h, 0.0);
+          if (!channel::fso_link_visible(eg, eh, policy_.elevation_mask)) continue;
+          const channel::FsoGeometry geom = channel::make_fso_geometry(eg, eh);
+          const double eta = ground_hap_->symmetric(geom.range, geom.elevation);
+          if (eta >= policy_.transmissivity_threshold) {
+            static_links_.push_back({g, h, eta});
+          }
+        }
+      }
+    }
+  }
+}
+
+net::Graph TopologyBuilder::graph_at(double t) const {
+  net::Graph graph;
+  for (const Node& node : model_.nodes()) {
+    graph.add_node(node.name);
+  }
+  for (const LinkRecord& link : links_at(t)) {
+    graph.add_edge(link.a, link.b, link.transmissivity);
+  }
+  return graph;
+}
+
+std::vector<LinkRecord> TopologyBuilder::links_at(double t) const {
+  std::vector<LinkRecord> links = static_links_;
+
+  const std::vector<net::NodeId>& sats = model_.satellite_ids();
+  std::vector<channel::Endpoint> sat_pos;
+  sat_pos.reserve(sats.size());
+  for (const net::NodeId s : sats) {
+    sat_pos.push_back(model_.endpoint_at(s, t));
+  }
+
+  // Ground-satellite and HAP-satellite links.
+  for (std::size_t si = 0; si < sats.size(); ++si) {
+    const channel::Endpoint& es = sat_pos[si];
+    if (ground_sat_) {
+      for (std::size_t lan = 0; lan < model_.lan_count(); ++lan) {
+        for (const net::NodeId g : model_.lan_nodes(lan)) {
+          const channel::Endpoint eg = model_.endpoint_at(g, t);
+          const geo::AzElRange look = geo::look_angles(eg.geodetic, es.ecef);
+          if (look.elevation < policy_.elevation_mask) continue;
+          const double eta = ground_sat_->symmetric(look.range, look.elevation);
+          if (eta >= policy_.transmissivity_threshold) {
+            links.push_back({g, sats[si], eta});
+          }
+        }
+      }
+    }
+    if (hap_sat_) {
+      for (const net::NodeId h : model_.hap_ids()) {
+        const channel::Endpoint eh = model_.endpoint_at(h, t);
+        const geo::AzElRange look = geo::look_angles(eh.geodetic, es.ecef);
+        if (look.elevation < policy_.elevation_mask) continue;
+        const double eta = hap_sat_->symmetric(look.range, look.elevation);
+        if (eta >= policy_.transmissivity_threshold) {
+          links.push_back({h, sats[si], eta});
+        }
+      }
+    }
+  }
+
+  // Inter-satellite links: Earth/atmosphere clearance, then threshold.
+  if (sat_sat_) {
+    for (std::size_t i = 0; i < sats.size(); ++i) {
+      for (std::size_t j = i + 1; j < sats.size(); ++j) {
+        if (!geo::line_of_sight(sat_pos[i].ecef, sat_pos[j].ecef,
+                                kEarthRadius + kAtmosphereTopAltitude)) {
+          continue;
+        }
+        const double range = distance(sat_pos[i].ecef, sat_pos[j].ecef);
+        const double eta = sat_sat_->symmetric(range, kPi / 2.0);
+        if (eta >= policy_.transmissivity_threshold) {
+          links.push_back({sats[i], sats[j], eta});
+        }
+      }
+    }
+  }
+  return links;
+}
+
+std::optional<double> TopologyBuilder::link_transmissivity(net::NodeId a,
+                                                           net::NodeId b,
+                                                           double t) const {
+  QNTN_REQUIRE(a < model_.node_count() && b < model_.node_count(),
+               "node out of range");
+  QNTN_REQUIRE(a != b, "no self links");
+  const Node& na = model_.node(a);
+  const Node& nb = model_.node(b);
+  const channel::Endpoint ea = model_.endpoint_at(a, t);
+  const channel::Endpoint eb = model_.endpoint_at(b, t);
+
+  auto kinds = [&](NodeKind x, NodeKind y) {
+    return (na.kind == x && nb.kind == y) || (na.kind == y && nb.kind == x);
+  };
+
+  if (na.kind == NodeKind::Ground && nb.kind == NodeKind::Ground) {
+    if (na.lan != nb.lan) return std::nullopt;  // no inter-city fiber (paper)
+    const channel::FiberChannel fiber{distance(ea.ecef, eb.ecef),
+                                      policy_.fiber_attenuation_db_per_km};
+    return fiber.transmissivity();
+  }
+  const channel::FsoLinkEvaluator* evaluator = nullptr;
+  if (kinds(NodeKind::Ground, NodeKind::Satellite)) {
+    evaluator = ground_sat_ ? &*ground_sat_ : nullptr;
+  } else if (kinds(NodeKind::Ground, NodeKind::Hap)) {
+    evaluator = ground_hap_ ? &*ground_hap_ : nullptr;
+  } else if (kinds(NodeKind::Hap, NodeKind::Satellite)) {
+    evaluator = hap_sat_ ? &*hap_sat_ : nullptr;
+  } else if (kinds(NodeKind::Satellite, NodeKind::Satellite)) {
+    evaluator = sat_sat_ ? &*sat_sat_ : nullptr;
+  }
+  if (evaluator == nullptr) return std::nullopt;
+
+  if (na.kind == NodeKind::Satellite && nb.kind == NodeKind::Satellite) {
+    if (!geo::line_of_sight(ea.ecef, eb.ecef,
+                            kEarthRadius + kAtmosphereTopAltitude)) {
+      return std::nullopt;
+    }
+    return evaluator->symmetric(distance(ea.ecef, eb.ecef), kPi / 2.0);
+  }
+  if (!channel::fso_link_visible(ea, eb, policy_.elevation_mask)) {
+    return std::nullopt;
+  }
+  const channel::FsoGeometry geom = channel::make_fso_geometry(ea, eb);
+  return evaluator->symmetric(geom.range, geom.elevation);
+}
+
+}  // namespace qntn::sim

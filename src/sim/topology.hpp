@@ -1,0 +1,95 @@
+#pragma once
+
+#include <optional>
+
+#include "channel/fiber.hpp"
+#include "channel/fso.hpp"
+#include "net/graph.hpp"
+#include "sim/network_model.hpp"
+
+/// \file topology.hpp
+/// Builds the time-varying link graph from the physical NetworkModel.
+/// Links follow the paper's rules (Section IV): ground-ground fiber links
+/// and ground-HAP FSO links are fixed; satellite links (ground-satellite
+/// and satellite-satellite) connect and disconnect dynamically whenever the
+/// symmetric transmissivity meets the threshold and the geometry is visible
+/// (elevation mask pi/9 for atmospheric paths, Earth clearance for
+/// inter-satellite paths).
+
+namespace qntn::sim {
+
+enum class LanTopology {
+  FullMesh,  ///< every intra-LAN pair gets a fiber link (default)
+  Chain,     ///< consecutive nodes in declaration order
+  Star,      ///< all nodes linked to the first declared node
+};
+
+struct LinkPolicy {
+  channel::FsoConfig fso{};
+  double fiber_attenuation_db_per_km = 0.15;  ///< paper Section IV
+  double transmissivity_threshold = 0.7;      ///< paper Section IV-A
+  double elevation_mask = 0.3490658503988659; ///< pi/9, paper Section IV
+  LanTopology lan_topology = LanTopology::FullMesh;
+  bool enable_inter_satellite = true;   ///< FSO channels between satellites
+  bool enable_hap_satellite = false;    ///< hybrid extension (off = paper)
+  /// Apply the transmissivity threshold to fiber links too (the paper's
+  /// LAN spans are tens of metres, so fiber is always far above threshold;
+  /// kept separate so stress tests can exercise long fiber runs).
+  bool threshold_applies_to_fiber = true;
+};
+
+/// A realised link with its transmissivity, for introspection/debugging.
+struct LinkRecord {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  double transmissivity = 0.0;
+};
+
+/// Anything that can produce the link graph at a simulation time. The
+/// coverage and scenario layers consume this interface so decorators (e.g.
+/// the HAP endurance model in endurance.hpp) can reshape the topology
+/// without the analysis code knowing.
+class TopologyProvider {
+ public:
+  virtual ~TopologyProvider() = default;
+
+  /// Snapshot graph at simulation time t [s]. Node ids in the graph equal
+  /// NetworkModel node ids.
+  [[nodiscard]] virtual net::Graph graph_at(double t) const = 0;
+};
+
+class TopologyBuilder final : public TopologyProvider {
+ public:
+  /// Precomputes static links (fiber LANs, ground-HAP) and the per-class
+  /// FSO evaluators. The model must outlive the builder.
+  TopologyBuilder(const NetworkModel& model, const LinkPolicy& policy);
+
+  [[nodiscard]] net::Graph graph_at(double t) const override;
+
+  /// All links realised at time t (same information as graph_at's edges).
+  [[nodiscard]] std::vector<LinkRecord> links_at(double t) const;
+
+  /// Raw symmetric transmissivity between two nodes at time t before
+  /// thresholding; nullopt when the geometry is not visible (below the
+  /// elevation mask / Earth-obstructed) or the pair has no channel type.
+  [[nodiscard]] std::optional<double> link_transmissivity(net::NodeId a,
+                                                          net::NodeId b,
+                                                          double t) const;
+
+  [[nodiscard]] const LinkPolicy& policy() const { return policy_; }
+
+ private:
+  void build_static_links();
+
+  const NetworkModel& model_;
+  LinkPolicy policy_;
+  std::vector<LinkRecord> static_links_;
+
+  // One evaluator per link class (altitude bands differ).
+  std::optional<channel::FsoLinkEvaluator> ground_sat_;
+  std::optional<channel::FsoLinkEvaluator> ground_hap_;
+  std::optional<channel::FsoLinkEvaluator> hap_sat_;
+  std::optional<channel::FsoLinkEvaluator> sat_sat_;
+};
+
+}  // namespace qntn::sim

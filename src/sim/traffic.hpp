@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "quantum/memory.hpp"
+#include "sim/requests.hpp"
+#include "sim/topology.hpp"
+
+/// \file traffic.hpp
+/// Discrete-event traffic simulation. The paper serves a fixed request
+/// batch instantaneously at topology snapshots; this engine models the
+/// dynamics it abstracts away: Poisson request arrivals, per-node service
+/// occupancy (a node can work on a bounded number of pairs at once),
+/// queueing delay, heralding latency at the speed of light, and memory
+/// decoherence while pairs wait — so throughput, latency and *effective*
+/// fidelity can be traded off against offered load.
+///
+/// Event-driven core: a time-ordered heap of events (request arrivals,
+/// service completions); arrivals claim capacity on every node of their
+/// route or wait in a FIFO backlog bounded by `max_queue_delay`.
+
+namespace qntn::sim {
+
+struct TrafficConfig {
+  double duration = 3'600.0;        ///< simulated span [s]
+  double arrival_rate = 1.0;        ///< Poisson request arrivals [1/s]
+  /// Concurrent pairs a node can work on (relays bind first).
+  std::size_t node_capacity = 4;
+  /// Base service time per request [s] on top of the light-time heralding
+  /// (local BSMs, classical processing).
+  double service_overhead = 0.01;
+  /// Requests queued longer than this are dropped (decohered / timed out).
+  double max_queue_delay = 0.5;
+  /// Topology snapshot granularity [s] (links re-evaluated on this grid).
+  double snapshot_interval = 30.0;
+  quantum::MemoryModel memory{};
+  net::CostMetric metric = net::CostMetric::InverseEta;
+  std::uint64_t seed = 7;
+};
+
+struct TrafficResult {
+  std::size_t arrivals = 0;
+  std::size_t served = 0;
+  std::size_t dropped_no_path = 0;
+  std::size_t dropped_queue = 0;
+  RunningStats latency;         ///< arrival -> pair delivered [s]
+  RunningStats waiting;         ///< queueing component of latency [s]
+  RunningStats fidelity;        ///< including memory decoherence while waiting
+  RunningStats path_eta;        ///< optical transmissivity of chosen routes
+
+  [[nodiscard]] double served_fraction() const {
+    return arrivals > 0
+               ? static_cast<double>(served) / static_cast<double>(arrivals)
+               : 0.0;
+  }
+  /// Delivered pairs per second of simulated time.
+  [[nodiscard]] double throughput(double duration) const {
+    return duration > 0.0 ? static_cast<double>(served) / duration : 0.0;
+  }
+};
+
+/// Run the event-driven simulation of Poisson traffic over the (possibly
+/// time-varying) topology. Deterministic for a fixed config.
+[[nodiscard]] TrafficResult run_traffic_simulation(
+    const NetworkModel& model, const TopologyProvider& topology,
+    const TrafficConfig& config);
+
+}  // namespace qntn::sim

@@ -1,0 +1,92 @@
+#include "atmosphere/extinction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::atmosphere {
+namespace {
+
+TEST(Airmass, UnityAtZenith) {
+  EXPECT_NEAR(kasten_young_airmass(0.0), 1.0, 0.002);
+}
+
+TEST(Airmass, MatchesSecantAtModerateAngles) {
+  for (double z_deg : {10.0, 30.0, 50.0, 60.0}) {
+    const double z = deg_to_rad(z_deg);
+    EXPECT_NEAR(kasten_young_airmass(z), 1.0 / std::cos(z),
+                0.01 / std::cos(z));
+  }
+}
+
+TEST(Airmass, FiniteAtHorizon) {
+  const double am = kasten_young_airmass(kPi / 2.0);
+  EXPECT_GT(am, 30.0);
+  EXPECT_LT(am, 45.0);  // Kasten-Young gives ~38 at the horizon
+}
+
+TEST(Airmass, MonotoneInZenithAngle) {
+  double prev = 0.0;
+  for (double z = 0.0; z <= kPi / 2.0; z += 0.05) {
+    const double am = kasten_young_airmass(z);
+    EXPECT_GT(am, prev);
+    prev = am;
+  }
+}
+
+TEST(Extinction, FullColumnAtZenithMatchesConfiguredTransmittance) {
+  ExtinctionModel model;
+  model.zenith_transmittance = 0.9;
+  EXPECT_NEAR(model.transmittance(0.0, 0.0, 1e6), 0.9, 0.002);
+}
+
+TEST(Extinction, ColumnFractionProperties) {
+  const ExtinctionModel model;
+  EXPECT_NEAR(model.column_fraction(0.0, 1e9), 1.0, 1e-12);
+  EXPECT_NEAR(model.column_fraction(5'000.0, 5'000.0), 0.0, 1e-15);
+  EXPECT_THROW((void)model.column_fraction(2.0, 1.0), PreconditionError);
+  // Splitting is additive.
+  const double whole = model.column_fraction(0.0, 30'000.0);
+  const double split =
+      model.column_fraction(0.0, 10'000.0) + model.column_fraction(10'000.0, 30'000.0);
+  EXPECT_NEAR(whole, split, 1e-12);
+  // A 30 km HAP already sits above ~99% of the column.
+  EXPECT_GT(model.column_fraction(0.0, 30'000.0), 0.98);
+}
+
+TEST(Extinction, PathsAboveAtmosphereAreLossless) {
+  const ExtinctionModel model;
+  EXPECT_NEAR(model.transmittance(0.3, 100'000.0, 500'000.0), 1.0, 1e-6);
+}
+
+TEST(Extinction, MonotoneDegradationWithZenithAngle) {
+  const ExtinctionModel model;
+  double prev = 1.1;
+  for (double z = 0.0; z <= 1.5; z += 0.1) {
+    const double t = model.transmittance(z, 0.0, 500'000.0);
+    EXPECT_LT(t, prev);
+    EXPECT_GT(t, 0.0);
+    prev = t;
+  }
+}
+
+TEST(Extinction, SwappedAltitudesHandled) {
+  const ExtinctionModel model;
+  EXPECT_DOUBLE_EQ(model.transmittance(0.2, 0.0, 30'000.0),
+                   model.transmittance(0.2, 30'000.0, 0.0));
+}
+
+TEST(Extinction, RejectsInvalidTransmittance) {
+  ExtinctionModel model;
+  model.zenith_transmittance = 0.0;
+  EXPECT_THROW((void)model.transmittance(0.0, 0.0, 1e5), PreconditionError);
+  model.zenith_transmittance = 1.5;
+  EXPECT_THROW((void)model.transmittance(0.0, 0.0, 1e5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::atmosphere

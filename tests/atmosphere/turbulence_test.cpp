@@ -1,0 +1,122 @@
+#include "atmosphere/turbulence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::atmosphere {
+namespace {
+
+TEST(HufnagelValley, GroundValueDominatedByGroundTerm) {
+  const HufnagelValley hv;
+  EXPECT_NEAR(hv.cn2(0.0), 1.7e-14 + 2.7e-16, 1e-17);
+}
+
+TEST(HufnagelValley, DecaysWithAltitude) {
+  const HufnagelValley hv;
+  EXPECT_GT(hv.cn2(0.0), hv.cn2(1000.0));
+  EXPECT_GT(hv.cn2(1000.0), hv.cn2(20'000.0));
+  // By 30 km the profile is negligible relative to ground level.
+  EXPECT_LT(hv.cn2(30'000.0), hv.cn2(0.0) * 1e-4);
+}
+
+TEST(HufnagelValley, TropopauseBumpFromWindTerm) {
+  // The wind (h^10 e^{-h/1000}) term peaks at 10 km; Cn^2 there must exceed
+  // the pure-exponential continuation of the mid term.
+  const HufnagelValley hv;
+  const double mid_only = 2.7e-16 * std::exp(-10'000.0 / 1500.0);
+  EXPECT_GT(hv.cn2(10'000.0), 2.0 * mid_only);
+}
+
+TEST(HufnagelValley, NegativeAltitudeClampedToGround) {
+  const HufnagelValley hv;
+  EXPECT_DOUBLE_EQ(hv.cn2(-100.0), hv.cn2(0.0));
+}
+
+TEST(HufnagelValley, IntegralBasics) {
+  const HufnagelValley hv;
+  EXPECT_DOUBLE_EQ(hv.integrated_cn2(5.0, 5.0), 0.0);
+  EXPECT_THROW((void)hv.integrated_cn2(10.0, 5.0), PreconditionError);
+  // Additivity over subintervals.
+  const double whole = hv.integrated_cn2(0.0, 30'000.0);
+  const double split = hv.integrated_cn2(0.0, 3'000.0) +
+                       hv.integrated_cn2(3'000.0, 30'000.0);
+  EXPECT_NEAR(whole, split, whole * 1e-6);
+  // Canonical HV5/7 column: ~2e-12 m^{1/3} within a factor of a few.
+  EXPECT_GT(whole, 5e-13);
+  EXPECT_LT(whole, 1e-11);
+}
+
+TEST(Fried, CanonicalMagnitudeAtHalfMicronZenith) {
+  // HV5/7 is named for giving r0 ~ 5 cm at 0.5 um, zenith.
+  const HufnagelValley hv;
+  const double r0 = fried_parameter(hv, 0.5e-6, 0.0, 0.0, 30'000.0);
+  EXPECT_GT(r0, 0.02);
+  EXPECT_LT(r0, 0.12);
+}
+
+TEST(Fried, WavelengthScalingSixFifths) {
+  const HufnagelValley hv;
+  const double r0_a = fried_parameter(hv, 0.5e-6, 0.0, 0.0, 30'000.0);
+  const double r0_b = fried_parameter(hv, 1.0e-6, 0.0, 0.0, 30'000.0);
+  EXPECT_NEAR(r0_b / r0_a, std::pow(2.0, 6.0 / 5.0), 1e-6);
+}
+
+TEST(Fried, DegradesWithZenithAngle) {
+  const HufnagelValley hv;
+  double prev = 1e18;
+  for (double z = 0.0; z < 1.4; z += 0.2) {
+    const double r0 = fried_parameter(hv, 810e-9, z, 0.0, 30'000.0);
+    EXPECT_LT(r0, prev);
+    prev = r0;
+  }
+  // Slant scaling: r0(zeta) = r0(0) cos(zeta)^{3/5}.
+  const double r0_0 = fried_parameter(hv, 810e-9, 0.0, 0.0, 30'000.0);
+  const double r0_60 = fried_parameter(hv, 810e-9, deg_to_rad(60.0), 0.0, 30'000.0);
+  EXPECT_NEAR(r0_60 / r0_0, std::pow(0.5, 3.0 / 5.0), 1e-9);
+}
+
+TEST(Fried, PathAboveAtmosphereIsTurbulenceFree) {
+  const HufnagelValley hv;
+  EXPECT_GT(fried_parameter(hv, 810e-9, 0.0, 60'000.0, 70'000.0), 1e3);
+}
+
+TEST(Fried, RejectsBadInputs) {
+  const HufnagelValley hv;
+  EXPECT_THROW((void)fried_parameter(hv, -1.0, 0.0, 0.0, 1e4), PreconditionError);
+  EXPECT_THROW((void)fried_parameter(hv, 810e-9, kPi / 2.0, 0.0, 1e4),
+               PreconditionError);
+}
+
+TEST(Rytov, GrowsWithZenithAngle) {
+  const HufnagelValley hv;
+  const double v0 = rytov_variance(hv, 810e-9, 0.0, 0.0, 30'000.0);
+  const double v60 = rytov_variance(hv, 810e-9, deg_to_rad(60.0), 0.0, 30'000.0);
+  EXPECT_GT(v60, v0);
+  EXPECT_NEAR(v60 / v0, std::pow(2.0, 11.0 / 6.0), 1e-6);
+}
+
+TEST(Rytov, WeakFluctuationRegimeNearZenithDownlink) {
+  // A downlink at zenith in clear HV5/7 air sits in the weak-scintillation
+  // regime (sigma_R^2 < 1).
+  const HufnagelValley hv;
+  EXPECT_LT(rytov_variance(hv, 810e-9, 0.0, 0.0, 30'000.0), 1.0);
+  EXPECT_GT(rytov_variance(hv, 810e-9, 0.0, 0.0, 30'000.0), 0.0);
+}
+
+TEST(Turbulence, StrongerGroundCn2IncreasesEverything) {
+  HufnagelValley calm;
+  HufnagelValley stormy;
+  stormy.ground_cn2 *= 10.0;
+  EXPECT_GT(stormy.integrated_cn2(0.0, 30'000.0),
+            calm.integrated_cn2(0.0, 30'000.0));
+  EXPECT_LT(fried_parameter(stormy, 810e-9, 0.0, 0.0, 30'000.0),
+            fried_parameter(calm, 810e-9, 0.0, 0.0, 30'000.0));
+}
+
+}  // namespace
+}  // namespace qntn::atmosphere

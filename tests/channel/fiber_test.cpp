@@ -1,0 +1,55 @@
+#include "channel/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qntn::channel {
+namespace {
+
+TEST(Fiber, ZeroLengthIsLossless) {
+  EXPECT_DOUBLE_EQ((FiberChannel{0.0, 0.15}.transmissivity()), 1.0);
+}
+
+TEST(Fiber, PaperCoefficientKnownValues) {
+  // 0.15 dB/km: eta(20 km) = 10^{-3/10} ~ 0.501.
+  EXPECT_NEAR((FiberChannel{20'000.0, 0.15}.transmissivity()),
+              std::pow(10.0, -0.3), 1e-12);
+  // Intra-LAN spans (~100 m) are essentially lossless: 0.015 dB.
+  EXPECT_GT((FiberChannel{100.0, 0.15}.transmissivity()), 0.9965);
+}
+
+TEST(Fiber, ExponentialComposition) {
+  const double eta10 = FiberChannel{10'000.0, 0.15}.transmissivity();
+  const double eta20 = FiberChannel{20'000.0, 0.15}.transmissivity();
+  EXPECT_NEAR(eta20, eta10 * eta10, 1e-12);
+}
+
+TEST(Fiber, MonotoneInLengthAndAttenuation) {
+  EXPECT_GT((FiberChannel{1'000.0, 0.15}.transmissivity()),
+            (FiberChannel{2'000.0, 0.15}.transmissivity()));
+  EXPECT_GT((FiberChannel{1'000.0, 0.15}.transmissivity()),
+            (FiberChannel{1'000.0, 0.30}.transmissivity()));
+}
+
+TEST(Fiber, InverseLengthQuery) {
+  const double len = FiberChannel::length_for_transmissivity(0.7, 0.15);
+  EXPECT_NEAR((FiberChannel{len, 0.15}.transmissivity()), 0.7, 1e-12);
+  // The paper's 0.7 threshold corresponds to ~10.3 km of 0.15 dB/km fiber —
+  // why inter-city fiber (>= 80 km) cannot carry QNTN entanglement.
+  EXPECT_NEAR(len, 10'329.0, 10.0);
+}
+
+TEST(Fiber, RejectsBadInputs) {
+  EXPECT_THROW((void)(FiberChannel{-1.0, 0.15}.transmissivity()), PreconditionError);
+  EXPECT_THROW((void)(FiberChannel{1.0, -0.2}.transmissivity()), PreconditionError);
+  EXPECT_THROW((void)FiberChannel::length_for_transmissivity(0.0, 0.15),
+               PreconditionError);
+  EXPECT_THROW((void)FiberChannel::length_for_transmissivity(0.5, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::channel

@@ -1,0 +1,72 @@
+#include "channel/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::channel {
+namespace {
+
+Endpoint ground(double lat, double lon) {
+  return Endpoint::from_geodetic(geo::Geodetic::from_degrees(lat, lon, 0.0));
+}
+
+Endpoint above(double lat, double lon, double alt) {
+  return Endpoint::from_geodetic(geo::Geodetic::from_degrees(lat, lon, alt));
+}
+
+TEST(LinkBudget, EndpointConstructionRoundTrips) {
+  const Endpoint e = ground(36.0, -85.0);
+  const Endpoint back = Endpoint::from_ecef(e.ecef);
+  EXPECT_NEAR(back.geodetic.latitude, e.geodetic.latitude, 1e-9);
+  EXPECT_NEAR(back.geodetic.altitude, 0.0, 1e-3);
+}
+
+TEST(LinkBudget, GeometryElevationMeasuredAtLowerEndpoint) {
+  const Endpoint site = ground(36.0, -85.0);
+  const Endpoint zenith_target = above(36.0, -85.0, 500e3);
+  const FsoGeometry g = make_fso_geometry(site, zenith_target);
+  EXPECT_NEAR(rad_to_deg(g.elevation), 90.0, 0.2);
+  EXPECT_NEAR(g.range, 500e3, 300.0);
+  EXPECT_DOUBLE_EQ(g.altitude_low, 0.0);
+  EXPECT_NEAR(g.altitude_high, 500e3, 1.0);
+  // Argument order must not matter.
+  const FsoGeometry swapped = make_fso_geometry(zenith_target, site);
+  EXPECT_DOUBLE_EQ(swapped.elevation, g.elevation);
+  EXPECT_DOUBLE_EQ(swapped.range, g.range);
+}
+
+TEST(LinkBudget, VisibilityRespectsElevationMask) {
+  const Endpoint site = ground(36.0, -85.0);
+  const Endpoint high = above(36.0, -85.0, 500e3);      // zenith
+  const Endpoint low = above(30.0, -85.0, 500e3);       // ~30 deg elevation
+  const Endpoint horizon = above(16.0, -85.0, 500e3);   // below mask
+  const double mask = deg_to_rad(20.0);
+  EXPECT_TRUE(fso_link_visible(site, high, mask));
+  EXPECT_TRUE(fso_link_visible(site, low, mask));
+  EXPECT_FALSE(fso_link_visible(site, horizon, mask));
+}
+
+TEST(LinkBudget, ExoatmosphericVisibilityIsEarthClearance) {
+  const Endpoint sat_a = above(0.0, 0.0, 500e3);
+  const Endpoint sat_b = above(0.0, 30.0, 500e3);    // clears the shell
+  const Endpoint sat_far = above(0.0, 179.0, 500e3); // through the Earth
+  EXPECT_TRUE(fso_link_visible(sat_a, sat_b, deg_to_rad(20.0)));
+  EXPECT_FALSE(fso_link_visible(sat_a, sat_far, deg_to_rad(20.0)));
+}
+
+TEST(LinkBudget, HapGeometryMatchesPaperScale) {
+  // The paper's HAP at (35.6692, -85.0662, 30 km) seen from TTU: ~75 km
+  // slant range, elevation above the pi/9 mask.
+  const Endpoint ttu = ground(36.1757, -85.5066);
+  const Endpoint hap = above(35.6692, -85.0662, 30'000.0);
+  const FsoGeometry g = make_fso_geometry(ttu, hap);
+  EXPECT_GT(g.range, 60'000.0);
+  EXPECT_LT(g.range, 90'000.0);
+  EXPECT_GT(g.elevation, kPi / 9.0);
+  EXPECT_TRUE(fso_link_visible(ttu, hap, kPi / 9.0));
+}
+
+}  // namespace
+}  // namespace qntn::channel

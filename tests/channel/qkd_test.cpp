@@ -1,0 +1,90 @@
+#include "channel/qkd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qntn::channel {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.4999, 1e-3);  // BB84 breakdown point
+  EXPECT_THROW((void)binary_entropy(-0.1), PreconditionError);
+}
+
+TEST(Qkd, PerfectChannelQberIsMisalignment) {
+  QkdSystem system;
+  system.dark_count_probability = 0.0;
+  EXPECT_NEAR(system.qber(1.0), system.misalignment_error, 1e-12);
+}
+
+TEST(Qkd, DeadChannelQberIsHalf) {
+  const QkdSystem system;
+  EXPECT_NEAR(system.qber(0.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(system.key_fraction(0.0), 0.0);
+}
+
+TEST(Qkd, QberMonotoneDecreasingInTransmissivity) {
+  const QkdSystem system;
+  double prev = 1.0;
+  for (double eta = 0.01; eta <= 1.0; eta += 0.01) {
+    const double e = system.qber(eta);
+    EXPECT_LE(e, prev + 1e-12);
+    prev = e;
+  }
+}
+
+TEST(Qkd, KeyRateMonotoneIncreasingInTransmissivity) {
+  const QkdSystem system;
+  double prev = -1.0;
+  for (double eta = 0.0; eta <= 1.0; eta += 0.02) {
+    const double r = system.key_rate(eta);
+    EXPECT_GE(r, prev - 1e-9);
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST(Qkd, HealthyLinkDeliversMegabitScaleKeys) {
+  // At the QNTN HAP operating point (eta ~ 0.93) a 100 MHz system with
+  // these parameters yields order-10 Mb/s of secret key.
+  const QkdSystem system;
+  const double rate = system.key_rate(0.93);
+  EXPECT_GT(rate, 1e6);
+  EXPECT_LT(rate, 1e8);
+}
+
+TEST(Qkd, CutoffBelowWhichNoKeySurvives) {
+  QkdSystem noisy;
+  noisy.dark_count_probability = 1e-3;  // strong noise floor
+  const double cutoff = noisy.cutoff_transmissivity();
+  EXPECT_GT(cutoff, 0.0);
+  EXPECT_LT(cutoff, 1.0);
+  EXPECT_DOUBLE_EQ(noisy.key_fraction(cutoff * 0.5), 0.0);
+  EXPECT_GT(noisy.key_fraction(std::min(1.0, cutoff * 2.0)), 0.0);
+}
+
+TEST(Qkd, HopelessSystemHasNoCutoff) {
+  QkdSystem broken;
+  broken.misalignment_error = 0.2;  // above the 11% BB84 bound
+  EXPECT_DOUBLE_EQ(broken.key_fraction(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(broken.cutoff_transmissivity(), 0.0);
+}
+
+TEST(Qkd, DarkCountsOnlyMatterAtLowTransmissivity) {
+  QkdSystem clean;
+  clean.dark_count_probability = 0.0;
+  QkdSystem dark;
+  dark.dark_count_probability = 1e-5;
+  // Negligible at eta = 1, decisive at eta = 1e-4.
+  EXPECT_NEAR(clean.key_rate(1.0), dark.key_rate(1.0),
+              clean.key_rate(1.0) * 0.01);
+  EXPECT_GT(clean.key_fraction(1e-4), 0.0);
+  EXPECT_LT(dark.key_fraction(1e-4), clean.key_fraction(1e-4));
+}
+
+}  // namespace
+}  // namespace qntn::channel

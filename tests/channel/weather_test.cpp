@@ -1,0 +1,45 @@
+#include "channel/weather.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qntn::channel {
+namespace {
+
+TEST(Weather, ClearSkyIsTheNeutralElement) {
+  const WeatherProfile clear = clear_sky();
+  EXPECT_EQ(clear.name, "clear");
+  EXPECT_DOUBLE_EQ(clear.optical_depth_factor, 1.0);
+  EXPECT_DOUBLE_EQ(clear.turbulence_factor, 1.0);
+  EXPECT_DOUBLE_EQ(clear.platform_jitter, 0.0);
+}
+
+TEST(Weather, ProfilesAreOrderedBySeverity) {
+  // Optical depth: clear < strong_turbulence < haze < light_rain.
+  EXPECT_LT(clear_sky().optical_depth_factor,
+            strong_turbulence().optical_depth_factor);
+  EXPECT_LT(strong_turbulence().optical_depth_factor,
+            haze().optical_depth_factor);
+  EXPECT_LT(haze().optical_depth_factor, light_rain().optical_depth_factor);
+  // Turbulence: strong_turbulence has the strongest Cn^2 boost.
+  EXPECT_GT(strong_turbulence().turbulence_factor, haze().turbulence_factor);
+  EXPECT_GT(strong_turbulence().turbulence_factor,
+            light_rain().turbulence_factor / 3.0);
+}
+
+TEST(Weather, DegradedProfilesAddPlatformJitter) {
+  for (const WeatherProfile& weather :
+       {haze(), strong_turbulence(), light_rain()}) {
+    EXPECT_GT(weather.platform_jitter, 0.0) << weather.name;
+    EXPECT_GE(weather.optical_depth_factor, 1.0) << weather.name;
+    EXPECT_GE(weather.turbulence_factor, 1.0) << weather.name;
+  }
+}
+
+TEST(Weather, NamesAreDistinct) {
+  EXPECT_NE(haze().name, strong_turbulence().name);
+  EXPECT_NE(haze().name, light_rain().name);
+  EXPECT_NE(strong_turbulence().name, light_rain().name);
+}
+
+}  // namespace
+}  // namespace qntn::channel

@@ -1,0 +1,31 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qntn {
+namespace {
+
+TEST(Error, RequireMacroPassesOnTrue) {
+  EXPECT_NO_THROW(QNTN_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    QNTN_REQUIRE(false, "helpful message");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("helpful message"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw NumericalError("x"), Error);
+  EXPECT_THROW(throw PreconditionError("y"), Error);
+  EXPECT_THROW(throw Error("z"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qntn

@@ -1,0 +1,91 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace qntn {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 1.0);
+  EXPECT_THROW((void)h.bin_low(4), PreconditionError);
+}
+
+TEST(Histogram, CountsLandInTheRightBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.3);
+  h.add(0.99);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, OutOfRangeSaturatesEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  h.add(1.0);  // hi boundary goes to the top bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  // Uniform over bins: median near 5.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.51);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-12);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+  EXPECT_THROW((void)h.quantile(1.5), PreconditionError);
+}
+
+TEST(Histogram, QuantileMatchesExactPercentileOnGaussian) {
+  Rng rng(3);
+  Histogram h(-5.0, 5.0, 200);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.normal(0.0, 1.0);
+    h.add(v);
+    values.push_back(v);
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(h.quantile(q), percentile(values, q), 0.06) << q;
+  }
+}
+
+TEST(Histogram, EmptyQuantileThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), PreconditionError);
+}
+
+TEST(Histogram, AsciiRenderingShowsNonEmptyBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.1);
+  const std::string text = h.to_string();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("[0, 0.25)"), std::string::npos);
+  // Empty bins are omitted.
+  EXPECT_EQ(text.find("[0.5, 0.75)"), std::string::npos);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn

@@ -1,0 +1,80 @@
+#include "common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qntn {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.total(), 0.0);
+  EXPECT_EQ(set.episode_count(), 0u);
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet set;
+  set.add_interval(10.0, 40.0);
+  EXPECT_DOUBLE_EQ(set.total(), 30.0);
+  EXPECT_EQ(set.episode_count(), 1u);
+}
+
+TEST(IntervalSet, DegenerateIntervalIgnored) {
+  IntervalSet set;
+  set.add_interval(5.0, 5.0);
+  set.add_interval(7.0, 6.0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, AbuttingSamplesMergeIntoOneEpisode) {
+  IntervalSet set;
+  // Three consecutive 30 s active samples = one 90 s episode (Eq. 6 has
+  // one t_start/t_end pair here).
+  set.add_sample(0.0, 30.0, true);
+  set.add_sample(30.0, 30.0, true);
+  set.add_sample(60.0, 30.0, true);
+  EXPECT_DOUBLE_EQ(set.total(), 90.0);
+  EXPECT_EQ(set.episode_count(), 1u);
+}
+
+TEST(IntervalSet, InactiveSamplesSplitEpisodes) {
+  IntervalSet set;
+  set.add_sample(0.0, 30.0, true);
+  set.add_sample(30.0, 30.0, false);
+  set.add_sample(60.0, 30.0, true);
+  EXPECT_DOUBLE_EQ(set.total(), 60.0);
+  EXPECT_EQ(set.episode_count(), 2u);
+  const auto merged = set.merged();
+  EXPECT_DOUBLE_EQ(merged[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 30.0);
+  EXPECT_DOUBLE_EQ(merged[1].start, 60.0);
+  EXPECT_DOUBLE_EQ(merged[1].end, 90.0);
+}
+
+TEST(IntervalSet, OverlappingIntervalsMerge) {
+  IntervalSet set;
+  set.add_interval(0.0, 50.0);
+  set.add_interval(40.0, 80.0);
+  set.add_interval(200.0, 210.0);
+  EXPECT_DOUBLE_EQ(set.total(), 90.0);
+  EXPECT_EQ(set.episode_count(), 2u);
+}
+
+TEST(IntervalSet, OutOfOrderInsertionStillMerges) {
+  IntervalSet set;
+  set.add_interval(100.0, 130.0);
+  set.add_interval(0.0, 30.0);
+  set.add_interval(20.0, 110.0);
+  EXPECT_DOUBLE_EQ(set.total(), 130.0);
+  EXPECT_EQ(set.episode_count(), 1u);
+}
+
+TEST(IntervalSet, ContainedIntervalDoesNotDoubleCount) {
+  IntervalSet set;
+  set.add_interval(0.0, 100.0);
+  set.add_interval(20.0, 30.0);
+  EXPECT_DOUBLE_EQ(set.total(), 100.0);
+}
+
+}  // namespace
+}  // namespace qntn

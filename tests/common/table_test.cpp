@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace qntn {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table("demo");
+  table.set_header({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW((void)table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(55.175, 2), "55.17");  // round-to-even in iostreams
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, CsvEscaping) {
+  Table table;
+  table.set_header({"name", "value"});
+  table.add_row({"with,comma", "plain"});
+  table.add_row({"with\"quote", "x"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripThroughFile) {
+  Table table;
+  table.set_header({"x"});
+  table.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/qntn_table_test.csv";
+  table.write_csv(path);
+  // Re-read via ifstream to confirm content made it to disk.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+}
+
+TEST(Table, WriteToUnwritablePathThrows) {
+  Table table;
+  table.set_header({"x"});
+  EXPECT_THROW((void)table.write_csv("/nonexistent-dir/foo.csv"), Error);
+}
+
+}  // namespace
+}  // namespace qntn

@@ -1,0 +1,64 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace qntn {
+namespace {
+
+TEST(Units, DegreeRadianRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+  for (double deg = -720.0; deg <= 720.0; deg += 37.5) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(deg)), deg, 1e-12);
+  }
+}
+
+TEST(Units, LengthConversions) {
+  EXPECT_DOUBLE_EQ(km_to_m(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(m_to_km(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(minutes_to_s(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(s_to_minutes(90.0), 1.5);
+}
+
+TEST(Units, FiberAttenuationConversionMatchesDecibelDefinition) {
+  // 0.15 dB/km over 10 km is 1.5 dB total: eta = 10^(-0.15).
+  const double alpha = db_per_km_to_neper_per_m(0.15);
+  const double eta = std::exp(-alpha * 10'000.0);
+  EXPECT_NEAR(eta, std::pow(10.0, -1.5 / 10.0), 1e-12);
+}
+
+TEST(Units, DecibelRoundTrip) {
+  for (double ratio : {1.0, 0.5, 0.1, 0.01, 2.0}) {
+    EXPECT_NEAR(db_to_ratio(ratio_to_db(ratio)), ratio, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(ratio_to_db(1.0), 0.0);
+  EXPECT_NEAR(ratio_to_db(0.5), -3.0103, 1e-4);
+}
+
+TEST(Units, WrapTwoPiIntoRange) {
+  EXPECT_NEAR(wrap_two_pi(kTwoPi + 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-0.25), kTwoPi - 0.25, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(5.0 * kTwoPi), 0.0, 1e-9);
+  for (double a = -20.0; a <= 20.0; a += 0.77) {
+    const double w = wrap_two_pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+    EXPECT_NEAR(std::remainder(w - a, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Units, WrapPiIntoRange) {
+  EXPECT_NEAR(wrap_pi(kPi + 0.5), -kPi + 0.5, 1e-12);
+  for (double a = -20.0; a <= 20.0; a += 0.77) {
+    const double w = wrap_pi(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qntn

@@ -1,0 +1,65 @@
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace qntn {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 0.0);
+  EXPECT_DOUBLE_EQ(sum.y, 2.5);
+  EXPECT_DOUBLE_EQ(sum.z, 5.0);
+  const Vec3 scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+  const Vec3 neg = -a;
+  EXPECT_DOUBLE_EQ(neg.x, -1.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  // Anti-commutativity.
+  const Vec3 mz = y.cross(x);
+  EXPECT_DOUBLE_EQ(mz.z, -1.0);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  const Vec3 unit = v.normalized();
+  EXPECT_NEAR(unit.norm(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(unit.x, 0.6);
+  // The zero vector normalises to itself.
+  const Vec3 zero{};
+  EXPECT_DOUBLE_EQ(zero.normalized().norm(), 0.0);
+}
+
+TEST(Vec3, AngleBetween) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 2.0, 0.0};
+  EXPECT_NEAR(angle_between(x, y), kPi / 2.0, 1e-15);
+  EXPECT_NEAR(angle_between(x, x), 0.0, 1e-12);
+  EXPECT_NEAR(angle_between(x, -1.0 * x), kPi, 1e-12);
+  // Stability for nearly parallel vectors.
+  const Vec3 nearly{1.0, 1e-9, 0.0};
+  EXPECT_NEAR(angle_between(x, nearly), 1e-9, 1e-12);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+}
+
+}  // namespace
+}  // namespace qntn

@@ -1,0 +1,92 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::core {
+namespace {
+
+TEST(ConfigIo, DefaultsRoundTrip) {
+  const QntnConfig original;
+  const QntnConfig parsed = parse_config(serialize_config(original));
+  EXPECT_DOUBLE_EQ(parsed.transmissivity_threshold,
+                   original.transmissivity_threshold);
+  EXPECT_NEAR(parsed.elevation_mask, original.elevation_mask, 1e-12);
+  EXPECT_DOUBLE_EQ(parsed.ao_gain, original.ao_gain);
+  EXPECT_DOUBLE_EQ(parsed.wavelength, original.wavelength);
+  EXPECT_EQ(parsed.request_seed, original.request_seed);
+  EXPECT_EQ(parsed.metric, original.metric);
+  EXPECT_EQ(parsed.convention, original.convention);
+  EXPECT_EQ(parsed.lan_topology, original.lan_topology);
+  EXPECT_EQ(std::string(parsed.weather.name), std::string(original.weather.name));
+}
+
+TEST(ConfigIo, ModifiedValuesRoundTrip) {
+  QntnConfig config;
+  config.transmissivity_threshold = 0.55;
+  config.include_j2 = true;
+  config.enable_hap_satellite = true;
+  config.metric = net::CostMetric::NegLogEta;
+  config.convention = quantum::FidelityConvention::Jozsa;
+  config.lan_topology = sim::LanTopology::Chain;
+  config.weather = channel::haze();
+  config.request_seed = 424242;
+  const QntnConfig parsed = parse_config(serialize_config(config));
+  EXPECT_DOUBLE_EQ(parsed.transmissivity_threshold, 0.55);
+  EXPECT_TRUE(parsed.include_j2);
+  EXPECT_TRUE(parsed.enable_hap_satellite);
+  EXPECT_EQ(parsed.metric, net::CostMetric::NegLogEta);
+  EXPECT_EQ(parsed.convention, quantum::FidelityConvention::Jozsa);
+  EXPECT_EQ(parsed.lan_topology, sim::LanTopology::Chain);
+  EXPECT_EQ(std::string(parsed.weather.name), "haze");
+  EXPECT_EQ(parsed.request_seed, 424242u);
+}
+
+TEST(ConfigIo, PartialDocumentKeepsDefaults) {
+  const QntnConfig parsed = parse_config(
+      "# only override two things\n"
+      "transmissivity_threshold = 0.8\n"
+      "request_count = 42\n");
+  EXPECT_DOUBLE_EQ(parsed.transmissivity_threshold, 0.8);
+  EXPECT_EQ(parsed.request_count, 42u);
+  const QntnConfig defaults;
+  EXPECT_DOUBLE_EQ(parsed.ao_gain, defaults.ao_gain);
+  EXPECT_EQ(parsed.request_steps, defaults.request_steps);
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  EXPECT_NO_THROW((void)parse_config("\n# comment\n   \nao_gain = 3.0 # ok\n"));
+  EXPECT_DOUBLE_EQ(parse_config("ao_gain = 3.0 # inline\n").ao_gain, 3.0);
+}
+
+TEST(ConfigIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_config("no_equals_sign\n"), Error);
+  EXPECT_THROW((void)parse_config("unknown_key = 1\n"), Error);
+  EXPECT_THROW((void)parse_config("ao_gain = banana\n"), Error);
+  EXPECT_THROW((void)parse_config("include_j2 = maybe\n"), Error);
+  EXPECT_THROW((void)parse_config("metric = fastest\n"), Error);
+  EXPECT_THROW((void)parse_config("request_count = -3\n"), Error);
+  EXPECT_THROW((void)parse_config("weather = tornado\n"), Error);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  QntnConfig config;
+  config.ao_gain = 7.25;
+  const std::string path = ::testing::TempDir() + "/qntn_config_test.cfg";
+  save_config(path, config);
+  const QntnConfig loaded = load_config(path);
+  EXPECT_DOUBLE_EQ(loaded.ao_gain, 7.25);
+  EXPECT_THROW((void)load_config("/nonexistent/qntn.cfg"), Error);
+}
+
+TEST(ConfigIo, HapPositionSerializedInDegrees) {
+  const QntnConfig config;
+  const std::string text = serialize_config(config);
+  EXPECT_NE(text.find("hap_latitude_deg = 35.6692"), std::string::npos);
+  EXPECT_NE(text.find("hap_longitude_deg = -85.0662"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qntn::core

@@ -1,0 +1,66 @@
+#include "core/ground_networks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace qntn::core {
+namespace {
+
+TEST(GroundNetworks, TableINodeCounts) {
+  EXPECT_EQ(tennessee_tech().nodes.size(), 5u);
+  EXPECT_EQ(epb_chattanooga().nodes.size(), 15u);
+  EXPECT_EQ(oak_ridge().nodes.size(), 11u);
+  const auto lans = qntn_lans();
+  ASSERT_EQ(lans.size(), 3u);
+  std::size_t total = 0;
+  for (const LanDefinition& lan : lans) total += lan.nodes.size();
+  EXPECT_EQ(total, 31u);
+}
+
+TEST(GroundNetworks, FirstCoordinatesMatchTableI) {
+  EXPECT_NEAR(rad_to_deg(tennessee_tech().nodes[0].latitude), 36.1757, 1e-9);
+  EXPECT_NEAR(rad_to_deg(tennessee_tech().nodes[0].longitude), -85.5066, 1e-9);
+  EXPECT_NEAR(rad_to_deg(epb_chattanooga().nodes[0].latitude), 35.04159, 1e-9);
+  EXPECT_NEAR(rad_to_deg(oak_ridge().nodes[10].latitude), 35.9309, 1e-9);
+  EXPECT_NEAR(rad_to_deg(oak_ridge().nodes[10].longitude), -84.308, 1e-9);
+}
+
+TEST(GroundNetworks, AllNodesAtGroundLevelInTennessee) {
+  for (const LanDefinition& lan : qntn_lans()) {
+    for (const geo::Geodetic& node : lan.nodes) {
+      EXPECT_DOUBLE_EQ(node.altitude, 0.0);
+      EXPECT_GT(rad_to_deg(node.latitude), 34.9);
+      EXPECT_LT(rad_to_deg(node.latitude), 36.3);
+      EXPECT_GT(rad_to_deg(node.longitude), -85.6);
+      EXPECT_LT(rad_to_deg(node.longitude), -84.2);
+    }
+  }
+}
+
+TEST(GroundNetworks, LansAreGeographicallyCompact) {
+  // Each LAN spans at most a few km; the three LANs are tens of km apart.
+  for (const LanDefinition& lan : qntn_lans()) {
+    for (const geo::Geodetic& node : lan.nodes) {
+      EXPECT_LT(geo::great_circle_distance(lan.nodes.front(), node), 3'000.0)
+          << lan.name;
+    }
+  }
+  EXPECT_GT(geo::great_circle_distance(tennessee_tech().nodes[0],
+                                       epb_chattanooga().nodes[0]),
+            80'000.0);
+}
+
+TEST(GroundNetworks, CentroidSitsBetweenTheCities) {
+  const geo::Geodetic centroid = qntn_centroid();
+  EXPECT_GT(rad_to_deg(centroid.latitude), 35.0);
+  EXPECT_LT(rad_to_deg(centroid.latitude), 36.2);
+  EXPECT_GT(rad_to_deg(centroid.longitude), -85.6);
+  EXPECT_LT(rad_to_deg(centroid.longitude), -84.2);
+  // The paper's HAP placement is within ~60 km of the node centroid.
+  const geo::Geodetic hap = geo::Geodetic::from_degrees(35.6692, -85.0662, 0.0);
+  EXPECT_LT(geo::great_circle_distance(centroid, hap), 60'000.0);
+}
+
+}  // namespace
+}  // namespace qntn::core

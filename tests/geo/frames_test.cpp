@@ -1,0 +1,116 @@
+#include "geo/frames.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::geo {
+namespace {
+
+TEST(Gmst, AdvancesAtSiderealRate) {
+  EXPECT_DOUBLE_EQ(gmst_at(0.0), 0.0);
+  EXPECT_NEAR(gmst_at(3600.0), kEarthRotationRate * 3600.0, 1e-12);
+  // One sidereal day (~86164 s) wraps back to the start.
+  const double sidereal_day = kTwoPi / kEarthRotationRate;
+  EXPECT_NEAR(gmst_at(sidereal_day), 0.0, 1e-9);
+}
+
+TEST(Gmst, RespectsInitialAngle) {
+  EXPECT_NEAR(gmst_at(0.0, 1.25), 1.25, 1e-15);
+}
+
+TEST(Frames, EciEcefRoundTrip) {
+  const Vec3 eci{7000e3, -1234e3, 3456e3};
+  for (double gmst : {0.0, 0.5, 2.0, 5.5}) {
+    const Vec3 ecef = eci_to_ecef(eci, gmst);
+    const Vec3 back = ecef_to_eci(ecef, gmst);
+    EXPECT_NEAR(back.x, eci.x, 1e-6);
+    EXPECT_NEAR(back.y, eci.y, 1e-6);
+    EXPECT_NEAR(back.z, eci.z, 1e-6);
+    // Rotation preserves length and z.
+    EXPECT_NEAR(ecef.norm(), eci.norm(), 1e-6);
+    EXPECT_DOUBLE_EQ(ecef.z, eci.z);
+  }
+}
+
+TEST(Frames, EciToEcefRotationDirection) {
+  // A point fixed in ECI appears to move westwards in ECEF as gmst grows:
+  // at gmst = 90 deg, the ECI +X axis lies above ECEF longitude -90 deg.
+  const Vec3 eci{kEarthRadius, 0.0, 0.0};
+  const Vec3 ecef = eci_to_ecef(eci, kPi / 2.0);
+  const Geodetic g = ecef_to_geodetic(ecef, EarthModel::Spherical);
+  EXPECT_NEAR(rad_to_deg(g.longitude), -90.0, 1e-9);
+}
+
+TEST(Frames, LookAnglesZenith) {
+  const Geodetic site = Geodetic::from_degrees(36.0, -85.0, 0.0);
+  // Target straight up: same geodetic position, higher altitude.
+  const Vec3 target = geodetic_to_ecef(
+      Geodetic::from_degrees(36.0, -85.0, 500'000.0));
+  const AzElRange look = look_angles(site, target);
+  EXPECT_NEAR(rad_to_deg(look.elevation), 90.0, 0.2);
+  EXPECT_NEAR(look.range, 500'000.0, 200.0);
+}
+
+TEST(Frames, LookAnglesDueNorthTarget) {
+  const Geodetic site = Geodetic::from_degrees(36.0, -85.0, 0.0);
+  const Vec3 target =
+      geodetic_to_ecef(Geodetic::from_degrees(37.0, -85.0, 100'000.0));
+  const AzElRange look = look_angles(site, target);
+  EXPECT_NEAR(rad_to_deg(wrap_pi(look.azimuth)), 0.0, 1.0);
+  EXPECT_GT(look.elevation, 0.0);
+}
+
+TEST(Frames, LookAnglesDueEastTarget) {
+  const Geodetic site = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const Vec3 target =
+      geodetic_to_ecef(Geodetic::from_degrees(0.0, 1.0, 100'000.0));
+  const AzElRange look = look_angles(site, target);
+  EXPECT_NEAR(rad_to_deg(look.azimuth), 90.0, 1.0);
+}
+
+TEST(Frames, BelowHorizonHasNegativeElevation) {
+  const Geodetic site = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  // Target on the opposite side of the Earth.
+  const Vec3 target =
+      geodetic_to_ecef(Geodetic::from_degrees(0.0, 170.0, 500'000.0));
+  EXPECT_LT(look_angles(site, target).elevation, 0.0);
+}
+
+TEST(Frames, LineOfSightClearAboveLimb) {
+  const double r = kEarthRadius + 500e3;
+  const Vec3 a{r, 0.0, 0.0};
+  // Nearby satellite in the same orbital shell: segment clears the Earth.
+  const Vec3 b{r * std::cos(0.3), r * std::sin(0.3), 0.0};
+  EXPECT_TRUE(line_of_sight(a, b, kEarthRadius));
+}
+
+TEST(Frames, LineOfSightBlockedThroughEarth) {
+  const double r = kEarthRadius + 500e3;
+  const Vec3 a{r, 0.0, 0.0};
+  const Vec3 b{-r, 0.0, 0.0};  // antipodal: segment passes through the centre
+  EXPECT_FALSE(line_of_sight(a, b, kEarthRadius));
+}
+
+TEST(Frames, LineOfSightRespectsClearanceShell) {
+  const double r = kEarthRadius + 500e3;
+  // Chord grazing at ~100 km altitude: clear for the solid Earth, blocked
+  // when a 200 km atmosphere shell must be cleared.
+  const double graze = kEarthRadius + 100e3;
+  const double half_angle = std::acos(graze / r);
+  const Vec3 a{r * std::cos(-half_angle), r * std::sin(-half_angle), 0.0};
+  const Vec3 b{r * std::cos(half_angle), r * std::sin(half_angle), 0.0};
+  EXPECT_TRUE(line_of_sight(a, b, kEarthRadius));
+  EXPECT_FALSE(line_of_sight(a, b, kEarthRadius + 200e3));
+}
+
+TEST(Frames, LineOfSightDegenerateSegment) {
+  const Vec3 a{kEarthRadius + 1000.0, 0.0, 0.0};
+  EXPECT_TRUE(line_of_sight(a, a, kEarthRadius));
+}
+
+}  // namespace
+}  // namespace qntn::geo

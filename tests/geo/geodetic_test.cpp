@@ -1,0 +1,99 @@
+#include "geo/geodetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::geo {
+namespace {
+
+TEST(Geodetic, FromDegrees) {
+  const Geodetic g = Geodetic::from_degrees(36.0, -85.5, 1200.0);
+  EXPECT_NEAR(g.latitude, deg_to_rad(36.0), 1e-15);
+  EXPECT_NEAR(g.longitude, deg_to_rad(-85.5), 1e-15);
+  EXPECT_DOUBLE_EQ(g.altitude, 1200.0);
+}
+
+TEST(Geodetic, EquatorPrimeMeridianEcef) {
+  const Geodetic g = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const Vec3 sph = geodetic_to_ecef(g, EarthModel::Spherical);
+  EXPECT_NEAR(sph.x, kEarthRadius, 1e-6);
+  EXPECT_NEAR(sph.y, 0.0, 1e-6);
+  EXPECT_NEAR(sph.z, 0.0, 1e-6);
+  const Vec3 wgs = geodetic_to_ecef(g, EarthModel::Wgs84);
+  EXPECT_NEAR(wgs.x, kWgs84A, 1e-6);
+}
+
+TEST(Geodetic, NorthPoleWgs84UsesPolarRadius) {
+  const Geodetic g = Geodetic::from_degrees(90.0, 0.0, 0.0);
+  const Vec3 p = geodetic_to_ecef(g, EarthModel::Wgs84);
+  const double polar_radius = kWgs84A * (1.0 - kWgs84F);
+  EXPECT_NEAR(p.z, polar_radius, 1e-6);
+  EXPECT_NEAR(std::hypot(p.x, p.y), 0.0, 1e-6);
+}
+
+TEST(Geodetic, AltitudeMovesAlongNormal) {
+  const Geodetic lo = Geodetic::from_degrees(35.0, -85.0, 0.0);
+  const Geodetic hi = Geodetic::from_degrees(35.0, -85.0, 10'000.0);
+  const double d = distance(geodetic_to_ecef(lo), geodetic_to_ecef(hi));
+  EXPECT_NEAR(d, 10'000.0, 1.0);
+}
+
+/// Round-trip property over a lat/lon/alt grid, both Earth models.
+class GeodeticRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(GeodeticRoundTrip, EcefAndBack) {
+  const auto [lat_deg, lon_deg, alt] = GetParam();
+  const Geodetic g = Geodetic::from_degrees(lat_deg, lon_deg, alt);
+  for (const EarthModel model : {EarthModel::Spherical, EarthModel::Wgs84}) {
+    const Vec3 ecef = geodetic_to_ecef(g, model);
+    const Geodetic back = ecef_to_geodetic(ecef, model);
+    EXPECT_NEAR(back.latitude, g.latitude, 1e-9) << "model " << static_cast<int>(model);
+    EXPECT_NEAR(wrap_pi(back.longitude - g.longitude), 0.0, 1e-9);
+    EXPECT_NEAR(back.altitude, g.altitude, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeodeticRoundTrip,
+    ::testing::Combine(::testing::Values(-80.0, -45.0, -10.0, 0.0, 10.0, 36.0,
+                                         60.0, 85.0),
+                       ::testing::Values(-170.0, -85.5, 0.0, 45.0, 179.0),
+                       ::testing::Values(0.0, 30'000.0, 500'000.0)));
+
+TEST(Geodetic, GreatCircleKnownDistances) {
+  // Quarter circumference: equator to pole.
+  const Geodetic equator = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  const Geodetic pole = Geodetic::from_degrees(90.0, 0.0, 0.0);
+  EXPECT_NEAR(great_circle_distance(equator, pole), kPi / 2.0 * kEarthRadius, 1.0);
+  // Same point = 0.
+  EXPECT_DOUBLE_EQ(great_circle_distance(pole, pole), 0.0);
+  // Symmetry.
+  const Geodetic a = Geodetic::from_degrees(36.17, -85.5, 0.0);
+  const Geodetic b = Geodetic::from_degrees(35.04, -85.28, 0.0);
+  EXPECT_DOUBLE_EQ(great_circle_distance(a, b), great_circle_distance(b, a));
+}
+
+TEST(Geodetic, QntnCityDistancesAreRegionalScale) {
+  // Cookeville-Chattanooga is ~128 km; sanity-pins the Table I geometry.
+  const Geodetic ttu = Geodetic::from_degrees(36.1757, -85.5066, 0.0);
+  const Geodetic epb = Geodetic::from_degrees(35.04159, -85.2799, 0.0);
+  const Geodetic ornl = Geodetic::from_degrees(35.91, -84.3, 0.0);
+  const double ttu_epb = great_circle_distance(ttu, epb);
+  const double ttu_ornl = great_circle_distance(ttu, ornl);
+  const double epb_ornl = great_circle_distance(epb, ornl);
+  EXPECT_GT(ttu_epb, 100'000.0);
+  EXPECT_LT(ttu_epb, 160'000.0);
+  EXPECT_GT(ttu_ornl, 80'000.0);
+  EXPECT_LT(ttu_ornl, 140'000.0);
+  EXPECT_GT(epb_ornl, 80'000.0);
+  EXPECT_LT(epb_ornl, 150'000.0);
+}
+
+}  // namespace
+}  // namespace qntn::geo

@@ -1,0 +1,95 @@
+#include "geo/sun.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace qntn::geo {
+namespace {
+
+const Geodetic kTennessee = Geodetic::from_degrees(35.9, -85.0, 0.0);
+
+TEST(Sun, NoonAtTheSubsolarPoint) {
+  SunModel sun;  // equinox, subsolar longitude 0 at t = 0
+  const Geodetic equator_origin = Geodetic::from_degrees(0.0, 0.0, 0.0);
+  EXPECT_NEAR(rad_to_deg(sun.solar_elevation(equator_origin, 0.0)), 90.0, 1e-9);
+  // Half a day later it is local midnight: sun at -90 deg.
+  EXPECT_NEAR(rad_to_deg(sun.solar_elevation(equator_origin, 43'200.0)), -90.0,
+              1e-9);
+}
+
+TEST(Sun, EquinoxNoonElevationEqualsColatitude) {
+  SunModel sun;
+  // At equinox local noon, elevation = 90 deg - |latitude|.
+  EXPECT_NEAR(rad_to_deg(sun.solar_elevation(
+                  Geodetic::from_degrees(35.9, 0.0, 0.0), 0.0)),
+              90.0 - 35.9, 1e-9);
+}
+
+TEST(Sun, DiurnalPeriodicity) {
+  SunModel sun;
+  sun.declination = deg_to_rad(23.44);
+  for (double t : {0.0, 10'000.0, 40'000.0}) {
+    EXPECT_NEAR(sun.solar_elevation(kTennessee, t),
+                sun.solar_elevation(kTennessee, t + kSecondsPerDay), 1e-12);
+  }
+}
+
+TEST(Sun, NightFollowsDay) {
+  SunModel sun;
+  const double night = sun.night_fraction(kTennessee, kSecondsPerDay, 30.0);
+  // Equinox: day and night are close to equal (twilight tips it slightly
+  // towards day).
+  EXPECT_GT(night, 0.40);
+  EXPECT_LT(night, 0.52);
+}
+
+TEST(Sun, SeasonalAsymmetryAtTennesseeLatitude) {
+  SunModel summer;
+  summer.declination = deg_to_rad(23.44);
+  SunModel winter;
+  winter.declination = deg_to_rad(-23.44);
+  const double summer_night =
+      summer.night_fraction(kTennessee, kSecondsPerDay, 30.0);
+  const double winter_night =
+      winter.night_fraction(kTennessee, kSecondsPerDay, 30.0);
+  EXPECT_LT(summer_night, winter_night);
+  EXPECT_GT(winter_night, 0.5);
+}
+
+TEST(Sun, PolarDayAndNight) {
+  SunModel solstice;
+  solstice.declination = deg_to_rad(23.44);
+  const Geodetic north_pole = Geodetic::from_degrees(89.9, 0.0, 0.0);
+  EXPECT_NEAR(solstice.night_fraction(north_pole, kSecondsPerDay, 60.0), 0.0,
+              1e-12);
+  const Geodetic south_pole = Geodetic::from_degrees(-89.9, 0.0, 0.0);
+  EXPECT_NEAR(solstice.night_fraction(south_pole, kSecondsPerDay, 60.0), 1.0,
+              1e-12);
+}
+
+TEST(Sun, TwilightThresholdShiftsTheGate) {
+  SunModel sun;
+  // A stricter (astronomical) twilight leaves less usable darkness.
+  std::size_t civil = 0, astronomical = 0;
+  for (double t = 0.0; t < kSecondsPerDay; t += 60.0) {
+    if (sun.is_night(kTennessee, t, deg_to_rad(-6.0))) ++civil;
+    if (sun.is_night(kTennessee, t, deg_to_rad(-18.0))) ++astronomical;
+  }
+  EXPECT_GT(civil, astronomical);
+}
+
+TEST(Sun, RejectsBadSampling) {
+  const SunModel sun;
+  EXPECT_THROW((void)sun.night_fraction(kTennessee, 0.0, 60.0),
+               PreconditionError);
+  EXPECT_THROW((void)sun.night_fraction(kTennessee, 100.0, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::geo

@@ -1,0 +1,86 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qntn::net {
+namespace {
+
+TEST(Graph, NodeCreation) {
+  Graph g;
+  const NodeId a = g.add_node("alice");
+  const NodeId b = g.add_node();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.name(a), "alice");
+  EXPECT_EQ(g.name(b), "node1");
+}
+
+TEST(Graph, UndirectedEdges) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 0.8);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  ASSERT_EQ(g.neighbors(b).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].to, b);
+  EXPECT_DOUBLE_EQ(g.neighbors(b)[0].transmissivity, 0.8);
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_THROW((void)g.add_edge(a, a, 0.5), PreconditionError);   // self-loop
+  EXPECT_THROW((void)g.add_edge(a, 7, 0.5), PreconditionError);   // out of range
+  EXPECT_THROW((void)g.add_edge(a, b, 1.5), PreconditionError);   // eta > 1
+  EXPECT_THROW((void)g.add_edge(a, b, -0.1), PreconditionError);  // eta < 0
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b, 0.5);
+  g.add_edge(a, b, 0.9);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.neighbors(a).size(), 2u);
+}
+
+TEST(Graph, ConnectivityQueries) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, c, 1.0);
+  EXPECT_TRUE(g.connected(a, c));
+  EXPECT_TRUE(g.connected(c, a));
+  EXPECT_TRUE(g.connected(a, a));
+  EXPECT_FALSE(g.connected(a, d));
+}
+
+TEST(Graph, ComponentLabels) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(Graph, EmptyGraphComponents) {
+  Graph g;
+  EXPECT_TRUE(g.components().empty());
+}
+
+}  // namespace
+}  // namespace qntn::net

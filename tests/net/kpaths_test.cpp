@@ -1,0 +1,110 @@
+#include "net/kpaths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qntn::net {
+namespace {
+
+/// Diamond: two node-disjoint 2-hop routes plus a direct lossy edge.
+Graph diamond() {
+  Graph g;
+  const NodeId s = g.add_node("s");
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId d = g.add_node("d");
+  g.add_edge(s, a, 0.9);
+  g.add_edge(a, d, 0.9);
+  g.add_edge(s, b, 0.8);
+  g.add_edge(b, d, 0.8);
+  g.add_edge(s, d, 0.35);  // cost 2.86, strictly worse than both relays
+  return g;
+}
+
+TEST(KPaths, FirstPathIsTheShortest) {
+  const Graph g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].path, (std::vector<NodeId>{0, 1, 3}));
+  const auto oracle = dijkstra(g, 0, 3);
+  EXPECT_NEAR(paths[0].cost, oracle->cost, 1e-12);
+}
+
+TEST(KPaths, EnumeratesAllThreeDiamondRoutes) {
+  const auto paths = k_shortest_paths(diamond(), 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);  // only three loopless routes exist
+  EXPECT_EQ(paths[0].path, (std::vector<NodeId>{0, 1, 3}));  // via a
+  EXPECT_EQ(paths[1].path, (std::vector<NodeId>{0, 2, 3}));  // via b
+  EXPECT_EQ(paths[2].path, (std::vector<NodeId>{0, 3}));     // direct
+  // Ordered by cost and loopless.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
+  }
+}
+
+TEST(KPaths, UnreachableGivesEmpty) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_TRUE(k_shortest_paths(g, 0, 1, 3).empty());
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 1, 0), PreconditionError);
+}
+
+TEST(KPaths, PathsAreLoopless) {
+  Rng rng(5);
+  Graph g;
+  for (int i = 0; i < 12; ++i) g.add_node();
+  for (NodeId i = 0; i < 12; ++i) {
+    for (NodeId j = i + 1; j < 12; ++j) {
+      if (rng.uniform(0.0, 1.0) < 0.35) {
+        g.add_edge(i, j, rng.uniform(0.3, 1.0));
+      }
+    }
+  }
+  const auto paths = k_shortest_paths(g, 0, 11, 8);
+  for (const Route& route : paths) {
+    std::set<NodeId> seen(route.path.begin(), route.path.end());
+    EXPECT_EQ(seen.size(), route.path.size()) << "loop in path";
+    EXPECT_EQ(route.path.front(), 0u);
+    EXPECT_EQ(route.path.back(), 11u);
+  }
+  // Distinct paths.
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      EXPECT_NE(paths[a].path, paths[b].path);
+    }
+  }
+}
+
+TEST(KPaths, CostsAreNonDecreasing) {
+  Rng rng(9);
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.add_node();
+  for (NodeId i = 0; i + 1 < 10; ++i) g.add_edge(i, i + 1, 0.9);
+  g.add_edge(0, 9, 0.3);
+  g.add_edge(0, 5, 0.8);
+  g.add_edge(5, 9, 0.8);
+  const auto paths = k_shortest_paths(g, 0, 9, 6);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
+  }
+}
+
+TEST(PathDiversity, DisjointAndOverlappingSets) {
+  const auto paths = k_shortest_paths(diamond(), 0, 3, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  // Via-a and via-b interiors are disjoint; the direct path has no
+  // interior. Full diversity.
+  EXPECT_DOUBLE_EQ(path_diversity(paths), 1.0);
+  // Duplicate the same route: zero diversity.
+  std::vector<Route> same{paths[0], paths[0]};
+  EXPECT_DOUBLE_EQ(path_diversity(same), 0.0);
+  // Single route: trivially diverse.
+  EXPECT_DOUBLE_EQ(path_diversity({paths[0]}), 1.0);
+}
+
+}  // namespace
+}  // namespace qntn::net

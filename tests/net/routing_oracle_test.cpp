@@ -1,0 +1,134 @@
+// Exhaustive oracle tests: on small random graphs, compare every router
+// (and Yen's enumeration) against brute-force enumeration of all simple
+// paths — the strongest correctness check available for the routing layer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/kpaths.hpp"
+#include "net/routing.hpp"
+
+namespace qntn::net {
+namespace {
+
+struct EnumeratedPath {
+  std::vector<NodeId> path;
+  double cost = 0.0;
+  double transmissivity = 1.0;
+};
+
+/// Depth-first enumeration of every simple path src -> dst.
+void enumerate(const Graph& g, NodeId current, NodeId dst, CostMetric metric,
+               std::vector<bool>& visited, EnumeratedPath& partial,
+               std::vector<EnumeratedPath>& out) {
+  if (current == dst) {
+    out.push_back(partial);
+    return;
+  }
+  // De-duplicate parallel edges by keeping the best per neighbour.
+  std::vector<std::pair<NodeId, double>> best;
+  for (const Adjacency& adj : g.neighbors(current)) {
+    bool merged = false;
+    for (auto& [to, eta] : best) {
+      if (to == adj.to) {
+        eta = std::max(eta, adj.transmissivity);
+        merged = true;
+      }
+    }
+    if (!merged) best.emplace_back(adj.to, adj.transmissivity);
+  }
+  for (const auto& [to, eta] : best) {
+    if (visited[to]) continue;
+    visited[to] = true;
+    EnumeratedPath saved = partial;
+    partial.path.push_back(to);
+    partial.cost += edge_cost(eta, metric);
+    partial.transmissivity *= eta;
+    enumerate(g, to, dst, metric, visited, partial, out);
+    partial = std::move(saved);
+    visited[to] = false;
+  }
+}
+
+std::vector<EnumeratedPath> all_paths(const Graph& g, NodeId src, NodeId dst,
+                                      CostMetric metric) {
+  std::vector<EnumeratedPath> out;
+  std::vector<bool> visited(g.node_count(), false);
+  visited[src] = true;
+  EnumeratedPath partial;
+  partial.path.push_back(src);
+  enumerate(g, src, dst, metric, visited, partial, out);
+  return out;
+}
+
+Graph random_graph(std::size_t n, double p, Rng& rng) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < p) g.add_edge(i, j, rng.uniform(0.1, 1.0));
+    }
+  }
+  return g;
+}
+
+class RoutingOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingOracle, AllRoutersMatchBruteForceOptimum) {
+  Rng rng(GetParam());
+  const Graph g = random_graph(8, 0.45, rng);
+  for (const auto metric :
+       {CostMetric::InverseEta, CostMetric::NegLogEta, CostMetric::HopCount}) {
+    const DistanceVectorRouter dv(g, metric);
+    for (NodeId src = 0; src < g.node_count(); ++src) {
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        if (src == dst) continue;
+        const auto paths = all_paths(g, src, dst, metric);
+        std::optional<double> oracle;
+        for (const EnumeratedPath& p : paths) {
+          oracle = oracle ? std::min(*oracle, p.cost) : p.cost;
+        }
+        const auto bf = bellman_ford(g, src, dst, metric);
+        const auto dj = dijkstra(g, src, dst, metric);
+        const auto dvr = dv.route(src, dst);
+        ASSERT_EQ(bf.has_value(), oracle.has_value());
+        ASSERT_EQ(dj.has_value(), oracle.has_value());
+        ASSERT_EQ(dvr.has_value(), oracle.has_value());
+        if (!oracle) continue;
+        EXPECT_NEAR(bf->cost, *oracle, 1e-9);
+        EXPECT_NEAR(dj->cost, *oracle, 1e-9);
+        EXPECT_NEAR(dvr->cost, *oracle, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(RoutingOracle, YenEnumerationMatchesBruteForceOrder) {
+  Rng rng(GetParam() + 1000);
+  const Graph g = random_graph(7, 0.5, rng);
+  const NodeId src = 0;
+  const NodeId dst = g.node_count() - 1;
+  auto paths = all_paths(g, src, dst, CostMetric::InverseEta);
+  std::sort(paths.begin(), paths.end(),
+            [](const EnumeratedPath& a, const EnumeratedPath& b) {
+              return a.cost < b.cost;
+            });
+  const std::size_t k = std::min<std::size_t>(paths.size(), 5);
+  const auto yen = k_shortest_paths(g, src, dst, 5, CostMetric::InverseEta);
+  ASSERT_EQ(yen.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Costs must match the brute-force ranking (ties permit different
+    // paths of equal cost).
+    EXPECT_NEAR(yen[i].cost, paths[i].cost, 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingOracle,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace qntn::net

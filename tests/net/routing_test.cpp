@@ -1,0 +1,200 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qntn::net {
+namespace {
+
+/// Two triangle paths: direct low-eta edge vs two-hop high-eta path.
+Graph triangle() {
+  Graph g;
+  g.add_node("s");
+  g.add_node("m");
+  g.add_node("d");
+  g.add_edge(0, 2, 0.4);  // direct but lossy
+  g.add_edge(0, 1, 0.9);
+  g.add_edge(1, 2, 0.9);
+  return g;
+}
+
+Graph random_graph(std::size_t n, double edge_prob, Rng& rng) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < edge_prob) {
+        g.add_edge(i, j, rng.uniform(0.05, 1.0));
+      }
+    }
+  }
+  return g;
+}
+
+TEST(EdgeCost, PaperMetricInverseEta) {
+  EXPECT_NEAR(edge_cost(0.5, CostMetric::InverseEta), 2.0, 1e-6);
+  // Epsilon prevents division by zero on dead links.
+  EXPECT_LT(edge_cost(0.0, CostMetric::InverseEta), 2e9);
+  EXPECT_GT(edge_cost(0.0, CostMetric::InverseEta), 1e8);
+}
+
+TEST(EdgeCost, AllMetricsNonNegativeAndDecreasingInEta) {
+  for (const auto metric :
+       {CostMetric::InverseEta, CostMetric::NegLogEta, CostMetric::HopCount}) {
+    double prev = 1e300;
+    for (double eta = 0.0; eta <= 1.0; eta += 0.05) {
+      const double c = edge_cost(eta, metric);
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, prev + 1e-12);
+      prev = c;
+    }
+  }
+  EXPECT_THROW((void)edge_cost(-0.1, CostMetric::InverseEta), PreconditionError);
+}
+
+TEST(BellmanFord, PrefersTwoGoodHopsUnderInverseEta) {
+  // Paper metric: cost(0.4) = 2.5 > cost(0.9)*2 = 2.22 -> two-hop wins.
+  const Graph g = triangle();
+  const auto route = bellman_ford(g, 0, 2, CostMetric::InverseEta);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_NEAR(route->transmissivity, 0.81, 1e-12);
+}
+
+TEST(BellmanFord, MetricChangesSelectedPath) {
+  // Make the direct edge good enough that InverseEta picks it while
+  // NegLogEta still prefers the higher-product two-hop path:
+  // eta products: direct 0.8 vs 0.9*0.9 = 0.81 (NegLogEta -> two hops);
+  // inverse-eta costs: direct 1.25 vs 2.22 (InverseEta -> direct).
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 2, 0.8);
+  g.add_edge(0, 1, 0.9);
+  g.add_edge(1, 2, 0.9);
+  const auto inverse = bellman_ford(g, 0, 2, CostMetric::InverseEta);
+  const auto neglog = bellman_ford(g, 0, 2, CostMetric::NegLogEta);
+  ASSERT_TRUE(inverse && neglog);
+  EXPECT_EQ(inverse->path.size(), 2u);
+  EXPECT_EQ(neglog->path.size(), 3u);
+  EXPECT_GT(neglog->transmissivity, inverse->transmissivity);
+}
+
+TEST(BellmanFord, UnreachableDestination) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_FALSE(bellman_ford(g, 0, 1).has_value());
+}
+
+TEST(BellmanFord, SourceEqualsDestination) {
+  Graph g;
+  g.add_node();
+  const auto route = bellman_ford(g, 0, 0);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->path, std::vector<NodeId>{0});
+  EXPECT_DOUBLE_EQ(route->cost, 0.0);
+  EXPECT_DOUBLE_EQ(route->transmissivity, 1.0);
+}
+
+TEST(BellmanFord, PicksBestOfParallelEdges) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, 0.3);
+  g.add_edge(0, 1, 0.95);
+  const auto route = bellman_ford(g, 0, 1);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_DOUBLE_EQ(route->transmissivity, 0.95);
+}
+
+TEST(Dijkstra, MatchesBellmanFordOnTriangle) {
+  const Graph g = triangle();
+  const auto bf = bellman_ford(g, 0, 2);
+  const auto dj = dijkstra(g, 0, 2);
+  ASSERT_TRUE(bf && dj);
+  EXPECT_NEAR(bf->cost, dj->cost, 1e-12);
+  EXPECT_EQ(bf->path, dj->path);
+}
+
+/// Oracle property: BF, Dijkstra, and the paper's distance-vector variant
+/// agree on optimal cost over random graphs, for every metric.
+class RouterAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterAgreement, AllRoutersAgreeOnCost) {
+  Rng rng(GetParam());
+  const Graph g = random_graph(14, 0.3, rng);
+  for (const auto metric :
+       {CostMetric::InverseEta, CostMetric::NegLogEta, CostMetric::HopCount}) {
+    const DistanceVectorRouter dv(g, metric);
+    for (NodeId src = 0; src < g.node_count(); src += 3) {
+      const ShortestPathTree tree = bellman_ford_tree(g, src, metric);
+      for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+        const auto bf = route_from_tree(g, tree, src, dst);
+        const auto dj = dijkstra(g, src, dst, metric);
+        const auto dvr = dv.route(src, dst);
+        ASSERT_EQ(bf.has_value(), dj.has_value());
+        ASSERT_EQ(bf.has_value(), dvr.has_value());
+        if (!bf) continue;
+        EXPECT_NEAR(bf->cost, dj->cost, 1e-9);
+        EXPECT_NEAR(bf->cost, dvr->cost, 1e-9);
+        // Path endpoints and contiguity.
+        EXPECT_EQ(bf->path.front(), src);
+        EXPECT_EQ(bf->path.back(), dst);
+        EXPECT_EQ(dvr->path.front(), src);
+        EXPECT_EQ(dvr->path.back(), dst);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(DistanceVectorRouter, TableSemantics) {
+  const Graph g = triangle();
+  const DistanceVectorRouter router(g);
+  const auto& table = router.table(0);
+  EXPECT_DOUBLE_EQ(table[0].cost, 0.0);                 // self
+  EXPECT_NEAR(table[1].cost, 1.0 / (0.9 + 1e-9), 1e-6);  // adjacent
+  ASSERT_TRUE(table[2].via.has_value());
+  EXPECT_EQ(*table[2].via, 1u);  // best path to d goes via m
+}
+
+TEST(DistanceVectorRouter, UnreachableEntriesStayInfinite) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  const DistanceVectorRouter router(g);
+  EXPECT_FALSE(router.table(0)[1].via.has_value());
+  EXPECT_FALSE(router.route(0, 1).has_value());
+}
+
+TEST(Route, TransmissivityIsEdgeProduct) {
+  Rng rng(99);
+  const Graph g = random_graph(10, 0.4, rng);
+  for (NodeId dst = 1; dst < g.node_count(); ++dst) {
+    const auto route = bellman_ford(g, 0, dst, CostMetric::NegLogEta);
+    if (!route) continue;
+    // NegLogEta: cost = -sum log eta => product = exp(-cost).
+    EXPECT_NEAR(route->transmissivity, std::exp(-route->cost), 1e-9);
+  }
+}
+
+TEST(Routing, LinearChainPathAndCost) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, 0.9);
+  const auto route = bellman_ford(g, 0, 4);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->path.size(), 5u);
+  EXPECT_NEAR(route->transmissivity, std::pow(0.9, 4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace qntn::net

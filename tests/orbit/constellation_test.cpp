@@ -1,0 +1,103 @@
+#include "orbit/constellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <set>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::orbit {
+namespace {
+
+TEST(Walker, CountsAndSpacing) {
+  const auto sats = walker_delta(6'871'000.0, deg_to_rad(53.0), 36, 6, 1);
+  ASSERT_EQ(sats.size(), 36u);
+  std::set<long> raans;
+  for (const KeplerianElements& el : sats) {
+    EXPECT_DOUBLE_EQ(el.semi_major_axis, 6'871'000.0);
+    EXPECT_DOUBLE_EQ(el.inclination, deg_to_rad(53.0));
+    EXPECT_DOUBLE_EQ(el.eccentricity, 0.0);
+    raans.insert(std::lround(rad_to_deg(el.raan)));
+  }
+  EXPECT_EQ(raans, (std::set<long>{0, 60, 120, 180, 240, 300}));
+}
+
+TEST(Walker, PhasingShiftsAnomalyBetweenPlanes) {
+  const auto f0 = walker_delta(7e6, 1.0, 12, 3, 0);
+  const auto f1 = walker_delta(7e6, 1.0, 12, 3, 1);
+  // Plane 0 is identical; plane 1 of f1 is shifted by 2*pi*f/t = 30 deg.
+  EXPECT_DOUBLE_EQ(f0[0].true_anomaly, f1[0].true_anomaly);
+  EXPECT_NEAR(f1[4].true_anomaly - f0[4].true_anomaly, kTwoPi / 12.0, 1e-12);
+}
+
+TEST(Walker, RejectsInvalidShape) {
+  EXPECT_THROW((void)walker_delta(7e6, 1.0, 35, 6, 0), PreconditionError);
+  EXPECT_THROW((void)walker_delta(7e6, 1.0, 36, 0, 0), PreconditionError);
+  EXPECT_THROW((void)walker_delta(7e6, 1.0, 36, 6, 6), PreconditionError);
+}
+
+TEST(QntnConstellation, PaperTableIIAnomalies) {
+  // Every plane hosts 6 satellites at anomalies 0,60,...,300 (Table II).
+  const auto sats = qntn_constellation(108);
+  ASSERT_EQ(sats.size(), 108u);
+  for (std::size_t plane = 0; plane < 18; ++plane) {
+    for (std::size_t s = 0; s < 6; ++s) {
+      EXPECT_NEAR(rad_to_deg(sats[plane * 6 + s].true_anomaly),
+                  static_cast<double>(s) * 60.0, 1e-9);
+    }
+  }
+}
+
+TEST(QntnConstellation, PaperPlaneRaanFillOrder) {
+  const auto& raans = qntn_plane_raans_deg();
+  ASSERT_EQ(raans.size(), 18u);
+  // Walker planes first (Section II-B)...
+  const std::vector<double> walker{0, 60, 120, 180, 240, 300};
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(raans[i], walker[i]);
+  // ...then all 18 planes cover every 20-degree slot exactly once.
+  std::set<long> all;
+  for (double r : raans) all.insert(std::lround(r));
+  std::set<long> expected;
+  for (long r = 0; r < 360; r += 20) expected.insert(r);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(QntnConstellation, TruncationTakesWholePlanesInOrder) {
+  const auto small = qntn_constellation(12);
+  ASSERT_EQ(small.size(), 12u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(rad_to_deg(small[i].raan), 0.0, 1e-9);
+    EXPECT_NEAR(rad_to_deg(small[6 + i].raan), 60.0, 1e-9);
+  }
+  // Prefix property: the first 12 satellites of the 108 set are the 12 set.
+  const auto big = qntn_constellation(108);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(small[i].raan, big[i].raan);
+    EXPECT_DOUBLE_EQ(small[i].true_anomaly, big[i].true_anomaly);
+  }
+}
+
+TEST(QntnConstellation, AltitudeIs500Km) {
+  for (const KeplerianElements& el : qntn_constellation(6)) {
+    EXPECT_DOUBLE_EQ(el.semi_major_axis, 6'871'000.0);  // Re + 500 km (paper)
+    EXPECT_DOUBLE_EQ(el.inclination, deg_to_rad(53.0));
+  }
+}
+
+TEST(QntnConstellation, RejectsInvalidSizes) {
+  EXPECT_THROW((void)qntn_constellation(0), PreconditionError);
+  EXPECT_THROW((void)qntn_constellation(7), PreconditionError);
+  EXPECT_THROW((void)qntn_constellation(114), PreconditionError);
+}
+
+TEST(QntnConstellation, AllSizesOfThePaperSweepAreValid) {
+  for (std::size_t n = 6; n <= 108; n += 6) {
+    EXPECT_EQ(qntn_constellation(n).size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace qntn::orbit

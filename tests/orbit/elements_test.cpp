@@ -1,0 +1,107 @@
+#include "orbit/elements.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+
+namespace qntn::orbit {
+namespace {
+
+KeplerianElements qntn_orbit(double nu = 0.0) {
+  KeplerianElements el;
+  el.semi_major_axis = 6'871'000.0;
+  el.eccentricity = 0.0;
+  el.inclination = deg_to_rad(53.0);
+  el.raan = deg_to_rad(60.0);
+  el.arg_perigee = 0.0;
+  el.true_anomaly = nu;
+  return el;
+}
+
+TEST(Elements, PeriodMatchesKeplersThirdLaw) {
+  const KeplerianElements el = qntn_orbit();
+  // T = 2 pi sqrt(a^3/mu): about 94.6 minutes for a 500 km orbit.
+  EXPECT_NEAR(el.period() / 60.0, 94.6, 0.2);
+  EXPECT_NEAR(el.mean_motion() * el.period(), kTwoPi, 1e-9);
+}
+
+TEST(Elements, CircularOrbitRadiusEqualsSemiMajorAxis) {
+  for (double nu = 0.0; nu < kTwoPi; nu += 0.5) {
+    const StateVector s = elements_to_state(qntn_orbit(nu));
+    EXPECT_NEAR(s.position.norm(), 6'871'000.0, 1e-3);
+  }
+}
+
+TEST(Elements, CircularOrbitSpeedIsVisViva) {
+  const StateVector s = elements_to_state(qntn_orbit(1.0));
+  const double v_circ = std::sqrt(kEarthMu / 6'871'000.0);
+  EXPECT_NEAR(s.velocity.norm(), v_circ, 1e-6);
+  // Velocity perpendicular to position on a circular orbit.
+  EXPECT_NEAR(s.position.dot(s.velocity), 0.0, 1.0);
+}
+
+TEST(Elements, InclinationRecoveredFromAngularMomentum) {
+  const StateVector s = elements_to_state(qntn_orbit(2.2));
+  const Vec3 h = s.position.cross(s.velocity);
+  const double inclination = std::acos(h.z / h.norm());
+  EXPECT_NEAR(inclination, deg_to_rad(53.0), 1e-12);
+}
+
+TEST(Elements, RaanRecoveredFromNodeVector) {
+  const StateVector s = elements_to_state(qntn_orbit(0.7));
+  const Vec3 h = s.position.cross(s.velocity);
+  const Vec3 node = Vec3{0.0, 0.0, 1.0}.cross(h);
+  const double raan = std::atan2(node.y, node.x);
+  EXPECT_NEAR(raan, deg_to_rad(60.0), 1e-12);
+}
+
+TEST(Elements, EllipticalPerigeeAndApogeeRadii) {
+  KeplerianElements el;
+  el.semi_major_axis = 10'000'000.0;
+  el.eccentricity = 0.3;
+  el.inclination = 0.5;
+  el.raan = 1.0;
+  el.arg_perigee = 0.4;
+  el.true_anomaly = 0.0;  // perigee
+  EXPECT_NEAR(elements_to_state(el).position.norm(),
+              el.semi_major_axis * (1.0 - el.eccentricity), 1e-3);
+  el.true_anomaly = kPi;  // apogee
+  EXPECT_NEAR(elements_to_state(el).position.norm(),
+              el.semi_major_axis * (1.0 + el.eccentricity), 1e-3);
+}
+
+TEST(Elements, SpecificOrbitalEnergyMatchesVisViva) {
+  KeplerianElements el;
+  el.semi_major_axis = 8'000'000.0;
+  el.eccentricity = 0.2;
+  el.inclination = 1.0;
+  el.true_anomaly = 1.7;
+  const StateVector s = elements_to_state(el);
+  const double energy =
+      0.5 * s.velocity.norm_sq() - kEarthMu / s.position.norm();
+  EXPECT_NEAR(energy, -kEarthMu / (2.0 * el.semi_major_axis), 1e-3);
+}
+
+TEST(Elements, EquatorialOrbitStaysInPlane) {
+  KeplerianElements el;
+  el.semi_major_axis = 7'000'000.0;
+  el.inclination = 0.0;
+  for (double nu = 0.0; nu < kTwoPi; nu += 0.9) {
+    el.true_anomaly = nu;
+    EXPECT_NEAR(elements_to_state(el).position.z, 0.0, 1e-6);
+  }
+}
+
+TEST(Elements, RejectsNonPositiveSemiMajorAxis) {
+  KeplerianElements el;
+  el.semi_major_axis = 0.0;
+  EXPECT_THROW((void)elements_to_state(el), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::orbit

@@ -1,0 +1,96 @@
+#include "orbit/ephemeris.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+#include "geo/frames.hpp"
+
+namespace qntn::orbit {
+namespace {
+
+TwoBodyPropagator qntn_sat() {
+  KeplerianElements el;
+  el.semi_major_axis = 6'871'000.0;
+  el.eccentricity = 0.0;
+  el.inclination = deg_to_rad(53.0);
+  el.raan = 0.0;
+  el.arg_perigee = 0.0;
+  el.true_anomaly = 0.0;
+  return TwoBodyPropagator(el);
+}
+
+TEST(Ephemeris, SampleCountForOneDayAt30s) {
+  const Ephemeris eph = Ephemeris::generate(qntn_sat(), 86'400.0, 30.0);
+  // 2880 intervals + the initial sample (the paper's STK movement sheets
+  // record positions every 30 seconds over a day).
+  EXPECT_EQ(eph.sample_count(), 2881u);
+  EXPECT_DOUBLE_EQ(eph.step(), 30.0);
+  EXPECT_DOUBLE_EQ(eph.duration(), 86'400.0);
+}
+
+TEST(Ephemeris, GridSamplesMatchPropagatorWithEarthRotation) {
+  const TwoBodyPropagator prop = qntn_sat();
+  const Ephemeris eph = Ephemeris::generate(prop, 3600.0, 30.0, 0.5);
+  for (double t : {0.0, 300.0, 1800.0, 3600.0}) {
+    const Vec3 expected =
+        geo::eci_to_ecef(prop.state_at(t).position, geo::gmst_at(t, 0.5));
+    EXPECT_NEAR(distance(eph.position_ecef(t), expected), 0.0, 1e-6) << t;
+  }
+}
+
+TEST(Ephemeris, InterpolationStaysNearOrbitShell) {
+  const Ephemeris eph = Ephemeris::generate(qntn_sat(), 3600.0, 30.0);
+  // Mid-sample queries: the 30 s chord is ~229 km, so linear interpolation
+  // sags below the shell by chord^2 / (8 r) ~ 0.9 km — 0.2% of the shortest
+  // link range, far below the FSO budget's sensitivity.
+  for (double t = 15.0; t < 3600.0; t += 150.0) {
+    const double sag = 6'871'000.0 - eph.position_ecef(t).norm();
+    EXPECT_GT(sag, 0.0);      // always sags inwards
+    EXPECT_LT(sag, 1'000.0);  // bounded by the chord geometry
+  }
+}
+
+TEST(Ephemeris, QueriesClampToSampledSpan) {
+  const Ephemeris eph = Ephemeris::generate(qntn_sat(), 600.0, 30.0);
+  EXPECT_NEAR(distance(eph.position_ecef(-100.0), eph.sample(0)), 0.0, 0.0);
+  EXPECT_NEAR(
+      distance(eph.position_ecef(1e9), eph.sample(eph.sample_count() - 1)), 0.0,
+      0.0);
+}
+
+TEST(Ephemeris, GroundTrackLatitudeBoundedByInclination) {
+  const Ephemeris eph = Ephemeris::generate(qntn_sat(), 86'400.0, 60.0);
+  double max_lat = 0.0;
+  for (double t = 0.0; t < 86'400.0; t += 120.0) {
+    max_lat = std::max(max_lat, std::fabs(eph.ground_point(t).latitude));
+  }
+  // Circular inclined orbit: |latitude| <= inclination (plus ellipsoid fuzz).
+  EXPECT_LT(max_lat, deg_to_rad(53.5));
+  EXPECT_GT(max_lat, deg_to_rad(52.0));  // and it actually reaches it
+}
+
+TEST(Ephemeris, GroundTrackAltitudeIsZero) {
+  const Ephemeris eph = Ephemeris::generate(qntn_sat(), 600.0, 30.0);
+  EXPECT_DOUBLE_EQ(eph.ground_point(120.0).altitude, 0.0);
+}
+
+TEST(Ephemeris, ExternallyProvidedSamples) {
+  std::vector<Vec3> samples{{1.0, 0.0, 0.0}, {2.0, 0.0, 0.0}, {3.0, 0.0, 0.0}};
+  const Ephemeris eph(std::move(samples), 10.0);
+  EXPECT_DOUBLE_EQ(eph.position_ecef(5.0).x, 1.5);
+  EXPECT_DOUBLE_EQ(eph.position_ecef(10.0).x, 2.0);
+}
+
+TEST(Ephemeris, RejectsDegenerateInput) {
+  EXPECT_THROW((void)Ephemeris({{1, 0, 0}}, 30.0), PreconditionError);
+  EXPECT_THROW((void)Ephemeris({{1, 0, 0}, {2, 0, 0}}, 0.0), PreconditionError);
+  EXPECT_THROW((void)Ephemeris::generate(qntn_sat(), -1.0, 30.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::orbit

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+#include "orbit/elements.hpp"
+
+namespace qntn::orbit {
+namespace {
+
+TEST(Kepler, CircularOrbitIsIdentity) {
+  for (double m = -3.0; m <= 3.0; m += 0.37) {
+    EXPECT_NEAR(solve_kepler(m, 0.0), wrap_pi(m), 1e-15);
+  }
+}
+
+TEST(Kepler, KnownSolution) {
+  // Vallado example: M = 235.4 deg, e = 0.4 -> E = 220.512074767522 deg.
+  const double m = deg_to_rad(235.4);
+  const double e_anom = solve_kepler(m, 0.4);
+  EXPECT_NEAR(wrap_two_pi(e_anom), deg_to_rad(220.512074767522), 1e-9);
+}
+
+TEST(Kepler, RejectsHyperbolicEccentricity) {
+  EXPECT_THROW((void)solve_kepler(1.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)solve_kepler(1.0, -0.1), PreconditionError);
+}
+
+/// Residual property over an (e, M) grid, including extreme eccentricity.
+class KeplerGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(KeplerGrid, ResidualBelowTolerance) {
+  const auto [e, m] = GetParam();
+  const double e_anom = solve_kepler(m, e);
+  EXPECT_NEAR(e_anom - e * std::sin(e_anom), wrap_pi(m), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KeplerGrid,
+    ::testing::Combine(
+        ::testing::Values(0.0, 0.001, 0.1, 0.3, 0.5, 0.7, 0.9, 0.97, 0.99),
+        ::testing::Values(-3.1, -2.0, -1.0, -0.1, 0.0, 0.1, 0.5, 1.0, 2.0,
+                          3.0, 3.14, 6.0, 12.5)));
+
+/// Anomaly conversions must be mutually inverse.
+class AnomalyRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AnomalyRoundTrip, EccentricTrueEccentric) {
+  const auto [e, nu] = GetParam();
+  const double e_anom = true_to_eccentric_anomaly(nu, e);
+  const double nu_back = eccentric_to_true_anomaly(e_anom, e);
+  EXPECT_NEAR(wrap_pi(nu_back - nu), 0.0, 1e-12);
+}
+
+TEST_P(AnomalyRoundTrip, MeanAnomalyConsistentWithKeplerSolve) {
+  const auto [e, nu] = GetParam();
+  const double m = true_to_mean_anomaly(nu, e);
+  const double e_anom = solve_kepler(m, e);
+  EXPECT_NEAR(wrap_pi(eccentric_to_true_anomaly(e_anom, e) - nu), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnomalyRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5, 0.8),
+                       ::testing::Values(-3.0, -1.5, -0.5, 0.0, 0.5, 1.5,
+                                         2.5, 3.0)));
+
+TEST(Anomaly, ZeroAtPerigeeForAllEccentricities) {
+  for (double e : {0.0, 0.3, 0.9}) {
+    EXPECT_DOUBLE_EQ(true_to_eccentric_anomaly(0.0, e), 0.0);
+    EXPECT_DOUBLE_EQ(true_to_mean_anomaly(0.0, e), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace qntn::orbit

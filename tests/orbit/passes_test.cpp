@@ -1,0 +1,100 @@
+#include "orbit/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "geo/frames.hpp"
+#include "orbit/constellation.hpp"
+
+namespace qntn::orbit {
+namespace {
+
+const geo::Geodetic kCookeville = geo::Geodetic::from_degrees(36.18, -85.51, 0.0);
+
+Ephemeris day_ephemeris(std::size_t which = 0) {
+  const auto elements = qntn_constellation(6);
+  return Ephemeris::generate(TwoBodyPropagator(elements[which]), 86'400.0, 30.0);
+}
+
+TEST(Passes, LeoPassesExistAndAreShort) {
+  const Ephemeris eph = day_ephemeris();
+  const auto passes =
+      find_passes(eph, kCookeville, 86'400.0, deg_to_rad(20.0));
+  ASSERT_GT(passes.size(), 0u);
+  for (const Pass& pass : passes) {
+    EXPECT_LT(pass.aos, pass.los);
+    EXPECT_GE(pass.culmination, pass.aos);
+    EXPECT_LE(pass.culmination, pass.los);
+    // A 500 km pass above 20 deg lasts minutes, not hours.
+    EXPECT_LT(pass.duration(), 12.0 * 60.0);
+    EXPECT_GT(pass.duration(), 10.0);
+    EXPECT_GE(pass.max_elevation, deg_to_rad(20.0));
+    EXPECT_LE(pass.max_elevation, deg_to_rad(90.0) + 1e-9);
+  }
+}
+
+TEST(Passes, RefinedCrossingsSitOnTheMask) {
+  const Ephemeris eph = day_ephemeris();
+  const double mask = deg_to_rad(25.0);
+  const auto passes = find_passes(eph, kCookeville, 86'400.0, mask);
+  ASSERT_GT(passes.size(), 0u);
+  for (const Pass& pass : passes) {
+    if (pass.aos > 0.0) {  // interior crossing, not clipped at t = 0
+      const double el =
+          geo::look_angles(kCookeville, eph.position_ecef(pass.aos)).elevation;
+      EXPECT_NEAR(el, mask, 1e-3) << "aos";
+    }
+    if (pass.los < 86'400.0) {
+      const double el =
+          geo::look_angles(kCookeville, eph.position_ecef(pass.los)).elevation;
+      EXPECT_NEAR(el, mask, 1e-3) << "los";
+    }
+  }
+}
+
+TEST(Passes, HigherMaskMeansFewerShorterPasses) {
+  const Ephemeris eph = day_ephemeris();
+  const auto low = find_passes(eph, kCookeville, 86'400.0, deg_to_rad(10.0));
+  const auto high = find_passes(eph, kCookeville, 86'400.0, deg_to_rad(45.0));
+  const PassStatistics low_stats = summarize_passes(low);
+  const PassStatistics high_stats = summarize_passes(high);
+  EXPECT_GT(low_stats.total_contact, high_stats.total_contact);
+  EXPECT_GE(low_stats.count, high_stats.count);
+  if (high_stats.count > 0) {
+    EXPECT_LT(high_stats.mean_duration, low_stats.mean_duration);
+  }
+}
+
+TEST(Passes, PassesAreDisjointAndOrdered) {
+  const Ephemeris eph = day_ephemeris(3);
+  const auto passes = find_passes(eph, kCookeville, 86'400.0, deg_to_rad(20.0));
+  for (std::size_t i = 1; i < passes.size(); ++i) {
+    EXPECT_GT(passes[i].aos, passes[i - 1].los);
+  }
+}
+
+TEST(Passes, EmptyWhenMaskUnreachable) {
+  const Ephemeris eph = day_ephemeris();
+  // An 89.9 deg mask is (essentially) never met.
+  const auto passes =
+      find_passes(eph, kCookeville, 86'400.0, deg_to_rad(89.9));
+  EXPECT_TRUE(passes.empty());
+}
+
+TEST(Passes, SummaryOfEmptyListIsZero) {
+  const PassStatistics stats = summarize_passes({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_contact, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_duration, 0.0);
+}
+
+TEST(Passes, RejectsBadArguments) {
+  const Ephemeris eph = day_ephemeris();
+  EXPECT_THROW((void)find_passes(eph, kCookeville, 0.0, 0.3), PreconditionError);
+  EXPECT_THROW((void)find_passes(eph, kCookeville, 100.0, 0.3, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::orbit

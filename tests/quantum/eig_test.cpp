@@ -1,0 +1,121 @@
+#include "quantum/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+const Complex kI{0.0, 1.0};
+
+Matrix random_hermitian(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = rng.normal(0.0, 1.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Complex v{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+      m(i, j) = v;
+      m(j, i) = std::conj(v);
+    }
+  }
+  return m;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix m{{3.0, 0.0}, {0.0, -1.0}};
+  const EigenDecomposition eig = eigen_hermitian(m);
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, PauliX) {
+  const Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const EigenDecomposition eig = eigen_hermitian(x);
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, PauliYComplexEntries) {
+  const Matrix y{{0.0, -kI}, {kI, 0.0}};
+  const EigenDecomposition eig = eigen_hermitian(y);
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, RejectsNonHermitian) {
+  const Matrix m{{0.0, 1.0}, {2.0, 0.0}};
+  EXPECT_THROW((void)eigen_hermitian(m), PreconditionError);
+  EXPECT_THROW((void)eigen_hermitian(Matrix(2, 3)), PreconditionError);
+}
+
+/// Reconstruction property over random Hermitian matrices of varying size.
+class EigenReconstruction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenReconstruction, VLambdaVDaggerEqualsInput) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (int round = 0; round < 5; ++round) {
+    const Matrix m = random_hermitian(GetParam(), rng);
+    const EigenDecomposition eig = eigen_hermitian(m);
+    // Eigenvector matrix is unitary.
+    EXPECT_TRUE(eig.eigenvectors.is_unitary(1e-9));
+    // Reconstruct: V diag(lambda) V^dagger.
+    Matrix lambda(m.rows(), m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i) lambda(i, i) = eig.eigenvalues[i];
+    const Matrix rebuilt =
+        eig.eigenvectors * lambda * eig.eigenvectors.dagger();
+    EXPECT_LT(rebuilt.max_abs_diff(m), 1e-9);
+    // Eigenvalues ascending.
+    for (std::size_t i = 0; i + 1 < m.rows(); ++i) {
+      EXPECT_LE(eig.eigenvalues[i], eig.eigenvalues[i + 1]);
+    }
+    // Trace preserved.
+    double sum = 0.0;
+    for (double lam : eig.eigenvalues) sum += lam;
+    EXPECT_NEAR(sum, m.trace().real(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstruction,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+TEST(SqrtPsd, SquaresBackToInput) {
+  Rng rng(42);
+  for (int round = 0; round < 5; ++round) {
+    const Matrix h = random_hermitian(4, rng);
+    const Matrix psd = h * h.dagger();  // guaranteed PSD
+    const Matrix root = sqrt_psd(psd);
+    EXPECT_TRUE(root.is_hermitian(1e-8));
+    EXPECT_LT((root * root).max_abs_diff(psd), 1e-8);
+  }
+}
+
+TEST(SqrtPsd, IdentityAndZero) {
+  EXPECT_LT(sqrt_psd(Matrix::identity(3)).max_abs_diff(Matrix::identity(3)),
+            1e-12);
+  const Matrix zero(2, 2);
+  EXPECT_LT(sqrt_psd(zero).max_abs_diff(zero), 1e-12);
+}
+
+TEST(SqrtPsd, ToleratesTinyNegativeEigenvalues) {
+  Matrix m{{1.0, 0.0}, {0.0, -1e-12}};
+  EXPECT_NO_THROW(sqrt_psd(m));
+}
+
+TEST(SqrtPsd, RejectsIndefiniteMatrix) {
+  const Matrix m{{1.0, 0.0}, {0.0, -0.5}};
+  EXPECT_THROW((void)sqrt_psd(m), PreconditionError);
+}
+
+TEST(SpectralApply, SquareFunctionMatchesProduct) {
+  Rng rng(5);
+  const Matrix h = random_hermitian(3, rng);
+  const Matrix squared = spectral_apply(h, [](double x) { return x * x; });
+  EXPECT_LT(squared.max_abs_diff(h * h), 1e-9);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

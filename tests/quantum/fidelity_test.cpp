@@ -1,0 +1,165 @@
+#include "quantum/fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Fidelity, IdenticalStatesGiveOne) {
+  const Matrix rho = werner_state(0.7);
+  for (const auto conv : {FidelityConvention::Jozsa, FidelityConvention::Uhlmann}) {
+    EXPECT_NEAR(fidelity(rho, rho, conv), 1.0, 1e-9);
+  }
+}
+
+TEST(Fidelity, OrthogonalPureStatesGiveZero) {
+  const Matrix a = pure_density(bell_state(BellState::PhiPlus));
+  const Matrix b = pure_density(bell_state(BellState::PsiMinus));
+  EXPECT_NEAR(fidelity(a, b, FidelityConvention::Jozsa), 0.0, 1e-9);
+}
+
+TEST(Fidelity, SymmetricInArguments) {
+  const Matrix a = werner_state(0.9);
+  const Matrix b = werner_state(0.3);
+  EXPECT_NEAR(fidelity(a, b, FidelityConvention::Uhlmann),
+              fidelity(b, a, FidelityConvention::Uhlmann), 1e-9);
+}
+
+TEST(Fidelity, PureVsMixedClosedForm) {
+  // F_jozsa(|psi>, rho) = <psi|rho|psi>; for Werner w against PhiPlus this
+  // is w + (1-w)/4.
+  const ColumnVector psi = bell_state(BellState::PhiPlus);
+  for (double w : {0.0, 0.4, 0.8, 1.0}) {
+    const Matrix rho = werner_state(w);
+    const double expected = w + (1.0 - w) / 4.0;
+    EXPECT_NEAR(fidelity_to_pure(rho, psi, FidelityConvention::Jozsa), expected,
+                1e-12);
+    EXPECT_NEAR(fidelity(rho, pure_density(psi), FidelityConvention::Jozsa),
+                expected, 1e-9);
+  }
+}
+
+TEST(Fidelity, UhlmannIsSquareRootOfJozsa) {
+  const Matrix a = werner_state(0.85);
+  const Matrix b = werner_state(0.35);
+  const double jozsa = fidelity(a, b, FidelityConvention::Jozsa);
+  const double uhlmann = fidelity(a, b, FidelityConvention::Uhlmann);
+  EXPECT_NEAR(uhlmann * uhlmann, jozsa, 1e-9);
+}
+
+/// The paper's Fig. 5 relationship, full pipeline vs closed form.
+class DampedBellFidelity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DampedBellFidelity, MatrixPipelineMatchesClosedForm) {
+  const double eta = GetParam();
+  const Matrix rho = transmit_bell_half(eta);
+  const ColumnVector ideal = bell_state(BellState::PhiPlus);
+  for (const auto conv : {FidelityConvention::Jozsa, FidelityConvention::Uhlmann}) {
+    const double via_matrix = fidelity_to_pure(rho, ideal, conv);
+    const double via_general = fidelity(rho, pure_density(ideal), conv);
+    const double closed = bell_fidelity_after_damping(eta, conv);
+    EXPECT_NEAR(via_matrix, closed, 1e-9) << "eta=" << eta;
+    // The general path takes sqrt of near-zero eigenvalues, which amplifies
+    // the Jacobi residual; ~1e-8 absolute is its double-precision accuracy.
+    EXPECT_NEAR(via_general, closed, 5e-8) << "eta=" << eta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaGrid, DampedBellFidelity,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.7, 0.8,
+                                           0.9, 0.99, 1.0));
+
+TEST(Fidelity, PaperOperatingPoints) {
+  // The paper's Fig. 5 reading: eta = 0.7 gives > 90% fidelity. True under
+  // the Uhlmann convention (0.918), false under Jozsa (0.843) — the
+  // discrepancy documented in DESIGN.md §1.
+  EXPECT_GT(bell_fidelity_after_damping(0.7, FidelityConvention::Uhlmann), 0.9);
+  EXPECT_LT(bell_fidelity_after_damping(0.7, FidelityConvention::Jozsa), 0.9);
+  EXPECT_NEAR(bell_fidelity_after_damping(0.7, FidelityConvention::Uhlmann),
+              (1.0 + std::sqrt(0.7)) / 2.0, 1e-15);
+}
+
+TEST(Fidelity, MonotoneIncreasingInTransmissivity) {
+  double prev = -1.0;
+  for (double eta = 0.0; eta <= 1.0; eta += 0.01) {
+    const double f =
+        bell_fidelity_after_damping(eta, FidelityConvention::Uhlmann);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(
+      bell_fidelity_after_damping(1.0, FidelityConvention::Uhlmann), 1.0);
+  EXPECT_DOUBLE_EQ(
+      bell_fidelity_after_damping(0.0, FidelityConvention::Uhlmann), 0.5);
+}
+
+TEST(TraceDistance, BasicProperties) {
+  const Matrix a = pure_density(basis_state(1, 0));
+  const Matrix b = pure_density(basis_state(1, 1));
+  EXPECT_NEAR(trace_distance(a, b), 1.0, 1e-12);  // orthogonal pure states
+  EXPECT_NEAR(trace_distance(a, a), 0.0, 1e-12);
+  // Fuchs-van de Graaf: 1 - F_uhlmann <= T <= sqrt(1 - F_jozsa).
+  const Matrix w1 = werner_state(0.9);
+  const Matrix w2 = werner_state(0.5);
+  const double t = trace_distance(w1, w2);
+  const double fu = fidelity(w1, w2, FidelityConvention::Uhlmann);
+  const double fj = fidelity(w1, w2, FidelityConvention::Jozsa);
+  EXPECT_GE(t + 1e-9, 1.0 - fu);
+  EXPECT_LE(t - 1e-9, std::sqrt(1.0 - fj));
+}
+
+TEST(Concurrence, BellStatesAreMaximallyEntangled) {
+  for (const BellState s : {BellState::PhiPlus, BellState::PhiMinus,
+                            BellState::PsiPlus, BellState::PsiMinus}) {
+    EXPECT_NEAR(concurrence(pure_density(bell_state(s))), 1.0, 1e-9);
+  }
+}
+
+TEST(Concurrence, SeparableStatesHaveZero) {
+  EXPECT_NEAR(concurrence(maximally_mixed(2)), 0.0, 1e-9);
+  const Matrix product =
+      pure_density(basis_state(1, 0)).kron(pure_density(basis_state(1, 1)));
+  EXPECT_NEAR(concurrence(product), 0.0, 1e-9);
+}
+
+TEST(Concurrence, WernerClosedForm) {
+  // C(w) = max(0, (3w-1)/2) for Werner states.
+  for (double w : {0.0, 0.2, 1.0 / 3.0, 0.5, 0.8, 1.0}) {
+    const double expected = std::max(0.0, (3.0 * w - 1.0) / 2.0);
+    EXPECT_NEAR(concurrence(werner_state(w)), expected, 1e-8) << "w=" << w;
+  }
+}
+
+TEST(Negativity, DetectsEntanglement) {
+  EXPECT_NEAR(negativity(pure_density(bell_state(BellState::PhiPlus))), 0.5,
+              1e-9);
+  EXPECT_NEAR(negativity(maximally_mixed(2)), 0.0, 1e-9);
+  // Werner states are entangled iff w > 1/3.
+  EXPECT_GT(negativity(werner_state(0.5)), 1e-6);
+  EXPECT_NEAR(negativity(werner_state(0.3)), 0.0, 1e-9);
+}
+
+TEST(Negativity, DampedBellPairStaysEntangledForPositiveEta) {
+  for (double eta : {0.1, 0.5, 0.9}) {
+    EXPECT_GT(negativity(transmit_bell_half(eta)), 0.0) << eta;
+  }
+  // Fully damped: separable.
+  EXPECT_NEAR(negativity(transmit_bell_half(0.0)), 0.0, 1e-9);
+}
+
+TEST(Fidelity, RejectsShapeMismatch) {
+  EXPECT_THROW((void)
+      fidelity(maximally_mixed(1), maximally_mixed(2), FidelityConvention::Jozsa),
+      PreconditionError);
+  EXPECT_THROW((void)bell_fidelity_after_damping(1.5, FidelityConvention::Jozsa),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

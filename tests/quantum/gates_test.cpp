@@ -1,0 +1,113 @@
+#include "quantum/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Gates, PauliAlgebra) {
+  const Matrix x = pauli_x(), y = pauli_y(), z = pauli_z();
+  // X^2 = Y^2 = Z^2 = I, and XY = iZ.
+  EXPECT_LT((x * x).max_abs_diff(Matrix::identity(2)), 1e-15);
+  EXPECT_LT((y * y).max_abs_diff(Matrix::identity(2)), 1e-15);
+  EXPECT_LT((z * z).max_abs_diff(Matrix::identity(2)), 1e-15);
+  EXPECT_LT((x * y).max_abs_diff(z * Complex(0.0, 1.0)), 1e-15);
+  for (const Matrix& g : {x, y, z, hadamard()}) {
+    EXPECT_TRUE(g.is_unitary());
+    EXPECT_TRUE(g.is_hermitian());
+  }
+}
+
+TEST(Gates, HadamardCreatesEqualSuperposition) {
+  const Matrix rho = apply_unitary(hadamard(), pure_density(basis_state(1, 0)));
+  EXPECT_NEAR(rho(0, 0).real(), 0.5, 1e-15);
+  EXPECT_NEAR(rho(1, 1).real(), 0.5, 1e-15);
+  EXPECT_NEAR(rho(0, 1).real(), 0.5, 1e-15);
+}
+
+TEST(Gates, PhaseAndRotationAreUnitary) {
+  for (double angle : {0.0, 0.3, kPi / 2.0, kPi, 4.0}) {
+    EXPECT_TRUE(phase(angle).is_unitary());
+    EXPECT_TRUE(rotation_x(angle).is_unitary());
+  }
+  // Rx(2*pi) = -I (spinor double cover): density matrices are unchanged.
+  const Matrix rho = pure_density(basis_state(1, 1));
+  EXPECT_LT(apply_unitary(rotation_x(2.0 * kPi), rho).max_abs_diff(rho), 1e-12);
+}
+
+TEST(Gates, LiftSingleMatchesKron) {
+  const Matrix x = pauli_x();
+  const Matrix lifted = lift_single(x, 2, 0);
+  EXPECT_LT(lifted.max_abs_diff(x.kron(Matrix::identity(2))), 1e-15);
+  const Matrix lifted1 = lift_single(x, 2, 1);
+  EXPECT_LT(lifted1.max_abs_diff(Matrix::identity(2).kron(x)), 1e-15);
+  EXPECT_THROW((void)lift_single(x, 2, 2), PreconditionError);
+  EXPECT_THROW((void)lift_single(Matrix::identity(4), 2, 0), PreconditionError);
+}
+
+TEST(Gates, CnotTruthTable) {
+  const Matrix gate = cnot(2, 0, 1);
+  EXPECT_TRUE(gate.is_unitary());
+  // |00> -> |00>, |01> -> |01>, |10> -> |11>, |11> -> |10>.
+  const std::size_t expected[] = {0, 1, 3, 2};
+  for (std::size_t in = 0; in < 4; ++in) {
+    const Matrix out = gate * basis_state(2, in);
+    EXPECT_NEAR(std::abs(out(expected[in], 0)), 1.0, 1e-15) << in;
+  }
+}
+
+TEST(Gates, CnotReversedControl) {
+  const Matrix gate = cnot(2, 1, 0);  // control = LSB qubit
+  // |01> -> |11>, |11> -> |01>.
+  EXPECT_NEAR(std::abs((gate * basis_state(2, 1))(3, 0)), 1.0, 1e-15);
+  EXPECT_NEAR(std::abs((gate * basis_state(2, 3))(1, 0)), 1.0, 1e-15);
+  EXPECT_THROW((void)cnot(2, 0, 0), PreconditionError);
+}
+
+TEST(Gates, HadamardCnotMakesBellPair) {
+  // The canonical circuit: H on qubit 0 then CNOT(0 -> 1) on |00>.
+  Matrix rho = pure_density(basis_state(2, 0));
+  rho = apply_unitary(lift_single(hadamard(), 2, 0), rho);
+  rho = apply_unitary(cnot(2, 0, 1), rho);
+  EXPECT_LT(rho.max_abs_diff(pure_density(bell_state(BellState::PhiPlus))),
+            1e-12);
+}
+
+TEST(Measurement, DeterministicOnBasisStates) {
+  const Matrix rho = pure_density(basis_state(2, 2));  // |10>
+  const MeasurementBranches on_q0 = measure_qubit(rho, 0);
+  EXPECT_NEAR(on_q0.one.probability, 1.0, 1e-15);
+  EXPECT_NEAR(on_q0.zero.probability, 0.0, 1e-15);
+  const MeasurementBranches on_q1 = measure_qubit(rho, 1);
+  EXPECT_NEAR(on_q1.zero.probability, 1.0, 1e-15);
+}
+
+TEST(Measurement, BellPairGivesCorrelatedOutcomes) {
+  const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
+  const MeasurementBranches first = measure_qubit(rho, 0);
+  EXPECT_NEAR(first.zero.probability, 0.5, 1e-15);
+  EXPECT_NEAR(first.one.probability, 0.5, 1e-15);
+  // After measuring qubit 0 as 0, qubit 1 must also read 0.
+  const MeasurementBranches second = measure_qubit(first.zero.post_state, 1);
+  EXPECT_NEAR(second.zero.probability, 1.0, 1e-12);
+}
+
+TEST(Measurement, ProbabilitiesSumToOneAndStatesValid) {
+  const Matrix rho = werner_state(0.6);
+  for (std::size_t q : {0u, 1u}) {
+    const MeasurementBranches branches = measure_qubit(rho, q);
+    EXPECT_NEAR(branches.zero.probability + branches.one.probability, 1.0,
+                1e-12);
+    EXPECT_TRUE(is_density_matrix(branches.zero.post_state, 1e-9));
+    EXPECT_TRUE(is_density_matrix(branches.one.post_state, 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace qntn::quantum

@@ -1,0 +1,110 @@
+#include "quantum/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+const Complex kI{0.0, 1.0};
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.is_square());
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), Complex(5.0, 0.0));
+  EXPECT_EQ(m(0, 0), Complex(0.0, 0.0));
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, kI}};
+  EXPECT_EQ(m(0, 1), Complex(2.0, 0.0));
+  EXPECT_EQ(m(1, 1), kI);
+  EXPECT_THROW((void)(Matrix{{1.0}, {1.0, 2.0}}), PreconditionError);
+}
+
+TEST(Matrix, IdentityAndTrace) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id.trace(), Complex(3.0, 0.0));
+  EXPECT_TRUE(id.is_hermitian());
+  EXPECT_TRUE(id.is_unitary());
+  EXPECT_THROW((void)Matrix(2, 3).trace(), PreconditionError);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), Complex(5.0, 0.0));
+  EXPECT_EQ(sum(1, 1), Complex(5.0, 0.0));
+  const Matrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), Complex(-3.0, 0.0));
+  const Matrix scaled = a * Complex(2.0, 0.0);
+  EXPECT_EQ(scaled(1, 0), Complex(6.0, 0.0));
+  EXPECT_THROW((void)(a + Matrix(3, 3)), PreconditionError);
+}
+
+TEST(Matrix, ProductAgainstKnownResult) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};  // Pauli X
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab(0, 0), Complex(2.0, 0.0));
+  EXPECT_EQ(ab(0, 1), Complex(1.0, 0.0));
+  EXPECT_EQ(ab(1, 0), Complex(4.0, 0.0));
+  EXPECT_EQ(ab(1, 1), Complex(3.0, 0.0));
+  EXPECT_THROW((void)(a * Matrix(3, 3)), PreconditionError);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+  const Matrix m{{1.0, kI}, {2.0 * kI, 3.0}};
+  const Matrix d = m.dagger();
+  EXPECT_EQ(d(0, 1), Complex(0.0, -2.0));
+  EXPECT_EQ(d(1, 0), Complex(0.0, -1.0));
+  EXPECT_EQ(d(1, 1), Complex(3.0, 0.0));
+}
+
+TEST(Matrix, KroneckerProduct) {
+  const Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix id = Matrix::identity(2);
+  const Matrix xi = x.kron(id);
+  EXPECT_EQ(xi.rows(), 4u);
+  // X ⊗ I swaps the two 2x2 blocks.
+  EXPECT_EQ(xi(0, 2), Complex(1.0, 0.0));
+  EXPECT_EQ(xi(1, 3), Complex(1.0, 0.0));
+  EXPECT_EQ(xi(0, 0), Complex(0.0, 0.0));
+  // Mixed-product property: (A⊗B)(C⊗D) = (AC)⊗(BD).
+  const Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  const Matrix b{{0.0, kI}, {1.0, 0.0}};
+  const Matrix lhs = a.kron(b) * a.kron(b);
+  const Matrix rhs = (a * a).kron(b * b);
+  EXPECT_LT(lhs.max_abs_diff(rhs), 1e-14);
+}
+
+TEST(Matrix, HermitianAndUnitaryPredicates) {
+  const Matrix y{{0.0, -kI}, {kI, 0.0}};  // Pauli Y: Hermitian and unitary
+  EXPECT_TRUE(y.is_hermitian());
+  EXPECT_TRUE(y.is_unitary());
+  const Matrix not_h{{0.0, 1.0}, {2.0, 0.0}};
+  EXPECT_FALSE(not_h.is_hermitian());
+  EXPECT_FALSE(Matrix(2, 3).is_hermitian());
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, OuterProductOfVectors) {
+  const ColumnVector v = column_vector({1.0, kI});
+  const Matrix p = outer(v, v);
+  EXPECT_EQ(p(0, 0), Complex(1.0, 0.0));
+  EXPECT_EQ(p(0, 1), Complex(0.0, -1.0));  // 1 * conj(i)
+  EXPECT_EQ(p(1, 0), kI);
+  EXPECT_TRUE(p.is_hermitian());
+}
+
+}  // namespace
+}  // namespace qntn::quantum

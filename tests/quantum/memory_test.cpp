@@ -1,0 +1,96 @@
+#include "quantum/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Memory, NoTimeNoDecoherence) {
+  const MemoryModel memory;
+  EXPECT_DOUBLE_EQ(memory.relaxation_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(memory.dephasing_probability(0.0), 0.0);
+  const Matrix rho = transmit_bell_half(0.8);
+  EXPECT_LT(memory.store(rho, 1, 0.0).max_abs_diff(rho), 1e-12);
+}
+
+TEST(Memory, RelaxationFollowsT1) {
+  MemoryModel memory;
+  memory.t1 = 2.0;
+  memory.t2 = 1.0;
+  EXPECT_NEAR(memory.relaxation_survival(2.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Memory, T2LimitedDephasing) {
+  MemoryModel memory;
+  memory.t1 = 1.0;
+  memory.t2 = 0.5;
+  EXPECT_GT(memory.dephasing_probability(0.2), 0.0);
+  // At the T2 = 2 T1 limit all dephasing comes from relaxation.
+  MemoryModel limit;
+  limit.t1 = 1.0;
+  limit.t2 = 2.0;
+  EXPECT_DOUBLE_EQ(limit.dephasing_probability(5.0), 0.0);
+}
+
+TEST(Memory, StoredStateStaysPhysical) {
+  const MemoryModel memory;
+  Matrix rho = transmit_bell_half(0.9);
+  for (double t : {0.01, 0.1, 1.0, 5.0}) {
+    rho = memory.store(transmit_bell_half(0.9), 1, t);
+    EXPECT_TRUE(is_density_matrix(rho, 1e-9)) << t;
+  }
+}
+
+TEST(Memory, ClosedFormMatchesDensityMatrixPath) {
+  const MemoryModel memory;
+  for (double eta : {0.6, 0.8, 0.95}) {
+    for (double t : {0.0, 0.05, 0.3, 1.0}) {
+      const Matrix rho = memory.store(transmit_bell_half(eta), 1, t);
+      const double direct = fidelity_to_pure(
+          rho, bell_state(BellState::PhiPlus), FidelityConvention::Uhlmann);
+      EXPECT_NEAR(memory.stored_pair_fidelity(eta, t), direct, 1e-10)
+          << "eta=" << eta << " t=" << t;
+    }
+  }
+}
+
+TEST(Memory, FidelityMonotoneDecreasingInStorageTime) {
+  const MemoryModel memory;
+  double previous = 1.1;
+  for (double t = 0.0; t <= 2.0; t += 0.1) {
+    const double f = memory.stored_pair_fidelity(0.9, t);
+    EXPECT_LT(f, previous);
+    previous = f;
+  }
+}
+
+TEST(Memory, LongStorageApproachesClassicalFloor) {
+  const MemoryModel memory;
+  // Fully decohered + relaxed: the state drifts towards |00><00| whose
+  // PhiPlus overlap is 1/2 -> F_uhlmann -> sqrt(1/2) ~ 0.707... but with
+  // eta damping the |10> component also dies; pin the asymptote.
+  const double f_inf = memory.stored_pair_fidelity(0.9, 1e6);
+  EXPECT_NEAR(f_inf, std::sqrt(0.25), 1e-6);
+}
+
+TEST(Memory, RejectsUnphysicalParameters) {
+  MemoryModel bad;
+  bad.t1 = 1.0;
+  bad.t2 = 3.0;  // > 2 T1
+  EXPECT_THROW((void)bad.relaxation_survival(1.0), PreconditionError);
+  MemoryModel negative;
+  negative.t1 = -1.0;
+  EXPECT_THROW((void)negative.dephasing_probability(1.0), PreconditionError);
+  const MemoryModel ok;
+  EXPECT_THROW((void)ok.relaxation_survival(-0.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

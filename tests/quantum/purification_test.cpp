@@ -1,0 +1,138 @@
+#include "quantum/purification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Twirl, PreservesPhiPlusFidelityAndMakesWerner) {
+  const Matrix rho = transmit_bell_half(0.7);
+  const double f_before = fidelity_to_pure(rho, bell_state(BellState::PhiPlus),
+                                           FidelityConvention::Jozsa);
+  const Matrix twirled = twirl_to_werner(rho);
+  EXPECT_TRUE(is_density_matrix(twirled));
+  const double f_after = fidelity_to_pure(
+      twirled, bell_state(BellState::PhiPlus), FidelityConvention::Jozsa);
+  EXPECT_NEAR(f_after, f_before, 1e-12);
+  // Werner form: the three non-PhiPlus Bell coefficients are equal.
+  const auto coeffs = bell_diagonal_coefficients(twirled);
+  EXPECT_NEAR(coeffs[1], coeffs[2], 1e-12);
+  EXPECT_NEAR(coeffs[2], coeffs[3], 1e-12);
+}
+
+/// BBPSSW matrix-level protocol vs the published closed form, over a grid
+/// of Werner fidelities.
+class BbpsswClosedForm : public ::testing::TestWithParam<double> {};
+
+TEST_P(BbpsswClosedForm, MatchesRecurrence) {
+  const double w = GetParam();
+  // Werner weight w has PhiPlus fidelity F = w + (1-w)/4.
+  const double f = w + (1.0 - w) / 4.0;
+  const PurificationRound round = bbpssw_round(werner_state(w));
+  EXPECT_NEAR(round.success_probability, bbpssw_success(f), 1e-10);
+  const double f_out = fidelity_to_pure(
+      round.state, bell_state(BellState::PhiPlus), FidelityConvention::Jozsa);
+  EXPECT_NEAR(f_out, bbpssw_fidelity(f), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(WernerGrid, BbpsswClosedForm,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0));
+
+TEST(Bbpssw, ImprovesFidelityAboveOneHalf) {
+  // The BBPSSW fixed points are F = 1/4... 1 with improvement for F > 1/2.
+  for (double f : {0.55, 0.7, 0.9, 0.99}) {
+    EXPECT_GT(bbpssw_fidelity(f), f) << f;
+  }
+  EXPECT_NEAR(bbpssw_fidelity(1.0), 1.0, 1e-12);
+  // Below 1/2 it does not help.
+  EXPECT_LT(bbpssw_fidelity(0.4), 0.5);
+}
+
+TEST(Bbpssw, PerfectInputSucceedsDeterministically) {
+  const PurificationRound round =
+      bbpssw_round(pure_density(bell_state(BellState::PhiPlus)));
+  EXPECT_NEAR(round.success_probability, 1.0, 1e-12);
+  EXPECT_NEAR(round.fidelity, 1.0, 1e-9);
+}
+
+TEST(Dejmps, PairingMattersOnDampedPairs) {
+  // Amplitude-damped pairs have their smallest Bell coefficient on
+  // PhiMinus, which the *plain* circuit pairs with PhiPlus; the published
+  // DEJMPS rotations pair PhiPlus with PsiMinus instead and barely move
+  // the fidelity here. Both facts are pinned (and optimal_bell_round must
+  // therefore select the plain pairing).
+  const Matrix rho = transmit_bell_half(0.7);
+  const double f_in = fidelity_to_pure(rho, bell_state(BellState::PhiPlus),
+                                       FidelityConvention::Uhlmann);
+  const PurificationRound rotated = dejmps_round(rho);
+  const PurificationRound plain = bbpssw_round(rho);
+  EXPECT_NEAR(rotated.fidelity, f_in, 2e-3);  // DEJMPS ~neutral here
+  EXPECT_GT(plain.fidelity, f_in + 0.03);     // plain pairing purifies
+  EXPECT_TRUE(is_density_matrix(rotated.state, 1e-8));
+  const PurificationRound best = optimal_bell_round(rho);
+  EXPECT_DOUBLE_EQ(best.fidelity, plain.fidelity);
+}
+
+TEST(Optimal, ImprovesDampedPairFidelity) {
+  for (double eta : {0.6, 0.7, 0.85}) {
+    const Matrix rho = transmit_bell_half(eta);
+    const double f_in = fidelity_to_pure(
+        rho, bell_state(BellState::PhiPlus), FidelityConvention::Uhlmann);
+    const PurificationRound round = optimal_bell_round(rho);
+    EXPECT_GT(round.fidelity, f_in) << "eta=" << eta;
+    EXPECT_GT(round.success_probability, 0.25);
+    EXPECT_LE(round.success_probability, 1.0 + 1e-12);
+  }
+}
+
+TEST(BellDiagonal, RoundTripThroughCoefficients) {
+  const std::vector<double> coeffs{0.7, 0.15, 0.1, 0.05};
+  const Matrix rho = bell_diagonal(coeffs);
+  EXPECT_TRUE(is_density_matrix(rho));
+  const auto back = bell_diagonal_coefficients(rho);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(back[i], coeffs[i], 1e-12);
+  }
+  EXPECT_THROW((void)bell_diagonal({0.5, 0.5}), PreconditionError);
+  EXPECT_THROW((void)bell_diagonal({0.5, 0.5, 0.5, 0.5}), PreconditionError);
+}
+
+TEST(Ladder, FidelityMonotoneAndCostGrows) {
+  const Matrix rho = transmit_bell_half(0.75);
+  const auto steps =
+      purification_ladder(rho, 4, PurificationProtocol::Optimal);
+  ASSERT_GE(steps.size(), 2u);
+  EXPECT_EQ(steps.front().round, 0u);
+  EXPECT_DOUBLE_EQ(steps.front().expected_cost, 1.0);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GT(steps[i].fidelity, steps[i - 1].fidelity);
+    EXPECT_GT(steps[i].expected_cost, steps[i - 1].expected_cost);
+    EXPECT_GE(steps[i].expected_cost,
+              2.0 * steps[i - 1].expected_cost);  // >= 2 pairs per round
+  }
+}
+
+TEST(Ladder, ReachesApplicationGradeFidelityFromThresholdPair) {
+  // A 2-hop QNTN relay at the 0.7 threshold yields eta = 0.49; can nested
+  // purification lift it to F >= 0.99? (The extension question the bench
+  // plots.)
+  const Matrix rho = transmit_bell_half(0.49);
+  const auto steps =
+      purification_ladder(rho, 8, PurificationProtocol::Optimal);
+  EXPECT_GT(steps.back().fidelity, 0.99);
+}
+
+TEST(Ladder, BbpsswVariantAlsoConverges) {
+  const Matrix rho = transmit_bell_half(0.8);
+  const auto steps = purification_ladder(rho, 5, PurificationProtocol::Bbpssw);
+  ASSERT_GE(steps.size(), 2u);
+  EXPECT_GT(steps.back().fidelity, steps.front().fidelity);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

@@ -1,0 +1,129 @@
+#include "quantum/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(State, QubitCount) {
+  EXPECT_EQ(qubit_count(Matrix::identity(2)), 1u);
+  EXPECT_EQ(qubit_count(Matrix::identity(4)), 2u);
+  EXPECT_EQ(qubit_count(Matrix::identity(8)), 3u);
+  EXPECT_THROW((void)qubit_count(Matrix::identity(3)), PreconditionError);
+  EXPECT_THROW((void)qubit_count(Matrix::identity(1)), PreconditionError);
+}
+
+TEST(State, BasisStates) {
+  const ColumnVector v = basis_state(2, 3);  // |11>
+  EXPECT_EQ(v.rows(), 4u);
+  EXPECT_EQ(v(3, 0), Complex(1.0, 0.0));
+  EXPECT_EQ(v(0, 0), Complex(0.0, 0.0));
+  EXPECT_THROW((void)basis_state(2, 4), PreconditionError);
+}
+
+TEST(State, BellStatesAreNormalizedAndOrthogonal) {
+  const BellState all[] = {BellState::PhiPlus, BellState::PhiMinus,
+                           BellState::PsiPlus, BellState::PsiMinus};
+  for (const BellState a : all) {
+    const ColumnVector va = bell_state(a);
+    EXPECT_NEAR(va.frobenius_norm(), 1.0, 1e-15);
+    for (const BellState b : all) {
+      const Matrix ip = va.dagger() * bell_state(b);
+      EXPECT_NEAR(std::abs(ip(0, 0)), a == b ? 1.0 : 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(State, PureDensityProperties) {
+  const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
+  EXPECT_TRUE(is_density_matrix(rho));
+  EXPECT_NEAR(purity(rho), 1.0, 1e-12);
+  // Known entries of |Phi+><Phi+|.
+  EXPECT_NEAR(rho(0, 0).real(), 0.5, 1e-15);
+  EXPECT_NEAR(rho(0, 3).real(), 0.5, 1e-15);
+  EXPECT_NEAR(rho(1, 1).real(), 0.0, 1e-15);
+}
+
+TEST(State, PureDensityNormalizesInput) {
+  const ColumnVector unnormalized = column_vector({2.0, 0.0});
+  const Matrix rho = pure_density(unnormalized);
+  EXPECT_NEAR(rho.trace().real(), 1.0, 1e-15);
+}
+
+TEST(State, WernerFamily) {
+  EXPECT_LT(werner_state(1.0).max_abs_diff(
+                pure_density(bell_state(BellState::PhiPlus))),
+            1e-15);
+  EXPECT_LT(werner_state(0.0).max_abs_diff(maximally_mixed(2)), 1e-15);
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_TRUE(is_density_matrix(werner_state(w)));
+  }
+  EXPECT_THROW((void)werner_state(1.5), PreconditionError);
+}
+
+TEST(State, MaximallyMixedPurity) {
+  EXPECT_NEAR(purity(maximally_mixed(1)), 0.5, 1e-15);
+  EXPECT_NEAR(purity(maximally_mixed(2)), 0.25, 1e-15);
+}
+
+TEST(State, PartialTraceOfBellPairIsMaximallyMixed) {
+  const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
+  for (std::size_t q : {0u, 1u}) {
+    const Matrix reduced = partial_trace_qubit(rho, q);
+    EXPECT_LT(reduced.max_abs_diff(maximally_mixed(1)), 1e-15);
+  }
+}
+
+TEST(State, PartialTraceOfProductState) {
+  // |0><0| ⊗ |1><1|: tracing qubit 1 (LSB side) leaves |0><0|.
+  const Matrix rho0 = pure_density(basis_state(1, 0));
+  const Matrix rho1 = pure_density(basis_state(1, 1));
+  const Matrix product = rho0.kron(rho1);
+  EXPECT_LT(partial_trace_qubit(product, 1).max_abs_diff(rho0), 1e-15);
+  EXPECT_LT(partial_trace_qubit(product, 0).max_abs_diff(rho1), 1e-15);
+}
+
+TEST(State, PartialTracePreservesTrace) {
+  const Matrix rho = werner_state(0.37);
+  EXPECT_NEAR(partial_trace_qubit(rho, 0).trace().real(), 1.0, 1e-12);
+}
+
+TEST(State, PartialTransposeIsInvolution) {
+  const Matrix rho = werner_state(0.6);
+  const Matrix ptpt = partial_transpose_qubit(partial_transpose_qubit(rho, 1), 1);
+  EXPECT_LT(ptpt.max_abs_diff(rho), 1e-15);
+}
+
+TEST(State, PartialTransposeOfProductStateIsHarmless) {
+  const Matrix rho = pure_density(basis_state(1, 0)).kron(maximally_mixed(1));
+  // Product states stay PSD under partial transposition.
+  EXPECT_TRUE(is_density_matrix(partial_transpose_qubit(rho, 1)));
+}
+
+TEST(State, IsDensityMatrixRejectsBadInputs) {
+  EXPECT_FALSE(is_density_matrix(Matrix::identity(4)));  // trace 4
+  Matrix not_psd{{1.5, 0.0}, {0.0, -0.5}};
+  EXPECT_FALSE(is_density_matrix(not_psd));
+  Matrix not_herm{{0.5, 1.0}, {0.0, 0.5}};
+  EXPECT_FALSE(is_density_matrix(not_herm));
+}
+
+TEST(State, ThreeQubitPartialTrace) {
+  // GHZ state: tracing any qubit leaves a classical mixture of |00>,|11>.
+  ColumnVector ghz(8, 1);
+  ghz(0, 0) = 1.0 / std::sqrt(2.0);
+  ghz(7, 0) = 1.0 / std::sqrt(2.0);
+  const Matrix rho = pure_density(ghz);
+  const Matrix reduced = partial_trace_qubit(rho, 0);
+  EXPECT_EQ(reduced.rows(), 4u);
+  EXPECT_NEAR(reduced(0, 0).real(), 0.5, 1e-15);
+  EXPECT_NEAR(reduced(3, 3).real(), 0.5, 1e-15);
+  EXPECT_NEAR(std::abs(reduced(0, 3)), 0.0, 1e-15);  // coherence lost
+}
+
+}  // namespace
+}  // namespace qntn::quantum

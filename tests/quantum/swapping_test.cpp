@@ -1,0 +1,87 @@
+#include "quantum/swapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Swap, TwoPerfectPairsYieldAPerfectPair) {
+  const Matrix perfect = pure_density(bell_state(BellState::PhiPlus));
+  const SwapResult result = entanglement_swap(perfect, perfect);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_LT(result.state.max_abs_diff(perfect), 1e-9);
+}
+
+TEST(Swap, OutputIsAValidState) {
+  const SwapResult result =
+      entanglement_swap(transmit_bell_half(0.8), werner_state(0.9));
+  EXPECT_TRUE(is_density_matrix(result.state, 1e-8));
+}
+
+TEST(Swap, WernerPairsComposeMultiplicatively) {
+  // Known result: swapping Werner(w1) with Werner(w2) gives Werner(w1*w2).
+  for (const auto& [w1, w2] : {std::pair{0.9, 0.8}, {1.0, 0.7}, {0.6, 0.6}}) {
+    const SwapResult result =
+        entanglement_swap(werner_state(w1), werner_state(w2));
+    EXPECT_LT(result.state.max_abs_diff(werner_state(w1 * w2)), 1e-9)
+        << w1 << " x " << w2;
+  }
+}
+
+TEST(Swap, SymmetricInItsArguments) {
+  const Matrix a = transmit_bell_half(0.75);
+  const Matrix b = werner_state(0.85);
+  const SwapResult ab = entanglement_swap(a, b);
+  const SwapResult ba = entanglement_swap(b, a);
+  EXPECT_NEAR(ab.fidelity, ba.fidelity, 1e-9);
+}
+
+TEST(Swap, DampedPairsMatchTheProductShortcutExactly) {
+  // The simulator's shortcut treats a two-hop path as AD(eta1*eta2).
+  // Swapping two damped pairs yields a *different state* (the lost
+  // population lands symmetrically on |01> and |10> instead of only |10>),
+  // but its PhiPlus fidelity equals the shortcut's exactly — the shortcut
+  // is fidelity-exact, not merely approximate.
+  for (const auto& [e1, e2] : {std::pair{0.9, 0.9}, {0.8, 0.95}, {0.7, 0.7},
+                               {0.5, 0.6}}) {
+    const SwapResult swapped = swap_damped_chain({e1, e2});
+    const double shortcut = bell_fidelity_after_damping(
+        e1 * e2, FidelityConvention::Uhlmann);
+    EXPECT_NEAR(swapped.fidelity, shortcut, 1e-12) << e1 << " x " << e2;
+    // ...while the states themselves differ unless a hop is lossless.
+    const Matrix direct = transmit_bell_half(e1 * e2);
+    EXPECT_GT(swapped.state.max_abs_diff(direct), 1e-3);
+  }
+}
+
+TEST(Swap, FidelityDegradesWithEveryHop) {
+  double previous = 1.0;
+  for (std::size_t hops = 1; hops <= 4; ++hops) {
+    const SwapResult result =
+        swap_damped_chain(std::vector<double>(hops, 0.9));
+    EXPECT_LT(result.fidelity, previous + 1e-12) << hops;
+    previous = result.fidelity;
+  }
+}
+
+TEST(Swap, SingleHopChainIsIdentity) {
+  const SwapResult result = swap_damped_chain({0.8});
+  EXPECT_NEAR(result.fidelity,
+              bell_fidelity_after_damping(0.8, FidelityConvention::Uhlmann),
+              1e-12);
+}
+
+TEST(Swap, RejectsWrongDimensions) {
+  EXPECT_THROW((void)entanglement_swap(Matrix::identity(2), werner_state(0.9)),
+               PreconditionError);
+  EXPECT_THROW((void)swap_chain({}), PreconditionError);
+  EXPECT_THROW((void)swap_damped_chain({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

@@ -1,0 +1,89 @@
+#include "quantum/teleportation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/channels.hpp"
+#include "quantum/fidelity.hpp"
+#include "quantum/state.hpp"
+
+namespace qntn::quantum {
+namespace {
+
+TEST(Teleport, PerfectPairTeleportsPerfectly) {
+  const Matrix pair = pure_density(bell_state(BellState::PhiPlus));
+  const double r = 1.0 / std::sqrt(2.0);
+  const Complex i{0.0, 1.0};
+  for (const ColumnVector& psi :
+       {column_vector({1.0, 0.0}), column_vector({r, r}),
+        column_vector({r, i * r}), column_vector({0.6, 0.8})}) {
+    EXPECT_NEAR(teleportation_fidelity(pair, psi), 1.0, 1e-10);
+    // Output equals input exactly.
+    EXPECT_LT(teleport(pair, psi).max_abs_diff(pure_density(psi)), 1e-10);
+  }
+  EXPECT_NEAR(average_teleportation_fidelity(pair), 1.0, 1e-10);
+}
+
+TEST(Teleport, OutputsAreValidStates) {
+  const Matrix pair = transmit_bell_half(0.7);
+  const Matrix out = teleport(pair, column_vector({0.8, 0.6}));
+  EXPECT_TRUE(is_density_matrix(out, 1e-9));
+}
+
+/// Textbook result: Werner resource of (Jozsa) fidelity F gives average
+/// teleportation fidelity (2F + 1)/3.
+class WernerTeleportation : public ::testing::TestWithParam<double> {};
+
+TEST_P(WernerTeleportation, AverageFidelityClosedForm) {
+  const double w = GetParam();
+  const double f = w + (1.0 - w) / 4.0;
+  const double expected = (2.0 * f + 1.0) / 3.0;
+  EXPECT_NEAR(average_teleportation_fidelity(werner_state(w)), expected, 1e-10)
+      << "w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WernerTeleportation,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+TEST(Teleport, ClassicalLimitAtZeroEntanglement) {
+  // The maximally mixed resource teleports nothing: output is independent
+  // of the input, average fidelity = 1/2 (below the 2/3 classical bound,
+  // since no classical strategy is even attempted).
+  EXPECT_NEAR(average_teleportation_fidelity(maximally_mixed(2)), 0.5, 1e-10);
+  // Werner at the separability edge (w = 1/3, F = 1/2) reaches exactly the
+  // classical limit 2/3.
+  EXPECT_NEAR(average_teleportation_fidelity(werner_state(1.0 / 3.0)),
+              kClassicalTeleportationLimit, 1e-10);
+}
+
+TEST(Teleport, DampedPairsMonotoneInTransmissivity) {
+  double prev = 0.0;
+  for (double eta : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double f = average_teleportation_fidelity(transmit_bell_half(eta));
+    EXPECT_GT(f, prev) << eta;
+    prev = f;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-10);
+}
+
+TEST(Teleport, QntnOperatingPointsBeatTheClassicalLimit) {
+  // The paper's threshold guarantees eta_path >= 0.49 on any served 2-hop
+  // relay; even that floor teleports better than any classical strategy.
+  EXPECT_GT(average_teleportation_fidelity(transmit_bell_half(0.49)),
+            kClassicalTeleportationLimit);
+  // Typical air-ground path (eta ~ 0.87).
+  EXPECT_GT(average_teleportation_fidelity(transmit_bell_half(0.87)), 0.9);
+}
+
+TEST(Teleport, RejectsBadInputs) {
+  EXPECT_THROW((void)teleport(Matrix::identity(2), column_vector({1.0, 0.0})),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)teleport(werner_state(0.9), column_vector({1.0, 0.0, 0.0, 0.0})),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::quantum

@@ -1,0 +1,80 @@
+#include "sim/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+TEST(Coverage, AirGroundCoversTheWholeDay) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  CoverageOptions options;
+  options.duration = 7200.0;  // shortened: the topology is static anyway
+  options.step = 60.0;
+  const CoverageResult result = analyze_coverage(model, topology, options);
+  EXPECT_DOUBLE_EQ(result.percent, 100.0);
+  EXPECT_DOUBLE_EQ(result.covered_seconds, 7200.0);
+  EXPECT_EQ(result.intervals.episode_count(), 1u);
+}
+
+TEST(Coverage, GroundOnlyNeverCovers) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  CoverageOptions options;
+  options.duration = 3600.0;
+  options.step = 300.0;
+  const CoverageResult result = analyze_coverage(model, topology, options);
+  EXPECT_DOUBLE_EQ(result.percent, 0.0);
+  EXPECT_EQ(result.intervals.episode_count(), 0u);
+}
+
+TEST(Coverage, AllLansConnectedSemantics) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  net::Graph g = topology.graph_at(0.0);
+  EXPECT_FALSE(all_lans_connected(model, g));
+  // Stitch the LANs together with two synthetic bridges.
+  g.add_edge(model.lan_nodes(0).front(), model.lan_nodes(1).front(), 1.0);
+  EXPECT_FALSE(all_lans_connected(model, g));  // third LAN still isolated
+  g.add_edge(model.lan_nodes(1).front(), model.lan_nodes(2).front(), 1.0);
+  EXPECT_TRUE(all_lans_connected(model, g));
+}
+
+TEST(Coverage, StepSeriesMatchesIntervalTotal) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const TopologyBuilder topology(model, config.link_policy());
+  CoverageOptions options;
+  options.duration = 14'400.0;
+  options.step = 120.0;
+  const CoverageResult result = analyze_coverage(model, topology, options);
+  std::size_t active = 0;
+  for (const auto flag : result.step_connected) active += flag;
+  EXPECT_EQ(result.step_connected.size(), 120u);
+  EXPECT_NEAR(result.covered_seconds, static_cast<double>(active) * 120.0, 1e-9);
+  EXPECT_NEAR(result.percent,
+              100.0 * result.covered_seconds / options.duration, 1e-12);
+}
+
+TEST(Coverage, RejectsBadOptions) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  CoverageOptions bad;
+  bad.duration = 0.0;
+  EXPECT_THROW((void)analyze_coverage(model, topology, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::sim

@@ -1,0 +1,87 @@
+#include "sim/daylight.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "common/units.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "sim/coverage.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+/// Subsolar longitude chosen so Tennessee (-85 deg) is at local noon at
+/// t = 0: the HAP/satellite links must be gated then.
+DaylightPolicy noon_over_tennessee() {
+  DaylightPolicy policy;
+  policy.sun.subsolar_longitude0 = deg_to_rad(-85.0);
+  return policy;
+}
+
+TEST(Daylight, GatesHapLinksAtLocalNoonOnly) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  const DaylightGatedTopology gated(base, model, noon_over_tennessee());
+
+  // Local noon: only the 170 fiber links remain.
+  EXPECT_EQ(gated.graph_at(0.0).edge_count(), 170u);
+  // Local midnight: all links restored.
+  EXPECT_EQ(gated.graph_at(43'200.0).edge_count(),
+            base.graph_at(43'200.0).edge_count());
+}
+
+TEST(Daylight, FiberNeverGated) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  const DaylightGatedTopology gated(base, model, noon_over_tennessee());
+  for (double t = 0.0; t < 86'400.0; t += 7'200.0) {
+    EXPECT_EQ(gated.graph_at(t).edge_count(), 170u) << t;
+  }
+}
+
+TEST(Daylight, HapGateCanBeDisabled) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  DaylightPolicy policy = noon_over_tennessee();
+  policy.gate_hap_links = false;
+  const DaylightGatedTopology gated(base, model, policy);
+  EXPECT_EQ(gated.graph_at(0.0).edge_count(), base.graph_at(0.0).edge_count());
+}
+
+TEST(Daylight, HalvesAirGroundCoverage) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  const DaylightGatedTopology gated(base, model, noon_over_tennessee());
+  CoverageOptions options;
+  options.duration = 86'400.0;
+  options.step = 600.0;
+  const CoverageResult result = analyze_coverage(model, gated, options);
+  // Equinox night fraction at Tennessee's latitude is just under half.
+  EXPECT_GT(result.percent, 38.0);
+  EXPECT_LT(result.percent, 52.0);
+}
+
+TEST(Daylight, SpaceGroundCoverageAlsoDrops) {
+  QntnConfig config;
+  config.day_duration = 86'400.0;
+  const NetworkModel model = core::build_space_ground_model(config, 36);
+  const TopologyBuilder base(model, config.link_policy());
+  const DaylightGatedTopology gated(base, model, noon_over_tennessee());
+  CoverageOptions options;
+  options.duration = 86'400.0;
+  options.step = 600.0;
+  const CoverageResult ungated = analyze_coverage(model, base, options);
+  const CoverageResult night_only = analyze_coverage(model, gated, options);
+  EXPECT_LT(night_only.percent, ungated.percent);
+  EXPECT_GT(night_only.percent, 0.0);
+}
+
+}  // namespace
+}  // namespace qntn::sim

@@ -1,0 +1,94 @@
+#include "sim/endurance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "sim/coverage.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+TEST(DutyCycle, AlwaysActiveWithoutDowntime) {
+  const DutyCycle cycle{3600.0, 0.0, 0.0};
+  for (double t : {0.0, 1e4, 1e6}) EXPECT_TRUE(cycle.active_at(t));
+  EXPECT_DOUBLE_EQ(cycle.availability(), 1.0);
+}
+
+TEST(DutyCycle, PeriodicPattern) {
+  // 60 s on, 30 s off.
+  const DutyCycle cycle{60.0, 30.0, 0.0};
+  EXPECT_TRUE(cycle.active_at(0.0));
+  EXPECT_TRUE(cycle.active_at(59.0));
+  EXPECT_FALSE(cycle.active_at(60.0));
+  EXPECT_FALSE(cycle.active_at(89.0));
+  EXPECT_TRUE(cycle.active_at(90.0));  // next period
+  EXPECT_NEAR(cycle.availability(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DutyCycle, PhaseShiftsTheCycle) {
+  const DutyCycle cycle{60.0, 30.0, 45.0};
+  EXPECT_TRUE(cycle.active_at(45.0));
+  EXPECT_FALSE(cycle.active_at(106.0));
+  // Negative local times wrap correctly.
+  EXPECT_FALSE(cycle.active_at(30.0));  // 30 - 45 = -15 -> 75 into period
+}
+
+TEST(DutyCycle, RejectsBadConfig) {
+  const DutyCycle bad{0.0, 10.0, 0.0};
+  EXPECT_THROW((void)bad.active_at(0.0), PreconditionError);
+  EXPECT_THROW((void)bad.availability(), PreconditionError);
+  const DutyCycle negative{10.0, -1.0, 0.0};
+  EXPECT_THROW((void)negative.active_at(0.0), PreconditionError);
+}
+
+TEST(DutyCycledTopology, RemovesOnlyAffectedLinksDuringDowntime) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  const DutyCycle cycle{3600.0, 3600.0, 0.0};  // on the first hour, off next
+  const DutyCycledTopology topology(base, {model.hap_ids().front()}, cycle);
+
+  const net::Graph active = topology.graph_at(100.0);
+  EXPECT_EQ(active.edge_count(), base.graph_at(100.0).edge_count());
+
+  const net::Graph down = topology.graph_at(3700.0);
+  EXPECT_EQ(down.edge_count(), 170u);  // fiber only: all HAP links gone
+  EXPECT_EQ(down.node_count(), active.node_count());  // node ids stable
+}
+
+TEST(DutyCycledTopology, ErodesAirGroundCoverageProportionally) {
+  // The paper's caveat quantified: a HAP that is down half the time can
+  // cover at most ~half the day.
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  const DutyCycle cycle{7200.0, 7200.0, 0.0};  // 50% availability
+  const DutyCycledTopology topology(base, {model.hap_ids().front()}, cycle);
+
+  CoverageOptions options;
+  options.duration = 86'400.0;
+  options.step = 600.0;
+  const CoverageResult result = analyze_coverage(model, topology, options);
+  EXPECT_NEAR(result.percent, 50.0, 2.0);
+  EXPECT_GT(result.intervals.episode_count(), 1u);  // fragmented coverage
+}
+
+TEST(DutyCycledTopology, UnaffectedNodesKeepTheirLinks) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder base(model, config.link_policy());
+  // Duty-cycle a ground node instead of the HAP: during downtime the HAP
+  // links of other nodes survive.
+  const DutyCycle cycle{10.0, 1e9, 0.0};  // down after t = 10 s forever
+  const DutyCycledTopology topology(base, {model.lan_nodes(0).front()}, cycle);
+  const net::Graph down = topology.graph_at(1000.0);
+  // Only edges touching that one node disappeared: 4 fiber + 1 HAP link.
+  EXPECT_EQ(down.edge_count(), base.graph_at(1000.0).edge_count() - 5u);
+}
+
+}  // namespace
+}  // namespace qntn::sim

@@ -1,0 +1,89 @@
+#include "sim/handover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+TEST(Handover, HapBridgesEveryPairWithoutHandover) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      const HandoverStats stats =
+          analyze_handovers(model, topology, a, b, 14'400.0, 300.0);
+      EXPECT_DOUBLE_EQ(stats.bridged_fraction(), 1.0);
+      EXPECT_EQ(stats.handovers, 0u);
+      EXPECT_EQ(stats.session_length.count(), 1u);  // one uninterrupted run
+    }
+  }
+}
+
+TEST(Handover, BridgingRelayIdentifiesTheHap) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const auto relay = bridging_relay(model, topology.graph_at(0.0), 0, 1);
+  ASSERT_TRUE(relay.has_value());
+  EXPECT_EQ(*relay, model.hap_ids().front());
+}
+
+TEST(Handover, GroundOnlyNetworkHasNoBridge) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  EXPECT_FALSE(bridging_relay(model, topology.graph_at(0.0), 0, 2).has_value());
+  const HandoverStats stats =
+      analyze_handovers(model, topology, 0, 2, 3'600.0, 600.0);
+  EXPECT_DOUBLE_EQ(stats.bridged_fraction(), 0.0);
+  EXPECT_EQ(stats.session_length.count(), 0u);
+}
+
+TEST(Handover, SatelliteSessionsAreShortAndHandOver) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 108);
+  const TopologyBuilder topology(model, config.link_policy());
+  const HandoverStats stats =
+      analyze_handovers(model, topology, 0, 1, 86'400.0, 60.0);
+  EXPECT_GT(stats.bridged_fraction(), 0.3);
+  EXPECT_LT(stats.bridged_fraction(), 0.9);
+  // Dozens of distinct sessions per day, each a few minutes (pass scale).
+  EXPECT_GT(stats.session_length.count(), 20u);
+  EXPECT_LT(stats.session_length.mean(), 15.0 * 60.0);
+  EXPECT_GT(stats.session_length.mean(), 30.0);
+}
+
+TEST(Handover, HybridPrefersItsAlwaysOnHap) {
+  QntnConfig config;
+  const NetworkModel model = core::build_hybrid_model(config, 36);
+  const TopologyBuilder topology(model, config.link_policy());
+  const HandoverStats stats =
+      analyze_handovers(model, topology, 0, 2, 14'400.0, 300.0);
+  EXPECT_DOUBLE_EQ(stats.bridged_fraction(), 1.0);
+  // The HAP's ~0.93 links beat satellite links only below ~0.93; handovers
+  // happen only when a satellite pass is strictly better on both legs —
+  // rare, so sessions stay long.
+  EXPECT_GT(stats.session_length.mean(), 600.0);
+}
+
+TEST(Handover, RejectsBadArguments) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  EXPECT_THROW((void)bridging_relay(model, topology.graph_at(0.0), 0, 0),
+               PreconditionError);
+  EXPECT_THROW((void)bridging_relay(model, topology.graph_at(0.0), 0, 7),
+               PreconditionError);
+  EXPECT_THROW((void)analyze_handovers(model, topology, 0, 1, 0.0, 60.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::sim

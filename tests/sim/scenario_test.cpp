@@ -1,0 +1,79 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+ScenarioConfig quick_config(const QntnConfig& config) {
+  ScenarioConfig sc = config.scenario_config();
+  sc.coverage.duration = 14'400.0;  // 4 hours
+  sc.coverage.step = 120.0;
+  sc.request_count = 30;
+  sc.request_steps = 10;
+  sc.request_step_interval = 1440.0;
+  return sc;
+}
+
+TEST(Scenario, AirGroundFullService) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const ScenarioResult result =
+      run_scenario(model, topology, quick_config(config));
+  EXPECT_DOUBLE_EQ(result.coverage.percent, 100.0);
+  EXPECT_DOUBLE_EQ(result.served_fraction, 1.0);
+  EXPECT_GT(result.fidelity.mean(), 0.9);
+  EXPECT_EQ(result.fidelity.count(), 300u);  // 30 requests x 10 steps
+  // A static topology serves identically at every step.
+  EXPECT_DOUBLE_EQ(result.served_per_step.min(), result.served_per_step.max());
+}
+
+TEST(Scenario, SpaceGroundPartialService) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const TopologyBuilder topology(model, config.link_policy());
+  const ScenarioResult result =
+      run_scenario(model, topology, quick_config(config));
+  EXPECT_LT(result.coverage.percent, 100.0);
+  EXPECT_LT(result.served_fraction, 1.0);
+  // Every served request meets the fidelity the threshold guarantees for a
+  // two-hop FSO relay: eta_path >= threshold^2.
+  if (result.fidelity.count() > 0) {
+    const double floor = quantum::bell_fidelity_after_damping(
+        0.7 * 0.7, quantum::FidelityConvention::Uhlmann);
+    EXPECT_GE(result.fidelity.min(), floor - 1e-9);
+  }
+}
+
+TEST(Scenario, StatsAggregateAcrossSteps) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  ScenarioConfig sc = quick_config(config);
+  sc.request_steps = 4;
+  const ScenarioResult result = run_scenario(model, topology, sc);
+  EXPECT_EQ(result.served_per_step.count(), 4u);
+  EXPECT_EQ(result.fidelity.count(), 30u * 4u);
+  EXPECT_EQ(result.hops.count(), result.fidelity.count());
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 6);
+  const TopologyBuilder topology(model, config.link_policy());
+  const ScenarioConfig sc = quick_config(config);
+  const ScenarioResult a = run_scenario(model, topology, sc);
+  const ScenarioResult b = run_scenario(model, topology, sc);
+  EXPECT_DOUBLE_EQ(a.coverage.percent, b.coverage.percent);
+  EXPECT_DOUBLE_EQ(a.served_fraction, b.served_fraction);
+  EXPECT_DOUBLE_EQ(a.fidelity.mean(), b.fidelity.mean());
+}
+
+}  // namespace
+}  // namespace qntn::sim

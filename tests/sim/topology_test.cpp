@@ -1,0 +1,165 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+TEST(Topology, GroundOnlyModelHasOnlyFiberMeshes) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const net::Graph g = topology.graph_at(0.0);
+  EXPECT_EQ(g.node_count(), 31u);  // 5 + 15 + 11 (Table I)
+  // Full meshes: C(5,2) + C(15,2) + C(11,2) = 10 + 105 + 55.
+  EXPECT_EQ(g.edge_count(), 170u);
+  // The three LANs stay disconnected from each other (fiber cannot span
+  // the inter-city distances at the 0.7 threshold).
+  EXPECT_FALSE(g.connected(model.lan_nodes(0).front(),
+                           model.lan_nodes(1).front()));
+  EXPECT_FALSE(g.connected(model.lan_nodes(0).front(),
+                           model.lan_nodes(2).front()));
+}
+
+TEST(Topology, LanTopologyVariants) {
+  QntnConfig config;
+  config.lan_topology = LanTopology::Chain;
+  const NetworkModel model = core::build_ground_model(config);
+  {
+    const TopologyBuilder topology(model, config.link_policy());
+    // Chains: 4 + 14 + 10 edges.
+    EXPECT_EQ(topology.graph_at(0.0).edge_count(), 28u);
+  }
+  config.lan_topology = LanTopology::Star;
+  {
+    const TopologyBuilder topology(model, config.link_policy());
+    EXPECT_EQ(topology.graph_at(0.0).edge_count(), 28u);  // same count, star
+  }
+}
+
+TEST(Topology, IntraLanFiberIsNearLossless) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  // The longest Table I span (ORNL, ~2 km) still loses < 0.35 dB.
+  const TopologyBuilder topology(model, config.link_policy());
+  for (const LinkRecord& link : topology.links_at(0.0)) {
+    EXPECT_GT(link.transmissivity, 0.9);
+  }
+}
+
+TEST(Topology, AirGroundLinksAreStaticAndAboveThreshold) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const net::Graph g0 = topology.graph_at(0.0);
+  const net::Graph g1 = topology.graph_at(43'200.0);
+  // Every ground node links to the HAP at any time: 170 fiber + 31 FSO.
+  EXPECT_EQ(g0.edge_count(), 201u);
+  EXPECT_EQ(g1.edge_count(), 201u);
+  // All LANs interconnected through the HAP.
+  EXPECT_TRUE(g0.connected(model.lan_nodes(0).front(),
+                           model.lan_nodes(2).front()));
+}
+
+TEST(Topology, HapLinkTransmissivityQueryable) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const net::NodeId hap = model.hap_ids().front();
+  const auto eta = topology.link_transmissivity(0, hap, 0.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_GT(*eta, config.transmissivity_threshold);
+  EXPECT_LT(*eta, 1.0);
+}
+
+TEST(Topology, SatelliteLinksComeAndGo) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 6);
+  const TopologyBuilder topology(model, config.link_policy());
+  // Over a day, a 6-satellite single-plane constellation must sometimes
+  // link the ground and sometimes not.
+  std::size_t with_links = 0, without_links = 0;
+  for (double t = 0.0; t < 86'400.0; t += 900.0) {
+    const std::size_t extra = topology.links_at(t).size() - 170u;
+    (extra > 0 ? with_links : without_links) += 1;
+  }
+  EXPECT_GT(with_links, 0u);
+  EXPECT_GT(without_links, 0u);
+}
+
+TEST(Topology, InterCityGroundPairsHaveNoChannel) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const net::NodeId ttu = model.lan_nodes(0).front();
+  const net::NodeId epb = model.lan_nodes(1).front();
+  EXPECT_FALSE(topology.link_transmissivity(ttu, epb, 0.0).has_value());
+  // Intra-LAN pairs do have fiber.
+  EXPECT_TRUE(topology
+                  .link_transmissivity(model.lan_nodes(0)[0],
+                                       model.lan_nodes(0)[1], 0.0)
+                  .has_value());
+}
+
+TEST(Topology, ThresholdGatesLinkEstablishment) {
+  QntnConfig strict;
+  strict.transmissivity_threshold = 0.999;  // nothing FSO passes
+  const NetworkModel model = core::build_air_ground_model(strict);
+  const TopologyBuilder topology(model, strict.link_policy());
+  // Only the shortest fiber spans survive; in particular no HAP links, so
+  // the edge count drops below the ground-only full mesh.
+  const net::Graph g = topology.graph_at(0.0);
+  EXPECT_LT(g.edge_count(), 170u);
+  for (const net::Edge& edge : g.edges()) {
+    EXPECT_GE(edge.transmissivity, 0.999);
+  }
+}
+
+TEST(Topology, ElevationMaskGatesHapLinks) {
+  QntnConfig high_mask;
+  high_mask.elevation_mask = deg_to_rad(45.0);  // HAP sits at ~22 deg
+  const NetworkModel model = core::build_air_ground_model(high_mask);
+  const TopologyBuilder topology(model, high_mask.link_policy());
+  EXPECT_EQ(topology.graph_at(0.0).edge_count(), 170u);
+}
+
+TEST(Topology, MixedTerminalConfigsRejected) {
+  const QntnConfig config;
+  NetworkModel model;
+  model.add_lan("A", {geo::Geodetic::from_degrees(36.0, -85.0, 0.0)},
+                {1.2, 1e-7});
+  model.add_lan("B", {geo::Geodetic::from_degrees(35.0, -85.0, 0.0)},
+                {0.6, 1e-7});  // different aperture in the same class
+  EXPECT_THROW((void)TopologyBuilder(model, config.link_policy()), PreconditionError);
+}
+
+TEST(Topology, HybridEnablesHapSatelliteLinks) {
+  QntnConfig config;
+  config.enable_hap_satellite = true;
+  const NetworkModel model = core::build_hybrid_model(config, 6);
+  const TopologyBuilder topology(model, config.link_policy());
+  const net::NodeId hap = model.hap_ids().front();
+  // At some point during the day a satellite passes above the HAP's mask;
+  // the query must return a value then (even if below threshold).
+  bool ever_visible = false;
+  for (double t = 0.0; t < 86'400.0 && !ever_visible; t += 300.0) {
+    for (const net::NodeId sat : model.satellite_ids()) {
+      if (topology.link_transmissivity(hap, sat, t).has_value()) {
+        ever_visible = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(ever_visible);
+}
+
+}  // namespace
+}  // namespace qntn::sim

@@ -1,0 +1,141 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+
+TrafficConfig light_load() {
+  TrafficConfig config;
+  config.duration = 600.0;
+  config.arrival_rate = 0.2;
+  config.node_capacity = 8;
+  return config;
+}
+
+TEST(Traffic, NoArrivalsNoActivity) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  TrafficConfig tc = light_load();
+  tc.arrival_rate = 0.0;
+  const TrafficResult result = run_traffic_simulation(model, topology, tc);
+  EXPECT_EQ(result.arrivals, 0u);
+  EXPECT_EQ(result.served, 0u);
+  EXPECT_DOUBLE_EQ(result.throughput(tc.duration), 0.0);
+}
+
+TEST(Traffic, DeterministicForFixedSeed) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const TrafficResult a = run_traffic_simulation(model, topology, light_load());
+  const TrafficResult b = run_traffic_simulation(model, topology, light_load());
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_DOUBLE_EQ(a.fidelity.mean(), b.fidelity.mean());
+}
+
+TEST(Traffic, LightLoadOnAirGroundServesEverything) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const TrafficResult result =
+      run_traffic_simulation(model, topology, light_load());
+  ASSERT_GT(result.arrivals, 50u);  // ~120 expected
+  EXPECT_EQ(result.served, result.arrivals);
+  EXPECT_EQ(result.dropped_no_path, 0u);
+  EXPECT_EQ(result.dropped_queue, 0u);
+  // Latency is dominated by the configured overhead plus ~ms of light time.
+  EXPECT_GT(result.latency.mean(), 0.01);
+  EXPECT_LT(result.latency.mean(), 0.02);
+  EXPECT_NEAR(result.waiting.mean(), 0.0, 1e-9);
+}
+
+TEST(Traffic, AccountingAlwaysBalances) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  for (double rate : {0.5, 5.0, 50.0}) {
+    TrafficConfig tc = light_load();
+    tc.duration = 120.0;
+    tc.arrival_rate = rate;
+    const TrafficResult result = run_traffic_simulation(model, topology, tc);
+    EXPECT_EQ(result.served + result.dropped_no_path + result.dropped_queue,
+              result.arrivals)
+        << rate;
+  }
+}
+
+TEST(Traffic, OverloadSaturatesAndQueues) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  TrafficConfig tc;
+  tc.duration = 120.0;
+  tc.arrival_rate = 200.0;   // far above the HAP's service capacity
+  tc.node_capacity = 2;
+  tc.service_overhead = 0.05;
+  const TrafficResult result = run_traffic_simulation(model, topology, tc);
+  EXPECT_GT(result.dropped_queue, 0u);
+  EXPECT_LT(result.served_fraction(), 0.5);
+  // Throughput is pinned near capacity / service_time = 2 / 0.05 = 40/s
+  // (the HAP is on every route).
+  EXPECT_NEAR(result.throughput(tc.duration), 40.0, 8.0);
+  if (result.waiting.count() > 0) {
+    EXPECT_GT(result.waiting.max(), 0.0);
+  }
+}
+
+TEST(Traffic, QueueingCostsFidelityThroughMemory) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  TrafficConfig relaxed = light_load();
+  TrafficConfig loaded = light_load();
+  loaded.arrival_rate = 100.0;
+  loaded.node_capacity = 2;
+  loaded.service_overhead = 0.05;
+  loaded.max_queue_delay = 2.0;
+  loaded.memory.t1 = 0.5;
+  loaded.memory.t2 = 0.2;
+  relaxed.memory = loaded.memory;
+  const TrafficResult fast = run_traffic_simulation(model, topology, relaxed);
+  const TrafficResult slow = run_traffic_simulation(model, topology, loaded);
+  ASSERT_GT(slow.served, 0u);
+  EXPECT_LT(slow.fidelity.mean(), fast.fidelity.mean());
+}
+
+TEST(Traffic, GroundOnlyNetworkDropsEverythingAsNoPath) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const TrafficResult result =
+      run_traffic_simulation(model, topology, light_load());
+  EXPECT_EQ(result.served, 0u);
+  EXPECT_EQ(result.dropped_no_path, result.arrivals);
+}
+
+TEST(Traffic, RejectsBadConfig) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  TrafficConfig bad = light_load();
+  bad.node_capacity = 0;
+  EXPECT_THROW((void)run_traffic_simulation(model, topology, bad),
+               PreconditionError);
+  bad = light_load();
+  bad.duration = 0.0;
+  EXPECT_THROW((void)run_traffic_simulation(model, topology, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::sim

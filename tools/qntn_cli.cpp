@@ -1,0 +1,132 @@
+// qntn_cli — one entry point for the library's studies.
+//
+//   qntn_cli config                      print the default configuration
+//   qntn_cli coverage N [cfg]            space-ground day at N satellites
+//   qntn_cli air [cfg]                   air-ground architecture
+//   qntn_cli hybrid N [cfg]              hybrid architecture at N satellites
+//   qntn_cli sweep [cfg]                 Figs. 6-8 full sweep
+//   qntn_cli traffic RATE [cfg]          Poisson traffic on the air-ground net
+//
+// [cfg] is an optional key = value file (see `qntn_cli config`); omitted
+// keys keep the calibrated paper defaults.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/config_io.hpp"
+#include "core/experiments.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace qntn;
+
+core::QntnConfig config_from(int argc, char** argv, int position) {
+  if (position < argc) return core::load_config(argv[position]);
+  return core::QntnConfig{};
+}
+
+int cmd_config() {
+  std::fputs(core::serialize_config(core::QntnConfig{}).c_str(), stdout);
+  return 0;
+}
+
+int cmd_coverage(std::size_t n, const core::QntnConfig& config) {
+  const core::SweepPoint point = core::evaluate_space_ground(config, n);
+  std::printf("space-ground @%zu satellites\n", n);
+  std::printf("  coverage  %.2f %%\n", point.coverage_percent);
+  std::printf("  served    %.2f %%\n", point.served_percent);
+  std::printf("  fidelity  %.4f (mean path eta %.4f, %.2f hops)\n",
+              point.mean_fidelity, point.mean_transmissivity, point.mean_hops);
+  return 0;
+}
+
+int cmd_air(const core::QntnConfig& config) {
+  const core::AirGroundResult air = core::evaluate_air_ground(config);
+  std::printf("air-ground\n");
+  std::printf("  coverage  %.2f %%\n  served    %.2f %%\n  fidelity  %.4f\n",
+              air.coverage_percent, air.served_percent, air.mean_fidelity);
+  return 0;
+}
+
+int cmd_hybrid(std::size_t n, core::QntnConfig config) {
+  config.enable_hap_satellite = true;
+  const core::SweepPoint point = core::evaluate_hybrid(config, n);
+  std::printf("hybrid @%zu satellites\n", n);
+  std::printf("  coverage  %.2f %%\n  served    %.2f %%\n  fidelity  %.4f\n",
+              point.coverage_percent, point.served_percent,
+              point.mean_fidelity);
+  return 0;
+}
+
+int cmd_sweep(const core::QntnConfig& config) {
+  ThreadPool pool;
+  const auto sweep =
+      core::space_ground_sweep(config, core::paper_constellation_sizes(), pool);
+  std::printf("%-6s %-10s %-10s %-10s\n", "sats", "cover%", "served%",
+              "fidelity");
+  for (const core::SweepPoint& p : sweep) {
+    std::printf("%-6zu %-10.2f %-10.2f %-10.4f\n", p.satellites,
+                p.coverage_percent, p.served_percent, p.mean_fidelity);
+  }
+  return 0;
+}
+
+int cmd_traffic(double rate, const core::QntnConfig& config) {
+  const sim::NetworkModel model = core::build_air_ground_model(config);
+  const sim::TopologyBuilder topology(model, config.link_policy());
+  sim::TrafficConfig tc;
+  tc.arrival_rate = rate;
+  tc.duration = 300.0;
+  const sim::TrafficResult result =
+      sim::run_traffic_simulation(model, topology, tc);
+  std::printf("traffic @%.1f req/s for %.0f s\n", rate, tc.duration);
+  std::printf("  arrivals   %zu\n  served     %zu (%.1f %%)\n",
+              result.arrivals, result.served,
+              100.0 * result.served_fraction());
+  std::printf("  dropped    %zu no-path, %zu queue\n", result.dropped_no_path,
+              result.dropped_queue);
+  if (result.served > 0) {
+    std::printf("  latency    %.2f ms mean (%.2f ms wait)\n",
+                result.latency.mean() * 1e3, result.waiting.mean() * 1e3);
+    std::printf("  fidelity   %.4f mean\n", result.fidelity.mean());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | "
+      "traffic RATE> [config-file]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "config") return cmd_config();
+    if (command == "air") return cmd_air(config_from(argc, argv, 2));
+    if (command == "sweep") return cmd_sweep(config_from(argc, argv, 2));
+    if (command == "coverage" && argc >= 3) {
+      return cmd_coverage(static_cast<std::size_t>(std::atoi(argv[2])),
+                          config_from(argc, argv, 3));
+    }
+    if (command == "hybrid" && argc >= 3) {
+      return cmd_hybrid(static_cast<std::size_t>(std::atoi(argv[2])),
+                        config_from(argc, argv, 3));
+    }
+    if (command == "traffic" && argc >= 3) {
+      return cmd_traffic(std::atof(argv[2]), config_from(argc, argv, 3));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

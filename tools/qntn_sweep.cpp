@@ -1,0 +1,39 @@
+// Quick scenario driver: runs the space-ground sweep (optionally a subset of
+// sizes) and the air-ground scenario, printing the Fig. 6/7/8 and Table III
+// quantities. Used during calibration; the bench/ binaries are the official
+// reproduction harnesses.
+//
+// Usage: qntn_sweep [n_sats ...]   (default: 36 72 108)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qntn;
+  core::QntnConfig config;
+
+  std::vector<std::size_t> sizes;
+  for (int i = 1; i < argc; ++i) {
+    sizes.push_back(static_cast<std::size_t>(std::atoi(argv[i])));
+  }
+  if (sizes.empty()) sizes = {36, 72, 108};
+
+  ThreadPool pool;
+  const auto sweep = core::space_ground_sweep(config, sizes, pool);
+  std::printf("%-6s %-10s %-10s %-10s %-10s %-6s\n", "sats", "cover%",
+              "served%", "fidelity", "eta", "hops");
+  for (const core::SweepPoint& p : sweep) {
+    std::printf("%-6zu %-10.2f %-10.2f %-10.4f %-10.4f %-6.2f\n", p.satellites,
+                p.coverage_percent, p.served_percent, p.mean_fidelity,
+                p.mean_transmissivity, p.mean_hops);
+  }
+
+  const core::AirGroundResult air = core::evaluate_air_ground(config);
+  std::printf("%-6s %-10.2f %-10.2f %-10.4f %-10.4f %-6.2f\n", "HAP",
+              air.coverage_percent, air.served_percent, air.mean_fidelity,
+              air.mean_transmissivity, air.mean_hops);
+  return 0;
+}
