@@ -1,0 +1,79 @@
+// Contact-plan control plane vs per-step rebuild on the Fig. 6 workload:
+// one simulated day of coverage analysis (graph_at + LAN connectivity every
+// 30 s) at each paper constellation size. The contact-plan column includes
+// its one-off compile, so the speedup is end to end, not amortised away.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "plan/contact_topology.hpp"
+#include "repro_common.hpp"
+#include "sim/coverage.hpp"
+
+namespace {
+
+using namespace qntn;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One Fig. 6 day: count connected steps on the provider's snapshots.
+std::size_t coverage_day(const sim::NetworkModel& model,
+                         const sim::TopologyProvider& topology, double duration,
+                         double step) {
+  std::size_t connected = 0;
+  for (double t = 0.0; t < duration; t += step) {
+    if (sim::all_lans_connected(model, topology.graph_at(t))) ++connected;
+  }
+  return connected;
+}
+
+}  // namespace
+
+int main() {
+  const core::QntnConfig config;
+  const double duration = config.day_duration;
+  const double step = config.ephemeris_step;
+
+  Table table("Contact plan vs per-step rebuild (one Fig. 6 day)");
+  table.set_header({"satellites", "rebuild_ms", "plan_compile_ms",
+                    "plan_query_ms", "plan_total_ms", "speedup",
+                    "connected_steps_match"});
+
+  for (const std::size_t n : core::paper_constellation_sizes()) {
+    const sim::NetworkModel model = core::build_space_ground_model(config, n);
+    const sim::LinkPolicy policy = config.link_policy();
+
+    auto mark = Clock::now();
+    const sim::TopologyBuilder rebuild(model, policy);
+    const std::size_t rebuild_connected =
+        coverage_day(model, rebuild, duration, step);
+    const double rebuild_ms = ms_since(mark);
+
+    mark = Clock::now();
+    const plan::ContactPlan contact_plan =
+        plan::compile_contact_plan(model, policy, config.plan_options());
+    const double compile_ms = ms_since(mark);
+
+    mark = Clock::now();
+    const plan::ContactPlanTopology topology(contact_plan, model);
+    const std::size_t plan_connected =
+        coverage_day(model, topology, duration, step);
+    const double query_ms = ms_since(mark);
+
+    const double total_ms = compile_ms + query_ms;
+    table.add_row({std::to_string(n), Table::num(rebuild_ms, 1),
+                   Table::num(compile_ms, 1), Table::num(query_ms, 1),
+                   Table::num(total_ms, 1),
+                   Table::num(rebuild_ms / total_ms, 2),
+                   rebuild_connected == plan_connected ? "yes" : "NO"});
+  }
+
+  bench::emit(table, "perf_contact_plan.csv");
+  return 0;
+}

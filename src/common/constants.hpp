@@ -41,6 +41,9 @@ inline constexpr double kEarthJ2 = 1.08262668e-3;
 inline constexpr double kSecondsPerDay = 86'400.0;
 inline constexpr double kMinutesPerDay = 1'440.0;
 
+/// The paper's FSO elevation mask (Section IV): pi/9 rad = 20 degrees.
+inline constexpr double kPaperElevationMask = kPi / 9.0;
+
 /// Altitude [m] above which atmospheric turbulence and extinction are
 /// negligible for the link budgets in this project (HV5/7 Cn^2 has decayed
 /// by many orders of magnitude by 20 km; we use 30 km to be conservative).

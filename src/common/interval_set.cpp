@@ -40,4 +40,22 @@ double IntervalSet::total() const {
   return sum;
 }
 
+std::vector<Interval> intersect_merged(const std::vector<Interval>& a,
+                                       const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double start = std::max(a[i].start, b[j].start);
+    const double end = std::min(a[i].end, b[j].end);
+    if (start < end) out.push_back({start, end});
+    // Advance whichever interval ends first.
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
 }  // namespace qntn

@@ -44,4 +44,10 @@ class IntervalSet {
   std::vector<Interval> raw_;
 };
 
+/// Pointwise intersection of two disjoint, sorted interval lists (as
+/// produced by IntervalSet::merged). Used by the contact-plan scheduler to
+/// find times when a relay sees both LANs of a pair at once.
+[[nodiscard]] std::vector<Interval> intersect_merged(
+    const std::vector<Interval>& a, const std::vector<Interval>& b);
+
 }  // namespace qntn

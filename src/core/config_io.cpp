@@ -73,6 +73,16 @@ channel::WeatherProfile weather_from(const std::string& name) {
   throw Error("unknown weather profile: " + name);
 }
 
+std::string topology_mode_name(TopologyMode mode) {
+  return mode == TopologyMode::ContactPlan ? "contact_plan" : "rebuild";
+}
+
+TopologyMode topology_mode_from(const std::string& name) {
+  if (name == "rebuild") return TopologyMode::Rebuild;
+  if (name == "contact_plan") return TopologyMode::ContactPlan;
+  throw Error("unknown topology mode: " + name);
+}
+
 }  // namespace
 
 std::string serialize_config(const QntnConfig& config) {
@@ -110,7 +120,12 @@ std::string serialize_config(const QntnConfig& config) {
      << "metric = " << metric_name(config.metric) << '\n'
      << "fidelity_convention = " << convention_name(config.convention) << '\n'
      << "lan_topology = " << topology_name(config.lan_topology) << '\n'
-     << "weather = " << weather_name(config.weather) << '\n';
+     << "weather = " << weather_name(config.weather) << '\n'
+     << "topology_mode = " << topology_mode_name(config.topology_mode) << '\n'
+     << "contact_sample_tolerance = " << config.contact_sample_tolerance << '\n'
+     << "contact_max_elevation_rate = " << config.contact_max_elevation_rate
+     << '\n'
+     << "contact_max_range_rate = " << config.contact_max_range_rate << '\n';
   return os.str();
 }
 
@@ -191,6 +206,14 @@ QntnConfig parse_config(const std::string& text) {
            [&](const std::string& v) { config.lan_topology = topology_from(v); }},
           {"weather",
            [&](const std::string& v) { config.weather = weather_from(v); }},
+          {"topology_mode",
+           [&](const std::string& v) { config.topology_mode = topology_mode_from(v); }},
+          {"contact_sample_tolerance",
+           [&](const std::string& v) { config.contact_sample_tolerance = as_double(v); }},
+          {"contact_max_elevation_rate",
+           [&](const std::string& v) { config.contact_max_elevation_rate = as_double(v); }},
+          {"contact_max_range_rate",
+           [&](const std::string& v) { config.contact_max_range_rate = as_double(v); }},
       };
 
   std::istringstream in(text);

@@ -62,9 +62,9 @@ SweepPoint summarize(std::size_t n_satellites, const sim::ScenarioResult& r) {
 SweepPoint evaluate_space_ground(const QntnConfig& config,
                                  std::size_t n_satellites) {
   const sim::NetworkModel model = build_space_ground_model(config, n_satellites);
-  const sim::TopologyBuilder topology(model, config.link_policy());
+  const Topology topology = make_topology(config, model);
   const sim::ScenarioResult result =
-      sim::run_scenario(model, topology, config.scenario_config());
+      sim::run_scenario(model, topology.provider(), config.scenario_config());
   return summarize(n_satellites, result);
 }
 
@@ -80,9 +80,9 @@ std::vector<SweepPoint> space_ground_sweep(const QntnConfig& config,
 
 AirGroundResult evaluate_air_ground(const QntnConfig& config) {
   const sim::NetworkModel model = build_air_ground_model(config);
-  const sim::TopologyBuilder topology(model, config.link_policy());
+  const Topology topology = make_topology(config, model);
   const sim::ScenarioResult result =
-      sim::run_scenario(model, topology, config.scenario_config());
+      sim::run_scenario(model, topology.provider(), config.scenario_config());
   AirGroundResult out;
   out.coverage_percent = result.coverage.percent;
   out.served_percent = 100.0 * result.served_fraction;
@@ -107,9 +107,9 @@ std::vector<ComparisonRow> table3_comparison(const QntnConfig& config,
 
 SweepPoint evaluate_hybrid(const QntnConfig& config, std::size_t n_satellites) {
   const sim::NetworkModel model = build_hybrid_model(config, n_satellites);
-  const sim::TopologyBuilder topology(model, config.link_policy());
+  const Topology topology = make_topology(config, model);
   const sim::ScenarioResult result =
-      sim::run_scenario(model, topology, config.scenario_config());
+      sim::run_scenario(model, topology.provider(), config.scenario_config());
   return summarize(n_satellites, result);
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "geo/geodetic.hpp"
+#include "plan/contact_plan.hpp"
 #include "sim/scenario.hpp"
 #include "sim/topology.hpp"
 
@@ -14,10 +15,20 @@
 
 namespace qntn::core {
 
+/// How the experiment runners obtain the time-varying topology.
+enum class TopologyMode {
+  /// Re-evaluate every link budget at every step (sim::TopologyBuilder,
+  /// the reference path).
+  Rebuild,
+  /// Compile a contact plan once and replay its event timeline
+  /// (plan::ContactPlanTopology, the fast path).
+  ContactPlan,
+};
+
 struct QntnConfig {
   // --- Paper parameters (Section IV). ---
   double transmissivity_threshold = 0.7;
-  double elevation_mask = 0.3490658503988659;  ///< pi/9 rad = 20 deg
+  double elevation_mask = kPaperElevationMask;  ///< pi/9 rad = 20 deg
   double fiber_attenuation_db_per_km = 0.15;
   /// "Aperture size" 120 cm (satellite & ground) / 30 cm (HAP), read as
   /// radii (the reading consistent with the paper's operating points; see
@@ -54,11 +65,24 @@ struct QntnConfig {
   /// Weather profile applied to all FSO links (clear = paper baseline).
   channel::WeatherProfile weather = channel::clear_sky();
 
+  // --- Contact-plan control plane (plan/, DESIGN.md §2). ---
+  TopologyMode topology_mode = TopologyMode::Rebuild;
+  /// Compression tolerance on cached window transmissivities (see
+  /// plan::ContactPlanOptions::sample_tolerance).
+  double contact_sample_tolerance = 1.0e-4;
+  /// Scan-hop bounds; <= 0 disables the respective skip.
+  double contact_max_elevation_rate = 0.01;   ///< [rad/s]
+  double contact_max_range_rate = 16'000.0;   ///< [m/s]
+
   /// Derived: the sim::LinkPolicy for this configuration.
   [[nodiscard]] sim::LinkPolicy link_policy() const;
 
   /// Derived: the sim::ScenarioConfig for this configuration.
   [[nodiscard]] sim::ScenarioConfig scenario_config() const;
+
+  /// Derived: contact-plan compile options (horizon = day, step =
+  /// ephemeris step, so plan and rebuild sample the same grid).
+  [[nodiscard]] plan::ContactPlanOptions plan_options() const;
 
   /// Terminal descriptions per node class.
   [[nodiscard]] channel::OpticalTerminal ground_terminal() const;

@@ -1,7 +1,10 @@
 #include "core/scenario_factory.hpp"
 
+#include <memory>
+
 #include "core/ground_networks.hpp"
 #include "orbit/constellation.hpp"
+#include "plan/contact_topology.hpp"
 
 namespace qntn::core {
 
@@ -50,6 +53,25 @@ sim::NetworkModel build_hybrid_model(const QntnConfig& config,
   model.add_hap("HAP", config.hap_position, config.hap_terminal());
   add_constellation(model, config, n_satellites);
   return model;
+}
+
+Topology make_topology(const QntnConfig& config,
+                       const sim::NetworkModel& model) {
+  Topology topology;
+  switch (config.topology_mode) {
+    case TopologyMode::Rebuild:
+      topology.owner = std::make_unique<sim::TopologyBuilder>(
+          model, config.link_policy());
+      break;
+    case TopologyMode::ContactPlan:
+      topology.plan =
+          std::make_unique<plan::ContactPlan>(plan::compile_contact_plan(
+              model, config.link_policy(), config.plan_options()));
+      topology.owner =
+          std::make_unique<plan::ContactPlanTopology>(*topology.plan, model);
+      break;
+  }
+  return topology;
 }
 
 }  // namespace qntn::core

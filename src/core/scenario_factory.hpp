@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "core/qntn_config.hpp"
+#include "plan/contact_plan.hpp"
 #include "sim/network_model.hpp"
 
 /// \file scenario_factory.hpp
@@ -30,5 +32,21 @@ namespace qntn::core {
 /// HAP-satellite FSO links.
 [[nodiscard]] sim::NetworkModel build_hybrid_model(const QntnConfig& config,
                                                    std::size_t n_satellites);
+
+/// Owning bundle produced by make_topology: the provider plus whatever
+/// state backs it (the compiled contact plan in ContactPlan mode). Movable;
+/// the backing state lives on the heap so moves keep references stable.
+struct Topology {
+  /// Engaged only in TopologyMode::ContactPlan.
+  std::unique_ptr<plan::ContactPlan> plan;
+  std::unique_ptr<sim::TopologyProvider> owner;
+
+  [[nodiscard]] const sim::TopologyProvider& provider() const { return *owner; }
+};
+
+/// Instantiate the topology backend config.topology_mode selects. The model
+/// must outlive the returned bundle.
+[[nodiscard]] Topology make_topology(const QntnConfig& config,
+                                     const sim::NetworkModel& model);
 
 }  // namespace qntn::core

@@ -77,6 +77,69 @@ std::vector<Pass> find_passes(const Ephemeris& ephemeris,
   return passes;
 }
 
+std::vector<Pass> find_passes_adaptive(const Ephemeris& ephemeris,
+                                       const geo::Geodetic& site,
+                                       double duration, double min_elevation,
+                                       double step, double max_elevation_rate) {
+  QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
+  if (max_elevation_rate <= 0.0) {
+    return find_passes(ephemeris, site, duration, min_elevation, step);
+  }
+  std::vector<Pass> passes;
+  double elevation = elevation_at(ephemeris, site, 0.0);
+  bool in_pass = elevation >= min_elevation;
+  Pass current;
+  if (in_pass) {
+    current.aos = 0.0;
+    current.max_elevation = elevation;
+    current.culmination = 0.0;
+  }
+  double prev_t = 0.0;
+  std::size_t k = 0;
+  while (prev_t < duration) {
+    // Hop over grid points that are provably below the mask: starting from
+    // elevation e at prev_t, points closer than (mask - e) / rate cannot
+    // have crossed. hop - 1 skipped points lie at offsets <= (hop-1)*step,
+    // strictly inside that guarantee.
+    std::size_t hop = 1;
+    if (!in_pass) {
+      const double margin = min_elevation - elevation;
+      if (margin > 0.0) {
+        hop = std::max<std::size_t>(
+            1, static_cast<std::size_t>(margin / (max_elevation_rate * step)));
+      }
+    }
+    k += hop;
+    const double t = std::min(static_cast<double>(k) * step, duration);
+    elevation = elevation_at(ephemeris, site, t);
+    const bool above = elevation >= min_elevation;
+    if (above && !in_pass) {
+      current = Pass{};
+      current.aos = refine_crossing(ephemeris, site, min_elevation, prev_t, t,
+                                    /*rising=*/true);
+      current.max_elevation = elevation;
+      current.culmination = t;
+      in_pass = true;
+    } else if (above && in_pass) {
+      if (elevation > current.max_elevation) {
+        current.max_elevation = elevation;
+        current.culmination = t;
+      }
+    } else if (!above && in_pass) {
+      current.los = refine_crossing(ephemeris, site, min_elevation, prev_t, t,
+                                    /*rising=*/false);
+      passes.push_back(current);
+      in_pass = false;
+    }
+    prev_t = t;
+  }
+  if (in_pass) {
+    current.los = duration;
+    passes.push_back(current);
+  }
+  return passes;
+}
+
 PassStatistics summarize_passes(const std::vector<Pass>& passes) {
   PassStatistics stats;
   stats.count = passes.size();

@@ -1,0 +1,432 @@
+#include "plan/contact_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "geo/frames.hpp"
+#include "orbit/passes.hpp"
+
+namespace qntn::plan {
+
+namespace {
+
+/// Bisect a boolean linkability predicate's flip inside [lo, hi] (predicate
+/// differs at the ends) to ~1 ms, mirroring orbit/passes' crossing
+/// refinement.
+double refine_flip(const std::function<bool(double)>& linkable, double lo,
+                   double hi, bool rising) {
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (linkable(mid) == rising) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-3) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Drop interior points of a polyline while linear interpolation between
+/// the retained points stays within `tol` of every dropped sample (the
+/// streaming "sleeve" algorithm: track the feasible slope corridor from the
+/// current anchor). Retained points keep their exact sampled values.
+void compress_polyline(std::vector<double>& times, std::vector<double>& etas,
+                       double tol) {
+  const std::size_t n = times.size();
+  if (tol <= 0.0 || n <= 2) return;
+  std::vector<double> kept_t, kept_e;
+  kept_t.reserve(n);
+  kept_e.reserve(n);
+  std::size_t anchor = 0;
+  kept_t.push_back(times[0]);
+  kept_e.push_back(etas[0]);
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dt = times[i] - times[anchor];
+    const double slope = (etas[i] - etas[anchor]) / dt;
+    if (i + 1 < n && slope >= lo && slope <= hi) {
+      // Segment anchor->i still passes within tol of every skipped point;
+      // tighten the corridor so future extensions keep point i in reach.
+      lo = std::max(lo, (etas[i] - tol - etas[anchor]) / dt);
+      hi = std::min(hi, (etas[i] + tol - etas[anchor]) / dt);
+      continue;
+    }
+    if (i + 1 == n) {
+      // Always keep the final point; if the closing segment violates the
+      // corridor, keep the previous point too.
+      if ((slope < lo || slope > hi) && i - 1 > anchor) {
+        kept_t.push_back(times[i - 1]);
+        kept_e.push_back(etas[i - 1]);
+      }
+      kept_t.push_back(times[i]);
+      kept_e.push_back(etas[i]);
+      break;
+    }
+    // Corridor violated: the previous point becomes the new anchor.
+    anchor = i - 1;
+    kept_t.push_back(times[anchor]);
+    kept_e.push_back(etas[anchor]);
+    const double ndt = times[i] - times[anchor];
+    lo = (etas[i] - tol - etas[anchor]) / ndt;
+    hi = (etas[i] + tol - etas[anchor]) / ndt;
+  }
+  times = std::move(kept_t);
+  etas = std::move(kept_e);
+}
+
+/// Recursively sample a smooth eta(t) over [t0, t1]: subdivide until linear
+/// interpolation matches the midpoint within tol (spans longer than
+/// `always_split` are split unconditionally so symmetric oscillations
+/// cannot fool the midpoint test) or the span falls below `min_dt`.
+void sample_adaptive(const std::function<double(double)>& eta, double t0,
+                     double e0, double t1, double e1, double tol, double min_dt,
+                     double always_split, std::vector<double>& times,
+                     std::vector<double>& etas) {
+  const double span = t1 - t0;
+  if (span > min_dt) {
+    const double tm = 0.5 * (t0 + t1);
+    const double em = eta(tm);
+    if (span > always_split || std::abs(em - 0.5 * (e0 + e1)) > tol) {
+      sample_adaptive(eta, t0, e0, tm, em, tol, min_dt, always_split, times,
+                      etas);
+      sample_adaptive(eta, tm, em, t1, e1, tol, min_dt, always_split, times,
+                      etas);
+      return;
+    }
+  }
+  times.push_back(t1);
+  etas.push_back(e1);
+}
+
+struct Compiler {
+  const sim::NetworkModel& model;
+  const sim::LinkPolicy& policy;
+  const ContactPlanOptions& options;
+  const sim::TopologyBuilder builder;
+  std::vector<ContactWindow> windows;
+
+  Compiler(const sim::NetworkModel& m, const sim::LinkPolicy& p,
+           const ContactPlanOptions& o)
+      : model(m), policy(p), options(o), builder(m, p) {}
+
+  /// Append a window for pair (a, b) spanning [start, end) with the given
+  /// sampled profile (compressed in place).
+  void emit(net::NodeId a, net::NodeId b, double start, double end,
+            std::vector<double> times, std::vector<double> etas) {
+    if (end - start < 1e-6) return;  // degenerate: below refinement precision
+    ContactWindow window;
+    window.a = a;
+    window.b = b;
+    window.start = start;
+    window.end = end;
+    compress_polyline(times, etas, options.sample_tolerance);
+    window.times = std::move(times);
+    window.etas = std::move(etas);
+    windows.push_back(std::move(window));
+  }
+
+  /// Windows of one site (ground or HAP) against one satellite: pass
+  /// prediction above the elevation mask, then above-threshold episodes
+  /// within each pass on the scan grid, boundaries refined by bisection.
+  void compile_site_satellite(net::NodeId site_id, net::NodeId sat_id,
+                              const channel::FsoLinkEvaluator& evaluator) {
+    const geo::Geodetic& site = model.node(site_id).position;
+    const orbit::Ephemeris& eph = model.ephemeris(sat_id);
+    const double threshold = policy.transmissivity_threshold;
+    const double step = options.step;
+
+    const auto eta_at = [&](double t) {
+      const geo::AzElRange look = geo::look_angles(site, eph.position_ecef(t));
+      return evaluator.symmetric(look.range, look.elevation);
+    };
+    const auto linkable = [&](double t) {
+      const geo::AzElRange look = geo::look_angles(site, eph.position_ecef(t));
+      return look.elevation >= policy.elevation_mask &&
+             evaluator.symmetric(look.range, look.elevation) >= threshold;
+    };
+
+    const std::vector<orbit::Pass> passes = orbit::find_passes_adaptive(
+        eph, site, options.horizon, policy.elevation_mask, step,
+        options.max_elevation_rate);
+    for (const orbit::Pass& pass : passes) {
+      // Grid points inside the pass (nudged so a boundary exactly on the
+      // grid still counts as inside).
+      const auto k_lo =
+          static_cast<std::size_t>(std::ceil(pass.aos / step - 1e-9));
+      const auto k_hi =
+          static_cast<std::size_t>(std::floor(pass.los / step + 1e-9));
+      if (k_lo > k_hi) continue;  // sub-step pass: invisible to the grid
+
+      bool in_window = false;
+      double window_start = 0.0;
+      std::vector<double> times, etas;
+      // Skip duplicates when a refined boundary lands exactly on the grid.
+      double last_pushed = -std::numeric_limits<double>::infinity();
+      const auto push_sample = [&](double t, double eta) {
+        if (t <= last_pushed + 1e-9) return;
+        times.push_back(t);
+        etas.push_back(eta);
+        last_pushed = t;
+      };
+      const auto close_window = [&](double end) {
+        push_sample(end, eta_at(end));
+        emit(site_id, sat_id, window_start, last_pushed, std::move(times),
+             std::move(etas));
+      };
+      double prev_t = pass.aos;
+      for (std::size_t k = k_lo; k <= k_hi; ++k) {
+        const double t = static_cast<double>(k) * step;
+        const double eta = eta_at(t);
+        const bool above = eta >= threshold;
+        if (above && !in_window) {
+          in_window = true;
+          times.clear();
+          etas.clear();
+          last_pushed = -std::numeric_limits<double>::infinity();
+          if (k == k_lo && linkable(pass.aos)) {
+            // Already above threshold when the satellite clears the mask.
+            window_start = pass.aos;
+          } else {
+            window_start = refine_flip(linkable, prev_t, t, /*rising=*/true);
+          }
+          push_sample(window_start, eta_at(window_start));
+          push_sample(t, eta);
+        } else if (above && in_window) {
+          push_sample(t, eta);
+        } else if (!above && in_window) {
+          close_window(refine_flip(linkable, prev_t, t, /*rising=*/false));
+          in_window = false;
+        }
+        prev_t = t;
+      }
+      if (in_window) {
+        // Still above threshold at the last grid point of the pass: the
+        // window closes where the link drops, at latest at LOS (or the
+        // horizon clip).
+        double end = pass.los;
+        if (!linkable(pass.los) && pass.los > prev_t) {
+          end = refine_flip(linkable, prev_t, pass.los, /*rising=*/false);
+        }
+        close_window(end);
+      }
+    }
+  }
+
+  /// Windows of one satellite pair: line-of-sight clearance plus the range
+  /// at which the vacuum link budget crosses the threshold (transmissivity
+  /// is monotone decreasing in range for the focused beam, pinned by
+  /// tests), so the scan is pure geometry; transmissivities are sampled
+  /// adaptively only inside windows.
+  void compile_satellite_pair(net::NodeId sat_a, net::NodeId sat_b,
+                              const channel::FsoLinkEvaluator& evaluator,
+                              double threshold_range) {
+    const orbit::Ephemeris& eph_a = model.ephemeris(sat_a);
+    const orbit::Ephemeris& eph_b = model.ephemeris(sat_b);
+    const double threshold = policy.transmissivity_threshold;
+    const double step = options.step;
+    const double clearance = kEarthRadius + kAtmosphereTopAltitude;
+    // Within this band of the threshold range, decide by the actual link
+    // budget instead of the precomputed crossing (guards the bisection
+    // tolerance).
+    const double band = 10.0;  // [m]
+
+    const auto range_at = [&](double t) {
+      return distance(eph_a.position_ecef(t), eph_b.position_ecef(t));
+    };
+    const auto linkable = [&](double t) {
+      const Vec3 pa = eph_a.position_ecef(t);
+      const Vec3 pb = eph_b.position_ecef(t);
+      if (!geo::line_of_sight(pa, pb, clearance)) return false;
+      const double range = distance(pa, pb);
+      if (range <= threshold_range - band) return true;
+      if (range >= threshold_range + band) return false;
+      return evaluator.symmetric(range, kPi / 2.0) >= threshold;
+    };
+    const auto eta_at = [&](double t) {
+      return evaluator.symmetric(range_at(t), kPi / 2.0);
+    };
+
+    bool in_window = linkable(0.0);
+    double window_start = 0.0;
+    double prev_t = 0.0;
+    std::size_t k = 0;
+    while (prev_t < options.horizon) {
+      // Out of range and far from the threshold: hop grid points that the
+      // range-rate bound proves unreachable.
+      std::size_t hop = 1;
+      if (!in_window && options.max_range_rate > 0.0) {
+        const double gap = range_at(prev_t) - threshold_range;
+        if (gap > 0.0) {
+          hop = std::max<std::size_t>(
+              1, static_cast<std::size_t>(gap /
+                                          (options.max_range_rate * step)));
+        }
+      }
+      k += hop;
+      const double t = std::min(static_cast<double>(k) * step, options.horizon);
+      const bool above = linkable(t);
+      if (above && !in_window) {
+        window_start = refine_flip(linkable, prev_t, t, /*rising=*/true);
+        in_window = true;
+      } else if (!above && in_window) {
+        const double end = refine_flip(linkable, prev_t, t, /*rising=*/false);
+        emit_isl(sat_a, sat_b, window_start, end, eta_at);
+        in_window = false;
+      }
+      prev_t = t;
+    }
+    if (in_window) {
+      emit_isl(sat_a, sat_b, window_start, options.horizon, eta_at);
+    }
+  }
+
+  void emit_isl(net::NodeId sat_a, net::NodeId sat_b, double start, double end,
+                const std::function<double(double)>& eta_at) {
+    if (end - start < 1e-6) return;
+    std::vector<double> times{start};
+    std::vector<double> etas{eta_at(start)};
+    // Split spans beyond 16 grid steps unconditionally: ISL ranges breathe
+    // on the orbital period, and a symmetric arc could sneak past a single
+    // midpoint test.
+    sample_adaptive(eta_at, start, etas.front(), end, eta_at(end),
+                    options.sample_tolerance, options.step,
+                    16.0 * options.step, times, etas);
+    emit(sat_a, sat_b, start, end, std::move(times), std::move(etas));
+  }
+
+  /// Largest range at which the ISL budget meets the threshold (bisection
+  /// on the monotone budget); 0 when even touching terminals fail, +inf
+  /// when the horizon-scale range still passes.
+  [[nodiscard]] double isl_threshold_range(
+      const channel::FsoLinkEvaluator& evaluator) const {
+    const double threshold = policy.transmissivity_threshold;
+    double lo = 1.0;
+    if (evaluator.symmetric(lo, kPi / 2.0) < threshold) return 0.0;
+    double hi = 1.0e8;  // far beyond any LEO pair separation
+    if (evaluator.symmetric(hi, kPi / 2.0) >= threshold) {
+      return std::numeric_limits<double>::infinity();
+    }
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (evaluator.symmetric(mid, kPi / 2.0) >= threshold) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  ContactPlan run() {
+    const std::vector<net::NodeId>& sats = model.satellite_ids();
+
+    if (const auto* ground_sat =
+            builder.evaluator(sim::NodeKind::Ground, sim::NodeKind::Satellite)) {
+      for (const net::NodeId sat : sats) {
+        for (std::size_t lan = 0; lan < model.lan_count(); ++lan) {
+          for (const net::NodeId ground : model.lan_nodes(lan)) {
+            compile_site_satellite(ground, sat, *ground_sat);
+          }
+        }
+      }
+    }
+    if (const auto* hap_sat =
+            builder.evaluator(sim::NodeKind::Hap, sim::NodeKind::Satellite)) {
+      for (const net::NodeId sat : sats) {
+        for (const net::NodeId hap : model.hap_ids()) {
+          compile_site_satellite(hap, sat, *hap_sat);
+        }
+      }
+    }
+    if (const auto* sat_sat = builder.evaluator(sim::NodeKind::Satellite,
+                                                sim::NodeKind::Satellite)) {
+      const double threshold_range = isl_threshold_range(*sat_sat);
+      if (threshold_range > 0.0) {
+        for (std::size_t i = 0; i < sats.size(); ++i) {
+          for (std::size_t j = i + 1; j < sats.size(); ++j) {
+            compile_satellite_pair(sats[i], sats[j], *sat_sat,
+                                   threshold_range);
+          }
+        }
+      }
+    }
+
+    return ContactPlan(std::move(windows), builder.static_links(),
+                       model.node_count(), options.horizon);
+  }
+};
+
+}  // namespace
+
+double ContactWindow::eta_at(double t) const {
+  t = std::clamp(t, start, end);
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  if (it == times.begin()) return etas.front();
+  if (it == times.end()) return etas.back();
+  const auto hi = static_cast<std::size_t>(it - times.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times[hi] - times[lo];
+  if (span <= 0.0) return etas[lo];
+  const double w = (t - times[lo]) / span;
+  return etas[lo] + w * (etas[hi] - etas[lo]);
+}
+
+ContactPlan::ContactPlan(std::vector<ContactWindow> windows,
+                         std::vector<sim::LinkRecord> static_links,
+                         std::size_t node_count, double horizon)
+    : windows_(std::move(windows)),
+      static_links_(std::move(static_links)),
+      node_count_(node_count),
+      horizon_(horizon) {
+  std::sort(windows_.begin(), windows_.end(),
+            [](const ContactWindow& a, const ContactWindow& b) {
+              return a.start < b.start;
+            });
+  for (const ContactWindow& window : windows_) {
+    QNTN_REQUIRE(window.times.size() >= 2 &&
+                     window.times.size() == window.etas.size(),
+                 "contact window needs a sampled profile");
+  }
+}
+
+std::vector<const ContactWindow*> ContactPlan::pair_windows(
+    net::NodeId a, net::NodeId b) const {
+  std::vector<const ContactWindow*> out;
+  for (const ContactWindow& window : windows_) {
+    if ((window.a == a && window.b == b) || (window.a == b && window.b == a)) {
+      out.push_back(&window);
+    }
+  }
+  return out;
+}
+
+ContactPlanStats ContactPlan::stats() const {
+  ContactPlanStats stats;
+  stats.window_count = windows_.size();
+  for (const ContactWindow& window : windows_) {
+    stats.total_contact += window.duration();
+    stats.sample_count += window.times.size();
+  }
+  if (stats.window_count > 0) {
+    stats.mean_window_duration =
+        stats.total_contact / static_cast<double>(stats.window_count);
+  }
+  return stats;
+}
+
+ContactPlan compile_contact_plan(const sim::NetworkModel& model,
+                                 const sim::LinkPolicy& policy,
+                                 const ContactPlanOptions& options) {
+  QNTN_REQUIRE(options.horizon > 0.0 && options.step > 0.0,
+               "contact plan horizon/step must be positive");
+  Compiler compiler(model, policy, options);
+  return compiler.run();
+}
+
+}  // namespace qntn::plan

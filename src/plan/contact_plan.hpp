@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/network_model.hpp"
+#include "sim/topology.hpp"
+
+/// \file contact_plan.hpp
+/// Contact-plan compilation: the control-plane half of the simulator.
+///
+/// The per-step TopologyBuilder re-evaluates every O(N^2) FSO link budget
+/// at each of the day's 2880 samples, even though satellite links are
+/// piecewise — a link exists only inside AOS/LOS-style windows that pass
+/// prediction can enumerate up front. compile_contact_plan does that
+/// enumeration once: for every dynamic node pair it finds the
+/// visibility-and-threshold windows (coarse grid scan with a conservative
+/// elevation-rate skip, boundaries refined by bisection to ~1 ms, clipped
+/// to [0, horizon]) and caches a piecewise-linear transmissivity profile
+/// per window. The resulting ContactPlan is immutable; ContactPlanTopology
+/// (contact_topology.hpp) serves graph_at(t) from it by interval lookup,
+/// and the session scheduler (session_scheduler.hpp) admits entanglement
+/// requests against it. This mirrors how contact-plan-driven space
+/// networks (Hu et al., QuESat) scale: topology queries cost per
+/// *link-state change*, not per step times N^2.
+
+namespace qntn::plan {
+
+/// One contact window: node pair `a`-`b` is linkable (visible and above
+/// the transmissivity threshold) throughout [start, end). The cached
+/// transmissivity profile is piecewise linear over `times`/`etas`
+/// (times strictly increasing, spanning [start, end]; at least 2 points).
+struct ContactWindow {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  double start = 0.0;  ///< [s], clipped to >= 0
+  double end = 0.0;    ///< [s], clipped to <= horizon
+  std::vector<double> times;
+  std::vector<double> etas;
+
+  [[nodiscard]] double duration() const { return end - start; }
+
+  /// Interpolated transmissivity at t (clamped to [start, end]). Exact at
+  /// every retained sample point; between samples the error is bounded by
+  /// the compile-time sample tolerance.
+  [[nodiscard]] double eta_at(double t) const;
+};
+
+struct ContactPlanOptions {
+  double horizon = 86'400.0;  ///< [s]; the paper evaluates one day
+  /// Scan/sample grid [s]. Must match the consumer's sampling step for the
+  /// plan to reproduce the per-step rebuild exactly at grid times.
+  double step = 30.0;
+  /// Conservative bound on the elevation rate seen from a ground/HAP site
+  /// [rad/s]; lets the scan hop over deep-below-horizon stretches. <= 0
+  /// scans every grid point (see orbit::find_passes_adaptive).
+  double max_elevation_rate = 0.01;
+  /// Conservative bound on the inter-satellite range rate [m/s] (two
+  /// opposing LEO velocities plus margin) for the same hop trick on ISL
+  /// scans. <= 0 scans every grid point.
+  double max_range_rate = 16'000.0;
+  /// Piecewise-linear compression tolerance on cached transmissivities:
+  /// interior samples are dropped while interpolation stays within this
+  /// absolute error. 0 keeps every grid sample. Window *boundaries* are
+  /// never affected — connectivity is exact regardless.
+  double sample_tolerance = 1.0e-4;
+};
+
+/// Aggregate statistics of a compiled plan (for reports and the CLI).
+struct ContactPlanStats {
+  std::size_t window_count = 0;
+  std::size_t sample_count = 0;       ///< retained eta samples
+  double total_contact = 0.0;         ///< sum of window durations [s]
+  double mean_window_duration = 0.0;  ///< [s]
+};
+
+/// Immutable compiled contact plan: every dynamic link window over the
+/// horizon plus the time-invariant links, for one NetworkModel/LinkPolicy.
+class ContactPlan {
+ public:
+  ContactPlan() = default;
+  ContactPlan(std::vector<ContactWindow> windows,
+              std::vector<sim::LinkRecord> static_links, std::size_t node_count,
+              double horizon);
+
+  /// Dynamic-link windows sorted by start time.
+  [[nodiscard]] const std::vector<ContactWindow>& windows() const {
+    return windows_;
+  }
+  /// Time-invariant links (intra-LAN fiber, ground-HAP FSO).
+  [[nodiscard]] const std::vector<sim::LinkRecord>& static_links() const {
+    return static_links_;
+  }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] double horizon() const { return horizon_; }
+
+  /// Windows of one node pair, sorted by start (order-insensitive lookup).
+  [[nodiscard]] std::vector<const ContactWindow*> pair_windows(
+      net::NodeId a, net::NodeId b) const;
+
+  [[nodiscard]] ContactPlanStats stats() const;
+
+ private:
+  std::vector<ContactWindow> windows_;
+  std::vector<sim::LinkRecord> static_links_;
+  std::size_t node_count_ = 0;
+  double horizon_ = 0.0;
+};
+
+/// Compile the contact plan for `model` under `policy`. Evaluates the same
+/// per-class link budgets as sim::TopologyBuilder (shared evaluators), so
+/// at every grid time t = k * options.step the plan's link set equals the
+/// per-step rebuild's, and retained samples carry bit-identical
+/// transmissivities.
+[[nodiscard]] ContactPlan compile_contact_plan(
+    const sim::NetworkModel& model, const sim::LinkPolicy& policy,
+    const ContactPlanOptions& options = {});
+
+}  // namespace qntn::plan

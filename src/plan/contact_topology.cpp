@@ -1,0 +1,66 @@
+#include "plan/contact_topology.hpp"
+
+#include <algorithm>
+
+namespace qntn::plan {
+
+ContactPlanTopology::ContactPlanTopology(const ContactPlan& plan,
+                                         const sim::NetworkModel& model)
+    : plan_(plan), model_(model) {
+  const std::vector<ContactWindow>& windows = plan_.windows();
+  events_.reserve(2 * windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    events_.push_back({windows[w].start, w, /*open=*/true});
+    // Windows clipped at the horizon never close: the link is still up at
+    // t == horizon (as the per-step rebuild sees it); later queries are
+    // extrapolation either way.
+    if (windows[w].end < plan_.horizon()) {
+      events_.push_back({windows[w].end, w, /*open=*/false});
+    }
+  }
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.open < b.open;  // closes first: windows are half-open [start, end)
+  });
+  active_.assign(windows.size(), 0);
+}
+
+void ContactPlanTopology::seek(double t) const {
+  if (t < cursor_t_) {
+    // Backward jump: replay from the beginning (rare in simulation sweeps).
+    next_event_ = 0;
+    std::fill(active_.begin(), active_.end(), 0);
+  }
+  while (next_event_ < events_.size() && events_[next_event_].time <= t) {
+    const Event& event = events_[next_event_];
+    active_[event.window] = event.open ? 1 : 0;
+    ++next_event_;
+  }
+  cursor_t_ = t;
+}
+
+std::vector<sim::LinkRecord> ContactPlanTopology::links_at(double t) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  seek(t);
+  std::vector<sim::LinkRecord> links = plan_.static_links();
+  const std::vector<ContactWindow>& windows = plan_.windows();
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    if (!active_[w]) continue;
+    const ContactWindow& window = windows[w];
+    links.push_back({window.a, window.b, window.eta_at(t)});
+  }
+  return links;
+}
+
+net::Graph ContactPlanTopology::graph_at(double t) const {
+  net::Graph graph;
+  for (const sim::Node& node : model_.nodes()) {
+    graph.add_node(node.name);
+  }
+  for (const sim::LinkRecord& link : links_at(t)) {
+    graph.add_edge(link.a, link.b, link.transmissivity);
+  }
+  return graph;
+}
+
+}  // namespace qntn::plan

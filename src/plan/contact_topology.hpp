@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "plan/contact_plan.hpp"
+#include "sim/network_model.hpp"
+#include "sim/topology.hpp"
+
+/// \file contact_topology.hpp
+/// Event-driven TopologyProvider backed by a compiled ContactPlan.
+///
+/// Where TopologyBuilder::graph_at re-evaluates every link budget on every
+/// call, this provider replays a precomputed open/close event timeline: a
+/// forward query advances the cursor over the events in (last_t, t] and
+/// toggles the affected windows; the graph is then assembled from the
+/// static links plus the active windows' interpolated transmissivities.
+/// Sweeping a day in time order costs O(events) total instead of
+/// O(steps * N^2) budget evaluations.
+
+namespace qntn::plan {
+
+/// Serves sim::TopologyProvider::graph_at from a ContactPlan. Windows are
+/// half-open [start, end): a link exists at its start time and is gone at
+/// its end time, matching the per-step rebuild's classification at grid
+/// times. The exception is windows clipped at the plan horizon — those
+/// never close, so graph_at(horizon) equals the rebuild's final snapshot. Queries may jump backwards (the cursor resets and replays), and
+/// the provider is safe to share across threads (the cursor is internally
+/// locked). The plan and model must outlive the provider.
+class ContactPlanTopology final : public sim::TopologyProvider {
+ public:
+  ContactPlanTopology(const ContactPlan& plan, const sim::NetworkModel& model);
+
+  [[nodiscard]] net::Graph graph_at(double t) const override;
+
+  /// All links realised at time t (static links first, then the active
+  /// windows in plan order).
+  [[nodiscard]] std::vector<sim::LinkRecord> links_at(double t) const;
+
+  /// Number of open/close events in the timeline (two per window).
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::size_t window = 0;
+    bool open = false;
+  };
+
+  /// Move the cursor to time t (caller holds mutex_).
+  void seek(double t) const;
+
+  const ContactPlan& plan_;
+  const sim::NetworkModel& model_;
+  std::vector<Event> events_;
+
+  mutable std::mutex mutex_;
+  mutable std::size_t next_event_ = 0;
+  mutable double cursor_t_ = -1.0;
+  mutable std::vector<char> active_;  ///< per-window open flag
+};
+
+}  // namespace qntn::plan

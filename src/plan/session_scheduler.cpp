@@ -1,0 +1,154 @@
+#include "plan/session_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qntn::plan {
+
+namespace {
+
+constexpr double kEps = 1e-9;  ///< slack for interval containment tests
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Interval of `intervals` containing time t (within kEps), or kNone.
+std::size_t covering_interval(const std::vector<Interval>& intervals,
+                              double t) {
+  const auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), t + kEps,
+      [](double value, const Interval& iv) { return value < iv.start; });
+  if (it == intervals.begin()) return kNone;
+  const std::size_t idx = static_cast<std::size_t>(it - intervals.begin()) - 1;
+  if (intervals[idx].end <= t + kEps) return kNone;
+  return idx;
+}
+
+}  // namespace
+
+SessionScheduler::SessionScheduler(const ContactPlan& plan,
+                                   const sim::NetworkModel& model)
+    : model_(model), lan_count_(model.lan_count()) {
+  // Relay availability per LAN: union of the relay's contact windows (and
+  // permanent static links, e.g. ground-HAP) against any node of the LAN.
+  std::map<net::NodeId, std::vector<IntervalSet>> avail;
+  const auto is_relay = [&](net::NodeId id) {
+    const sim::NodeKind kind = model_.node(id).kind;
+    return kind == sim::NodeKind::Satellite || kind == sim::NodeKind::Hap;
+  };
+  const auto record = [&](net::NodeId x, net::NodeId y, double start,
+                          double end) {
+    // Exactly one endpoint on the ground: relay-LAN contact.
+    if (is_relay(x) == is_relay(y)) return;
+    const net::NodeId relay = is_relay(x) ? x : y;
+    const net::NodeId ground = is_relay(x) ? y : x;
+    auto [it, inserted] = avail.try_emplace(relay);
+    if (inserted) it->second.resize(lan_count_);
+    it->second[model_.node(ground).lan].add_interval(start, end);
+  };
+  for (const ContactWindow& window : plan.windows()) {
+    record(window.a, window.b, window.start, window.end);
+  }
+  for (const sim::LinkRecord& link : plan.static_links()) {
+    record(link.a, link.b, 0.0, plan.horizon());
+  }
+
+  const std::size_t pairs = lan_count_ * (lan_count_ - 1) / 2;
+  bridges_.resize(pairs);
+  timelines_.resize(pairs);
+  for (std::size_t a = 0; a < lan_count_; ++a) {
+    for (std::size_t b = a + 1; b < lan_count_; ++b) {
+      const std::size_t idx = pair_index(a, b);
+      IntervalSet timeline;
+      for (auto& [relay, per_lan] : avail) {
+        std::vector<Interval> bridge =
+            intersect_merged(per_lan[a].merged(), per_lan[b].merged());
+        if (bridge.empty()) continue;
+        for (const Interval& iv : bridge) {
+          timeline.add_interval(iv.start, iv.end);
+        }
+        bridges_[idx].push_back({relay, std::move(bridge)});
+      }
+      timelines_[idx] = timeline.merged();
+    }
+  }
+}
+
+std::size_t SessionScheduler::pair_index(std::size_t lan_a,
+                                         std::size_t lan_b) const {
+  QNTN_REQUIRE(lan_a != lan_b && lan_a < lan_count_ && lan_b < lan_count_,
+               "invalid LAN pair");
+  const std::size_t a = std::min(lan_a, lan_b);
+  const std::size_t b = std::max(lan_a, lan_b);
+  return a * lan_count_ - a * (a + 1) / 2 + (b - a - 1);
+}
+
+const std::vector<Interval>& SessionScheduler::pair_timeline(
+    std::size_t lan_a, std::size_t lan_b) const {
+  return timelines_[pair_index(lan_a, lan_b)];
+}
+
+const std::vector<RelayBridge>& SessionScheduler::pair_bridges(
+    std::size_t lan_a, std::size_t lan_b) const {
+  return bridges_[pair_index(lan_a, lan_b)];
+}
+
+SessionSchedule SessionScheduler::schedule(
+    const std::vector<SessionRequest>& requests) const {
+  SessionSchedule schedule;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const SessionRequest& request = requests[r];
+    QNTN_REQUIRE(request.duration > 0.0, "session duration must be positive");
+    const std::size_t idx = pair_index(request.lan_a, request.lan_b);
+    const std::vector<Interval>& timeline = timelines_[idx];
+
+    // Earliest feasible start: the first merged episode long enough to hold
+    // the whole session at or after the arrival.
+    double start = -1.0;
+    for (const Interval& episode : timeline) {
+      const double candidate = std::max(request.arrival, episode.start);
+      if (episode.end - candidate >= request.duration - kEps) {
+        start = candidate;
+        break;
+      }
+    }
+    if (start < 0.0) {
+      schedule.blocked.push_back(r);
+      continue;
+    }
+
+    // Greedy relay assignment: from the current time, continue with the
+    // bridge interval that reaches furthest (minimum handovers for this
+    // start; classic interval-point cover argument).
+    ScheduledSession session;
+    session.request = r;
+    session.start = start;
+    session.end = start + request.duration;
+    double cursor = start;
+    while (cursor < session.end - kEps) {
+      net::NodeId best_relay = 0;
+      double best_end = -std::numeric_limits<double>::infinity();
+      for (const RelayBridge& bridge : bridges_[idx]) {
+        const std::size_t iv = covering_interval(bridge.intervals, cursor);
+        if (iv == kNone) continue;
+        if (bridge.intervals[iv].end > best_end) {
+          best_end = bridge.intervals[iv].end;
+          best_relay = bridge.relay;
+        }
+      }
+      QNTN_REQUIRE(best_end > cursor + kEps,
+                   "feasibility timeline not covered by relay bridges");
+      if (session.relays.empty() || session.relays.back() != best_relay) {
+        session.relays.push_back(best_relay);
+      }
+      cursor = std::min(best_end, session.end);
+    }
+    schedule.wait.add(session.start - request.arrival);
+    schedule.handovers.add(static_cast<double>(session.handovers()));
+    schedule.sessions.push_back(std::move(session));
+  }
+  return schedule;
+}
+
+}  // namespace qntn::plan

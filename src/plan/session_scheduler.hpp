@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/stats.hpp"
+#include "plan/contact_plan.hpp"
+#include "sim/network_model.hpp"
+
+/// \file session_scheduler.hpp
+/// Session admission against a compiled contact plan. An inter-LAN
+/// entanglement session needs a bridging relay — a non-ground node with
+/// simultaneous links into both LANs (the same single-relay model as
+/// sim/handover) — for its whole duration. Because the ContactPlan already
+/// knows every relay-LAN contact window, admission reduces to interval
+/// arithmetic: per relay, intersect its two per-LAN availability unions to
+/// get bridge intervals; union those across relays into the pair's
+/// feasibility timeline; place each request at the earliest feasible start
+/// and assign relays greedily (always extend with the bridge interval that
+/// reaches furthest), which minimises handovers for the chosen start.
+/// Relay link capacity is not modelled: sessions do not contend, matching
+/// the paper's uncongested serving loop.
+
+namespace qntn::plan {
+
+/// One inter-LAN session request: `duration` seconds of uninterrupted
+/// bridging for LAN pair (lan_a, lan_b), no earlier than `arrival`.
+struct SessionRequest {
+  std::size_t lan_a = 0;
+  std::size_t lan_b = 0;
+  double arrival = 0.0;   ///< [s]
+  double duration = 0.0;  ///< [s]
+};
+
+/// An admitted session: service span plus the relay handover sequence.
+struct ScheduledSession {
+  std::size_t request = 0;  ///< index into the scheduled request batch
+  double start = 0.0;
+  double end = 0.0;
+  /// Relay per contiguous segment; handovers() is one less than its size.
+  std::vector<net::NodeId> relays;
+
+  [[nodiscard]] std::size_t handovers() const {
+    return relays.empty() ? 0 : relays.size() - 1;
+  }
+};
+
+struct SessionSchedule {
+  std::vector<ScheduledSession> sessions;  ///< admitted, in request order
+  std::vector<std::size_t> blocked;        ///< request indices never feasible
+  RunningStats wait;       ///< start - arrival [s], over admitted sessions
+  RunningStats handovers;  ///< relay changes, over admitted sessions
+
+  [[nodiscard]] double blocked_fraction(std::size_t total) const {
+    return total > 0
+               ? static_cast<double>(blocked.size()) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
+/// Per-relay bridge timeline of one LAN pair.
+struct RelayBridge {
+  net::NodeId relay = 0;
+  std::vector<Interval> intervals;  ///< disjoint, sorted
+};
+
+class SessionScheduler {
+ public:
+  /// Precomputes relay availability and all LAN-pair bridge timelines from
+  /// the plan. Plan and model must outlive the scheduler.
+  SessionScheduler(const ContactPlan& plan, const sim::NetworkModel& model);
+
+  /// Merged times during which at least one relay bridges the pair.
+  [[nodiscard]] const std::vector<Interval>& pair_timeline(
+      std::size_t lan_a, std::size_t lan_b) const;
+
+  /// Per-relay bridge intervals of the pair (relays with empty bridge sets
+  /// omitted).
+  [[nodiscard]] const std::vector<RelayBridge>& pair_bridges(
+      std::size_t lan_a, std::size_t lan_b) const;
+
+  /// Admit each request independently at its earliest feasible start.
+  [[nodiscard]] SessionSchedule schedule(
+      const std::vector<SessionRequest>& requests) const;
+
+ private:
+  [[nodiscard]] std::size_t pair_index(std::size_t lan_a,
+                                       std::size_t lan_b) const;
+
+  const sim::NetworkModel& model_;
+  std::size_t lan_count_ = 0;
+  /// Indexed by pair_index: bridge timelines per relay and their union.
+  std::vector<std::vector<RelayBridge>> bridges_;
+  std::vector<std::vector<Interval>> timelines_;
+};
+
+}  // namespace qntn::plan

@@ -70,4 +70,11 @@ channel::Endpoint NetworkModel::endpoint_at(net::NodeId id, double t) const {
   return {node.position, fixed_ecef_[id]};
 }
 
+const orbit::Ephemeris& NetworkModel::ephemeris(net::NodeId id) const {
+  QNTN_REQUIRE(id < nodes_.size(), "node id out of range");
+  const Node& node = nodes_[id];
+  QNTN_REQUIRE(node.kind == NodeKind::Satellite, "node has no ephemeris");
+  return ephemerides_[node.ephemeris_index];
+}
+
 }  // namespace qntn::sim

@@ -70,6 +70,11 @@ class NetworkModel {
   /// Endpoint (geodetic + ECEF) of any node at simulation time t [s].
   [[nodiscard]] channel::Endpoint endpoint_at(net::NodeId id, double t) const;
 
+  /// Ephemeris of a satellite node (precondition: id is a satellite). Lets
+  /// pass prediction and the contact-plan compiler reuse the trajectory
+  /// tables directly instead of round-tripping through endpoint_at.
+  [[nodiscard]] const orbit::Ephemeris& ephemeris(net::NodeId id) const;
+
  private:
   std::vector<Node> nodes_;
   std::vector<std::vector<net::NodeId>> lans_;

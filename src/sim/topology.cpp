@@ -199,6 +199,26 @@ std::vector<LinkRecord> TopologyBuilder::links_at(double t) const {
   return links;
 }
 
+const channel::FsoLinkEvaluator* TopologyBuilder::evaluator(NodeKind a,
+                                                            NodeKind b) const {
+  auto kinds = [&](NodeKind x, NodeKind y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (kinds(NodeKind::Ground, NodeKind::Satellite)) {
+    return ground_sat_ ? &*ground_sat_ : nullptr;
+  }
+  if (kinds(NodeKind::Ground, NodeKind::Hap)) {
+    return ground_hap_ ? &*ground_hap_ : nullptr;
+  }
+  if (kinds(NodeKind::Hap, NodeKind::Satellite)) {
+    return hap_sat_ ? &*hap_sat_ : nullptr;
+  }
+  if (kinds(NodeKind::Satellite, NodeKind::Satellite)) {
+    return sat_sat_ ? &*sat_sat_ : nullptr;
+  }
+  return nullptr;
+}
+
 std::optional<double> TopologyBuilder::link_transmissivity(net::NodeId a,
                                                            net::NodeId b,
                                                            double t) const {

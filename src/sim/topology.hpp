@@ -4,6 +4,7 @@
 
 #include "channel/fiber.hpp"
 #include "channel/fso.hpp"
+#include "common/constants.hpp"
 #include "net/graph.hpp"
 #include "sim/network_model.hpp"
 
@@ -28,7 +29,7 @@ struct LinkPolicy {
   channel::FsoConfig fso{};
   double fiber_attenuation_db_per_km = 0.15;  ///< paper Section IV
   double transmissivity_threshold = 0.7;      ///< paper Section IV-A
-  double elevation_mask = 0.3490658503988659; ///< pi/9, paper Section IV
+  double elevation_mask = kPaperElevationMask;  ///< pi/9, paper Section IV
   LanTopology lan_topology = LanTopology::FullMesh;
   bool enable_inter_satellite = true;   ///< FSO channels between satellites
   bool enable_hap_satellite = false;    ///< hybrid extension (off = paper)
@@ -77,6 +78,19 @@ class TopologyBuilder final : public TopologyProvider {
                                                           double t) const;
 
   [[nodiscard]] const LinkPolicy& policy() const { return policy_; }
+
+  /// Time-invariant links (intra-LAN fiber plus ground-HAP FSO), already
+  /// thresholded. The contact-plan compiler copies these verbatim.
+  [[nodiscard]] const std::vector<LinkRecord>& static_links() const {
+    return static_links_;
+  }
+
+  /// Cached per-class evaluator for a node-kind pair, or nullptr when the
+  /// class has no FSO channel (missing nodes / disabled by policy). Exposed
+  /// so the contact-plan compiler evaluates the exact same link budgets the
+  /// per-step rebuild does.
+  [[nodiscard]] const channel::FsoLinkEvaluator* evaluator(NodeKind a,
+                                                           NodeKind b) const;
 
  private:
   void build_static_links();

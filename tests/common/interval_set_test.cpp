@@ -76,5 +76,64 @@ TEST(IntervalSet, ContainedIntervalDoesNotDoubleCount) {
   EXPECT_DOUBLE_EQ(set.total(), 100.0);
 }
 
+TEST(IntervalSet, DaySplitAtBoundaryMergesSeamlessly) {
+  // Coverage accumulated in two half-day batches meeting exactly at noon
+  // must report one episode over the full day — no phantom boundary at the
+  // split point (contact windows are clipped to [0, 86400] the same way).
+  IntervalSet set;
+  set.add_interval(0.0, 43'200.0);
+  set.add_interval(43'200.0, 86'400.0);
+  EXPECT_DOUBLE_EQ(set.total(), 86'400.0);
+  EXPECT_EQ(set.episode_count(), 1u);
+  const auto merged = set.merged();
+  EXPECT_DOUBLE_EQ(merged[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 86'400.0);
+}
+
+TEST(IntervalSet, FinalSampleOfTheDayCoversUpToDuration) {
+  IntervalSet set;
+  set.add_sample(86'370.0, 30.0, true);
+  const auto merged = set.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].start, 86'370.0);
+  EXPECT_DOUBLE_EQ(merged[0].end, 86'400.0);
+}
+
+TEST(IntersectMerged, BasicOverlap) {
+  const std::vector<Interval> a = {{0.0, 50.0}, {100.0, 150.0}};
+  const std::vector<Interval> b = {{40.0, 120.0}};
+  const auto out = intersect_merged(a, b);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].start, 40.0);
+  EXPECT_DOUBLE_EQ(out[0].end, 50.0);
+  EXPECT_DOUBLE_EQ(out[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(out[1].end, 120.0);
+}
+
+TEST(IntersectMerged, DisjointAndTouchingProduceNothing) {
+  const std::vector<Interval> a = {{0.0, 10.0}};
+  EXPECT_TRUE(intersect_merged(a, {{20.0, 30.0}}).empty());
+  // Half-open intervals: touching at one point shares no time.
+  EXPECT_TRUE(intersect_merged(a, {{10.0, 30.0}}).empty());
+  EXPECT_TRUE(intersect_merged(a, {}).empty());
+  EXPECT_TRUE(intersect_merged({}, a).empty());
+}
+
+TEST(IntersectMerged, NestedAndMultiInterval) {
+  const std::vector<Interval> a = {{0.0, 100.0}};
+  const std::vector<Interval> b = {{10.0, 20.0}, {30.0, 40.0}, {90.0, 120.0}};
+  const auto out = intersect_merged(a, b);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Interval{10.0, 20.0}));
+  EXPECT_EQ(out[1], (Interval{30.0, 40.0}));
+  EXPECT_EQ(out[2], (Interval{90.0, 100.0}));
+}
+
+TEST(IntersectMerged, IsCommutative) {
+  const std::vector<Interval> a = {{0.0, 35.0}, {50.0, 80.0}, {85.0, 90.0}};
+  const std::vector<Interval> b = {{30.0, 55.0}, {79.0, 86.0}};
+  EXPECT_EQ(intersect_merged(a, b), intersect_merged(b, a));
+}
+
 }  // namespace
 }  // namespace qntn

@@ -89,6 +89,83 @@ TEST(Passes, SummaryOfEmptyListIsZero) {
   EXPECT_DOUBLE_EQ(stats.mean_duration, 0.0);
 }
 
+// Re-base the day ephemeris so simulation time zero lands at `offset`
+// seconds into the original trajectory (mimics starting the sim mid-pass).
+Ephemeris shifted_ephemeris(const Ephemeris& eph, std::size_t offset_steps) {
+  std::vector<Vec3> samples;
+  for (std::size_t i = offset_steps; i < eph.sample_count(); ++i) {
+    samples.push_back(eph.sample(i));
+  }
+  return Ephemeris(std::move(samples), eph.step());
+}
+
+TEST(Passes, PassInProgressAtTimeZeroClipsToZero) {
+  const Ephemeris day = day_ephemeris();
+  const double mask = deg_to_rad(20.0);
+  const auto day_passes = find_passes(day, kCookeville, 86'400.0, mask);
+  ASSERT_GT(day_passes.size(), 0u);
+  // Re-base so t = 0 sits at a culmination: the pass is already in
+  // progress when the clock starts.
+  const Pass& reference = day_passes.front();
+  const auto offset =
+      static_cast<std::size_t>(reference.culmination / day.step());
+  const Ephemeris shifted = shifted_ephemeris(day, offset);
+  const auto passes = find_passes(shifted, kCookeville, shifted.duration(), mask);
+  ASSERT_GT(passes.size(), 0u);
+  EXPECT_DOUBLE_EQ(passes.front().aos, 0.0);
+  EXPECT_GE(geo::look_angles(kCookeville, shifted.position_ecef(0.0)).elevation,
+            mask);
+}
+
+TEST(Passes, PassStraddlingTheEndClipsToDuration) {
+  const Ephemeris day = day_ephemeris();
+  const double mask = deg_to_rad(20.0);
+  const auto day_passes = find_passes(day, kCookeville, 86'400.0, mask);
+  ASSERT_GT(day_passes.size(), 0u);
+  // Cut the scan window in the middle of a known pass.
+  const Pass& reference = day_passes.front();
+  const double cut = reference.culmination;
+  const auto clipped = find_passes(day, kCookeville, cut, mask);
+  ASSERT_GT(clipped.size(), 0u);
+  const Pass& last = clipped.back();
+  EXPECT_DOUBLE_EQ(last.los, cut);
+  EXPECT_NEAR(last.aos, reference.aos, 1e-6);
+  EXPECT_LE(last.max_elevation, reference.max_elevation + 1e-12);
+}
+
+TEST(Passes, AdaptiveMatchesDenseScan) {
+  for (const std::size_t which : {std::size_t{0}, std::size_t{3}}) {
+    const Ephemeris eph = day_ephemeris(which);
+    for (const double mask_deg : {10.0, 20.0, 45.0}) {
+      const double mask = deg_to_rad(mask_deg);
+      const auto dense = find_passes(eph, kCookeville, 86'400.0, mask);
+      const auto adaptive =
+          find_passes_adaptive(eph, kCookeville, 86'400.0, mask);
+      ASSERT_EQ(adaptive.size(), dense.size()) << "mask " << mask_deg;
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        // Same grid brackets feed the same bisection: boundaries agree to
+        // the refinement precision.
+        EXPECT_NEAR(adaptive[i].aos, dense[i].aos, 1e-6);
+        EXPECT_NEAR(adaptive[i].los, dense[i].los, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Passes, AdaptiveClipsAtTimeZeroToo) {
+  const Ephemeris day = day_ephemeris();
+  const double mask = deg_to_rad(20.0);
+  const auto day_passes = find_passes(day, kCookeville, 86'400.0, mask);
+  ASSERT_GT(day_passes.size(), 0u);
+  const auto offset =
+      static_cast<std::size_t>(day_passes.front().culmination / day.step());
+  const Ephemeris shifted = shifted_ephemeris(day, offset);
+  const auto passes =
+      find_passes_adaptive(shifted, kCookeville, shifted.duration(), mask);
+  ASSERT_GT(passes.size(), 0u);
+  EXPECT_DOUBLE_EQ(passes.front().aos, 0.0);
+}
+
 TEST(Passes, RejectsBadArguments) {
   const Ephemeris eph = day_ephemeris();
   EXPECT_THROW((void)find_passes(eph, kCookeville, 0.0, 0.3), PreconditionError);

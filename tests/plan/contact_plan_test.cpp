@@ -1,0 +1,134 @@
+#include "plan/contact_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "plan/contact_topology.hpp"
+
+namespace qntn::plan {
+namespace {
+
+struct Edge {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  double eta = 0.0;
+};
+
+std::vector<Edge> normalized(const std::vector<sim::LinkRecord>& links) {
+  std::vector<Edge> out;
+  out.reserve(links.size());
+  for (const sim::LinkRecord& link : links) {
+    out.push_back({std::min(link.a, link.b), std::max(link.a, link.b),
+                   link.transmissivity});
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& x, const Edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+TEST(ContactPlan, WindowsAreSortedClippedAndSampled) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 12);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  ASSERT_GT(plan.windows().size(), 0u);
+  double prev_start = 0.0;
+  for (const ContactWindow& window : plan.windows()) {
+    EXPECT_GE(window.start, 0.0);
+    EXPECT_LE(window.end, plan.horizon());
+    EXPECT_LT(window.start, window.end);
+    EXPECT_GE(window.start, prev_start);
+    prev_start = window.start;
+    // Profile spans the window with strictly increasing times.
+    ASSERT_GE(window.times.size(), 2u);
+    ASSERT_EQ(window.times.size(), window.etas.size());
+    EXPECT_DOUBLE_EQ(window.times.front(), window.start);
+    EXPECT_DOUBLE_EQ(window.times.back(), window.end);
+    for (std::size_t i = 1; i < window.times.size(); ++i) {
+      EXPECT_GT(window.times[i], window.times[i - 1]);
+    }
+  }
+  const ContactPlanStats stats = plan.stats();
+  EXPECT_EQ(stats.window_count, plan.windows().size());
+  EXPECT_GT(stats.total_contact, 0.0);
+}
+
+// The core equivalence claim: at every grid time the plan realises exactly
+// the links the per-step rebuild does (pair sets identical, transmissivities
+// within the sample-compression tolerance).
+TEST(ContactPlan, MatchesRebuildAtEveryGridTime) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  const sim::LinkPolicy policy = config.link_policy();
+  const sim::TopologyBuilder rebuild(model, policy);
+  const ContactPlan plan =
+      compile_contact_plan(model, policy, config.plan_options());
+  const ContactPlanTopology topology(plan, model);
+
+  std::size_t dynamic_checked = 0;
+  for (double t = 0.0; t <= 86'400.0; t += 30.0) {
+    const std::vector<Edge> expected = normalized(rebuild.links_at(t));
+    const std::vector<Edge> actual = normalized(topology.links_at(t));
+    ASSERT_EQ(actual.size(), expected.size()) << "t = " << t;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].a, expected[i].a) << "t = " << t;
+      EXPECT_EQ(actual[i].b, expected[i].b) << "t = " << t;
+      EXPECT_NEAR(actual[i].eta, expected[i].eta, 1e-3) << "t = " << t;
+    }
+    dynamic_checked += expected.size();
+  }
+  EXPECT_GT(dynamic_checked, 0u);
+}
+
+TEST(ContactPlan, PairWindowsAreSymmetricInArguments) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  ASSERT_GT(plan.windows().size(), 0u);
+  const ContactWindow& window = plan.windows().front();
+  EXPECT_EQ(plan.pair_windows(window.a, window.b).size(),
+            plan.pair_windows(window.b, window.a).size());
+  EXPECT_GT(plan.pair_windows(window.a, window.b).size(), 0u);
+}
+
+TEST(ContactPlan, EtaInterpolationClampsAndHitsSamples) {
+  ContactWindow window;
+  window.a = 0;
+  window.b = 1;
+  window.start = 10.0;
+  window.end = 40.0;
+  window.times = {10.0, 20.0, 40.0};
+  window.etas = {0.8, 0.9, 0.7};
+  EXPECT_DOUBLE_EQ(window.eta_at(10.0), 0.8);
+  EXPECT_DOUBLE_EQ(window.eta_at(20.0), 0.9);
+  EXPECT_DOUBLE_EQ(window.eta_at(40.0), 0.7);
+  EXPECT_DOUBLE_EQ(window.eta_at(15.0), 0.85);
+  EXPECT_DOUBLE_EQ(window.eta_at(30.0), 0.8);
+  // Clamped outside [start, end].
+  EXPECT_DOUBLE_EQ(window.eta_at(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(window.eta_at(100.0), 0.7);
+}
+
+TEST(ContactPlan, TighterToleranceKeepsMoreSamples) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  ContactPlanOptions loose = config.plan_options();
+  loose.sample_tolerance = 1e-2;
+  ContactPlanOptions tight = config.plan_options();
+  tight.sample_tolerance = 0.0;  // keep every grid sample
+  const ContactPlan coarse =
+      compile_contact_plan(model, config.link_policy(), loose);
+  const ContactPlan fine =
+      compile_contact_plan(model, config.link_policy(), tight);
+  EXPECT_EQ(coarse.windows().size(), fine.windows().size());
+  EXPECT_LT(coarse.stats().sample_count, fine.stats().sample_count);
+}
+
+}  // namespace
+}  // namespace qntn::plan

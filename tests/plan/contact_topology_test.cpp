@@ -1,0 +1,87 @@
+#include "plan/contact_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+
+namespace qntn::plan {
+namespace {
+
+TEST(ContactPlanTopology, GraphMatchesRebuildSnapshot) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 12);
+  const sim::LinkPolicy policy = config.link_policy();
+  const sim::TopologyBuilder rebuild(model, policy);
+  const ContactPlan plan =
+      compile_contact_plan(model, policy, config.plan_options());
+  const ContactPlanTopology topology(plan, model);
+
+  for (const double t : {0.0, 864.0, 7'777.0, 43'200.0, 86'400.0}) {
+    const net::Graph expected = rebuild.graph_at(t);
+    const net::Graph actual = topology.graph_at(t);
+    EXPECT_EQ(actual.node_count(), expected.node_count()) << "t = " << t;
+    EXPECT_EQ(actual.edge_count(), expected.edge_count()) << "t = " << t;
+    EXPECT_EQ(actual.components(), expected.components()) << "t = " << t;
+  }
+}
+
+TEST(ContactPlanTopology, BackwardQueriesReplayCorrectly) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  const ContactPlanTopology warm(plan, model);
+  // Drag the cursor forward, then jump back: the answer must match a fresh
+  // provider that has never advanced.
+  (void)warm.links_at(80'000.0);
+  for (const double t : {120.0, 5'000.0, 60.0}) {
+    const ContactPlanTopology cold(plan, model);
+    const auto expected = cold.links_at(t);
+    const auto actual = warm.links_at(t);
+    ASSERT_EQ(actual.size(), expected.size()) << "t = " << t;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].a, expected[i].a);
+      EXPECT_EQ(actual[i].b, expected[i].b);
+      EXPECT_DOUBLE_EQ(actual[i].transmissivity, expected[i].transmissivity);
+    }
+  }
+}
+
+TEST(ContactPlanTopology, EventTimelineHasTwoEventsPerWindow) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  const ContactPlanTopology topology(plan, model);
+  // Two events per window, except windows clipped at the horizon never
+  // close.
+  std::size_t clipped = 0;
+  for (const ContactWindow& window : plan.windows()) {
+    if (window.end >= plan.horizon()) ++clipped;
+  }
+  EXPECT_EQ(topology.event_count(), 2 * plan.windows().size() - clipped);
+}
+
+// Acceptance check for the whole control plane: the scenario pipeline
+// produces the same Eq. 6 coverage (to < 0.1 pp) and the identical served
+// count through either topology backend, at the paper's sweep extremes.
+TEST(ContactPlanTopology, ScenarioEquivalenceAcrossModes) {
+  for (const std::size_t n : {std::size_t{6}, std::size_t{54}, std::size_t{108}}) {
+    core::QntnConfig config;
+    config.topology_mode = core::TopologyMode::Rebuild;
+    const core::SweepPoint rebuild = core::evaluate_space_ground(config, n);
+    config.topology_mode = core::TopologyMode::ContactPlan;
+    const core::SweepPoint contact = core::evaluate_space_ground(config, n);
+    EXPECT_NEAR(contact.coverage_percent, rebuild.coverage_percent, 0.1)
+        << n << " satellites";
+    EXPECT_DOUBLE_EQ(contact.served_percent, rebuild.served_percent)
+        << n << " satellites";
+    EXPECT_NEAR(contact.mean_fidelity, rebuild.mean_fidelity, 5e-3)
+        << n << " satellites";
+  }
+}
+
+}  // namespace
+}  // namespace qntn::plan

@@ -6,6 +6,8 @@
 //   qntn_cli hybrid N [cfg]              hybrid architecture at N satellites
 //   qntn_cli sweep [cfg]                 Figs. 6-8 full sweep
 //   qntn_cli traffic RATE [cfg]          Poisson traffic on the air-ground net
+//   qntn_cli contacts N [cfg]            compiled contact plan at N satellites
+//   qntn_cli sessions N [cfg]            session admission at N satellites
 //
 // [cfg] is an optional key = value file (see `qntn_cli config`); omitted
 // keys keep the calibrated paper defaults.
@@ -14,9 +16,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/config_io.hpp"
 #include "core/experiments.hpp"
+#include "plan/session_scheduler.hpp"
 #include "sim/traffic.hpp"
 
 namespace {
@@ -96,10 +100,54 @@ int cmd_traffic(double rate, const core::QntnConfig& config) {
   return 0;
 }
 
+int cmd_contacts(std::size_t n, const core::QntnConfig& config) {
+  const sim::NetworkModel model = core::build_space_ground_model(config, n);
+  const plan::ContactPlan contact_plan = plan::compile_contact_plan(
+      model, config.link_policy(), config.plan_options());
+  const plan::ContactPlanStats stats = contact_plan.stats();
+  std::printf("contact plan @%zu satellites over %.0f s\n", n,
+              contact_plan.horizon());
+  std::printf("  windows        %zu\n", stats.window_count);
+  std::printf("  total contact  %.0f s (mean window %.1f s)\n",
+              stats.total_contact, stats.mean_window_duration);
+  std::printf("  eta samples    %zu\n", stats.sample_count);
+  std::printf("  static links   %zu\n", contact_plan.static_links().size());
+  return 0;
+}
+
+int cmd_sessions(std::size_t n, const core::QntnConfig& config) {
+  const sim::NetworkModel model = core::build_space_ground_model(config, n);
+  const plan::ContactPlan contact_plan = plan::compile_contact_plan(
+      model, config.link_policy(), config.plan_options());
+  const plan::SessionScheduler scheduler(contact_plan, model);
+
+  // One 3-minute session per LAN pair per hour, arrivals staggered. Single
+  // satellites bridge a LAN pair for ~3.3 min at a time, so longer sessions
+  // are blocked at every Table II size.
+  std::vector<plan::SessionRequest> requests;
+  for (std::size_t hour = 0; hour < 24; ++hour) {
+    for (std::size_t a = 0; a < model.lan_count(); ++a) {
+      for (std::size_t b = a + 1; b < model.lan_count(); ++b) {
+        requests.push_back({a, b, 3600.0 * static_cast<double>(hour), 180.0});
+      }
+    }
+  }
+  const plan::SessionSchedule schedule = scheduler.schedule(requests);
+  std::printf("sessions @%zu satellites: %zu requests\n", n, requests.size());
+  std::printf("  admitted   %zu\n  blocked    %zu (%.1f %%)\n",
+              schedule.sessions.size(), schedule.blocked.size(),
+              100.0 * schedule.blocked_fraction(requests.size()));
+  if (!schedule.sessions.empty()) {
+    std::printf("  wait       %.1f s mean\n  handovers  %.2f mean\n",
+                schedule.wait.mean(), schedule.handovers.mean());
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
       "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | "
-      "traffic RATE> [config-file]\n",
+      "traffic RATE | contacts N | sessions N> [config-file]\n",
       stderr);
   return 2;
 }
@@ -123,6 +171,14 @@ int main(int argc, char** argv) {
     }
     if (command == "traffic" && argc >= 3) {
       return cmd_traffic(std::atof(argv[2]), config_from(argc, argv, 3));
+    }
+    if (command == "contacts" && argc >= 3) {
+      return cmd_contacts(static_cast<std::size_t>(std::atoi(argv[2])),
+                          config_from(argc, argv, 3));
+    }
+    if (command == "sessions" && argc >= 3) {
+      return cmd_sessions(static_cast<std::size_t>(std::atoi(argv[2])),
+                          config_from(argc, argv, 3));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
