@@ -16,7 +16,7 @@ int main() {
   for (const double alt_km : {15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0}) {
     core::QntnConfig config;
     config.hap_position.altitude = alt_km * 1000.0;
-    const core::AirGroundResult air = core::evaluate_air_ground(config);
+    const core::ArchitectureMetrics air = core::evaluate_air_ground(config);
     altitude.add_row({Table::num(alt_km, 0), Table::num(air.served_percent, 2),
                       Table::num(air.mean_fidelity, 4),
                       Table::num(air.mean_transmissivity, 4)});
@@ -28,7 +28,7 @@ int main() {
   for (const double radius_cm : {10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 60.0}) {
     core::QntnConfig config;
     config.hap_aperture_radius = radius_cm / 100.0;
-    const core::AirGroundResult air = core::evaluate_air_ground(config);
+    const core::ArchitectureMetrics air = core::evaluate_air_ground(config);
     aperture.add_row({Table::num(radius_cm, 0),
                       Table::num(air.served_percent, 2),
                       Table::num(air.mean_fidelity, 4)});

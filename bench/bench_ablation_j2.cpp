@@ -19,8 +19,8 @@ int main() {
     core::QntnConfig two_body;
     core::QntnConfig with_j2;
     with_j2.include_j2 = true;
-    const core::SweepPoint a = core::evaluate_space_ground(two_body, n);
-    const core::SweepPoint b = core::evaluate_space_ground(with_j2, n);
+    const core::ArchitectureMetrics a = core::evaluate_space_ground(two_body, n);
+    const core::ArchitectureMetrics b = core::evaluate_space_ground(with_j2, n);
     table.add_row({std::to_string(n), Table::num(a.coverage_percent, 2),
                    Table::num(b.coverage_percent, 2),
                    Table::num(a.served_percent, 2),

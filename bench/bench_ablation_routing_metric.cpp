@@ -30,7 +30,7 @@ int main() {
     core::QntnConfig config;
     config.enable_hap_satellite = true;
     config.metric = c.metric;
-    const core::SweepPoint point = core::evaluate_hybrid(config, 36);
+    const core::ArchitectureMetrics point = core::evaluate_hybrid(config, 36);
     table.add_row({c.name, Table::num(point.served_percent, 2),
                    Table::num(point.mean_fidelity, 4),
                    Table::num(point.mean_transmissivity, 4),

@@ -17,8 +17,8 @@ int main() {
   for (const double threshold : {0.5, 0.6, 0.7, 0.8, 0.9}) {
     core::QntnConfig config;
     config.transmissivity_threshold = threshold;
-    const core::SweepPoint space = core::evaluate_space_ground(config, 108);
-    const core::AirGroundResult air = core::evaluate_air_ground(config);
+    const core::ArchitectureMetrics space = core::evaluate_space_ground(config, 108);
+    const core::ArchitectureMetrics air = core::evaluate_air_ground(config);
     table.add_row({Table::num(threshold, 2),
                    Table::num(space.coverage_percent, 2),
                    Table::num(space.served_percent, 2),

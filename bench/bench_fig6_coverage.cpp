@@ -15,13 +15,13 @@ int main() {
 
   Table table("Fig. 6 — coverage %% vs number of satellites");
   table.set_header({"satellites", "coverage [%]"});
-  for (const core::SweepPoint& point : sweep) {
+  for (const core::ArchitectureMetrics& point : sweep) {
     table.add_row({std::to_string(point.satellites),
                    Table::num(point.coverage_percent, 2)});
   }
   bench::emit(table, "fig6_coverage.csv");
 
-  const core::SweepPoint& full = sweep.back();
+  const core::ArchitectureMetrics& full = sweep.back();
   std::printf("\npaper @108: %.2f%%   measured @108: %.2f%%   (delta %.2f)\n",
               bench::kPaperCoverage108, full.coverage_percent,
               full.coverage_percent - bench::kPaperCoverage108);

@@ -15,13 +15,13 @@ int main() {
 
   Table table("Fig. 7 — served requests %% vs number of satellites");
   table.set_header({"satellites", "served [%]"});
-  for (const core::SweepPoint& point : sweep) {
+  for (const core::ArchitectureMetrics& point : sweep) {
     table.add_row({std::to_string(point.satellites),
                    Table::num(point.served_percent, 2)});
   }
   bench::emit(table, "fig7_served_requests.csv");
 
-  const core::SweepPoint& full = sweep.back();
+  const core::ArchitectureMetrics& full = sweep.back();
   std::printf("\npaper @108: %.2f%%   measured @108: %.2f%%   (delta %.2f)\n",
               bench::kPaperServed108, full.served_percent,
               full.served_percent - bench::kPaperServed108);

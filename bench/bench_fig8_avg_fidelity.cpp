@@ -15,7 +15,7 @@ int main() {
 
   Table table("Fig. 8 — average entanglement fidelity vs number of satellites");
   table.set_header({"satellites", "mean fidelity", "mean path eta", "mean hops"});
-  for (const core::SweepPoint& point : sweep) {
+  for (const core::ArchitectureMetrics& point : sweep) {
     table.add_row({std::to_string(point.satellites),
                    Table::num(point.mean_fidelity, 4),
                    Table::num(point.mean_transmissivity, 4),
@@ -23,7 +23,7 @@ int main() {
   }
   bench::emit(table, "fig8_avg_fidelity.csv");
 
-  const core::SweepPoint& full = sweep.back();
+  const core::ArchitectureMetrics& full = sweep.back();
   std::printf("\npaper @108: %.2f   measured @108: %.4f   (delta %.3f)\n",
               bench::kPaperFidelitySpace, full.mean_fidelity,
               full.mean_fidelity - bench::kPaperFidelitySpace);

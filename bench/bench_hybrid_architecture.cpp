@@ -11,15 +11,15 @@ int main() {
 
   core::QntnConfig config;
   config.enable_hap_satellite = true;
-  const core::AirGroundResult air = core::evaluate_air_ground(config);
+  const core::ArchitectureMetrics air = core::evaluate_air_ground(config);
 
   Table table("Extension A4 — hybrid space+air architecture");
   table.set_header({"satellites", "space cover [%]", "hybrid cover [%]",
                     "space served [%]", "hybrid served [%]",
                     "space fidelity", "hybrid fidelity"});
   for (const std::size_t n : {12u, 36u, 72u, 108u}) {
-    const core::SweepPoint space = core::evaluate_space_ground(config, n);
-    const core::SweepPoint hybrid = core::evaluate_hybrid(config, n);
+    const core::ArchitectureMetrics space = core::evaluate_space_ground(config, n);
+    const core::ArchitectureMetrics hybrid = core::evaluate_hybrid(config, n);
     table.add_row({std::to_string(n), Table::num(space.coverage_percent, 2),
                    Table::num(hybrid.coverage_percent, 2),
                    Table::num(space.served_percent, 2),

@@ -23,7 +23,7 @@ inline constexpr double kPaperFidelitySpace = 0.96;
 inline constexpr double kPaperFidelityAir = 0.98;
 
 /// Run the full 6..108 sweep with the library defaults.
-inline std::vector<core::SweepPoint> run_paper_sweep() {
+inline std::vector<core::ArchitectureMetrics> run_paper_sweep() {
   const core::QntnConfig config;
   ThreadPool pool;
   return core::space_ground_sweep(config, core::paper_constellation_sizes(),

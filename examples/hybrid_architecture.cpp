@@ -23,17 +23,17 @@ int main(int argc, char** argv) {
   std::printf("%-14s %-10s %-10s %-10s\n", "architecture", "cover%", "served%",
               "fidelity");
 
-  const core::SweepPoint space =
+  const core::ArchitectureMetrics space =
       core::evaluate_space_ground(config, n_satellites);
   std::printf("%-14s %-10.2f %-10.2f %-10.4f\n", "space-ground",
               space.coverage_percent, space.served_percent,
               space.mean_fidelity);
 
-  const core::AirGroundResult air = core::evaluate_air_ground(config);
+  const core::ArchitectureMetrics air = core::evaluate_air_ground(config);
   std::printf("%-14s %-10.2f %-10.2f %-10.4f\n", "air-ground",
               air.coverage_percent, air.served_percent, air.mean_fidelity);
 
-  const core::SweepPoint hybrid = core::evaluate_hybrid(config, n_satellites);
+  const core::ArchitectureMetrics hybrid = core::evaluate_hybrid(config, n_satellites);
   std::printf("%-14s %-10.2f %-10.2f %-10.4f\n", "hybrid",
               hybrid.coverage_percent, hybrid.served_percent,
               hybrid.mean_fidelity);

@@ -1,6 +1,8 @@
 #include "core/experiments.hpp"
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 #include "quantum/channels.hpp"
 #include "quantum/fidelity.hpp"
 #include "quantum/state.hpp"
@@ -10,6 +12,7 @@ namespace qntn::core {
 std::vector<FidelityPoint> fig5_fidelity_sweep(
     quantum::FidelityConvention convention, double step) {
   QNTN_REQUIRE(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
+  const obs::ScopedTimer timer("time.fidelity_sweep_s");
   std::vector<FidelityPoint> out;
   const auto count = static_cast<std::size_t>(std::round(1.0 / step));
   out.reserve(count + 1);
@@ -25,6 +28,7 @@ std::vector<FidelityPoint> fig5_fidelity_sweep(
         quantum::bell_fidelity_after_damping(eta, convention);
     out.push_back(point);
   }
+  obs::count("quantum.kraus_evals", count + 1);
   return out;
 }
 
@@ -44,73 +48,132 @@ std::vector<std::size_t> paper_constellation_sizes() {
   return sizes;
 }
 
+sim::ScenarioConfig RunContext::scenario_config() const {
+  sim::ScenarioConfig sc = config.scenario_config();
+  sc.registry = registry;
+  sc.trace = trace;
+  if (seed.has_value()) sc.request_seed = *seed;
+  return sc;
+}
+
 namespace {
 
-SweepPoint summarize(std::size_t n_satellites, const sim::ScenarioResult& r) {
-  SweepPoint point;
-  point.satellites = n_satellites;
-  point.coverage_percent = r.coverage.percent;
-  point.served_percent = 100.0 * r.served_fraction;
-  point.mean_fidelity = r.fidelity.mean();
-  point.mean_transmissivity = r.transmissivity.mean();
-  point.mean_hops = r.hops.mean();
-  return point;
+ArchitectureMetrics summarize(std::string architecture,
+                              std::size_t n_satellites,
+                              const sim::ScenarioResult& r) {
+  ArchitectureMetrics m;
+  m.architecture = std::move(architecture);
+  m.satellites = n_satellites;
+  m.coverage_percent = r.coverage.percent;
+  m.served_percent = 100.0 * r.served_fraction;
+  m.mean_fidelity = r.fidelity.mean();
+  m.mean_transmissivity = r.transmissivity.mean();
+  m.mean_hops = r.hops.mean();
+  m.requests_issued = r.requests_issued;
+  m.requests_served = r.requests_served;
+  m.requests_no_path = r.requests_no_path;
+  m.requests_isolated = r.requests_isolated;
+  m.handovers = r.handovers;
+  return m;
+}
+
+/// Shared body of the three evaluate_* runners: install the context's
+/// registry as ambient (so model building and topology compilation report
+/// into it too, not just run_scenario), build, run, summarize.
+template <typename BuildModel>
+ArchitectureMetrics evaluate_architecture(const RunContext& ctx,
+                                          std::string architecture,
+                                          std::size_t n_satellites,
+                                          BuildModel&& build_model) {
+  const obs::ScopedRegistry ambient(ctx.registry);
+  sim::NetworkModel model;
+  Topology topology;
+  {
+    const obs::ScopedTimer timer("time.build_model_s");
+    model = build_model(ctx.config);
+    topology = make_topology(ctx.config, model);
+  }
+  const sim::ScenarioResult result =
+      sim::run_scenario(model, topology.provider(), ctx.scenario_config());
+  return summarize(std::move(architecture), n_satellites, result);
 }
 
 }  // namespace
 
-SweepPoint evaluate_space_ground(const QntnConfig& config,
-                                 std::size_t n_satellites) {
-  const sim::NetworkModel model = build_space_ground_model(config, n_satellites);
-  const Topology topology = make_topology(config, model);
-  const sim::ScenarioResult result =
-      sim::run_scenario(model, topology.provider(), config.scenario_config());
-  return summarize(n_satellites, result);
+ArchitectureMetrics evaluate_space_ground(const RunContext& ctx,
+                                          std::size_t n_satellites) {
+  return evaluate_architecture(
+      ctx, "space-ground", n_satellites, [&](const QntnConfig& config) {
+        return build_space_ground_model(config, n_satellites);
+      });
 }
 
-std::vector<SweepPoint> space_ground_sweep(const QntnConfig& config,
-                                           const std::vector<std::size_t>& sizes,
-                                           ThreadPool& pool) {
-  std::vector<SweepPoint> out(sizes.size());
-  parallel_for_index(pool, sizes.size(), [&](std::size_t i) {
-    out[i] = evaluate_space_ground(config, sizes[i]);
+ArchitectureMetrics evaluate_space_ground(const QntnConfig& config,
+                                          std::size_t n_satellites) {
+  return evaluate_space_ground(RunContext{config}, n_satellites);
+}
+
+std::vector<ArchitectureMetrics> space_ground_sweep(
+    const RunContext& ctx, const std::vector<std::size_t>& sizes) {
+  RunContext point_ctx = ctx;
+  point_ctx.pool = nullptr;
+  // Concurrent evaluations would interleave their JSONL streams; only a
+  // single-size "sweep" keeps the trace.
+  if (sizes.size() > 1) point_ctx.trace = nullptr;
+  std::vector<ArchitectureMetrics> out(sizes.size());
+  if (ctx.pool == nullptr) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      out[i] = evaluate_space_ground(point_ctx, sizes[i]);
+    }
+    return out;
+  }
+  parallel_for_index(*ctx.pool, sizes.size(), [&](std::size_t i) {
+    out[i] = evaluate_space_ground(point_ctx, sizes[i]);
   });
   return out;
 }
 
-AirGroundResult evaluate_air_ground(const QntnConfig& config) {
-  const sim::NetworkModel model = build_air_ground_model(config);
-  const Topology topology = make_topology(config, model);
-  const sim::ScenarioResult result =
-      sim::run_scenario(model, topology.provider(), config.scenario_config());
-  AirGroundResult out;
-  out.coverage_percent = result.coverage.percent;
-  out.served_percent = 100.0 * result.served_fraction;
-  out.mean_fidelity = result.fidelity.mean();
-  out.mean_transmissivity = result.transmissivity.mean();
-  out.mean_hops = result.hops.mean();
-  return out;
+std::vector<ArchitectureMetrics> space_ground_sweep(
+    const QntnConfig& config, const std::vector<std::size_t>& sizes,
+    ThreadPool& pool) {
+  RunContext ctx{config};
+  ctx.pool = &pool;
+  return space_ground_sweep(ctx, sizes);
 }
 
-std::vector<ComparisonRow> table3_comparison(const QntnConfig& config,
-                                             std::size_t space_ground_satellites) {
-  const SweepPoint space =
-      evaluate_space_ground(config, space_ground_satellites);
-  const AirGroundResult air = evaluate_air_ground(config);
-  return {
-      {"Space-Ground", space.coverage_percent, space.served_percent,
-       space.mean_fidelity},
-      {"Air-Ground", air.coverage_percent, air.served_percent,
-       air.mean_fidelity},
-  };
+ArchitectureMetrics evaluate_air_ground(const RunContext& ctx) {
+  return evaluate_architecture(ctx, "air-ground", 0,
+                               [](const QntnConfig& config) {
+                                 return build_air_ground_model(config);
+                               });
 }
 
-SweepPoint evaluate_hybrid(const QntnConfig& config, std::size_t n_satellites) {
-  const sim::NetworkModel model = build_hybrid_model(config, n_satellites);
-  const Topology topology = make_topology(config, model);
-  const sim::ScenarioResult result =
-      sim::run_scenario(model, topology.provider(), config.scenario_config());
-  return summarize(n_satellites, result);
+ArchitectureMetrics evaluate_air_ground(const QntnConfig& config) {
+  return evaluate_air_ground(RunContext{config});
+}
+
+ArchitectureMetrics evaluate_hybrid(const RunContext& ctx,
+                                    std::size_t n_satellites) {
+  return evaluate_architecture(
+      ctx, "hybrid", n_satellites, [&](const QntnConfig& config) {
+        return build_hybrid_model(config, n_satellites);
+      });
+}
+
+ArchitectureMetrics evaluate_hybrid(const QntnConfig& config,
+                                    std::size_t n_satellites) {
+  return evaluate_hybrid(RunContext{config}, n_satellites);
+}
+
+std::vector<ArchitectureMetrics> table3_comparison(
+    const RunContext& ctx, std::size_t space_ground_satellites) {
+  return {evaluate_space_ground(ctx, space_ground_satellites),
+          evaluate_air_ground(ctx)};
+}
+
+std::vector<ArchitectureMetrics> table3_comparison(
+    const QntnConfig& config, std::size_t space_ground_satellites) {
+  return table3_comparison(RunContext{config}, space_ground_satellites);
 }
 
 }  // namespace qntn::core

@@ -1,16 +1,29 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
 
+namespace qntn::obs {
+class Registry;
+class TraceSink;
+}  // namespace qntn::obs
+
 /// \file experiments.hpp
 /// The paper's experiments as reusable runners. Each bench binary wraps one
 /// of these and prints the paper-vs-measured rows; the integration tests
 /// assert their invariants on reduced workloads.
+///
+/// Every architecture evaluation returns one ArchitectureMetrics and takes a
+/// RunContext bundling the configuration with the optional execution
+/// machinery (thread pool, observability hooks, seed override). Plain
+/// QntnConfig overloads remain for callers that need none of it.
 
 namespace qntn::core {
 
@@ -33,50 +46,90 @@ struct FidelityPoint {
 [[nodiscard]] double transmissivity_threshold_for(
     const std::vector<FidelityPoint>& sweep, double target_fidelity);
 
-/// --- Figs. 6-8: the space-ground constellation sweep. ---
-struct SweepPoint {
+/// --- Unified per-architecture result. ---
+/// One evaluation of one architecture: the Fig. 6-8 observables plus the
+/// request accounting run_scenario collects. Subsumes the former
+/// SweepPoint / AirGroundResult / ComparisonRow trio.
+struct ArchitectureMetrics {
+  /// "space-ground", "air-ground" or "hybrid".
+  std::string architecture;
+  /// Constellation size (0 for the satellite-free air-ground architecture).
   std::size_t satellites = 0;
   double coverage_percent = 0.0;   ///< Fig. 6
   double served_percent = 0.0;     ///< Fig. 7
   double mean_fidelity = 0.0;      ///< Fig. 8 (over served requests)
   double mean_transmissivity = 0.0;
   double mean_hops = 0.0;
+  /// Request accounting across all snapshots (issued = served + no_path +
+  /// isolated; served/issued == served_percent/100).
+  std::size_t requests_issued = 0;
+  std::size_t requests_served = 0;
+  std::size_t requests_no_path = 0;
+  std::size_t requests_isolated = 0;
+  /// Relay changes between consecutively served snapshots of one request.
+  std::size_t handovers = 0;
 };
+
+/// Deprecated aliases, kept for one release; new code should spell
+/// ArchitectureMetrics. All former fields carry over unchanged.
+using SweepPoint = ArchitectureMetrics;
+using AirGroundResult = ArchitectureMetrics;
+using ComparisonRow = ArchitectureMetrics;
+
+/// --- Execution context threaded through every runner. ---
+/// Aggregates the scenario parameters with the machinery an evaluation may
+/// use. Everything but `config` is optional; pointers are borrowed and may
+/// be nullptr.
+struct RunContext {
+  QntnConfig config{};
+  /// Parallelises space_ground_sweep across constellation sizes; single
+  /// evaluations ignore it. nullptr = run serially.
+  ThreadPool* pool = nullptr;
+  /// Metrics registry, installed as the ambient registry for the duration
+  /// of each evaluation (so routing/topology layers report into it).
+  obs::Registry* registry = nullptr;
+  /// JSONL trace sink. Multi-size sweeps drop it (interleaved runs would
+  /// garble the stream); single evaluations honour it.
+  obs::TraceSink* trace = nullptr;
+  /// Overrides config.request_seed when set.
+  std::optional<std::uint64_t> seed{};
+
+  /// Derived: config.scenario_config() with the hooks and seed applied.
+  [[nodiscard]] sim::ScenarioConfig scenario_config() const;
+};
+
+/// --- Figs. 6-8: the space-ground constellation sweep. ---
 
 /// Constellation sizes of the paper's sweep: 6, 12, ..., 108.
 [[nodiscard]] std::vector<std::size_t> paper_constellation_sizes();
 
 /// Evaluate one constellation size end to end.
-[[nodiscard]] SweepPoint evaluate_space_ground(const QntnConfig& config,
-                                               std::size_t n_satellites);
+[[nodiscard]] ArchitectureMetrics evaluate_space_ground(
+    const RunContext& ctx, std::size_t n_satellites);
+[[nodiscard]] ArchitectureMetrics evaluate_space_ground(
+    const QntnConfig& config, std::size_t n_satellites);
 
-/// Evaluate the full sweep, parallelised across sizes on the pool.
-[[nodiscard]] std::vector<SweepPoint> space_ground_sweep(
+/// Evaluate the full sweep, parallelised across sizes on ctx.pool when set.
+[[nodiscard]] std::vector<ArchitectureMetrics> space_ground_sweep(
+    const RunContext& ctx, const std::vector<std::size_t>& sizes);
+[[nodiscard]] std::vector<ArchitectureMetrics> space_ground_sweep(
     const QntnConfig& config, const std::vector<std::size_t>& sizes,
     ThreadPool& pool);
 
 /// --- Section IV-C: air-ground architecture. ---
-struct AirGroundResult {
-  double coverage_percent = 0.0;  ///< 100 by construction (HAP hovers)
-  double served_percent = 0.0;
-  double mean_fidelity = 0.0;
-  double mean_transmissivity = 0.0;
-  double mean_hops = 0.0;
-};
-[[nodiscard]] AirGroundResult evaluate_air_ground(const QntnConfig& config);
-
-/// --- Table III: the comparative summary. ---
-struct ComparisonRow {
-  std::string architecture;
-  double coverage_percent = 0.0;
-  double served_percent = 0.0;
-  double mean_fidelity = 0.0;
-};
-[[nodiscard]] std::vector<ComparisonRow> table3_comparison(
-    const QntnConfig& config, std::size_t space_ground_satellites = 108);
+[[nodiscard]] ArchitectureMetrics evaluate_air_ground(const RunContext& ctx);
+[[nodiscard]] ArchitectureMetrics evaluate_air_ground(const QntnConfig& config);
 
 /// --- Extension: hybrid space+air architecture (paper future work). ---
-[[nodiscard]] SweepPoint evaluate_hybrid(const QntnConfig& config,
-                                         std::size_t n_satellites);
+[[nodiscard]] ArchitectureMetrics evaluate_hybrid(const RunContext& ctx,
+                                                  std::size_t n_satellites);
+[[nodiscard]] ArchitectureMetrics evaluate_hybrid(const QntnConfig& config,
+                                                  std::size_t n_satellites);
+
+/// --- Table III: the comparative summary (one row per architecture). ---
+[[nodiscard]] std::vector<ArchitectureMetrics> table3_comparison(
+    const RunContext& ctx, std::size_t space_ground_satellites = 108);
+[[nodiscard]] std::vector<ArchitectureMetrics> table3_comparison(
+    const QntnConfig& config, std::size_t space_ground_satellites = 108);
 
 }  // namespace qntn::core

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/ground_networks.hpp"
+#include "obs/timer.hpp"
 #include "orbit/constellation.hpp"
 #include "plan/contact_topology.hpp"
 
@@ -20,6 +21,7 @@ namespace {
 
 void add_constellation(sim::NetworkModel& model, const QntnConfig& config,
                        std::size_t n_satellites) {
+  const obs::ScopedTimer timer("time.ephemeris_s");
   const auto elements = orbit::qntn_constellation(n_satellites);
   orbit::PropagatorOptions options;
   options.include_j2 = config.include_j2;
@@ -63,13 +65,15 @@ Topology make_topology(const QntnConfig& config,
       topology.owner = std::make_unique<sim::TopologyBuilder>(
           model, config.link_policy());
       break;
-    case TopologyMode::ContactPlan:
+    case TopologyMode::ContactPlan: {
+      const obs::ScopedTimer timer("time.contact_compile_s");
       topology.plan =
           std::make_unique<plan::ContactPlan>(plan::compile_contact_plan(
               model, config.link_policy(), config.plan_options()));
       topology.owner =
           std::make_unique<plan::ContactPlanTopology>(*topology.plan, model);
       break;
+    }
   }
   return topology;
 }

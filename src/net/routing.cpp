@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace qntn::net {
 
@@ -140,11 +141,14 @@ std::optional<Route> DistanceVectorRouter::route(NodeId src, NodeId dst) const {
 ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
                                    CostMetric metric) {
   QNTN_REQUIRE(src < graph.node_count(), "source out of range");
+  obs::count("net.bf_trees");
   const std::size_t n = graph.node_count();
   ShortestPathTree tree{std::vector<double>(n, kInf),
                         std::vector<std::optional<NodeId>>(n)};
   tree.cost[src] = 0.0;
+  std::size_t rounds = 0;
   for (std::size_t round = 0; round + 1 < n; ++round) {
+    ++rounds;
     bool changed = false;
     for (const Edge& e : graph.edges()) {
       const double c = edge_cost(e.transmissivity, metric);
@@ -161,6 +165,7 @@ ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
     }
     if (!changed) break;
   }
+  obs::count("net.bf_rounds", rounds);
   return tree;
 }
 
@@ -194,6 +199,7 @@ std::optional<Route> dijkstra(const Graph& graph, NodeId src, NodeId dst,
                               CostMetric metric) {
   QNTN_REQUIRE(src < graph.node_count() && dst < graph.node_count(),
                "node out of range");
+  obs::count("net.dijkstra_calls");
   const std::size_t n = graph.node_count();
   std::vector<double> cost(n, kInf);
   std::vector<std::optional<NodeId>> previous(n);

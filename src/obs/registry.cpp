@@ -1,0 +1,209 @@
+#include "obs/registry.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+namespace qntn::obs {
+
+namespace {
+
+/// Heterogeneous string hashing so the hot path can look up string_view
+/// keys without materializing a std::string.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+std::atomic<std::uint64_t> g_registry_serial{1};
+
+/// Tiny per-thread cache mapping registry serial -> shard. Serials are
+/// process-unique and never reused, so a stale entry for a destroyed
+/// registry can never be mistaken for a live one.
+struct TlsShardEntry {
+  std::uint64_t serial = 0;
+  void* shard = nullptr;
+};
+constexpr std::size_t kTlsCacheSize = 4;
+thread_local std::array<TlsShardEntry, kTlsCacheSize> t_shard_cache{};
+thread_local std::size_t t_shard_next = 0;
+
+thread_local Registry* t_ambient = nullptr;
+
+void append_json_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+void append_json_string(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+struct Registry::Shard {
+  /// Guards map structure and the stats values. The owning thread is the
+  /// only inserter, so writers lock solely around first-touch inserts and
+  /// stat updates; established counter cells are updated lock-free.
+  std::mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
+                     StringHash, std::equal_to<>>
+      counters;
+  std::unordered_map<std::string, RunningStats, StringHash, std::equal_to<>>
+      stats;
+};
+
+Registry::Registry()
+    : serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry::Shard& Registry::local_shard() {
+  for (const TlsShardEntry& entry : t_shard_cache) {
+    if (entry.serial == serial_) return *static_cast<Shard*>(entry.shard);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    shards_.push_back(std::make_unique<Shard>());
+    slot = shards_.back().get();
+  }
+  t_shard_cache[t_shard_next] = {serial_, slot};
+  t_shard_next = (t_shard_next + 1) % kTlsCacheSize;
+  return *slot;
+}
+
+void Registry::count(std::string_view name, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  // Lock-free lookup: only this thread inserts into its shard, and
+  // snapshot() readers never mutate the map.
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    it = shard.counters
+             .try_emplace(std::string(name),
+                          std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  it->second->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::observe(std::string_view name, double value) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.stats.find(name);
+  if (it == shard.stats.end()) {
+    it = shard.stats.try_emplace(std::string(name)).first;
+  }
+  it->second.add(value);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, cell] : shard->counters) {
+      out.counters[name] += cell->load(std::memory_order_relaxed);
+    }
+    for (const auto& [name, stats] : shard->stats) {
+      out.stats[name].merge(stats);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const auto it = shard->counters.find(name);
+    if (it != shard->counters.end()) {
+      total += it->second->load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+RunningStats Registry::stat(std::string_view name) const {
+  RunningStats total;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const auto it = shard->stats.find(name);
+    if (it != shard->stats.end()) total.merge(it->second);
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"stats\": {";
+  first = true;
+  for (const auto& [name, running] : stats) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(running.count());
+    out += ", \"mean\": ";
+    append_json_number(out, running.mean());
+    out += ", \"min\": ";
+    append_json_number(out, running.min());
+    out += ", \"max\": ";
+    append_json_number(out, running.max());
+    out += ", \"stddev\": ";
+    append_json_number(out, running.stddev());
+    out += "}";
+  }
+  out += stats.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Registry* ambient() noexcept { return t_ambient; }
+
+ScopedRegistry::ScopedRegistry(Registry* registry) noexcept
+    : previous_(t_ambient) {
+  t_ambient = registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_ambient = previous_; }
+
+}  // namespace qntn::obs

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+
+/// \file registry.hpp
+/// Run-metrics registry: named counters and value distributions collected
+/// while a scenario runs. Writes land in per-thread shards — the owning
+/// thread is the only writer, so the counter hot path is a lock-free
+/// relaxed atomic add and the distribution path takes an uncontended
+/// per-shard mutex — and reads merge every shard into one snapshot. The
+/// whole subsystem is pay-as-you-go: code instruments itself through the
+/// ambient-registry helpers below, which collapse to one thread-local load
+/// and a branch when no registry is installed.
+
+namespace qntn::obs {
+
+/// Point-in-time view of every metric, merged across shards. Counter and
+/// stat names are sorted (std::map) so serialized snapshots are stable.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, RunningStats> stats;
+
+  /// Deterministic JSON rendering:
+  /// {"counters": {...}, "stats": {"name": {"count": ..., "mean": ...}}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Add `delta` to the named counter (creating it on first touch).
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  /// Add one sample to the named distribution (creating it on first touch).
+  /// Timers record seconds here under "time.*_s" names.
+  void observe(std::string_view name, double value);
+
+  /// Merge every shard into one consistent snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Convenience: the merged value of one counter (0 if never touched).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Convenience: the merged distribution of one stat (empty if absent).
+  [[nodiscard]] RunningStats stat(std::string_view name) const;
+
+ private:
+  struct Shard;
+
+  /// The calling thread's shard, created on first use. A small thread-local
+  /// cache keyed by the registry serial makes the steady state allocation-
+  /// and lock-free.
+  Shard& local_shard();
+
+  const std::uint64_t serial_;  ///< process-unique; guards the TLS cache
+  mutable std::mutex mutex_;    ///< guards shards_ / by_thread_
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::thread::id, Shard*> by_thread_;
+};
+
+/// The thread's ambient registry (nullptr when none is installed).
+[[nodiscard]] Registry* ambient() noexcept;
+
+/// RAII install of an ambient registry for the current thread. Scopes nest;
+/// installing nullptr is allowed and turns the helpers below into no-ops.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* registry) noexcept;
+  ~ScopedRegistry();
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+/// Ambient-registry counter add; no-op (one TLS load + branch) without an
+/// installed registry — cheap enough for per-query instrumentation on the
+/// simulator's hot paths.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (Registry* registry = ambient()) registry->count(name, delta);
+}
+
+/// Ambient-registry distribution sample; same no-op contract as count().
+inline void observe(std::string_view name, double value) {
+  if (Registry* registry = ambient()) registry->observe(name, value);
+}
+
+}  // namespace qntn::obs

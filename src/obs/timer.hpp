@@ -1,0 +1,45 @@
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+/// \file timer.hpp
+/// Scoped wall-clock timers for the simulator's hot phases (ephemeris
+/// sampling, contact-plan compile, topology queries, serving, Kraus /
+/// fidelity evaluation). Durations are recorded in seconds as samples of a
+/// registry stat, so repeated phases accumulate count/mean/min/max.
+
+namespace qntn::obs {
+
+class ScopedTimer {
+ public:
+  /// Times into the ambient registry; a complete no-op (no clock read) when
+  /// none is installed.
+  explicit ScopedTimer(std::string_view name) : ScopedTimer(ambient(), name) {}
+
+  /// Times into an explicit registry (nullptr disables the timer). `name`
+  /// must outlive the scope — call sites pass string literals.
+  ScopedTimer(Registry* registry, std::string_view name)
+      : registry_(registry), name_(name) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    registry_->observe(name_, elapsed.count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* registry_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace qntn::obs

@@ -1,0 +1,126 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace qntn::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off:
+      return "off";
+    case TraceLevel::Snapshots:
+      return "snapshots";
+    case TraceLevel::Requests:
+      return "requests";
+  }
+  throw Error("unknown trace level");
+}
+
+TraceLevel trace_level_from(std::string_view name) {
+  if (name == "off") return TraceLevel::Off;
+  if (name == "snapshots") return TraceLevel::Snapshots;
+  if (name == "requests") return TraceLevel::Requests;
+  throw Error("unknown trace level: " + std::string(name) +
+              " (expected off | snapshots | requests)");
+}
+
+TraceEvent::TraceEvent(std::string_view type) {
+  buffer_.reserve(128);
+  buffer_ += "{\"type\": ";
+  append_escaped(buffer_, type);
+}
+
+void TraceEvent::key(std::string_view name) {
+  buffer_ += ", ";
+  append_escaped(buffer_, name);
+  buffer_ += ": ";
+}
+
+TraceEvent& TraceEvent::field(std::string_view name, std::string_view value) {
+  key(name);
+  append_escaped(buffer_, value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view name, const char* value) {
+  return field(name, std::string_view(value));
+}
+
+TraceEvent& TraceEvent::field(std::string_view name, double value) {
+  key(name);
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  buffer_ += buffer;
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view name, std::uint64_t value) {
+  key(name);
+  buffer_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view name, bool value) {
+  key(name);
+  buffer_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string TraceEvent::json() const { return buffer_ + "}"; }
+
+TraceSink::TraceSink(std::ostream& out, TraceLevel level)
+    : level_(level), out_(&out) {}
+
+TraceSink::TraceSink(const std::string& path, TraceLevel level)
+    : level_(level) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) throw Error("cannot open trace output: " + path);
+  out_ = file.get();
+  owned_ = std::move(file);
+}
+
+void TraceSink::emit(const TraceEvent& event) {
+  if (out_ == nullptr) return;
+  const std::string line = event.json();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+}
+
+void TraceSink::flush() {
+  if (out_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+}  // namespace qntn::obs

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+/// \file trace.hpp
+/// Structured per-run trace sink: one JSON object per line (JSON Lines),
+/// recording per-snapshot scenario events — requests issued / served /
+/// unserved with reason, handovers, chosen relay, path eta and hops. The
+/// sink is gated by a TraceLevel so the disabled path costs one branch, and
+/// all number formatting is deterministic (the golden-schema test relies on
+/// byte-identical output for identical runs).
+
+namespace qntn::obs {
+
+enum class TraceLevel {
+  Off = 0,        ///< no events
+  Snapshots = 1,  ///< run/coverage/per-snapshot summaries
+  Requests = 2,   ///< plus one event per request and per handover
+};
+
+[[nodiscard]] std::string_view trace_level_name(TraceLevel level);
+
+/// Parse "off" | "snapshots" | "requests"; throws qntn::Error otherwise.
+[[nodiscard]] TraceLevel trace_level_from(std::string_view name);
+
+/// One trace line under construction. Keys appear in call order; values are
+/// JSON-escaped strings or %.10g-formatted numbers.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view type);
+
+  TraceEvent& field(std::string_view key, std::string_view value);
+  TraceEvent& field(std::string_view key, const char* value);
+  TraceEvent& field(std::string_view key, double value);
+  TraceEvent& field(std::string_view key, std::uint64_t value);
+  TraceEvent& field(std::string_view key, bool value);
+
+  /// The finished single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string json() const;
+
+ private:
+  void key(std::string_view name);
+
+  std::string buffer_;
+};
+
+/// Thread-safe JSONL writer. Default-constructed sinks are disabled;
+/// `wants()` is the cheap gate call sites check before building an event.
+class TraceSink {
+ public:
+  TraceSink() = default;
+
+  /// Write to a borrowed stream (tests pass an ostringstream).
+  TraceSink(std::ostream& out, TraceLevel level);
+
+  /// Write to a file; throws qntn::Error when the file cannot be opened.
+  TraceSink(const std::string& path, TraceLevel level);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  [[nodiscard]] TraceLevel level() const { return level_; }
+
+  /// True when events at `level` should be built and emitted.
+  [[nodiscard]] bool wants(TraceLevel level) const {
+    return out_ != nullptr &&
+           static_cast<int>(level_) >= static_cast<int>(level);
+  }
+
+  /// Append one event line. Serialized internally; safe from worker
+  /// threads, though interleaved runs should use separate sinks.
+  void emit(const TraceEvent& event);
+
+  void flush();
+
+ private:
+  TraceLevel level_ = TraceLevel::Off;
+  std::ostream* out_ = nullptr;
+  std::unique_ptr<std::ostream> owned_;
+  std::mutex mutex_;
+};
+
+}  // namespace qntn::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace qntn::plan {
 
 ContactPlanTopology::ContactPlanTopology(const ContactPlan& plan,
@@ -30,16 +32,20 @@ void ContactPlanTopology::seek(double t) const {
     // Backward jump: replay from the beginning (rare in simulation sweeps).
     next_event_ = 0;
     std::fill(active_.begin(), active_.end(), 0);
+    obs::count("plan.replay_resets");
   }
+  const std::size_t first = next_event_;
   while (next_event_ < events_.size() && events_[next_event_].time <= t) {
     const Event& event = events_[next_event_];
     active_[event.window] = event.open ? 1 : 0;
     ++next_event_;
   }
+  if (next_event_ != first) obs::count("plan.replay_events", next_event_ - first);
   cursor_t_ = t;
 }
 
 std::vector<sim::LinkRecord> ContactPlanTopology::links_at(double t) const {
+  obs::count("plan.graph_queries");
   const std::lock_guard<std::mutex> lock(mutex_);
   seek(t);
   std::vector<sim::LinkRecord> links = plan_.static_links();

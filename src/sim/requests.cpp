@@ -29,16 +29,41 @@ std::vector<Request> generate_requests(const NetworkModel& model,
   return out;
 }
 
+std::string_view serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::Served:
+      return "served";
+    case ServeStatus::NoPath:
+      return "no_path";
+    case ServeStatus::Isolated:
+      return "isolated";
+  }
+  return "unknown";
+}
+
 ServeResult serve_requests(const net::Graph& graph,
                            const std::vector<Request>& requests,
                            net::CostMetric metric,
-                           quantum::FidelityConvention convention) {
+                           quantum::FidelityConvention convention,
+                           bool record_outcomes) {
   ServeResult result;
   result.total = requests.size();
+  if (record_outcomes) result.outcomes.resize(requests.size());
 
   // One shortest-path tree per distinct source.
   std::map<net::NodeId, net::ShortestPathTree> trees;
-  for (const Request& req : requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    RequestOutcome outcome;
+    // Isolated endpoints cannot be served regardless of routing; classify
+    // them before paying for a shortest-path tree.
+    if (graph.neighbors(req.source).empty() ||
+        graph.neighbors(req.destination).empty()) {
+      outcome.status = ServeStatus::Isolated;
+      ++result.unserved_isolated;
+      if (record_outcomes) result.outcomes[i] = outcome;
+      continue;
+    }
     auto it = trees.find(req.source);
     if (it == trees.end()) {
       it = trees.emplace(req.source,
@@ -47,12 +72,26 @@ ServeResult serve_requests(const net::Graph& graph,
     }
     const auto route =
         net::route_from_tree(graph, it->second, req.source, req.destination);
-    if (!route.has_value()) continue;
+    if (!route.has_value()) {
+      outcome.status = ServeStatus::NoPath;
+      ++result.unserved_no_path;
+      if (record_outcomes) result.outcomes[i] = outcome;
+      continue;
+    }
     ++result.served;
+    const double fidelity =
+        quantum::bell_fidelity_after_damping(route->transmissivity, convention);
     result.transmissivity.add(route->transmissivity);
     result.hops.add(static_cast<double>(route->path.size() - 1));
-    result.fidelity.add(
-        quantum::bell_fidelity_after_damping(route->transmissivity, convention));
+    result.fidelity.add(fidelity);
+    if (record_outcomes) {
+      outcome.status = ServeStatus::Served;
+      outcome.transmissivity = route->transmissivity;
+      outcome.fidelity = fidelity;
+      outcome.hops = route->path.size() - 1;
+      if (route->path.size() > 2) outcome.relay = route->path[1];
+      result.outcomes[i] = outcome;
+    }
   }
   return result;
 }

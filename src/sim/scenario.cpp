@@ -1,28 +1,177 @@
 #include "sim/scenario.hpp"
 
+#include <cstdio>
+#include <optional>
+
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace qntn::sim {
+
+namespace {
+
+/// Snapshots must stay inside the coverage day (ephemerides only span it);
+/// returns the clamped interval and warns when the configured one walks
+/// off the end. The default 100 x 864 s exactly tiles one day and is
+/// untouched (the last snapshot sits at 99 x 864 s).
+double effective_step_interval(const ScenarioConfig& config) {
+  if (config.request_steps == 0) return config.request_step_interval;
+  const double span = static_cast<double>(config.request_steps) *
+                      config.request_step_interval;
+  if (span <= config.coverage.duration + 1e-9) {
+    return config.request_step_interval;
+  }
+  const double clamped =
+      config.coverage.duration / static_cast<double>(config.request_steps);
+  std::fprintf(stderr,
+               "qntn: warning: %zu request snapshots x %.3f s span %.0f s "
+               "but the scenario day is %.0f s; clamping the snapshot "
+               "interval to %.3f s\n",
+               config.request_steps, config.request_step_interval, span,
+               config.coverage.duration, clamped);
+  obs::count("scenario.interval_clamped");
+  return clamped;
+}
+
+}  // namespace
 
 ScenarioResult run_scenario(const NetworkModel& model,
                             const TopologyProvider& topology,
                             const ScenarioConfig& config) {
+  const obs::ScopedRegistry ambient(config.registry);
+  obs::TraceSink* trace = config.trace;
+  const bool trace_snapshots =
+      trace != nullptr && trace->wants(obs::TraceLevel::Snapshots);
+  const bool trace_requests =
+      trace != nullptr && trace->wants(obs::TraceLevel::Requests);
+
+  const double interval = effective_step_interval(config);
+
+  if (trace_snapshots) {
+    trace->emit(obs::TraceEvent("run_start")
+                    .field("request_count",
+                           static_cast<std::uint64_t>(config.request_count))
+                    .field("request_steps",
+                           static_cast<std::uint64_t>(config.request_steps))
+                    .field("interval_s", interval)
+                    .field("seed", config.request_seed));
+  }
+
   ScenarioResult result;
-  result.coverage = analyze_coverage(model, topology, config.coverage);
+  {
+    const obs::ScopedTimer timer("time.coverage_s");
+    result.coverage = analyze_coverage(model, topology, config.coverage);
+  }
+  if (trace_snapshots) {
+    trace->emit(obs::TraceEvent("coverage")
+                    .field("percent", result.coverage.percent)
+                    .field("covered_s", result.coverage.covered_seconds));
+  }
 
   Rng rng(config.request_seed);
   const std::vector<Request> requests =
       generate_requests(model, config.request_count, rng);
 
+  // Last relay each request was served over, for handover accounting.
+  std::vector<std::optional<net::NodeId>> last_relay(requests.size());
+
+  const obs::ScopedTimer serving_timer("time.serving_s");
   for (std::size_t step = 0; step < config.request_steps; ++step) {
-    const double t = static_cast<double>(step) * config.request_step_interval;
+    const double t = static_cast<double>(step) * interval;
     const net::Graph graph = topology.graph_at(t);
-    const ServeResult served =
-        serve_requests(graph, requests, config.metric, config.convention);
+    const ServeResult served = serve_requests(
+        graph, requests, config.metric, config.convention,
+        /*record_outcomes=*/true);
+
+    std::size_t step_handovers = 0;
+    for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
+      const RequestOutcome& outcome = served.outcomes[i];
+      if (outcome.status == ServeStatus::Served) {
+        if (last_relay[i].has_value() && outcome.relay.has_value() &&
+            *last_relay[i] != *outcome.relay) {
+          ++step_handovers;
+          if (trace_requests) {
+            trace->emit(
+                obs::TraceEvent("handover")
+                    .field("step", static_cast<std::uint64_t>(step))
+                    .field("t", t)
+                    .field("id", static_cast<std::uint64_t>(i))
+                    .field("from", static_cast<std::uint64_t>(*last_relay[i]))
+                    .field("to", static_cast<std::uint64_t>(*outcome.relay)));
+          }
+        }
+        last_relay[i] = outcome.relay;
+      } else {
+        last_relay[i].reset();
+      }
+      if (trace_requests) {
+        obs::TraceEvent event("request");
+        event.field("step", static_cast<std::uint64_t>(step))
+            .field("t", t)
+            .field("id", static_cast<std::uint64_t>(i))
+            .field("src", static_cast<std::uint64_t>(requests[i].source))
+            .field("dst", static_cast<std::uint64_t>(requests[i].destination))
+            .field("status", serve_status_name(outcome.status));
+        if (outcome.status == ServeStatus::Served) {
+          event.field("eta", outcome.transmissivity)
+              .field("fidelity", outcome.fidelity)
+              .field("hops", static_cast<std::uint64_t>(outcome.hops))
+              .field("relay",
+                     static_cast<std::uint64_t>(outcome.relay.value_or(
+                         requests[i].destination)));
+        }
+        trace->emit(event);
+      }
+    }
+
     result.served_per_step.add(served.served_fraction());
     result.fidelity.merge(served.fidelity);
     result.transmissivity.merge(served.transmissivity);
     result.hops.merge(served.hops);
+    result.requests_issued += served.total;
+    result.requests_served += served.served;
+    result.requests_no_path += served.unserved_no_path;
+    result.requests_isolated += served.unserved_isolated;
+    result.handovers += step_handovers;
+
+    obs::count("scenario.snapshots");
+    obs::count("scenario.requests_issued", served.total);
+    obs::count("scenario.requests_served", served.served);
+    obs::count("scenario.requests_no_path", served.unserved_no_path);
+    obs::count("scenario.requests_isolated", served.unserved_isolated);
+    obs::count("scenario.handovers", step_handovers);
+
+    if (trace_snapshots) {
+      trace->emit(obs::TraceEvent("snapshot")
+                      .field("step", static_cast<std::uint64_t>(step))
+                      .field("t", t)
+                      .field("served", static_cast<std::uint64_t>(served.served))
+                      .field("total", static_cast<std::uint64_t>(served.total))
+                      .field("no_path", static_cast<std::uint64_t>(
+                                            served.unserved_no_path))
+                      .field("isolated", static_cast<std::uint64_t>(
+                                             served.unserved_isolated))
+                      .field("handovers",
+                             static_cast<std::uint64_t>(step_handovers)));
+    }
   }
   result.served_fraction = result.served_per_step.mean();
+
+  if (trace_snapshots) {
+    trace->emit(
+        obs::TraceEvent("run_end")
+            .field("served_fraction", result.served_fraction)
+            .field("fidelity_mean", result.fidelity.mean())
+            .field("eta_mean", result.transmissivity.mean())
+            .field("hops_mean", result.hops.mean())
+            .field("requests_issued",
+                   static_cast<std::uint64_t>(result.requests_issued))
+            .field("requests_served",
+                   static_cast<std::uint64_t>(result.requests_served))
+            .field("handovers", static_cast<std::uint64_t>(result.handovers)));
+    trace->flush();
+  }
   return result;
 }
 

@@ -5,6 +5,11 @@
 #include "sim/coverage.hpp"
 #include "sim/requests.hpp"
 
+namespace qntn::obs {
+class Registry;
+class TraceSink;
+}  // namespace qntn::obs
+
 /// \file scenario.hpp
 /// End-to-end scenario evaluation: coverage over a day plus request serving
 /// over repeated topology snapshots — the measurement protocol behind the
@@ -24,11 +29,22 @@ struct ScenarioConfig {
   /// interval for sensitivity studies.
   std::size_t request_count = 100;
   std::size_t request_steps = 100;
-  double request_step_interval = 864.0;  ///< [s]; 100 steps x 864 s = 1 day
+  /// [s]; 100 steps x 864 s = 1 day. run_scenario clamps the interval (with
+  /// a warning) whenever request_steps * request_step_interval would walk
+  /// the snapshots past coverage.duration — ephemerides only span the day.
+  double request_step_interval = 864.0;
 
   net::CostMetric metric = net::CostMetric::InverseEta;
   quantum::FidelityConvention convention = quantum::FidelityConvention::Uhlmann;
   std::uint64_t request_seed = 20240101;
+
+  /// Optional observability hooks (borrowed, may be nullptr). The registry
+  /// collects counters/timers — it is also installed as the thread's
+  /// ambient registry for the duration of run_scenario, so the layers below
+  /// (routing, topology replay) report into it. The trace sink receives the
+  /// per-snapshot / per-request JSONL events its TraceLevel admits.
+  obs::Registry* registry = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 struct ScenarioResult {
@@ -44,6 +60,16 @@ struct ScenarioResult {
   RunningStats transmissivity;
   /// Path length (edges) over served requests.
   RunningStats hops;
+
+  /// Request accounting totals across all snapshots; issued = served +
+  /// no_path + isolated, and served / issued equals served_fraction (every
+  /// snapshot serves the same batch).
+  std::size_t requests_issued = 0;
+  std::size_t requests_served = 0;
+  std::size_t requests_no_path = 0;
+  std::size_t requests_isolated = 0;
+  /// Relay changes between consecutively served snapshots of one request.
+  std::size_t handovers = 0;
 };
 
 /// Run coverage + request serving for one architecture.

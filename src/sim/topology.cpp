@@ -5,6 +5,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "geo/frames.hpp"
+#include "obs/registry.hpp"
 
 namespace qntn::sim {
 
@@ -142,6 +143,7 @@ net::Graph TopologyBuilder::graph_at(double t) const {
 }
 
 std::vector<LinkRecord> TopologyBuilder::links_at(double t) const {
+  obs::count("sim.rebuild_queries");
   std::vector<LinkRecord> links = static_links_;
 
   const std::vector<net::NodeId>& sats = model_.satellite_ids();

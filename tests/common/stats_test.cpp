@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -61,6 +63,50 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   empty.merge(stats);
   EXPECT_EQ(empty.count(), 2u);
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, MergeIsAssociativeOverRandomPartitions) {
+  // Property test: for random data split into random chunks, any merge
+  // parenthesisation must agree with sequential accumulation. The obs
+  // registry relies on this when folding per-thread shards in any order.
+  Rng rng(20240806);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    std::vector<double> data;
+    data.reserve(n);
+    RunningStats sequential;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.normal(-1.0, 5.0);
+      data.push_back(x);
+      sequential.add(x);
+    }
+    // Random partition into up to 5 chunks.
+    std::vector<RunningStats> chunks(
+        static_cast<std::size_t>(rng.uniform_int(1, 5)));
+    for (const double x : data) {
+      chunks[static_cast<std::size_t>(rng.uniform_int(
+                 0, static_cast<std::int64_t>(chunks.size()) - 1))]
+          .add(x);
+    }
+    // Left fold ((a + b) + c) ... and right fold a + (b + (c ...)).
+    RunningStats left_fold = chunks.front();
+    for (std::size_t i = 1; i < chunks.size(); ++i) {
+      left_fold.merge(chunks[i]);
+    }
+    RunningStats right_fold = chunks.back();
+    for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+      RunningStats acc = chunks[i];
+      acc.merge(right_fold);
+      right_fold = acc;
+    }
+    for (const RunningStats& folded : {left_fold, right_fold}) {
+      EXPECT_EQ(folded.count(), sequential.count());
+      EXPECT_NEAR(folded.mean(), sequential.mean(), 1e-9);
+      EXPECT_NEAR(folded.variance(), sequential.variance(), 1e-7);
+      EXPECT_DOUBLE_EQ(folded.min(), sequential.min());
+      EXPECT_DOUBLE_EQ(folded.max(), sequential.max());
+    }
+  }
 }
 
 TEST(Percentile, InterpolatesBetweenRanks) {

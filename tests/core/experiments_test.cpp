@@ -62,8 +62,8 @@ TEST(Sizes, PaperSweepGrid) {
 
 TEST(SpaceGround, SmallVsLargeConstellation) {
   const QntnConfig config = quick();
-  const SweepPoint small = evaluate_space_ground(config, 6);
-  const SweepPoint large = evaluate_space_ground(config, 48);
+  const ArchitectureMetrics small = evaluate_space_ground(config, 6);
+  const ArchitectureMetrics large = evaluate_space_ground(config, 48);
   EXPECT_EQ(small.satellites, 6u);
   // More satellites -> more coverage and more served requests.
   EXPECT_GT(large.coverage_percent, small.coverage_percent);
@@ -83,14 +83,14 @@ TEST(SpaceGround, SweepRunsInParallelDeterministically) {
   const std::vector<std::size_t> sizes{6, 12};
   const auto parallel = space_ground_sweep(config, sizes, pool);
   ASSERT_EQ(parallel.size(), 2u);
-  const SweepPoint serial0 = evaluate_space_ground(config, 6);
+  const ArchitectureMetrics serial0 = evaluate_space_ground(config, 6);
   EXPECT_DOUBLE_EQ(parallel[0].coverage_percent, serial0.coverage_percent);
   EXPECT_DOUBLE_EQ(parallel[0].served_percent, serial0.served_percent);
 }
 
 TEST(AirGround, PaperHeadlineInvariants) {
   const QntnConfig config = quick();
-  const AirGroundResult air = evaluate_air_ground(config);
+  const ArchitectureMetrics air = evaluate_air_ground(config);
   EXPECT_DOUBLE_EQ(air.coverage_percent, 100.0);
   EXPECT_DOUBLE_EQ(air.served_percent, 100.0);
   EXPECT_GT(air.mean_fidelity, 0.9);
@@ -104,8 +104,8 @@ TEST(Table3, AirGroundDominatesSpaceGround) {
   const QntnConfig config = quick();
   const auto rows = table3_comparison(config, 108);
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0].architecture, "Space-Ground");
-  EXPECT_EQ(rows[1].architecture, "Air-Ground");
+  EXPECT_EQ(rows[0].architecture, "space-ground");
+  EXPECT_EQ(rows[1].architecture, "air-ground");
   // The paper's qualitative Table III ordering under ideal conditions.
   EXPECT_GT(rows[1].coverage_percent, rows[0].coverage_percent);
   EXPECT_GT(rows[1].served_percent, rows[0].served_percent);
@@ -115,9 +115,9 @@ TEST(Table3, AirGroundDominatesSpaceGround) {
 TEST(Hybrid, AtLeastAsGoodAsEitherPureArchitecture) {
   QntnConfig config = quick();
   config.enable_hap_satellite = true;
-  const SweepPoint hybrid = evaluate_hybrid(config, 12);
-  const SweepPoint space = evaluate_space_ground(config, 12);
-  const AirGroundResult air = evaluate_air_ground(config);
+  const ArchitectureMetrics hybrid = evaluate_hybrid(config, 12);
+  const ArchitectureMetrics space = evaluate_space_ground(config, 12);
+  const ArchitectureMetrics air = evaluate_air_ground(config);
   EXPECT_GE(hybrid.coverage_percent + 1e-9, space.coverage_percent);
   EXPECT_GE(hybrid.coverage_percent + 1e-9, air.coverage_percent);
   EXPECT_GE(hybrid.served_percent + 1e-9, space.served_percent);

@@ -101,8 +101,8 @@ TEST(Integration, ThresholdAblationMonotonicity) {
   QntnConfig lax = strict;
   strict.transmissivity_threshold = 0.8;
   lax.transmissivity_threshold = 0.6;
-  const SweepPoint tight = evaluate_space_ground(strict, 24);
-  const SweepPoint loose = evaluate_space_ground(lax, 24);
+  const ArchitectureMetrics tight = evaluate_space_ground(strict, 24);
+  const ArchitectureMetrics loose = evaluate_space_ground(lax, 24);
   EXPECT_GE(loose.coverage_percent + 1e-9, tight.coverage_percent);
   EXPECT_GE(loose.served_percent + 1e-9, tight.served_percent);
   // But looser links admit lower-fidelity pairs.
@@ -118,8 +118,8 @@ TEST(Integration, WeatherDegradationReducesAirGroundFidelity) {
   clear.day_duration = 3600.0;
   QntnConfig hazy = clear;
   hazy.weather = channel::haze();
-  const AirGroundResult a = evaluate_air_ground(clear);
-  const AirGroundResult b = evaluate_air_ground(hazy);
+  const ArchitectureMetrics a = evaluate_air_ground(clear);
+  const ArchitectureMetrics b = evaluate_air_ground(hazy);
   // Haze keeps the HAP links alive but costs fidelity.
   EXPECT_LT(b.mean_fidelity, a.mean_fidelity);
 }
@@ -132,8 +132,8 @@ TEST(Integration, J2AblationChangesCoverageOnlySlightly) {
   no_j2.request_steps = 3;
   QntnConfig with_j2 = no_j2;
   with_j2.include_j2 = true;
-  const SweepPoint a = evaluate_space_ground(no_j2, 24);
-  const SweepPoint b = evaluate_space_ground(with_j2, 24);
+  const ArchitectureMetrics a = evaluate_space_ground(no_j2, 24);
+  const ArchitectureMetrics b = evaluate_space_ground(with_j2, 24);
   // J2 shifts pass timing but not the statistical picture: within a few
   // percentage points over this window.
   EXPECT_NEAR(a.coverage_percent, b.coverage_percent, 10.0);

@@ -1,0 +1,112 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qntn::obs {
+namespace {
+
+TEST(Registry, CountersAccumulate) {
+  Registry registry;
+  registry.count("a");
+  registry.count("a", 4);
+  registry.count("b", 2);
+  EXPECT_EQ(registry.counter("a"), 5u);
+  EXPECT_EQ(registry.counter("b"), 2u);
+  EXPECT_EQ(registry.counter("never-touched"), 0u);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters.at("a"), 5u);
+  EXPECT_EQ(snapshot.counters.at("b"), 2u);
+}
+
+TEST(Registry, ObserveFeedsRunningStats) {
+  Registry registry;
+  registry.observe("lat", 1.0);
+  registry.observe("lat", 3.0);
+  registry.observe("lat", 2.0);
+  const RunningStats stats = registry.stat("lat");
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_EQ(registry.stat("absent").count(), 0u);
+}
+
+TEST(Registry, MergesAcrossThreads) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&registry] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.count("hits");
+        registry.observe("value", 1.0);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(registry.counter("hits"), kThreads * kPerThread);
+  EXPECT_EQ(registry.stat("value").count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.stat("value").mean(), 1.0);
+}
+
+TEST(Registry, AmbientHelpersNoOpWithoutInstall) {
+  ASSERT_EQ(ambient(), nullptr);
+  count("ignored");     // must not crash
+  observe("ignored", 1.0);
+
+  Registry registry;
+  {
+    const ScopedRegistry scope(&registry);
+    EXPECT_EQ(ambient(), &registry);
+    count("seen", 3);
+    observe("seen_value", 2.5);
+    {
+      const ScopedRegistry inner(nullptr);  // nested disable
+      EXPECT_EQ(ambient(), nullptr);
+      count("ignored-too");
+    }
+    EXPECT_EQ(ambient(), &registry);
+  }
+  EXPECT_EQ(ambient(), nullptr);
+  EXPECT_EQ(registry.counter("seen"), 3u);
+  EXPECT_EQ(registry.counter("ignored-too"), 0u);
+  EXPECT_DOUBLE_EQ(registry.stat("seen_value").mean(), 2.5);
+}
+
+TEST(Registry, TlsCacheSurvivesRegistryTurnover) {
+  // The thread-local shard cache is keyed by a process-unique serial, so a
+  // new registry at the same address must not inherit the old shard.
+  auto first = std::make_unique<Registry>();
+  first->count("x");
+  EXPECT_EQ(first->counter("x"), 1u);
+  first.reset();
+  Registry second;
+  second.count("x", 7);
+  EXPECT_EQ(second.counter("x"), 7u);
+}
+
+TEST(Registry, SnapshotJsonIsSortedAndParsesShape) {
+  Registry registry;
+  registry.count("zeta");
+  registry.count("alpha", 2);
+  registry.observe("time.phase_s", 0.25);
+  const std::string json = registry.snapshot().to_json();
+  // Sorted keys: "alpha" before "zeta".
+  EXPECT_LT(json.find("\"alpha\": 2"), json.find("\"zeta\": 1"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"time.phase_s\": {\"count\": 1, \"mean\": 0.25"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qntn::obs

@@ -1,0 +1,197 @@
+// Golden-file schema test for the JSONL run trace: a small fixed-seed
+// space-ground run must (a) be byte-deterministic, (b) emit exactly the
+// event shapes recorded in trace_schema.golden, and (c) produce counters
+// that reconcile with the ArchitectureMetrics totals. The golden file holds
+// one line per observed event shape:
+//
+//   <type>[ status=<status>]: <comma-separated keys in emission order>
+//
+// To regenerate after an intentional schema change, run this test and copy
+// the "computed schema" block from the failure message.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qntn {
+namespace {
+
+/// Workload: small enough for the suite, big enough that every event shape
+/// occurs (served + unserved requests, handovers).
+core::QntnConfig golden_config() {
+  core::QntnConfig config;
+  config.day_duration = 21'600.0;  // 6 hours
+  config.ephemeris_step = 60.0;
+  config.request_count = 25;
+  config.request_steps = 36;
+  return config;
+}
+
+constexpr std::size_t kSatellites = 36;
+
+struct TracedRun {
+  std::string trace;
+  core::ArchitectureMetrics metrics;
+  obs::MetricsSnapshot snapshot;
+};
+
+TracedRun run_traced() {
+  TracedRun run;
+  obs::Registry registry;
+  std::ostringstream out;
+  obs::TraceSink sink(out, obs::TraceLevel::Requests);
+  core::RunContext ctx;
+  ctx.config = golden_config();
+  ctx.registry = &registry;
+  ctx.trace = &sink;
+  run.metrics = core::evaluate_space_ground(ctx, kSatellites);
+  run.trace = out.str();
+  run.snapshot = registry.snapshot();
+  return run;
+}
+
+struct ParsedLine {
+  std::string type;
+  std::optional<std::string> status;
+  std::vector<std::string> keys;
+};
+
+/// Minimal scan of one flat JSONL line: every quoted token followed by ':'
+/// is a key; other quoted tokens are string values.
+ParsedLine parse_line(const std::string& line) {
+  ParsedLine parsed;
+  std::string last_key;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '"') continue;
+    std::string text;
+    std::size_t j = i + 1;
+    for (; j < line.size() && line[j] != '"'; ++j) {
+      if (line[j] == '\\' && j + 1 < line.size()) {
+        text += line[++j];
+      } else {
+        text += line[j];
+      }
+    }
+    std::size_t k = j + 1;
+    while (k < line.size() && line[k] == ' ') ++k;
+    if (k < line.size() && line[k] == ':') {
+      parsed.keys.push_back(text);
+      last_key = text;
+    } else {
+      if (last_key == "type") parsed.type = text;
+      if (last_key == "status") parsed.status = text;
+    }
+    i = j;
+  }
+  return parsed;
+}
+
+std::set<std::string> schema_of(const std::string& trace) {
+  std::set<std::string> schema;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    const ParsedLine parsed = parse_line(line);
+    std::string signature = parsed.type;
+    if (parsed.status.has_value()) signature += " status=" + *parsed.status;
+    signature += ":";
+    for (std::size_t i = 0; i < parsed.keys.size(); ++i) {
+      signature += i == 0 ? " " : ",";
+      signature += parsed.keys[i];
+    }
+    schema.insert(std::move(signature));
+  }
+  return schema;
+}
+
+std::size_t count_type(const std::string& trace, const std::string& type) {
+  std::size_t count = 0;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (parse_line(line).type == type) ++count;
+  }
+  return count;
+}
+
+TEST(TraceSchema, MatchesGoldenFile) {
+  const TracedRun run = run_traced();
+  // Guard: the workload must exercise every event shape, or the golden
+  // comparison silently weakens.
+  ASSERT_GT(run.metrics.requests_served, 0u);
+  ASSERT_GT(run.metrics.requests_no_path, 0u);
+  ASSERT_GT(run.metrics.handovers, 0u);
+
+  const std::set<std::string> schema = schema_of(run.trace);
+
+  const std::string golden_path =
+      std::string(QNTN_OBS_TEST_DATA_DIR) + "/trace_schema.golden";
+  std::ifstream golden_file(golden_path);
+  ASSERT_TRUE(golden_file.is_open()) << "missing " << golden_path;
+  std::set<std::string> golden;
+  std::string line;
+  while (std::getline(golden_file, line)) {
+    if (!line.empty()) golden.insert(line);
+  }
+
+  std::string computed;
+  for (const std::string& signature : schema) computed += signature + "\n";
+  EXPECT_EQ(schema, golden) << "computed schema:\n" << computed;
+}
+
+TEST(TraceSchema, ByteDeterministicAcrossRuns) {
+  const TracedRun a = run_traced();
+  const TracedRun b = run_traced();
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(TraceSchema, CountersReconcileWithMetrics) {
+  const TracedRun run = run_traced();
+  const core::ArchitectureMetrics& m = run.metrics;
+  const auto counter = [&](const char* name) {
+    const auto it = run.snapshot.counters.find(name);
+    return it == run.snapshot.counters.end() ? std::uint64_t{0} : it->second;
+  };
+
+  // Counters mirror the result struct exactly.
+  EXPECT_EQ(counter("scenario.snapshots"), 36u);
+  EXPECT_EQ(counter("scenario.requests_issued"), m.requests_issued);
+  EXPECT_EQ(counter("scenario.requests_served"), m.requests_served);
+  EXPECT_EQ(counter("scenario.requests_no_path"), m.requests_no_path);
+  EXPECT_EQ(counter("scenario.requests_isolated"), m.requests_isolated);
+  EXPECT_EQ(counter("scenario.handovers"), m.handovers);
+
+  // Accounting identities.
+  EXPECT_EQ(m.requests_issued, 25u * 36u);
+  EXPECT_EQ(m.requests_served + m.requests_no_path + m.requests_isolated,
+            m.requests_issued);
+  // served/issued equals the served fraction exactly (same batch each step).
+  EXPECT_NEAR(static_cast<double>(m.requests_served) /
+                  static_cast<double>(m.requests_issued),
+              m.served_percent / 100.0, 1e-12);
+
+  // The trace agrees with the counters line for line.
+  EXPECT_EQ(count_type(run.trace, "request"), m.requests_issued);
+  EXPECT_EQ(count_type(run.trace, "snapshot"), 36u);
+  EXPECT_EQ(count_type(run.trace, "handover"), m.handovers);
+  EXPECT_EQ(count_type(run.trace, "run_start"), 1u);
+  EXPECT_EQ(count_type(run.trace, "run_end"), 1u);
+
+  // Phase timers ran under the ambient registry.
+  EXPECT_EQ(run.snapshot.stats.at("time.ephemeris_s").count(), 1u);
+  EXPECT_EQ(run.snapshot.stats.at("time.coverage_s").count(), 1u);
+  EXPECT_EQ(run.snapshot.stats.at("time.serving_s").count(), 1u);
+  EXPECT_GT(counter("net.bf_trees"), 0u);
+}
+
+}  // namespace
+}  // namespace qntn

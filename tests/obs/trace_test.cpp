@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qntn::obs {
+namespace {
+
+TEST(TraceEvent, FormatsTypedFieldsInOrder) {
+  TraceEvent event("snapshot");
+  event.field("step", std::uint64_t{3})
+      .field("t", 2592.0)
+      .field("status", "served")
+      .field("ok", true)
+      .field("frac", 0.125);
+  EXPECT_EQ(event.json(),
+            "{\"type\": \"snapshot\", \"step\": 3, \"t\": 2592, "
+            "\"status\": \"served\", \"ok\": true, \"frac\": 0.125}");
+}
+
+TEST(TraceEvent, EscapesStrings) {
+  TraceEvent event("x");
+  event.field("s", "a\"b\\c\nd");
+  EXPECT_EQ(event.json(), "{\"type\": \"x\", \"s\": \"a\\\"b\\\\c\\u000ad\"}");
+}
+
+TEST(TraceEvent, DeterministicNumberFormatting) {
+  TraceEvent event("n");
+  event.field("third", 1.0 / 3.0).field("big", 1.0e17);
+  EXPECT_EQ(event.json(),
+            "{\"type\": \"n\", \"third\": 0.3333333333, \"big\": 1e+17}");
+}
+
+TEST(TraceLevel, NamesRoundTrip) {
+  for (const TraceLevel level :
+       {TraceLevel::Off, TraceLevel::Snapshots, TraceLevel::Requests}) {
+    EXPECT_EQ(trace_level_from(trace_level_name(level)), level);
+  }
+  EXPECT_THROW((void)trace_level_from("verbose"), qntn::Error);
+}
+
+TEST(TraceSink, DefaultConstructedIsDisabled) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.wants(TraceLevel::Snapshots));
+  EXPECT_FALSE(sink.wants(TraceLevel::Requests));
+  sink.emit(TraceEvent("dropped"));  // must be a safe no-op
+  sink.flush();
+}
+
+TEST(TraceSink, GatesByLevel) {
+  std::ostringstream out;
+  TraceSink sink(out, TraceLevel::Snapshots);
+  EXPECT_TRUE(sink.wants(TraceLevel::Snapshots));
+  EXPECT_FALSE(sink.wants(TraceLevel::Requests));
+
+  sink.emit(TraceEvent("a"));
+  sink.emit(TraceEvent("b").field("k", std::uint64_t{1}));
+  sink.flush();
+  EXPECT_EQ(out.str(), "{\"type\": \"a\"}\n{\"type\": \"b\", \"k\": 1}\n");
+}
+
+TEST(TraceSink, FileSinkWritesAndBadPathThrows) {
+  const std::string path = testing::TempDir() + "/qntn_trace_test.jsonl";
+  {
+    TraceSink sink(path, TraceLevel::Requests);
+    sink.emit(TraceEvent("line"));
+    sink.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"type\": \"line\"}");
+
+  EXPECT_THROW(TraceSink("/nonexistent-dir/x/y.jsonl", TraceLevel::Requests),
+               qntn::Error);
+}
+
+}  // namespace
+}  // namespace qntn::obs

@@ -71,9 +71,9 @@ TEST(ContactPlanTopology, ScenarioEquivalenceAcrossModes) {
   for (const std::size_t n : {std::size_t{6}, std::size_t{54}, std::size_t{108}}) {
     core::QntnConfig config;
     config.topology_mode = core::TopologyMode::Rebuild;
-    const core::SweepPoint rebuild = core::evaluate_space_ground(config, n);
+    const core::ArchitectureMetrics rebuild = core::evaluate_space_ground(config, n);
     config.topology_mode = core::TopologyMode::ContactPlan;
-    const core::SweepPoint contact = core::evaluate_space_ground(config, n);
+    const core::ArchitectureMetrics contact = core::evaluate_space_ground(config, n);
     EXPECT_NEAR(contact.coverage_percent, rebuild.coverage_percent, 0.1)
         << n << " satellites";
     EXPECT_DOUBLE_EQ(contact.served_percent, rebuild.served_percent)

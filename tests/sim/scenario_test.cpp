@@ -4,6 +4,7 @@
 
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
+#include "obs/registry.hpp"
 
 namespace qntn::sim {
 namespace {
@@ -61,6 +62,54 @@ TEST(Scenario, StatsAggregateAcrossSteps) {
   EXPECT_EQ(result.served_per_step.count(), 4u);
   EXPECT_EQ(result.fidelity.count(), 30u * 4u);
   EXPECT_EQ(result.hops.count(), result.fidelity.count());
+}
+
+TEST(Scenario, OversizedStepIntervalIsClampedToTheDay) {
+  // Regression: an interval that walks the snapshots past the scenario day
+  // used to sample ephemerides beyond their span. run_scenario must clamp
+  // it (with a warning + counter) to exactly the explicit tiling.
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const TopologyBuilder topology(model, config.link_policy());
+
+  ScenarioConfig oversized = quick_config(config);
+  oversized.request_step_interval = 5'000.0;  // 10 x 5000 s >> 14400 s day
+  obs::Registry registry;
+  oversized.registry = &registry;
+  const ScenarioResult clamped = run_scenario(model, topology, oversized);
+
+  ScenarioConfig explicit_tiling = quick_config(config);
+  explicit_tiling.request_step_interval = 1'440.0;  // 14400 / 10 exactly
+  const ScenarioResult reference =
+      run_scenario(model, topology, explicit_tiling);
+
+  EXPECT_EQ(registry.counter("scenario.interval_clamped"), 1u);
+  EXPECT_DOUBLE_EQ(clamped.served_fraction, reference.served_fraction);
+  EXPECT_DOUBLE_EQ(clamped.fidelity.mean(), reference.fidelity.mean());
+  EXPECT_EQ(clamped.requests_served, reference.requests_served);
+
+  // An interval that fits the day stays untouched.
+  ScenarioConfig fitting = quick_config(config);
+  obs::Registry quiet;
+  fitting.registry = &quiet;
+  (void)run_scenario(model, topology, fitting);
+  EXPECT_EQ(quiet.counter("scenario.interval_clamped"), 0u);
+}
+
+TEST(Scenario, RequestAccountingReconciles) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const TopologyBuilder topology(model, config.link_policy());
+  const ScenarioResult result =
+      run_scenario(model, topology, quick_config(config));
+  EXPECT_EQ(result.requests_issued, 30u * 10u);
+  EXPECT_EQ(result.requests_served + result.requests_no_path +
+                result.requests_isolated,
+            result.requests_issued);
+  EXPECT_NEAR(static_cast<double>(result.requests_served) /
+                  static_cast<double>(result.requests_issued),
+              result.served_fraction, 1e-12);
+  EXPECT_EQ(result.fidelity.count(), result.requests_served);
 }
 
 TEST(Scenario, DeterministicAcrossRuns) {

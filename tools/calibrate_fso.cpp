@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "channel/fso.hpp"
+#include "cli_common.hpp"
 #include "common/constants.hpp"
 #include "common/units.hpp"
 #include "core/ground_networks.hpp"
@@ -39,8 +40,23 @@ void print_budget_row(double el_deg, double range, const channel::FsoBudget& b,
 
 }  // namespace
 
-int main() {
-  const core::QntnConfig config;
+int main(int argc, char** argv) {
+  // Common flag surface; --config selects the parameter set to calibrate
+  // against, --out redirects the report. --threads/--seed are accepted for
+  // uniformity and unused (the tool is single-threaded and deterministic).
+  tools::CommonOptions opts;
+  try {
+    opts = tools::parse_common_flags(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (opts.out.has_value() &&
+      std::freopen(opts.out->c_str(), "w", stdout) == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", opts.out->c_str());
+    return 1;
+  }
+  const core::QntnConfig config = tools::load_config(opts);
   const sim::LinkPolicy policy = config.link_policy();
 
   std::printf("QNTN FSO calibration (threshold %.2f, mask %.1f deg)\n\n",

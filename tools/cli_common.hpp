@@ -1,0 +1,149 @@
+#pragma once
+
+// Shared command-line surface for the qntn_* tools. Every binary accepts
+//
+//   --config FILE        key = value configuration (see `qntn_cli config`)
+//   --out PATH           primary output file/directory (tool-specific)
+//   --threads N          worker threads for parallel sweeps (0 = hardware)
+//   --seed N             override the request seed
+//   --metrics-out FILE   write the run's counters/stats as JSON
+//   --trace-out FILE     write the per-snapshot JSONL trace
+//   --trace-level L      off | snapshots | requests (default: requests)
+//
+// Flags may be spelled `--key value` or `--key=value`; anything that does
+// not start with `--` stays positional. Unknown flags throw.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/config_io.hpp"
+#include "core/experiments.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qntn::tools {
+
+struct CommonOptions {
+  std::optional<std::string> config_path;
+  std::optional<std::string> out;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
+  obs::TraceLevel trace_level = obs::TraceLevel::Requests;
+  std::optional<std::size_t> threads;
+  std::optional<std::uint64_t> seed;
+  /// Non-flag arguments in their original order (command names, counts).
+  std::vector<std::string> positional;
+};
+
+inline std::uint64_t parse_u64(std::string_view flag, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed);
+    QNTN_REQUIRE(consumed == text.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw qntn::Error("invalid value for " + std::string(flag) + ": " + text);
+  }
+}
+
+/// Parse argv[1..) into flags + positionals. Unknown `--` flags throw.
+inline CommonOptions parse_common_flags(int argc, char** argv) {
+  CommonOptions opts;
+  std::vector<std::string> arguments(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < arguments.size(); ++i) {
+    std::string arg = arguments[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional.push_back(std::move(arg));
+      continue;
+    }
+    std::string value;
+    bool have_value = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      have_value = true;
+    }
+    const auto take_value = [&]() -> const std::string& {
+      if (!have_value) {
+        QNTN_REQUIRE(i + 1 < arguments.size(), "missing value for " + arg);
+        value = arguments[++i];
+      }
+      return value;
+    };
+    if (arg == "--config") {
+      opts.config_path = take_value();
+    } else if (arg == "--out") {
+      opts.out = take_value();
+    } else if (arg == "--metrics-out") {
+      opts.metrics_out = take_value();
+    } else if (arg == "--trace-out") {
+      opts.trace_out = take_value();
+    } else if (arg == "--trace-level") {
+      opts.trace_level = obs::trace_level_from(take_value());
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<std::size_t>(parse_u64(arg, take_value()));
+    } else if (arg == "--seed") {
+      opts.seed = parse_u64(arg, take_value());
+    } else {
+      throw qntn::Error("unknown flag: " + arg);
+    }
+  }
+  return opts;
+}
+
+/// The configuration selected by --config (calibrated defaults otherwise).
+inline core::QntnConfig load_config(const CommonOptions& opts) {
+  if (opts.config_path.has_value()) return core::load_config(*opts.config_path);
+  return core::QntnConfig{};
+}
+
+/// Owning bundle behind a RunContext's observability pointers. Created
+/// whenever --metrics-out / --trace-out ask for output (a registry is also
+/// created for a trace-only run: traces and counters come from one run).
+struct ObsBundle {
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::TraceSink> trace;
+};
+
+inline ObsBundle make_obs(const CommonOptions& opts) {
+  ObsBundle bundle;
+  if (opts.metrics_out.has_value() || opts.trace_out.has_value()) {
+    bundle.registry = std::make_unique<obs::Registry>();
+  }
+  if (opts.trace_out.has_value()) {
+    bundle.trace =
+        std::make_unique<obs::TraceSink>(*opts.trace_out, opts.trace_level);
+  }
+  return bundle;
+}
+
+/// RunContext for this invocation: config file (or defaults), obs hooks,
+/// seed override. The pool is left to the caller (tools that sweep create
+/// one sized by --threads).
+inline core::RunContext make_run_context(const CommonOptions& opts,
+                                         const ObsBundle& bundle,
+                                         core::QntnConfig config) {
+  core::RunContext ctx;
+  ctx.config = std::move(config);
+  ctx.registry = bundle.registry.get();
+  ctx.trace = bundle.trace.get();
+  ctx.seed = opts.seed;
+  return ctx;
+}
+
+/// Write the registry snapshot to --metrics-out, if both were requested.
+inline void write_metrics(const CommonOptions& opts, const ObsBundle& bundle) {
+  if (!opts.metrics_out.has_value() || bundle.registry == nullptr) return;
+  std::ofstream out(*opts.metrics_out);
+  if (!out) throw qntn::Error("cannot write " + *opts.metrics_out);
+  out << bundle.registry->snapshot().to_json();
+}
+
+}  // namespace qntn::tools

@@ -1,24 +1,25 @@
 // qntn_cli — one entry point for the library's studies.
 //
 //   qntn_cli config                      print the default configuration
-//   qntn_cli coverage N [cfg]            space-ground day at N satellites
-//   qntn_cli air [cfg]                   air-ground architecture
-//   qntn_cli hybrid N [cfg]              hybrid architecture at N satellites
-//   qntn_cli sweep [cfg]                 Figs. 6-8 full sweep
-//   qntn_cli traffic RATE [cfg]          Poisson traffic on the air-ground net
-//   qntn_cli contacts N [cfg]            compiled contact plan at N satellites
-//   qntn_cli sessions N [cfg]            session admission at N satellites
+//   qntn_cli coverage N                  space-ground day at N satellites
+//   qntn_cli air                         air-ground architecture
+//   qntn_cli hybrid N                    hybrid architecture at N satellites
+//   qntn_cli sweep                       Figs. 6-8 full sweep
+//   qntn_cli traffic RATE                Poisson traffic on the air-ground net
+//   qntn_cli contacts N                  compiled contact plan at N satellites
+//   qntn_cli sessions N                  session admission at N satellites
 //
-// [cfg] is an optional key = value file (see `qntn_cli config`); omitted
-// keys keep the calibrated paper defaults.
+// Common flags (tools/cli_common.hpp): --config FILE, --out PATH,
+// --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
+// --trace-level off|snapshots|requests. A trailing positional argument is
+// still accepted as the config file (legacy spelling).
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/config_io.hpp"
+#include "cli_common.hpp"
 #include "core/experiments.hpp"
 #include "plan/session_scheduler.hpp"
 #include "sim/traffic.hpp"
@@ -27,9 +28,14 @@ namespace {
 
 using namespace qntn;
 
-core::QntnConfig config_from(int argc, char** argv, int position) {
-  if (position < argc) return core::load_config(argv[position]);
-  return core::QntnConfig{};
+void print_metrics_block(const core::ArchitectureMetrics& m) {
+  std::printf("  coverage  %.2f %%\n", m.coverage_percent);
+  std::printf("  served    %.2f %% (%zu/%zu; %zu no-path, %zu isolated)\n",
+              m.served_percent, m.requests_served, m.requests_issued,
+              m.requests_no_path, m.requests_isolated);
+  std::printf("  fidelity  %.4f (mean path eta %.4f, %.2f hops)\n",
+              m.mean_fidelity, m.mean_transmissivity, m.mean_hops);
+  std::printf("  handovers %zu\n", m.handovers);
 }
 
 int cmd_config() {
@@ -37,41 +43,36 @@ int cmd_config() {
   return 0;
 }
 
-int cmd_coverage(std::size_t n, const core::QntnConfig& config) {
-  const core::SweepPoint point = core::evaluate_space_ground(config, n);
+int cmd_coverage(std::size_t n, const core::RunContext& ctx) {
+  const core::ArchitectureMetrics point = core::evaluate_space_ground(ctx, n);
   std::printf("space-ground @%zu satellites\n", n);
-  std::printf("  coverage  %.2f %%\n", point.coverage_percent);
-  std::printf("  served    %.2f %%\n", point.served_percent);
-  std::printf("  fidelity  %.4f (mean path eta %.4f, %.2f hops)\n",
-              point.mean_fidelity, point.mean_transmissivity, point.mean_hops);
+  print_metrics_block(point);
   return 0;
 }
 
-int cmd_air(const core::QntnConfig& config) {
-  const core::AirGroundResult air = core::evaluate_air_ground(config);
+int cmd_air(const core::RunContext& ctx) {
+  const core::ArchitectureMetrics air = core::evaluate_air_ground(ctx);
   std::printf("air-ground\n");
-  std::printf("  coverage  %.2f %%\n  served    %.2f %%\n  fidelity  %.4f\n",
-              air.coverage_percent, air.served_percent, air.mean_fidelity);
+  print_metrics_block(air);
   return 0;
 }
 
-int cmd_hybrid(std::size_t n, core::QntnConfig config) {
-  config.enable_hap_satellite = true;
-  const core::SweepPoint point = core::evaluate_hybrid(config, n);
+int cmd_hybrid(std::size_t n, core::RunContext ctx) {
+  ctx.config.enable_hap_satellite = true;
+  const core::ArchitectureMetrics point = core::evaluate_hybrid(ctx, n);
   std::printf("hybrid @%zu satellites\n", n);
-  std::printf("  coverage  %.2f %%\n  served    %.2f %%\n  fidelity  %.4f\n",
-              point.coverage_percent, point.served_percent,
-              point.mean_fidelity);
+  print_metrics_block(point);
   return 0;
 }
 
-int cmd_sweep(const core::QntnConfig& config) {
-  ThreadPool pool;
+int cmd_sweep(core::RunContext ctx, std::size_t threads) {
+  ThreadPool pool(threads);
+  ctx.pool = &pool;
   const auto sweep =
-      core::space_ground_sweep(config, core::paper_constellation_sizes(), pool);
+      core::space_ground_sweep(ctx, core::paper_constellation_sizes());
   std::printf("%-6s %-10s %-10s %-10s\n", "sats", "cover%", "served%",
               "fidelity");
-  for (const core::SweepPoint& p : sweep) {
+  for (const core::ArchitectureMetrics& p : sweep) {
     std::printf("%-6zu %-10.2f %-10.2f %-10.4f\n", p.satellites,
                 p.coverage_percent, p.served_percent, p.mean_fidelity);
   }
@@ -147,42 +148,63 @@ int cmd_sessions(std::size_t n, const core::QntnConfig& config) {
 int usage() {
   std::fputs(
       "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | "
-      "traffic RATE | contacts N | sessions N> [config-file]\n",
+      "traffic RATE | contacts N | sessions N>\n"
+      "  [--config FILE] [--threads N] [--seed N] [--metrics-out FILE]\n"
+      "  [--trace-out FILE] [--trace-level off|snapshots|requests]\n",
       stderr);
   return 2;
+}
+
+std::size_t positional_count(const tools::CommonOptions& opts,
+                             std::size_t index) {
+  return static_cast<std::size_t>(
+      tools::parse_u64("count", opts.positional.at(index)));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
   try {
+    tools::CommonOptions opts = tools::parse_common_flags(argc, argv);
+    if (opts.positional.empty()) return usage();
+    const std::string command = opts.positional.front();
+    // Legacy spelling: a trailing positional argument is the config file.
+    const std::size_t arity =
+        (command == "air" || command == "sweep" || command == "config") ? 1 : 2;
+    if (!opts.config_path.has_value() && opts.positional.size() > arity) {
+      opts.config_path = opts.positional.back();
+    }
+
     if (command == "config") return cmd_config();
-    if (command == "air") return cmd_air(config_from(argc, argv, 2));
-    if (command == "sweep") return cmd_sweep(config_from(argc, argv, 2));
-    if (command == "coverage" && argc >= 3) {
-      return cmd_coverage(static_cast<std::size_t>(std::atoi(argv[2])),
-                          config_from(argc, argv, 3));
+
+    const tools::ObsBundle bundle = tools::make_obs(opts);
+    const core::RunContext ctx =
+        tools::make_run_context(opts, bundle, tools::load_config(opts));
+    // Ambient for the commands below run_scenario's reach (contact-plan
+    // compilation, traffic): their counters land in --metrics-out too.
+    const obs::ScopedRegistry ambient(bundle.registry.get());
+
+    int rc = -1;
+    if (command == "air") {
+      rc = cmd_air(ctx);
+    } else if (command == "sweep") {
+      rc = cmd_sweep(ctx, opts.threads.value_or(0));
+    } else if (command == "coverage" && opts.positional.size() >= 2) {
+      rc = cmd_coverage(positional_count(opts, 1), ctx);
+    } else if (command == "hybrid" && opts.positional.size() >= 2) {
+      rc = cmd_hybrid(positional_count(opts, 1), ctx);
+    } else if (command == "traffic" && opts.positional.size() >= 2) {
+      rc = cmd_traffic(std::atof(opts.positional[1].c_str()), ctx.config);
+    } else if (command == "contacts" && opts.positional.size() >= 2) {
+      rc = cmd_contacts(positional_count(opts, 1), ctx.config);
+    } else if (command == "sessions" && opts.positional.size() >= 2) {
+      rc = cmd_sessions(positional_count(opts, 1), ctx.config);
     }
-    if (command == "hybrid" && argc >= 3) {
-      return cmd_hybrid(static_cast<std::size_t>(std::atoi(argv[2])),
-                        config_from(argc, argv, 3));
-    }
-    if (command == "traffic" && argc >= 3) {
-      return cmd_traffic(std::atof(argv[2]), config_from(argc, argv, 3));
-    }
-    if (command == "contacts" && argc >= 3) {
-      return cmd_contacts(static_cast<std::size_t>(std::atoi(argv[2])),
-                          config_from(argc, argv, 3));
-    }
-    if (command == "sessions" && argc >= 3) {
-      return cmd_sessions(static_cast<std::size_t>(std::atoi(argv[2])),
-                          config_from(argc, argv, 3));
-    }
+    if (rc < 0) return usage();
+    tools::write_metrics(opts, bundle);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }

@@ -3,18 +3,23 @@
 // report directory: CSV series per figure plus a REPORT.md summary with
 // paper-vs-measured numbers.
 //
-// usage: qntn_report [output-dir] [config-file]
+//   qntn_report [out-dir]        full report (legacy: out-dir config-file)
+//   qntn_report metrics [N]      run space-ground at N satellites (default
+//                                54) and print the collected counters/stats
+//
+// Common flags (tools/cli_common.hpp): --config FILE, --out PATH,
+// --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
+// --trace-level off|snapshots|requests.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
-#include "common/error.hpp"
+#include "cli_common.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
-#include "core/config_io.hpp"
-#include "core/experiments.hpp"
 
 namespace {
 
@@ -26,20 +31,76 @@ void write(const std::filesystem::path& path, const std::string& content) {
   out << content;
 }
 
-}  // namespace
+/// `qntn_report metrics [N]`: one instrumented space-ground run, counters
+/// and timer/stat distributions printed as tables (and written as JSON when
+/// --metrics-out asks for it).
+int cmd_metrics(const tools::CommonOptions& opts) {
+  const std::size_t n = opts.positional.size() >= 2
+                            ? static_cast<std::size_t>(tools::parse_u64(
+                                  "count", opts.positional[1]))
+                            : 54;
+  obs::Registry registry;
+  std::unique_ptr<obs::TraceSink> trace;
+  if (opts.trace_out.has_value()) {
+    trace = std::make_unique<obs::TraceSink>(*opts.trace_out, opts.trace_level);
+  }
+  core::RunContext ctx;
+  ctx.config = tools::load_config(opts);
+  ctx.registry = &registry;
+  ctx.trace = trace.get();
+  ctx.seed = opts.seed;
 
-int main(int argc, char** argv) {
-  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "qntn_report";
-  core::QntnConfig config;
-  if (argc > 2) config = core::load_config(argv[2]);
+  const core::ArchitectureMetrics m = core::evaluate_space_ground(ctx, n);
+  std::printf("space-ground @%zu satellites: served %.2f %%, fidelity %.4f\n\n",
+              n, m.served_percent, m.mean_fidelity);
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  Table counters("counters");
+  counters.set_header({"name", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  std::fputs(counters.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  Table stats("timers / distributions");
+  stats.set_header({"name", "count", "mean", "min", "max", "stddev"});
+  for (const auto& [name, running] : snapshot.stats) {
+    stats.add_row({name, std::to_string(running.count()),
+                   Table::num(running.mean(), 6), Table::num(running.min(), 6),
+                   Table::num(running.max(), 6),
+                   Table::num(running.stddev(), 6)});
+  }
+  std::fputs(stats.to_string().c_str(), stdout);
+
+  if (opts.metrics_out.has_value()) {
+    std::ofstream out(*opts.metrics_out);
+    if (!out) throw qntn::Error("cannot write " + *opts.metrics_out);
+    out << snapshot.to_json();
+    std::printf("\nwrote %s\n", opts.metrics_out->c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const tools::CommonOptions& opts) {
+  std::filesystem::path out_dir = "qntn_report";
+  if (opts.out.has_value()) {
+    out_dir = *opts.out;
+  } else if (!opts.positional.empty()) {
+    out_dir = opts.positional.front();
+  }
+
+  const tools::ObsBundle bundle = tools::make_obs(opts);
+  core::RunContext ctx =
+      tools::make_run_context(opts, bundle, tools::load_config(opts));
 
   std::filesystem::create_directories(out_dir);
-  write(out_dir / "config.cfg", core::serialize_config(config));
+  write(out_dir / "config.cfg", core::serialize_config(ctx.config));
   std::printf("writing report to %s ...\n", out_dir.string().c_str());
 
   // Fig. 5.
-  const auto fig5 =
-      core::fig5_fidelity_sweep(config.convention, 0.01);
+  const obs::ScopedRegistry ambient(bundle.registry.get());
+  const auto fig5 = core::fig5_fidelity_sweep(ctx.config.convention, 0.01);
   Table fig5_table;
   fig5_table.set_header({"eta", "fidelity"});
   for (const core::FidelityPoint& p : fig5) {
@@ -49,13 +110,14 @@ int main(int argc, char** argv) {
   fig5_table.write_csv((out_dir / "fig5.csv").string());
 
   // Figs. 6-8 (one sweep).
-  ThreadPool pool;
+  ThreadPool pool(opts.threads.value_or(0));
+  ctx.pool = &pool;
   const auto sweep =
-      core::space_ground_sweep(config, core::paper_constellation_sizes(), pool);
+      core::space_ground_sweep(ctx, core::paper_constellation_sizes());
   Table sweep_table;
   sweep_table.set_header(
       {"satellites", "coverage_percent", "served_percent", "mean_fidelity"});
-  for (const core::SweepPoint& p : sweep) {
+  for (const core::ArchitectureMetrics& p : sweep) {
     sweep_table.add_row({std::to_string(p.satellites),
                          Table::num(p.coverage_percent, 4),
                          Table::num(p.served_percent, 4),
@@ -64,8 +126,8 @@ int main(int argc, char** argv) {
   sweep_table.write_csv((out_dir / "fig6_fig7_fig8.csv").string());
 
   // Table III.
-  const core::AirGroundResult air = core::evaluate_air_ground(config);
-  const core::SweepPoint& space = sweep.back();
+  const core::ArchitectureMetrics air = core::evaluate_air_ground(ctx);
+  const core::ArchitectureMetrics& space = sweep.back();
 
   std::ostringstream md;
   md << "# QNTN reproduction report\n\n"
@@ -88,6 +150,27 @@ int main(int argc, char** argv) {
      << "Series: `fig5.csv`, `fig6_fig7_fig8.csv`.\n";
   write(out_dir / "REPORT.md", md.str());
 
+  tools::write_metrics(opts, bundle);
   std::printf("done: %s/REPORT.md\n", out_dir.string().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tools::CommonOptions opts = tools::parse_common_flags(argc, argv);
+    // Legacy spelling: `qntn_report out-dir config-file`.
+    if (!opts.config_path.has_value() && opts.positional.size() >= 2 &&
+        opts.positional.front() != "metrics") {
+      opts.config_path = opts.positional[1];
+    }
+    if (!opts.positional.empty() && opts.positional.front() == "metrics") {
+      return cmd_metrics(opts);
+    }
+    return cmd_report(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

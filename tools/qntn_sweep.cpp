@@ -4,36 +4,61 @@
 // reproduction harnesses.
 //
 // Usage: qntn_sweep [n_sats ...]   (default: 36 72 108)
+// Common flags (tools/cli_common.hpp): --config FILE, --out PATH (CSV),
+// --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
+// --trace-level off|snapshots|requests.
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "core/experiments.hpp"
+#include "cli_common.hpp"
+#include "common/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace qntn;
-  core::QntnConfig config;
+  try {
+    const tools::CommonOptions opts = tools::parse_common_flags(argc, argv);
 
-  std::vector<std::size_t> sizes;
-  for (int i = 1; i < argc; ++i) {
-    sizes.push_back(static_cast<std::size_t>(std::atoi(argv[i])));
+    std::vector<std::size_t> sizes;
+    for (const std::string& arg : opts.positional) {
+      sizes.push_back(static_cast<std::size_t>(tools::parse_u64("size", arg)));
+    }
+    if (sizes.empty()) sizes = {36, 72, 108};
+
+    const tools::ObsBundle bundle = tools::make_obs(opts);
+    core::RunContext ctx =
+        tools::make_run_context(opts, bundle, tools::load_config(opts));
+    ThreadPool pool(opts.threads.value_or(0));
+    ctx.pool = &pool;
+
+    const auto sweep = core::space_ground_sweep(ctx, sizes);
+    const core::ArchitectureMetrics air = core::evaluate_air_ground(ctx);
+
+    Table table;
+    table.set_header({"sats", "cover%", "served%", "fidelity", "eta", "hops"});
+    std::printf("%-6s %-10s %-10s %-10s %-10s %-6s\n", "sats", "cover%",
+                "served%", "fidelity", "eta", "hops");
+    const auto print_row = [&](const std::string& label,
+                               const core::ArchitectureMetrics& p) {
+      std::printf("%-6s %-10.2f %-10.2f %-10.4f %-10.4f %-6.2f\n",
+                  label.c_str(), p.coverage_percent, p.served_percent,
+                  p.mean_fidelity, p.mean_transmissivity, p.mean_hops);
+      table.add_row({label, Table::num(p.coverage_percent, 2),
+                     Table::num(p.served_percent, 2),
+                     Table::num(p.mean_fidelity, 4),
+                     Table::num(p.mean_transmissivity, 4),
+                     Table::num(p.mean_hops, 2)});
+    };
+    for (const core::ArchitectureMetrics& p : sweep) {
+      print_row(std::to_string(p.satellites), p);
+    }
+    print_row("HAP", air);
+
+    if (opts.out.has_value()) table.write_csv(*opts.out);
+    tools::write_metrics(opts, bundle);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  if (sizes.empty()) sizes = {36, 72, 108};
-
-  ThreadPool pool;
-  const auto sweep = core::space_ground_sweep(config, sizes, pool);
-  std::printf("%-6s %-10s %-10s %-10s %-10s %-6s\n", "sats", "cover%",
-              "served%", "fidelity", "eta", "hops");
-  for (const core::SweepPoint& p : sweep) {
-    std::printf("%-6zu %-10.2f %-10.2f %-10.4f %-10.4f %-6.2f\n", p.satellites,
-                p.coverage_percent, p.served_percent, p.mean_fidelity,
-                p.mean_transmissivity, p.mean_hops);
-  }
-
-  const core::AirGroundResult air = core::evaluate_air_ground(config);
-  std::printf("%-6s %-10.2f %-10.2f %-10.4f %-10.4f %-6.2f\n", "HAP",
-              air.coverage_percent, air.served_percent, air.mean_fidelity,
-              air.mean_transmissivity, air.mean_hops);
-  return 0;
 }
