@@ -1,26 +1,21 @@
 // Contact-plan control plane vs per-step rebuild on the Fig. 6 workload:
 // one simulated day of coverage analysis (graph_at + LAN connectivity every
-// 30 s) at each paper constellation size. The contact-plan column includes
-// its one-off compile, so the speedup is end to end, not amortised away.
+// 30 s) at representative paper constellation sizes. The contact-plan case
+// includes its one-off compile, so the speedup is end to end, not amortised
+// away. Exits non-zero when the two providers disagree on connected steps.
 
-#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
+#include "perf_harness.hpp"
 #include "plan/contact_topology.hpp"
-#include "repro_common.hpp"
 #include "sim/coverage.hpp"
 
 namespace {
 
 using namespace qntn;
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 /// One Fig. 6 day: count connected steps on the provider's snapshots.
 std::size_t coverage_day(const sim::NetworkModel& model,
@@ -35,45 +30,56 @@ std::size_t coverage_day(const sim::NetworkModel& model,
 
 }  // namespace
 
-int main() {
-  const core::QntnConfig config;
-  const double duration = config.day_duration;
-  const double step = config.ephemeris_step;
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("contact_plan", argc, argv);
+    const core::QntnConfig config;
+    const double duration = config.day_duration;
+    const double step = config.ephemeris_step;
+    const std::size_t day_steps = static_cast<std::size_t>(duration / step);
 
-  Table table("Contact plan vs per-step rebuild (one Fig. 6 day)");
-  table.set_header({"satellites", "rebuild_ms", "plan_compile_ms",
-                    "plan_query_ms", "plan_total_ms", "speedup",
-                    "connected_steps_match"});
+    const std::vector<std::size_t> sizes =
+        harness.smoke() ? std::vector<std::size_t>{6, 36}
+                        : std::vector<std::size_t>{6, 54, 108};
 
-  for (const std::size_t n : core::paper_constellation_sizes()) {
-    const sim::NetworkModel model = core::build_space_ground_model(config, n);
-    const sim::LinkPolicy policy = config.link_policy();
+    bool match = true;
+    for (const std::size_t n : sizes) {
+      const sim::NetworkModel model = core::build_space_ground_model(config, n);
+      const sim::LinkPolicy policy = config.link_policy();
 
-    auto mark = Clock::now();
-    const sim::TopologyBuilder rebuild(model, policy);
-    const std::size_t rebuild_connected =
-        coverage_day(model, rebuild, duration, step);
-    const double rebuild_ms = ms_since(mark);
+      std::size_t rebuild_connected = 0;
+      const double rebuild_ms = harness.run_case(
+          "rebuild_day_n" + std::to_string(n), day_steps, [&] {
+            const sim::TopologyBuilder rebuild(model, policy);
+            rebuild_connected = coverage_day(model, rebuild, duration, step);
+          });
 
-    mark = Clock::now();
-    const plan::ContactPlan contact_plan =
-        plan::compile_contact_plan(model, policy, config.plan_options());
-    const double compile_ms = ms_since(mark);
+      std::size_t plan_connected = 0;
+      const double plan_ms = harness.run_case(
+          "plan_day_n" + std::to_string(n), day_steps, [&] {
+            const plan::ContactPlan contact_plan =
+                plan::compile_contact_plan(model, policy,
+                                           config.plan_options());
+            const plan::ContactPlanTopology topology(contact_plan, model);
+            plan_connected = coverage_day(model, topology, duration, step);
+          });
 
-    mark = Clock::now();
-    const plan::ContactPlanTopology topology(contact_plan, model);
-    const std::size_t plan_connected =
-        coverage_day(model, topology, duration, step);
-    const double query_ms = ms_since(mark);
+      std::printf("n=%zu: speedup %.2fx, connected steps %zu vs %zu (%s)\n", n,
+                  plan_ms > 0.0 ? rebuild_ms / plan_ms : 0.0,
+                  rebuild_connected, plan_connected,
+                  rebuild_connected == plan_connected ? "match" : "MISMATCH");
+      if (rebuild_connected != plan_connected) match = false;
+    }
 
-    const double total_ms = compile_ms + query_ms;
-    table.add_row({std::to_string(n), Table::num(rebuild_ms, 1),
-                   Table::num(compile_ms, 1), Table::num(query_ms, 1),
-                   Table::num(total_ms, 1),
-                   Table::num(rebuild_ms / total_ms, 2),
-                   rebuild_connected == plan_connected ? "yes" : "NO"});
+    const int rc = harness.finish();
+    if (!match) {
+      std::fprintf(stderr,
+                   "error: contact-plan day disagrees with per-step rebuild\n");
+      return 1;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-
-  bench::emit(table, "perf_contact_plan.csv");
-  return 0;
 }

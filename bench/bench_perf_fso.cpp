@@ -2,12 +2,12 @@
 // Cn^2 integrals) vs the cached FsoLinkEvaluator the simulator's inner loop
 // uses — the cache is what makes million-link days cheap.
 
-#include <benchmark/benchmark.h>
-
 #include <cmath>
+#include <cstdio>
 
 #include "channel/fso.hpp"
 #include "common/constants.hpp"
+#include "perf_harness.hpp"
 
 namespace {
 
@@ -24,48 +24,62 @@ FsoGeometry sat_geometry(double elevation) {
   return g;
 }
 
-void BM_EvaluateFsoOneShot(benchmark::State& state) {
-  const FsoConfig config;
-  const OpticalTerminal t{1.2, 1e-7};
-  double el = 0.4;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluate_fso(config, t, t, sat_geometry(el)));
-    el = el < 1.5 ? el + 0.001 : 0.4;
-  }
-}
-BENCHMARK(BM_EvaluateFsoOneShot);
-
-void BM_EvaluatorCached(benchmark::State& state) {
-  const FsoConfig config;
-  const OpticalTerminal t{1.2, 1e-7};
-  const FsoLinkEvaluator evaluator(config, t, t, 0.0, 500e3);
-  double el = 0.4;
-  for (auto _ : state) {
-    const FsoGeometry g = sat_geometry(el);
-    benchmark::DoNotOptimize(evaluator.symmetric(g.range, g.elevation));
-    el = el < 1.5 ? el + 0.001 : 0.4;
-  }
-}
-BENCHMARK(BM_EvaluatorCached);
-
-void BM_EvaluatorVacuumIsl(benchmark::State& state) {
-  const FsoConfig config;
-  const OpticalTerminal t{1.2, 1e-7};
-  const FsoLinkEvaluator evaluator(config, t, t, 500e3, 500e3);
-  double range = 400e3;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.symmetric(range, kPi / 2.0));
-    range = range < 4000e3 ? range + 1000.0 : 400e3;
-  }
-}
-BENCHMARK(BM_EvaluatorVacuumIsl);
-
-void BM_Cn2Integration(benchmark::State& state) {
-  const atmosphere::HufnagelValley profile;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(profile.integrated_cn2(0.0, 30'000.0));
-  }
-}
-BENCHMARK(BM_Cn2Integration);
-
 }  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("fso", argc, argv);
+    const FsoConfig config;
+    const OpticalTerminal t{1.2, 1e-7};
+
+    {
+      const std::uint64_t iters = harness.smoke() ? 100 : 1'000;
+      harness.run_case("evaluate_fso_one_shot", iters, [&] {
+        double el = 0.4;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(evaluate_fso(config, t, t, sat_geometry(el)));
+          el = el < 1.5 ? el + 0.001 : 0.4;
+        }
+      });
+    }
+
+    const std::uint64_t iters = harness.smoke() ? 20'000 : 200'000;
+    {
+      const FsoLinkEvaluator evaluator(config, t, t, 0.0, 500e3);
+      harness.run_case("evaluator_cached", iters, [&] {
+        double el = 0.4;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          const FsoGeometry g = sat_geometry(el);
+          bench::do_not_optimize(evaluator.symmetric(g.range, g.elevation));
+          el = el < 1.5 ? el + 0.001 : 0.4;
+        }
+      });
+    }
+
+    {
+      const FsoLinkEvaluator evaluator(config, t, t, 500e3, 500e3);
+      harness.run_case("evaluator_vacuum_isl", iters, [&] {
+        double range = 400e3;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(evaluator.symmetric(range, kPi / 2.0));
+          range = range < 4000e3 ? range + 1000.0 : 400e3;
+        }
+      });
+    }
+
+    {
+      const atmosphere::HufnagelValley profile;
+      const std::uint64_t integrations = harness.smoke() ? 1'000 : 10'000;
+      harness.run_case("cn2_integration", integrations, [&] {
+        for (std::uint64_t i = 0; i < integrations; ++i) {
+          bench::do_not_optimize(profile.integrated_cn2(0.0, 30'000.0));
+        }
+      });
+    }
+
+    return harness.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

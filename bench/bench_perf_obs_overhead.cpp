@@ -1,126 +1,113 @@
 // Observability overhead on the paper workload: one space-ground evaluation
 // at 54 satellites (contact-plan topology), run with obs fully disabled,
-// with the metrics registry collecting, and with metrics + a Requests-level
-// JSONL trace to disk. The disabled column is the contract: the ambient
-// no-op path must stay within ~2% of a build without instrumentation, and
-// the registry within a few percent of disabled.
+// with the metrics registry collecting, with metrics + a Requests-level
+// JSONL trace to disk, and with the span profiler recording. The disabled
+// case is the contract: the ambient no-op path must stay within ~2% of a
+// build without instrumentation, and the registry within a few percent of
+// disabled. Exits non-zero when any instrumented run changes the physics.
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "core/experiments.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
-#include "repro_common.hpp"
+#include "perf_harness.hpp"
 
 namespace {
 
 using namespace qntn;
-using Clock = std::chrono::steady_clock;
 
-core::QntnConfig workload() {
+core::QntnConfig workload(bool smoke) {
   core::QntnConfig config;
   config.topology_mode = core::TopologyMode::ContactPlan;
-  return config;
-}
-
-constexpr std::size_t kSatellites = 54;
-constexpr int kReps = 3;
-
-/// Best-of-kReps wall time of one evaluation under the given context
-/// factory (rebuilt per rep so file sinks restart cleanly).
-template <typename MakeContext>
-double best_ms(MakeContext&& make_context, double* served_percent) {
-  double best = 1e300;
-  for (int rep = 0; rep < kReps; ++rep) {
-    const auto bundle = make_context();
-    const auto start = Clock::now();
-    const core::ArchitectureMetrics m =
-        core::evaluate_space_ground(bundle->ctx, kSatellites);
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start)
-            .count();
-    if (ms < best) best = ms;
-    *served_percent = m.served_percent;
+  if (smoke) {
+    config.request_count = 20;
+    config.request_steps = 10;
   }
-  return best;
+  return config;
 }
 
 struct ContextBundle {
   core::RunContext ctx;
   std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::Profiler> profiler;
 };
 
 }  // namespace
 
-int main() {
-  const core::QntnConfig config = workload();
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("obs_overhead", argc, argv);
+    const core::QntnConfig config = workload(harness.smoke());
+    const std::size_t satellites = harness.smoke() ? 12 : 54;
 
-  // Untimed warm-up so the first timed mode doesn't absorb allocator and
-  // page-cache cold-start costs.
-  {
-    core::RunContext warmup;
-    warmup.config = config;
-    (void)core::evaluate_space_ground(warmup, kSatellites);
-  }
+    // Each mode evaluates the same workload under a freshly built context
+    // (file sinks restart cleanly between repeats); the served percentage
+    // must be bit-identical across modes.
+    double served_disabled = 0.0;
+    const auto run_mode = [&](const std::string& name,
+                              const std::function<void(ContextBundle&)>& arm,
+                              double* served) {
+      harness.run_case(name, satellites, [&] {
+        ContextBundle bundle;
+        bundle.ctx.config = config;
+        arm(bundle);
+        const core::ArchitectureMetrics m =
+            core::evaluate_space_ground(bundle.ctx, satellites);
+        *served = m.served_percent;
+      });
+    };
 
-  Table table("Observability overhead (space-ground @54, contact plan)");
-  table.set_header(
-      {"mode", "best_ms", "overhead_%", "served_%_agrees"});
+    run_mode("disabled", [](ContextBundle&) {}, &served_disabled);
 
-  double served_disabled = 0.0;
-  const double disabled_ms = best_ms(
-      [&] {
-        auto bundle = std::make_unique<ContextBundle>();
-        bundle->ctx.config = config;
-        return bundle;
-      },
-      &served_disabled);
+    double served_metrics = 0.0;
+    run_mode(
+        "metrics",
+        [](ContextBundle& bundle) {
+          bundle.registry = std::make_unique<obs::Registry>();
+          bundle.ctx.registry = bundle.registry.get();
+        },
+        &served_metrics);
 
-  double served_metrics = 0.0;
-  const double metrics_ms = best_ms(
-      [&] {
-        auto bundle = std::make_unique<ContextBundle>();
-        bundle->ctx.config = config;
-        bundle->registry = std::make_unique<obs::Registry>();
-        bundle->ctx.registry = bundle->registry.get();
-        return bundle;
-      },
-      &served_metrics);
+    double served_traced = 0.0;
+    run_mode(
+        "metrics_trace",
+        [](ContextBundle& bundle) {
+          bundle.registry = std::make_unique<obs::Registry>();
+          bundle.ctx.registry = bundle.registry.get();
+          bundle.trace = std::make_unique<obs::TraceSink>(
+              std::string("obs_overhead_trace.jsonl"),
+              obs::TraceLevel::Requests);
+          bundle.ctx.trace = bundle.trace.get();
+        },
+        &served_traced);
 
-  double served_traced = 0.0;
-  const double traced_ms = best_ms(
-      [&] {
-        auto bundle = std::make_unique<ContextBundle>();
-        bundle->ctx.config = config;
-        bundle->registry = std::make_unique<obs::Registry>();
-        bundle->ctx.registry = bundle->registry.get();
-        bundle->trace = std::make_unique<obs::TraceSink>(
-            std::string("obs_overhead_trace.jsonl"), obs::TraceLevel::Requests);
-        bundle->ctx.trace = bundle->trace.get();
-        return bundle;
-      },
-      &served_traced);
+    double served_profiled = 0.0;
+    run_mode(
+        "profile",
+        [](ContextBundle& bundle) {
+          bundle.profiler = std::make_unique<obs::Profiler>();
+          bundle.ctx.profiler = bundle.profiler.get();
+        },
+        &served_profiled);
 
-  const auto overhead = [&](double ms) {
-    return Table::num(100.0 * (ms - disabled_ms) / disabled_ms, 2);
-  };
-  table.add_row({"disabled", Table::num(disabled_ms, 1), "0.00", "yes"});
-  table.add_row({"metrics", Table::num(metrics_ms, 1), overhead(metrics_ms),
-                 served_metrics == served_disabled ? "yes" : "NO"});
-  table.add_row({"metrics+trace", Table::num(traced_ms, 1),
-                 overhead(traced_ms),
-                 served_traced == served_disabled ? "yes" : "NO"});
+    const int rc = harness.finish();
 
-  bench::emit(table, "perf_obs_overhead.csv");
-
-  // The instrumentation must never change the physics.
-  if (served_metrics != served_disabled || served_traced != served_disabled) {
-    std::fprintf(stderr, "FAILED: instrumented runs diverged\n");
+    // The instrumentation must never change the physics.
+    if (served_metrics != served_disabled || served_traced != served_disabled ||
+        served_profiled != served_disabled) {
+      std::fprintf(stderr, "FAILED: instrumented runs diverged\n");
+      return 1;
+    }
+    std::printf("physics identical across modes (served %.4f %%)\n",
+                served_disabled);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

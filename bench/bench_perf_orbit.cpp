@@ -1,70 +1,84 @@
 // Performance of the orbit stack: Kepler solves, state evaluation, and
 // full-day ephemeris generation (the STK-replacement pipeline).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
 #include "orbit/constellation.hpp"
 #include "orbit/ephemeris.hpp"
+#include "perf_harness.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace qntn;
+  using namespace qntn::orbit;
+  try {
+    bench::PerfHarness harness("orbit", argc, argv);
+    const std::uint64_t iters = harness.smoke() ? 20'000 : 200'000;
 
-using namespace qntn::orbit;
+    for (const int ecc_percent : {0, 10, 50, 90}) {
+      const double e = static_cast<double>(ecc_percent) / 100.0;
+      harness.run_case("solve_kepler_e" + std::to_string(ecc_percent), iters,
+                       [&] {
+                         double m = 0.0;
+                         for (std::uint64_t i = 0; i < iters; ++i) {
+                           bench::do_not_optimize(solve_kepler(m, e));
+                           m += 0.37;
+                         }
+                       });
+    }
 
-void BM_SolveKepler(benchmark::State& state) {
-  const double e = static_cast<double>(state.range(0)) / 100.0;
-  double m = 0.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_kepler(m, e));
-    m += 0.37;
+    harness.run_case("elements_to_state", iters, [&] {
+      KeplerianElements el = qntn_constellation(6).front();
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        bench::do_not_optimize(elements_to_state(el));
+        el.true_anomaly += 0.01;
+      }
+    });
+
+    {
+      const TwoBodyPropagator prop(qntn_constellation(6).front());
+      harness.run_case("propagator_state_at", iters, [&] {
+        double t = 0.0;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(prop.state_at(t));
+          t += 30.0;
+        }
+      });
+    }
+
+    {
+      const TwoBodyPropagator prop(qntn_constellation(6).front());
+      const std::uint64_t reps = harness.smoke() ? 2 : 10;
+      harness.run_case("ephemeris_generate_full_day", reps * 2881, [&] {
+        for (std::uint64_t i = 0; i < reps; ++i) {
+          bench::do_not_optimize(Ephemeris::generate(prop, 86'400.0, 30.0));
+        }
+      });
+
+      const Ephemeris eph = Ephemeris::generate(prop, 86'400.0, 30.0);
+      harness.run_case("ephemeris_lookup", iters, [&] {
+        double t = 0.0;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(eph.position_ecef(t));
+          t = t < 86'000.0 ? t + 17.3 : 0.0;
+        }
+      });
+    }
+
+    for (const std::size_t n : {std::size_t{6}, std::size_t{36},
+                                std::size_t{108}}) {
+      const std::uint64_t builds = (harness.smoke() ? 200 : 2'000) /
+                                   (n / 6);
+      harness.run_case("constellation_build_n" + std::to_string(n), builds,
+                       [&] {
+                         for (std::uint64_t i = 0; i < builds; ++i) {
+                           bench::do_not_optimize(qntn_constellation(n));
+                         }
+                       });
+    }
+
+    return harness.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }
-BENCHMARK(BM_SolveKepler)->Arg(0)->Arg(10)->Arg(50)->Arg(90);
-
-void BM_ElementsToState(benchmark::State& state) {
-  KeplerianElements el = qntn_constellation(6).front();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(elements_to_state(el));
-    el.true_anomaly += 0.01;
-  }
-}
-BENCHMARK(BM_ElementsToState);
-
-void BM_PropagatorStateAt(benchmark::State& state) {
-  const TwoBodyPropagator prop(qntn_constellation(6).front());
-  double t = 0.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(prop.state_at(t));
-    t += 30.0;
-  }
-}
-BENCHMARK(BM_PropagatorStateAt);
-
-void BM_EphemerisGenerateFullDay(benchmark::State& state) {
-  const TwoBodyPropagator prop(qntn_constellation(6).front());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Ephemeris::generate(prop, 86'400.0, 30.0));
-  }
-  state.SetItemsProcessed(state.iterations() * 2881);
-}
-BENCHMARK(BM_EphemerisGenerateFullDay);
-
-void BM_EphemerisLookup(benchmark::State& state) {
-  const TwoBodyPropagator prop(qntn_constellation(6).front());
-  const Ephemeris eph = Ephemeris::generate(prop, 86'400.0, 30.0);
-  double t = 0.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eph.position_ecef(t));
-    t = t < 86'000.0 ? t + 17.3 : 0.0;
-  }
-}
-BENCHMARK(BM_EphemerisLookup);
-
-void BM_ConstellationBuild(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qntn_constellation(n));
-  }
-}
-BENCHMARK(BM_ConstellationBuild)->Arg(6)->Arg(36)->Arg(108);
-
-}  // namespace

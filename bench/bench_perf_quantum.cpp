@@ -2,86 +2,99 @@
 // and the Hermitian eigensolver — the per-request cost of the full
 // density-matrix pipeline vs the closed form the simulator uses.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
+#include "perf_harness.hpp"
 #include "quantum/channels.hpp"
 #include "quantum/eig.hpp"
 #include "quantum/fidelity.hpp"
 #include "quantum/state.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace qntn;
+  using namespace qntn::quantum;
+  try {
+    bench::PerfHarness harness("quantum", argc, argv);
+    const std::uint64_t iters = harness.smoke() ? 2'000 : 20'000;
 
-using namespace qntn::quantum;
-
-void BM_AmplitudeDampingApply(benchmark::State& state) {
-  const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
-  const KrausChannel channel = amplitude_damping(0.8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(channel.apply_to_qubit(rho, 1));
-  }
-}
-BENCHMARK(BM_AmplitudeDampingApply);
-
-void BM_TransmitBellHalf(benchmark::State& state) {
-  double eta = 0.5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(transmit_bell_half(eta));
-    eta = eta < 0.99 ? eta + 0.001 : 0.5;
-  }
-}
-BENCHMARK(BM_TransmitBellHalf);
-
-void BM_FidelityToPure(benchmark::State& state) {
-  const Matrix rho = transmit_bell_half(0.8);
-  const ColumnVector psi = bell_state(BellState::PhiPlus);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fidelity_to_pure(rho, psi, FidelityConvention::Uhlmann));
-  }
-}
-BENCHMARK(BM_FidelityToPure);
-
-void BM_FidelityGeneralUhlmann(benchmark::State& state) {
-  const Matrix a = transmit_bell_half(0.8);
-  const Matrix b = werner_state(0.9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fidelity(a, b, FidelityConvention::Uhlmann));
-  }
-}
-BENCHMARK(BM_FidelityGeneralUhlmann);
-
-void BM_ClosedFormFidelity(benchmark::State& state) {
-  double eta = 0.5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bell_fidelity_after_damping(eta, FidelityConvention::Uhlmann));
-    eta = eta < 0.99 ? eta + 1e-6 : 0.5;
-  }
-}
-BENCHMARK(BM_ClosedFormFidelity);
-
-void BM_EigenHermitian(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Matrix m(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const double re = 1.0 / static_cast<double>(i + j + 1);
-      const double im = i < j ? 0.1 : (i > j ? -0.1 : 0.0);
-      m(i, j) = Complex(re, im * re);
+    {
+      const Matrix rho = pure_density(bell_state(BellState::PhiPlus));
+      const KrausChannel channel = amplitude_damping(0.8);
+      harness.run_case("amplitude_damping_apply", iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(channel.apply_to_qubit(rho, 1));
+        }
+      });
     }
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eigen_hermitian(m));
+
+    harness.run_case("transmit_bell_half", iters, [&] {
+      double eta = 0.5;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        bench::do_not_optimize(transmit_bell_half(eta));
+        eta = eta < 0.99 ? eta + 0.001 : 0.5;
+      }
+    });
+
+    {
+      const Matrix rho = transmit_bell_half(0.8);
+      const ColumnVector psi = bell_state(BellState::PhiPlus);
+      harness.run_case("fidelity_to_pure", iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(
+              fidelity_to_pure(rho, psi, FidelityConvention::Uhlmann));
+        }
+      });
+    }
+
+    {
+      const Matrix a = transmit_bell_half(0.8);
+      const Matrix b = werner_state(0.9);
+      harness.run_case("fidelity_general_uhlmann", iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(fidelity(a, b, FidelityConvention::Uhlmann));
+        }
+      });
+    }
+
+    harness.run_case("closed_form_fidelity", iters, [&] {
+      double eta = 0.5;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        bench::do_not_optimize(
+            bell_fidelity_after_damping(eta, FidelityConvention::Uhlmann));
+        eta = eta < 0.99 ? eta + 1e-6 : 0.5;
+      }
+    });
+
+    for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                std::size_t{16}}) {
+      Matrix m(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const double re = 1.0 / static_cast<double>(i + j + 1);
+          const double im = i < j ? 0.1 : (i > j ? -0.1 : 0.0);
+          m(i, j) = Complex(re, im * re);
+        }
+      }
+      const std::uint64_t eig_iters = iters / (n * n / 4);
+      harness.run_case("eigen_hermitian_n" + std::to_string(n), eig_iters, [&] {
+        for (std::uint64_t i = 0; i < eig_iters; ++i) {
+          bench::do_not_optimize(eigen_hermitian(m));
+        }
+      });
+    }
+
+    {
+      const Matrix rho = transmit_bell_half(0.7);
+      harness.run_case("concurrence", iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(concurrence(rho));
+        }
+      });
+    }
+
+    return harness.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }
-BENCHMARK(BM_EigenHermitian)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_Concurrence(benchmark::State& state) {
-  const Matrix rho = transmit_bell_half(0.7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(concurrence(rho));
-  }
-}
-BENCHMARK(BM_Concurrence);
-
-}  // namespace

@@ -2,10 +2,11 @@
 // + n satellites): the paper's distance-vector Algorithm 1 vs single-source
 // Bellman-Ford vs Dijkstra.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
 #include "common/rng.hpp"
 #include "net/routing.hpp"
+#include "perf_harness.hpp"
 
 namespace {
 
@@ -40,43 +41,61 @@ Graph qntn_like_graph(std::size_t satellites, std::uint64_t seed) {
   return g;
 }
 
-void BM_BellmanFordTree(benchmark::State& state) {
-  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bellman_ford_tree(g, 0, CostMetric::InverseEta));
-  }
-}
-BENCHMARK(BM_BellmanFordTree)->Arg(6)->Arg(36)->Arg(108);
-
-void BM_Dijkstra(benchmark::State& state) {
-  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dijkstra(g, 0, g.node_count() - 1, CostMetric::InverseEta));
-  }
-}
-BENCHMARK(BM_Dijkstra)->Arg(6)->Arg(36)->Arg(108);
-
-void BM_DistanceVectorConvergence(benchmark::State& state) {
-  const Graph g = qntn_like_graph(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(DistanceVectorRouter(g));
-  }
-}
-BENCHMARK(BM_DistanceVectorConvergence)->Arg(6)->Arg(36);
-
-void BM_ServeHundredRequests(benchmark::State& state) {
-  const Graph g = qntn_like_graph(108, 1);
-  Rng rng(2);
-  for (auto _ : state) {
-    // 100 requests from ~15 distinct sources, the Fig. 7 inner loop.
-    for (int i = 0; i < 15; ++i) {
-      const auto src = static_cast<NodeId>(rng.uniform_int(0, 30));
-      benchmark::DoNotOptimize(bellman_ford_tree(g, src, CostMetric::InverseEta));
-    }
-  }
-}
-BENCHMARK(BM_ServeHundredRequests);
-
 }  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("routing", argc, argv);
+    const std::uint64_t iters = harness.smoke() ? 50 : 500;
+
+    for (const std::size_t sats : {std::size_t{6}, std::size_t{36},
+                                   std::size_t{108}}) {
+      const Graph g = qntn_like_graph(sats, 1);
+      harness.run_case("bellman_ford_tree_n" + std::to_string(sats), iters,
+                       [&] {
+                         for (std::uint64_t i = 0; i < iters; ++i) {
+                           bench::do_not_optimize(
+                               bellman_ford_tree(g, 0, CostMetric::InverseEta));
+                         }
+                       });
+      harness.run_case("dijkstra_n" + std::to_string(sats), iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(
+              dijkstra(g, 0, g.node_count() - 1, CostMetric::InverseEta));
+        }
+      });
+    }
+
+    for (const std::size_t sats : {std::size_t{6}, std::size_t{36}}) {
+      const Graph g = qntn_like_graph(sats, 1);
+      const std::uint64_t builds = harness.smoke() ? 2 : 10;
+      harness.run_case("distance_vector_n" + std::to_string(sats), builds,
+                       [&] {
+                         for (std::uint64_t i = 0; i < builds; ++i) {
+                           bench::do_not_optimize(DistanceVectorRouter(g));
+                         }
+                       });
+    }
+
+    {
+      const Graph g = qntn_like_graph(108, 1);
+      const std::uint64_t rounds = harness.smoke() ? 5 : 50;
+      harness.run_case("serve_hundred_requests", rounds * 15, [&] {
+        Rng rng(2);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          // 100 requests from ~15 distinct sources, the Fig. 7 inner loop.
+          for (int i = 0; i < 15; ++i) {
+            const auto src = static_cast<NodeId>(rng.uniform_int(0, 30));
+            bench::do_not_optimize(
+                bellman_ford_tree(g, src, CostMetric::InverseEta));
+          }
+        }
+      });
+    }
+
+    return harness.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,61 +2,71 @@
 // construction and one coverage-analysis step, at the paper's constellation
 // sizes. A full Fig. 6 day is 2880 such steps.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
+#include "perf_harness.hpp"
 #include "sim/coverage.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace qntn;
+  try {
+    bench::PerfHarness harness("topology", argc, argv);
+    const core::QntnConfig config;
+    const std::uint64_t steps = harness.smoke() ? 30 : 300;
 
-using namespace qntn;
+    for (const std::size_t sats : {std::size_t{6}, std::size_t{36},
+                                   std::size_t{108}}) {
+      const sim::NetworkModel model =
+          core::build_space_ground_model(config, sats);
+      const sim::TopologyBuilder topology(model, config.link_policy());
+      harness.run_case("topology_snapshot_n" + std::to_string(sats), steps,
+                       [&] {
+                         double t = 0.0;
+                         for (std::uint64_t i = 0; i < steps; ++i) {
+                           bench::do_not_optimize(topology.graph_at(t));
+                           t += 30.0;
+                         }
+                       });
+      if (sats >= 36) {
+        harness.run_case("coverage_step_n" + std::to_string(sats), steps, [&] {
+          double t = 0.0;
+          for (std::uint64_t i = 0; i < steps; ++i) {
+            const net::Graph graph = topology.graph_at(t);
+            bench::do_not_optimize(sim::all_lans_connected(model, graph));
+            t += 30.0;
+          }
+        });
+      }
+    }
 
-void BM_TopologySnapshot(benchmark::State& state) {
-  const core::QntnConfig config;
-  const sim::NetworkModel model = core::build_space_ground_model(
-      config, static_cast<std::size_t>(state.range(0)));
-  const sim::TopologyBuilder topology(model, config.link_policy());
-  double t = 0.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(topology.graph_at(t));
-    t += 30.0;
+    {
+      const sim::NetworkModel model = core::build_air_ground_model(config);
+      const sim::TopologyBuilder topology(model, config.link_policy());
+      const std::uint64_t iters = harness.smoke() ? 2'000 : 20'000;
+      harness.run_case("air_ground_snapshot", iters, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          bench::do_not_optimize(topology.graph_at(0.0));
+        }
+      });
+    }
+
+    for (const std::size_t sats : {std::size_t{6}, std::size_t{36}}) {
+      // Includes generating a full-day 30 s ephemeris per satellite.
+      const std::uint64_t builds = harness.smoke() ? 1 : 3;
+      harness.run_case("model_construction_n" + std::to_string(sats), builds,
+                       [&] {
+                         for (std::uint64_t i = 0; i < builds; ++i) {
+                           bench::do_not_optimize(
+                               core::build_space_ground_model(config, sats));
+                         }
+                       });
+    }
+
+    return harness.finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }
-BENCHMARK(BM_TopologySnapshot)->Arg(6)->Arg(36)->Arg(108);
-
-void BM_CoverageStep(benchmark::State& state) {
-  const core::QntnConfig config;
-  const sim::NetworkModel model = core::build_space_ground_model(
-      config, static_cast<std::size_t>(state.range(0)));
-  const sim::TopologyBuilder topology(model, config.link_policy());
-  double t = 0.0;
-  for (auto _ : state) {
-    const net::Graph graph = topology.graph_at(t);
-    benchmark::DoNotOptimize(sim::all_lans_connected(model, graph));
-    t += 30.0;
-  }
-}
-BENCHMARK(BM_CoverageStep)->Arg(36)->Arg(108);
-
-void BM_AirGroundSnapshot(benchmark::State& state) {
-  const core::QntnConfig config;
-  const sim::NetworkModel model = core::build_air_ground_model(config);
-  const sim::TopologyBuilder topology(model, config.link_policy());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(topology.graph_at(0.0));
-  }
-}
-BENCHMARK(BM_AirGroundSnapshot);
-
-void BM_ModelConstruction(benchmark::State& state) {
-  const core::QntnConfig config;
-  for (auto _ : state) {
-    // Includes generating a full-day 30 s ephemeris per satellite.
-    benchmark::DoNotOptimize(core::build_space_ground_model(
-        config, static_cast<std::size_t>(state.range(0))));
-  }
-}
-BENCHMARK(BM_ModelConstruction)->Arg(6)->Arg(36)->Unit(benchmark::kMillisecond);
-
-}  // namespace

@@ -1,0 +1,167 @@
+#pragma once
+
+/// Shared runner for the bench_perf_* binaries: every case is timed with
+/// one untimed warmup pass plus N timed repeats, summarised as
+/// median/MAD/p95 (robust to scheduler noise), and the whole run is written
+/// as BENCH_<name>.json in the stable "qntn-bench-v1" schema that
+/// `qntn_report bench-compare` gates against. A human table still goes to
+/// stdout.
+///
+/// Flags (every adopting binary accepts them):
+///   --smoke          reduced workload for CI schema checks; also enabled
+///                    by QNTN_BENCH_SMOKE=1 in the environment
+///   --repeats N      timed repeats per case (default 5, smoke 2)
+///   --warmup N       untimed warmup passes per case (default 1)
+///   --out FILE       JSON path (default BENCH_<name>.json in the cwd)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "obs/perf_report.hpp"
+
+namespace qntn::bench {
+
+/// Defeat dead-code elimination of a benchmark result without a library
+/// dependency (gcc/clang asm sink, same trick as google-benchmark's
+/// DoNotOptimize).
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// Peak resident set size of this process in KiB (0 when unavailable).
+inline std::uint64_t peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+/// Live thread count of this process (1 when /proc is unavailable).
+inline std::size_t process_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoul(line.c_str() + 8, nullptr, 10));
+    }
+  }
+  return 1;
+}
+
+class PerfHarness {
+ public:
+  /// Parses harness flags from argv; throws qntn::Error on unknown flags
+  /// (adopting binaries have no flags of their own).
+  PerfHarness(std::string bench_name, int argc, char** argv)
+      : report_(), out_path_("BENCH_" + bench_name + ".json") {
+    report_.bench = std::move(bench_name);
+    if (const char* env = std::getenv("QNTN_BENCH_SMOKE")) {
+      report_.smoke = env[0] != '\0' && env[0] != '0';
+    }
+    std::size_t repeats = 0;  // 0 = default, resolved after flag parsing
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto take_value = [&]() -> std::string {
+        QNTN_REQUIRE(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--smoke") {
+        report_.smoke = true;
+      } else if (arg == "--repeats") {
+        repeats = static_cast<std::size_t>(
+            std::strtoul(take_value().c_str(), nullptr, 10));
+        QNTN_REQUIRE(repeats > 0, "--repeats must be positive");
+      } else if (arg == "--warmup") {
+        report_.warmup = static_cast<std::size_t>(
+            std::strtoul(take_value().c_str(), nullptr, 10));
+        explicit_warmup_ = true;
+      } else if (arg == "--out") {
+        out_path_ = take_value();
+      } else {
+        throw Error("unknown flag: " + arg +
+                    " (harness flags: --smoke --repeats N --warmup N "
+                    "--out FILE)");
+      }
+    }
+    report_.repeats = repeats != 0 ? repeats : (report_.smoke ? 2 : 5);
+    if (!explicit_warmup_) report_.warmup = 1;
+    table_.set_header({"case", "items", "median_ms", "mad_ms", "p95_ms",
+                       "min_ms", "mean_ms"});
+  }
+
+  [[nodiscard]] bool smoke() const { return report_.smoke; }
+  [[nodiscard]] std::size_t repeats() const { return report_.repeats; }
+
+  /// Warm up, then time `body` repeats() times. `items` is the amount of
+  /// work one call performs (iterations of an inner loop), recorded so
+  /// readers can derive throughput. Returns the median wall time [ms].
+  double run_case(const std::string& name, std::uint64_t items,
+                  const std::function<void()>& body) {
+    using Clock = std::chrono::steady_clock;
+    for (std::size_t i = 0; i < report_.warmup; ++i) body();
+    std::vector<double> repeats_ms;
+    repeats_ms.reserve(report_.repeats);
+    for (std::size_t i = 0; i < report_.repeats; ++i) {
+      const Clock::time_point start = Clock::now();
+      body();
+      repeats_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+    obs::BenchCase result =
+        obs::make_bench_case(name, items, std::move(repeats_ms));
+    table_.add_row({result.name, std::to_string(result.items),
+                    Table::num(result.median_ms, 4),
+                    Table::num(result.mad_ms, 4), Table::num(result.p95_ms, 4),
+                    Table::num(result.min_ms, 4),
+                    Table::num(result.mean_ms, 4)});
+    const double median = result.median_ms;
+    report_.cases.push_back(std::move(result));
+    return median;
+  }
+
+  /// Convenience for cases without a meaningful item count.
+  double run_case(const std::string& name, const std::function<void()>& body) {
+    return run_case(name, 0, body);
+  }
+
+  /// Print the table, stamp RSS / thread count, write the JSON. Returns the
+  /// process exit code (0; write failures print a warning and still return
+  /// 0 — emitting results is best-effort like the CSV tables, the gate
+  /// reruns with --out somewhere writable).
+  int finish() {
+    report_.threads = process_thread_count();
+    report_.max_rss_kb = peak_rss_kb();
+    std::string title = "perf: " + report_.bench;
+    if (report_.smoke) title += " (smoke)";
+    std::printf("%s\n", title.c_str());
+    std::fputs(table_.to_string().c_str(), stdout);
+    std::ofstream out(out_path_);
+    if (out) {
+      out << report_.to_json();
+      std::printf("(bench report written to %s)\n", out_path_.c_str());
+    } else {
+      std::fprintf(stderr, "qntn: warning: cannot write bench report %s\n",
+                   out_path_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  obs::BenchReport report_;
+  std::string out_path_;
+  bool explicit_warmup_ = false;
+  Table table_;
+};
+
+}  // namespace qntn::bench

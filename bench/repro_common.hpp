@@ -36,8 +36,11 @@ inline void emit(const Table& table, const std::string& csv_name) {
   try {
     table.write_csv(csv_name);
     std::printf("(series written to %s)\n", csv_name.c_str());
-  } catch (const Error&) {
-    // CSV output is best-effort (read-only working directories).
+  } catch (const Error& e) {
+    // CSV output is best-effort (read-only working directories), but say so
+    // instead of silently dropping the series.
+    std::fprintf(stderr, "qntn: warning: could not write %s: %s\n",
+                 csv_name.c_str(), e.what());
   }
 }
 

@@ -48,11 +48,11 @@ double Histogram::quantile(double q) const {
   double cumulative = 0.0;
   for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
     const double next = cumulative + static_cast<double>(counts_[bin]);
-    if (next >= target) {
+    // Skip empty bins so q = 0 lands on the first occupied bin instead of
+    // the histogram's lower edge.
+    if (counts_[bin] > 0 && next >= target) {
       const double within =
-          counts_[bin] > 0
-              ? (target - cumulative) / static_cast<double>(counts_[bin])
-              : 0.0;
+          (target - cumulative) / static_cast<double>(counts_[bin]);
       return bin_low(bin) + within * (bin_high(bin) - bin_low(bin));
     }
     cumulative = next;

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal JSON document model + recursive-descent parser. Exists so the
+/// tools can *read back* the JSON this repo emits (metrics snapshots,
+/// BENCH_*.json perf reports) — most prominently `qntn_report
+/// bench-compare`, the perf regression gate. Deliberately small: no
+/// streaming, no \uXXXX surrogate pairs beyond Latin-1, numbers as double.
+/// Parse errors throw qntn::Error with a byte offset.
+
+namespace qntn::json {
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  /// Parse one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Throws qntn::Error on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw qntn::Error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Object member lookup; throws qntn::Error naming the missing key.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace qntn::json

@@ -4,12 +4,25 @@
 
 namespace qntn {
 
+namespace {
+thread_local std::string t_thread_label = "main";
+}  // namespace
+
+const std::string& thread_label() { return t_thread_label; }
+
+void set_thread_label(std::string label) {
+  t_thread_label = std::move(label);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
   n = std::max<std::size_t>(n, 1);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_thread_label("worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -6,6 +6,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,14 @@
 /// pool's queue and the results are identical for any thread count.
 
 namespace qntn {
+
+/// Human-readable label of the calling thread: "main" unless overridden.
+/// Pool workers label themselves "worker-N"; the span profiler names trace
+/// threads with it. The reference stays valid for the thread's lifetime.
+[[nodiscard]] const std::string& thread_label();
+
+/// Override the calling thread's label (tests, custom worker threads).
+void set_thread_label(std::string label);
 
 class ThreadPool {
  public:

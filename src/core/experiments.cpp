@@ -1,6 +1,7 @@
 #include "core/experiments.hpp"
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "quantum/channels.hpp"
@@ -13,6 +14,7 @@ std::vector<FidelityPoint> fig5_fidelity_sweep(
     quantum::FidelityConvention convention, double step) {
   QNTN_REQUIRE(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
   const obs::ScopedTimer timer("time.fidelity_sweep_s");
+  const obs::Span span("core.fig5_sweep");
   std::vector<FidelityPoint> out;
   const auto count = static_cast<std::size_t>(std::round(1.0 / step));
   out.reserve(count + 1);
@@ -52,6 +54,7 @@ sim::ScenarioConfig RunContext::scenario_config() const {
   sim::ScenarioConfig sc = config.scenario_config();
   sc.registry = registry;
   sc.trace = trace;
+  sc.profiler = profiler;
   if (seed.has_value()) sc.request_seed = *seed;
   return sc;
 }
@@ -78,18 +81,24 @@ ArchitectureMetrics summarize(std::string architecture,
 }
 
 /// Shared body of the three evaluate_* runners: install the context's
-/// registry as ambient (so model building and topology compilation report
-/// into it too, not just run_scenario), build, run, summarize.
+/// registry and profiler as ambient (so model building and topology
+/// compilation report into them too, not just run_scenario), build, run,
+/// summarize. `span_name` is a static string naming the evaluation's
+/// top-level profiler span.
 template <typename BuildModel>
 ArchitectureMetrics evaluate_architecture(const RunContext& ctx,
                                           std::string architecture,
+                                          const char* span_name,
                                           std::size_t n_satellites,
                                           BuildModel&& build_model) {
   const obs::ScopedRegistry ambient(ctx.registry);
+  const obs::ScopedProfiler profiling(ctx.profiler);
+  const obs::Span span(span_name, n_satellites);
   sim::NetworkModel model;
   Topology topology;
   {
     const obs::ScopedTimer timer("time.build_model_s");
+    const obs::Span build_span("core.build_model", n_satellites);
     model = build_model(ctx.config);
     topology = make_topology(ctx.config, model);
   }
@@ -103,7 +112,8 @@ ArchitectureMetrics evaluate_architecture(const RunContext& ctx,
 ArchitectureMetrics evaluate_space_ground(const RunContext& ctx,
                                           std::size_t n_satellites) {
   return evaluate_architecture(
-      ctx, "space-ground", n_satellites, [&](const QntnConfig& config) {
+      ctx, "space-ground", "core.evaluate.space_ground", n_satellites,
+      [&](const QntnConfig& config) {
         return build_space_ground_model(config, n_satellites);
       });
 }
@@ -120,6 +130,8 @@ std::vector<ArchitectureMetrics> space_ground_sweep(
   // Concurrent evaluations would interleave their JSONL streams; only a
   // single-size "sweep" keeps the trace.
   if (sizes.size() > 1) point_ctx.trace = nullptr;
+  const obs::ScopedProfiler profiling(ctx.profiler);
+  const obs::Span span("core.sweep", sizes.size());
   std::vector<ArchitectureMetrics> out(sizes.size());
   if (ctx.pool == nullptr) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -142,8 +154,8 @@ std::vector<ArchitectureMetrics> space_ground_sweep(
 }
 
 ArchitectureMetrics evaluate_air_ground(const RunContext& ctx) {
-  return evaluate_architecture(ctx, "air-ground", 0,
-                               [](const QntnConfig& config) {
+  return evaluate_architecture(ctx, "air-ground", "core.evaluate.air_ground",
+                               0, [](const QntnConfig& config) {
                                  return build_air_ground_model(config);
                                });
 }
@@ -155,7 +167,8 @@ ArchitectureMetrics evaluate_air_ground(const QntnConfig& config) {
 ArchitectureMetrics evaluate_hybrid(const RunContext& ctx,
                                     std::size_t n_satellites) {
   return evaluate_architecture(
-      ctx, "hybrid", n_satellites, [&](const QntnConfig& config) {
+      ctx, "hybrid", "core.evaluate.hybrid", n_satellites,
+      [&](const QntnConfig& config) {
         return build_hybrid_model(config, n_satellites);
       });
 }

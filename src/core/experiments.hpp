@@ -11,6 +11,7 @@
 #include "core/scenario_factory.hpp"
 
 namespace qntn::obs {
+class Profiler;
 class Registry;
 class TraceSink;
 }  // namespace qntn::obs
@@ -70,12 +71,6 @@ struct ArchitectureMetrics {
   std::size_t handovers = 0;
 };
 
-/// Deprecated aliases, kept for one release; new code should spell
-/// ArchitectureMetrics. All former fields carry over unchanged.
-using SweepPoint = ArchitectureMetrics;
-using AirGroundResult = ArchitectureMetrics;
-using ComparisonRow = ArchitectureMetrics;
-
 /// --- Execution context threaded through every runner. ---
 /// Aggregates the scenario parameters with the machinery an evaluation may
 /// use. Everything but `config` is optional; pointers are borrowed and may
@@ -91,6 +86,10 @@ struct RunContext {
   /// JSONL trace sink. Multi-size sweeps drop it (interleaved runs would
   /// garble the stream); single evaluations honour it.
   obs::TraceSink* trace = nullptr;
+  /// Span profiler, installed as the thread's ambient profiler for the
+  /// duration of each evaluation (worker threads included — every task
+  /// carries the context). Per-thread buffers keep concurrent sweeps safe.
+  obs::Profiler* profiler = nullptr;
   /// Overrides config.request_seed when set.
   std::optional<std::uint64_t> seed{};
 

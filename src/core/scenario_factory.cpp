@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/ground_networks.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "orbit/constellation.hpp"
 #include "plan/contact_topology.hpp"
@@ -22,6 +23,7 @@ namespace {
 void add_constellation(sim::NetworkModel& model, const QntnConfig& config,
                        std::size_t n_satellites) {
   const obs::ScopedTimer timer("time.ephemeris_s");
+  const obs::Span span("core.add_constellation", n_satellites);
   const auto elements = orbit::qntn_constellation(n_satellites);
   orbit::PropagatorOptions options;
   options.include_j2 = config.include_j2;
@@ -67,6 +69,7 @@ Topology make_topology(const QntnConfig& config,
       break;
     case TopologyMode::ContactPlan: {
       const obs::ScopedTimer timer("time.contact_compile_s");
+      const obs::Span span("core.make_topology");
       topology.plan =
           std::make_unique<plan::ContactPlan>(plan::compile_contact_plan(
               model, config.link_policy(), config.plan_options()));

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace qntn::net {
@@ -142,6 +143,7 @@ ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
                                    CostMetric metric) {
   QNTN_REQUIRE(src < graph.node_count(), "source out of range");
   obs::count("net.bf_trees");
+  const obs::Span span("net.bf_tree", graph.node_count());
   const std::size_t n = graph.node_count();
   ShortestPathTree tree{std::vector<double>(n, kInf),
                         std::vector<std::optional<NodeId>>(n)};
@@ -200,6 +202,7 @@ std::optional<Route> dijkstra(const Graph& graph, NodeId src, NodeId dst,
   QNTN_REQUIRE(src < graph.node_count() && dst < graph.node_count(),
                "node out of range");
   obs::count("net.dijkstra_calls");
+  const obs::Span span("net.dijkstra", graph.node_count());
   const std::size_t n = graph.node_count();
   std::vector<double> cost(n, kInf);
   std::vector<std::optional<NodeId>> previous(n);

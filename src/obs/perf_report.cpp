@@ -1,0 +1,215 @@
+#include "obs/perf_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace qntn::obs {
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+void append_string(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+double number_field(const json::Value& object, std::string_view key) {
+  const json::Value* value = object.find(key);
+  if (value == nullptr || !value->is_number()) {
+    throw Error("bench schema: missing numeric field \"" + std::string(key) +
+                "\"");
+  }
+  return value->as_number();
+}
+
+std::string string_field(const json::Value& object, std::string_view key) {
+  const json::Value* value = object.find(key);
+  if (value == nullptr || !value->is_string()) {
+    throw Error("bench schema: missing string field \"" + std::string(key) +
+                "\"");
+  }
+  return value->as_string();
+}
+
+}  // namespace
+
+BenchCase make_bench_case(std::string name, std::uint64_t items,
+                          std::vector<double> repeats_ms) {
+  QNTN_REQUIRE(!repeats_ms.empty(), "bench case needs at least one repeat");
+  BenchCase out;
+  out.name = std::move(name);
+  out.items = items;
+  out.median_ms = percentile(repeats_ms, 0.5);
+  out.p95_ms = percentile(repeats_ms, 0.95);
+  std::vector<double> deviations;
+  deviations.reserve(repeats_ms.size());
+  for (const double ms : repeats_ms) {
+    deviations.push_back(std::abs(ms - out.median_ms));
+  }
+  out.mad_ms = percentile(std::move(deviations), 0.5);
+  out.min_ms = *std::min_element(repeats_ms.begin(), repeats_ms.end());
+  out.max_ms = *std::max_element(repeats_ms.begin(), repeats_ms.end());
+  double sum = 0.0;
+  for (const double ms : repeats_ms) sum += ms;
+  out.mean_ms = sum / static_cast<double>(repeats_ms.size());
+  out.repeats_ms = std::move(repeats_ms);
+  return out;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n  \"schema\": ";
+  append_string(out, schema);
+  out += ",\n  \"bench\": ";
+  append_string(out, bench);
+  out += ",\n  \"smoke\": ";
+  out += smoke ? "true" : "false";
+  out += ",\n  \"warmup\": " + std::to_string(warmup);
+  out += ",\n  \"repeats\": " + std::to_string(repeats);
+  out += ",\n  \"threads\": " + std::to_string(threads);
+  out += ",\n  \"max_rss_kb\": " + std::to_string(max_rss_kb);
+  out += ",\n  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BenchCase& c = cases[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"name\": ";
+    append_string(out, c.name);
+    out += ", \"items\": " + std::to_string(c.items);
+    out += ", \"repeats_ms\": [";
+    for (std::size_t r = 0; r < c.repeats_ms.size(); ++r) {
+      if (r != 0) out += ", ";
+      append_number(out, c.repeats_ms[r]);
+    }
+    out += "], \"median_ms\": ";
+    append_number(out, c.median_ms);
+    out += ", \"mad_ms\": ";
+    append_number(out, c.mad_ms);
+    out += ", \"p95_ms\": ";
+    append_number(out, c.p95_ms);
+    out += ", \"min_ms\": ";
+    append_number(out, c.min_ms);
+    out += ", \"max_ms\": ";
+    append_number(out, c.max_ms);
+    out += ", \"mean_ms\": ";
+    append_number(out, c.mean_ms);
+    out += "}";
+  }
+  out += cases.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+BenchReport parse_bench_report(const std::string& json_text) {
+  const json::Value root = json::Value::parse(json_text);
+  if (!root.is_object()) throw Error("bench schema: top level is not an object");
+
+  BenchReport report;
+  report.schema = string_field(root, "schema");
+  if (report.schema != kBenchSchemaVersion) {
+    throw Error("bench schema: unsupported version \"" + report.schema +
+                "\" (expected " + std::string(kBenchSchemaVersion) + ")");
+  }
+  report.bench = string_field(root, "bench");
+  const json::Value* smoke = root.find("smoke");
+  if (smoke == nullptr || !smoke->is_bool()) {
+    throw Error("bench schema: missing bool field \"smoke\"");
+  }
+  report.smoke = smoke->as_bool();
+  report.warmup = static_cast<std::size_t>(number_field(root, "warmup"));
+  report.repeats = static_cast<std::size_t>(number_field(root, "repeats"));
+  report.threads = static_cast<std::size_t>(number_field(root, "threads"));
+  report.max_rss_kb =
+      static_cast<std::uint64_t>(number_field(root, "max_rss_kb"));
+
+  const json::Value* cases = root.find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    throw Error("bench schema: missing array field \"cases\"");
+  }
+  for (const json::Value& entry : cases->items()) {
+    if (!entry.is_object()) throw Error("bench schema: case is not an object");
+    BenchCase c;
+    c.name = string_field(entry, "name");
+    if (c.name.empty()) throw Error("bench schema: empty case name");
+    c.items = static_cast<std::uint64_t>(number_field(entry, "items"));
+    const json::Value* repeats_ms = entry.find("repeats_ms");
+    if (repeats_ms == nullptr || !repeats_ms->is_array() ||
+        repeats_ms->items().empty()) {
+      throw Error("bench schema: case \"" + c.name +
+                  "\" needs a non-empty repeats_ms array");
+    }
+    for (const json::Value& ms : repeats_ms->items()) {
+      if (!ms.is_number()) {
+        throw Error("bench schema: non-numeric repeat in \"" + c.name + "\"");
+      }
+      c.repeats_ms.push_back(ms.as_number());
+    }
+    c.median_ms = number_field(entry, "median_ms");
+    c.mad_ms = number_field(entry, "mad_ms");
+    c.p95_ms = number_field(entry, "p95_ms");
+    c.min_ms = number_field(entry, "min_ms");
+    c.max_ms = number_field(entry, "max_ms");
+    c.mean_ms = number_field(entry, "mean_ms");
+    for (const BenchCase& existing : report.cases) {
+      if (existing.name == c.name) {
+        throw Error("bench schema: duplicate case \"" + c.name + "\"");
+      }
+    }
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+bool BenchComparison::regressed() const {
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const BenchCaseDelta& d) { return d.regressed; });
+}
+
+BenchComparison compare_bench_reports(const BenchReport& baseline,
+                                      const BenchReport& current,
+                                      const BenchCompareOptions& options) {
+  BenchComparison out;
+  for (const BenchCase& base : baseline.cases) {
+    const auto it =
+        std::find_if(current.cases.begin(), current.cases.end(),
+                     [&](const BenchCase& c) { return c.name == base.name; });
+    if (it == current.cases.end()) {
+      out.only_base.push_back(base.name);
+      continue;
+    }
+    BenchCaseDelta delta;
+    delta.name = base.name;
+    delta.base_ms = base.median_ms;
+    delta.new_ms = it->median_ms;
+    delta.ratio = base.median_ms > 0.0 ? it->median_ms / base.median_ms : 1.0;
+    if (base.median_ms >= options.min_ms && it->median_ms >= options.min_ms) {
+      const double slack = options.mad_factor *
+                           std::max(base.mad_ms, it->mad_ms);
+      const double excess = it->median_ms - base.median_ms * (1.0 + options.threshold);
+      delta.regressed = excess > 0.0 && (it->median_ms - base.median_ms) > slack;
+      delta.improved =
+          base.median_ms - it->median_ms * (1.0 + options.threshold) > 0.0;
+    }
+    out.deltas.push_back(std::move(delta));
+  }
+  for (const BenchCase& c : current.cases) {
+    const auto it =
+        std::find_if(baseline.cases.begin(), baseline.cases.end(),
+                     [&](const BenchCase& b) { return b.name == c.name; });
+    if (it == baseline.cases.end()) out.only_current.push_back(c.name);
+  }
+  return out;
+}
+
+}  // namespace qntn::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file perf_report.hpp
+/// Machine-readable perf-bench results: the BENCH_<name>.json schema every
+/// bench_perf_* binary emits (via bench/perf_harness.hpp), its parser, and
+/// the baseline-vs-current comparison behind `qntn_report bench-compare` —
+/// the perf regression gate CI pins against. The schema is versioned
+/// ("qntn-bench-v1"); check_bench_schema() rejects files that drift so the
+/// gate can never silently compare garbage.
+
+namespace qntn::obs {
+
+inline constexpr std::string_view kBenchSchemaVersion = "qntn-bench-v1";
+
+/// One timed case: raw repeat wall times plus the derived robust stats.
+struct BenchCase {
+  std::string name;
+  /// Work items per repeat (0 = unspecified); lets a reader derive
+  /// items/sec without knowing the case body.
+  std::uint64_t items = 0;
+  std::vector<double> repeats_ms;  ///< one wall time per timed repeat
+  double median_ms = 0.0;
+  double mad_ms = 0.0;  ///< median absolute deviation, the noise yardstick
+  double p95_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+/// Derive the robust stats from `repeats_ms` (must be non-empty).
+[[nodiscard]] BenchCase make_bench_case(std::string name, std::uint64_t items,
+                                        std::vector<double> repeats_ms);
+
+struct BenchReport {
+  std::string schema{kBenchSchemaVersion};
+  std::string bench;  ///< short name, e.g. "orbit" -> BENCH_orbit.json
+  bool smoke = false;
+  std::size_t warmup = 0;
+  std::size_t repeats = 0;
+  std::size_t threads = 0;     ///< process thread count at emission
+  std::uint64_t max_rss_kb = 0;  ///< peak resident set size
+  std::vector<BenchCase> cases;
+
+  /// Deterministically ordered JSON rendering of the v1 schema.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parse + validate one BENCH_*.json document; throws qntn::Error naming
+/// the offending field on schema drift.
+[[nodiscard]] BenchReport parse_bench_report(const std::string& json_text);
+
+struct BenchCompareOptions {
+  /// Relative slowdown on a case's median that counts as a regression.
+  double threshold = 0.10;
+  /// A regression must additionally exceed this many MADs of combined
+  /// noise, so jittery micro-cases don't trip the gate.
+  double mad_factor = 3.0;
+  /// Cases faster than this are ignored entirely (clock granularity).
+  double min_ms = 1e-4;
+};
+
+struct BenchCaseDelta {
+  std::string name;
+  double base_ms = 0.0;
+  double new_ms = 0.0;
+  double ratio = 1.0;  ///< new / base
+  bool regressed = false;
+  bool improved = false;
+};
+
+struct BenchComparison {
+  std::vector<BenchCaseDelta> deltas;     ///< cases present in both reports
+  std::vector<std::string> only_base;     ///< removed cases (warn)
+  std::vector<std::string> only_current;  ///< added cases (warn)
+
+  [[nodiscard]] bool regressed() const;
+};
+
+/// Compare current against baseline case-by-case on median_ms.
+[[nodiscard]] BenchComparison compare_bench_reports(
+    const BenchReport& baseline, const BenchReport& current,
+    const BenchCompareOptions& options = {});
+
+}  // namespace qntn::obs

@@ -1,0 +1,213 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qntn::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_profiler_serial{1};
+
+/// Tiny per-thread cache mapping profiler serial -> buffer, mirroring the
+/// Registry shard cache. Serials are process-unique and never reused, so a
+/// stale entry for a destroyed profiler can never be mistaken for a live
+/// one.
+struct TlsBufferEntry {
+  std::uint64_t serial = 0;
+  void* buffer = nullptr;
+};
+constexpr std::size_t kTlsCacheSize = 4;
+thread_local std::array<TlsBufferEntry, kTlsCacheSize> t_buffer_cache{};
+thread_local std::size_t t_buffer_next = 0;
+
+thread_local Profiler* t_ambient_profiler = nullptr;
+
+void append_escaped(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Microseconds with fixed millis precision: Chrome's ts/dur unit. Fixed
+/// formatting keeps the trace shape stable for the schema test's
+/// timestamp-normalising regex.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buffer;
+}
+
+}  // namespace
+
+struct Profiler::ThreadBuffer {
+  std::string name;          ///< thread label at first span ("main", ...)
+  std::uint32_t tid = 0;     ///< registration index, Chrome tid
+  std::vector<SpanRecord> ring;
+  std::size_t next = 0;      ///< ring write index
+  std::uint64_t total = 0;   ///< spans ever recorded (>= ring.size())
+  /// The owning thread is the only writer; the profiler locks this only
+  /// while draining so a snapshot never reads a half-written record.
+  std::mutex mutex;
+};
+
+Profiler::Profiler(std::size_t capacity_per_thread)
+    : serial_(g_profiler_serial.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(std::max<std::size_t>(capacity_per_thread, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Profiler::~Profiler() = default;
+
+std::uint64_t Profiler::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Profiler::ThreadBuffer& Profiler::local_buffer() {
+  for (const TlsBufferEntry& entry : t_buffer_cache) {
+    if (entry.serial == serial_) {
+      return *static_cast<ThreadBuffer*>(entry.buffer);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ThreadBuffer*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    slot = buffers_.back().get();
+    slot->name = thread_label();
+    slot->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+    slot->ring.reserve(std::min<std::size_t>(capacity_, 1024));
+  }
+  t_buffer_cache[t_buffer_next] = {serial_, slot};
+  t_buffer_next = (t_buffer_next + 1) % kTlsCacheSize;
+  return *slot;
+}
+
+void Profiler::record(const char* name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns, std::uint64_t arg) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  const SpanRecord span{name, start_ns, dur_ns, arg};
+  if (buffer.ring.size() < capacity_) {
+    buffer.ring.push_back(span);
+  } else {
+    buffer.ring[buffer.next] = span;  // overwrite the oldest
+  }
+  buffer.next = (buffer.next + 1) % capacity_;
+  ++buffer.total;
+}
+
+std::uint64_t Profiler::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->total - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::size_t Profiler::span_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->ring.size();
+  }
+  return count;
+}
+
+std::string Profiler::chrome_trace_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"qntn\"}}";
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const std::string tid = std::to_string(buffer->tid);
+    out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    append_escaped(out, buffer->name);
+    out += "}}";
+    out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
+           ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": " +
+           tid + "}}";
+
+    // Ring order is write order; sort by start so nested spans (recorded at
+    // their end) render parent-first and the output is reproducible.
+    std::vector<SpanRecord> spans = buffer->ring;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanRecord& a, const SpanRecord& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    for (const SpanRecord& span : spans) {
+      out += ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": " + tid + ", \"name\": ";
+      append_escaped(out, span.name);
+      out += ", \"ts\": ";
+      append_us(out, span.start_ns);
+      out += ", \"dur\": ";
+      append_us(out, span.dur_ns);
+      out += ", \"args\": {";
+      if (span.arg != SpanRecord::kNoArg) {
+        out += "\"n\": " + std::to_string(span.arg);
+      }
+      out += "}}";
+    }
+    const std::uint64_t dropped = buffer->total - buffer->ring.size();
+    if (dropped > 0) {
+      out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
+             ", \"name\": \"qntn_dropped_spans\", \"args\": {\"count\": " +
+             std::to_string(dropped) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Profiler::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write profile output: " + path);
+  out << chrome_trace_json();
+}
+
+Profiler* ambient_profiler() noexcept { return t_ambient_profiler; }
+
+ScopedProfiler::ScopedProfiler(Profiler* profiler) noexcept
+    : previous_(t_ambient_profiler) {
+  t_ambient_profiler = profiler;
+}
+
+ScopedProfiler::~ScopedProfiler() { t_ambient_profiler = previous_; }
+
+}  // namespace qntn::obs

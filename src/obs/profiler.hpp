@@ -1,0 +1,136 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+/// \file profiler.hpp
+/// Hierarchical span profiler: RAII obs::Span scopes record (name, start,
+/// duration) into per-thread ring buffers, drained on demand into Chrome
+/// trace-event JSON (loadable in chrome://tracing or Perfetto). The design
+/// mirrors the metrics Registry: an ambient thread-local profiler is
+/// installed per scope, so instrumented code pays one TLS load and a branch
+/// when no profiler is installed — no clock read, no allocation — which
+/// keeps the always-compiled-in instrumentation free on production paths.
+///
+/// Threads are named: the main thread reports as "main", pool workers as
+/// "worker-N" (see common/thread_pool.hpp), and each buffer keeps a stable
+/// registration index used as the Chrome tid. Buffers are rings: once a
+/// thread exceeds its capacity the oldest spans are overwritten and the
+/// drop is counted, bounding memory for arbitrarily long runs.
+
+namespace qntn::obs {
+
+/// One finished span. `name` must be a string literal (or otherwise outlive
+/// the profiler); instrument sites pass literals.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since the profiler's epoch
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = kNoArg;  ///< optional numeric payload ("n" in args)
+
+  static constexpr std::uint64_t kNoArg = ~std::uint64_t{0};
+};
+
+class Profiler {
+ public:
+  /// `capacity_per_thread` spans are kept per thread (ring overwrite
+  /// beyond); the default holds ~64k spans (~2 MiB) per thread.
+  explicit Profiler(std::size_t capacity_per_thread = 1u << 16);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Nanoseconds since this profiler's construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Record one finished span for the calling thread. Called by ~Span.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t arg);
+
+  /// Spans overwritten because a thread's ring filled, over all threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Spans currently held (post-overwrite), over all threads.
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// The whole profile as Chrome trace-event JSON: one metadata event per
+  /// thread (thread_name / thread_sort_index) and one "X" (complete) event
+  /// per span, one event per line, spans sorted by (tid, start). ts/dur are
+  /// microseconds since the profiler epoch.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Write chrome_trace_json() to a file; throws qntn::Error on failure.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+
+  /// The calling thread's ring, created (and named after the thread's
+  /// label) on first use; TLS-cached by profiler serial like Registry.
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t serial_;  ///< process-unique; guards the TLS cache
+  const std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  ///< guards buffers_ / by_thread_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::unordered_map<std::thread::id, ThreadBuffer*> by_thread_;
+};
+
+/// The thread's ambient profiler (nullptr when none is installed).
+[[nodiscard]] Profiler* ambient_profiler() noexcept;
+
+/// RAII install of an ambient profiler for the current thread. Scopes
+/// nest; installing nullptr is allowed and turns Span into a no-op.
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(Profiler* profiler) noexcept;
+  ~ScopedProfiler();
+
+  ScopedProfiler(const ScopedProfiler&) = delete;
+  ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+
+ private:
+  Profiler* previous_;
+};
+
+/// RAII span scope. Captures the ambient profiler at construction; a
+/// complete no-op (no clock read) when none is installed. `name` must be a
+/// string literal. Nesting is implicit: Chrome reconstructs the hierarchy
+/// from ts/dur containment per thread.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : Span(name, SpanRecord::kNoArg) {}
+
+  /// With a numeric payload, rendered as args:{"n": arg} in the trace
+  /// (constellation size, step index, ...).
+  Span(const char* name, std::uint64_t arg) noexcept
+      : profiler_(ambient_profiler()), name_(name), arg_(arg) {
+    if (profiler_ != nullptr) start_ns_ = profiler_->now_ns();
+  }
+
+  ~Span() {
+    if (profiler_ == nullptr) return;
+    profiler_->record(name_, start_ns_, profiler_->now_ns() - start_ns_, arg_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Profiler* profiler_;
+  const char* name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace qntn::obs

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "geo/frames.hpp"
+#include "obs/profiler.hpp"
 
 namespace qntn::orbit {
 
@@ -11,6 +12,7 @@ Ephemeris Ephemeris::generate(const TwoBodyPropagator& prop, double duration,
                               double step, double gmst0) {
   QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration and step must be positive");
   const auto n = static_cast<std::size_t>(std::ceil(duration / step)) + 1;
+  const obs::Span span("orbit.ephemeris_generate", n);
   std::vector<Vec3> samples;
   samples.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -8,6 +8,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "geo/frames.hpp"
+#include "obs/profiler.hpp"
 #include "orbit/passes.hpp"
 
 namespace qntn::plan {
@@ -324,10 +325,12 @@ struct Compiler {
   }
 
   ContactPlan run() {
+    const obs::Span compile_span("plan.compile", model.node_count());
     const std::vector<net::NodeId>& sats = model.satellite_ids();
 
     if (const auto* ground_sat =
             builder.evaluator(sim::NodeKind::Ground, sim::NodeKind::Satellite)) {
+      const obs::Span span("plan.compile.ground_sat", sats.size());
       for (const net::NodeId sat : sats) {
         for (std::size_t lan = 0; lan < model.lan_count(); ++lan) {
           for (const net::NodeId ground : model.lan_nodes(lan)) {
@@ -338,6 +341,7 @@ struct Compiler {
     }
     if (const auto* hap_sat =
             builder.evaluator(sim::NodeKind::Hap, sim::NodeKind::Satellite)) {
+      const obs::Span span("plan.compile.hap_sat", sats.size());
       for (const net::NodeId sat : sats) {
         for (const net::NodeId hap : model.hap_ids()) {
           compile_site_satellite(hap, sat, *hap_sat);
@@ -346,6 +350,7 @@ struct Compiler {
     }
     if (const auto* sat_sat = builder.evaluator(sim::NodeKind::Satellite,
                                                 sim::NodeKind::Satellite)) {
+      const obs::Span span("plan.compile.isl", sats.size());
       const double threshold_range = isl_threshold_range(*sat_sat);
       if (threshold_range > 0.0) {
         for (std::size_t i = 0; i < sats.size(); ++i) {

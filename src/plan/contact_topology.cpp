@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace qntn::plan {
@@ -59,6 +60,7 @@ std::vector<sim::LinkRecord> ContactPlanTopology::links_at(double t) const {
 }
 
 net::Graph ContactPlanTopology::graph_at(double t) const {
+  const obs::Span span("plan.graph_at");
   net::Graph graph;
   for (const sim::Node& node : model_.nodes()) {
     graph.add_node(node.name);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,8 @@ ScenarioResult run_scenario(const NetworkModel& model,
                             const TopologyProvider& topology,
                             const ScenarioConfig& config) {
   const obs::ScopedRegistry ambient(config.registry);
+  const obs::ScopedProfiler profiling(config.profiler);
+  const obs::Span run_span("sim.run_scenario", config.request_steps);
   obs::TraceSink* trace = config.trace;
   const bool trace_snapshots =
       trace != nullptr && trace->wants(obs::TraceLevel::Snapshots);
@@ -61,6 +64,7 @@ ScenarioResult run_scenario(const NetworkModel& model,
   ScenarioResult result;
   {
     const obs::ScopedTimer timer("time.coverage_s");
+    const obs::Span span("sim.coverage");
     result.coverage = analyze_coverage(model, topology, config.coverage);
   }
   if (trace_snapshots) {
@@ -77,7 +81,9 @@ ScenarioResult run_scenario(const NetworkModel& model,
   std::vector<std::optional<net::NodeId>> last_relay(requests.size());
 
   const obs::ScopedTimer serving_timer("time.serving_s");
+  const obs::Span serving_span("sim.serving", config.request_steps);
   for (std::size_t step = 0; step < config.request_steps; ++step) {
+    const obs::Span step_span("sim.serve_step", step);
     const double t = static_cast<double>(step) * interval;
     const net::Graph graph = topology.graph_at(t);
     const ServeResult served = serve_requests(

@@ -6,6 +6,7 @@
 #include "sim/requests.hpp"
 
 namespace qntn::obs {
+class Profiler;
 class Registry;
 class TraceSink;
 }  // namespace qntn::obs
@@ -45,6 +46,9 @@ struct ScenarioConfig {
   /// per-snapshot / per-request JSONL events its TraceLevel admits.
   obs::Registry* registry = nullptr;
   obs::TraceSink* trace = nullptr;
+  /// Span profiler, installed as the thread's ambient profiler for the
+  /// duration of run_scenario so the layers below record spans into it.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct ScenarioResult {

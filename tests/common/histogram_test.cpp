@@ -69,6 +69,52 @@ TEST(Histogram, QuantileMatchesExactPercentileOnGaussian) {
 TEST(Histogram, EmptyQuantileThrows) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_THROW((void)h.quantile(0.5), PreconditionError);
+  EXPECT_THROW((void)h.quantile(0.0), PreconditionError);
+  EXPECT_THROW((void)h.quantile(1.0), PreconditionError);
+}
+
+TEST(Histogram, SingleSampleQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);  // bin 3 = [3, 4)
+  // Every quantile of a one-sample histogram interpolates inside its bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, ExtremeQuantilesSkipEmptyEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(4.5);  // bin 4
+  h.add(6.5);  // bin 6
+  // p0 must land on the first occupied bin, not the histogram's lower
+  // edge, and p100 on the end of the last occupied bin, not hi.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(Histogram, DuplicateHeavyDistribution) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 999; ++i) h.add(0.55);  // bin 5
+  h.add(0.95);                                // bin 9
+  // Nearly all mass sits in one bin: every central quantile interpolates
+  // inside it, and only the very top reaches the outlier's bin.
+  EXPECT_GE(h.quantile(0.01), 0.5);
+  EXPECT_LE(h.quantile(0.5), 0.6);
+  EXPECT_LE(h.quantile(0.99), 0.6);
+  EXPECT_GT(h.quantile(0.9995), 0.9);
+  EXPECT_LE(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h(0.0, 1.0, 8);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(0.0, 1.0));
+  double previous = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, previous) << q;
+    previous = value;
+  }
 }
 
 TEST(Histogram, AsciiRenderingShowsNonEmptyBins) {

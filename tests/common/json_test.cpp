@@ -1,0 +1,103 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qntn {
+namespace {
+
+using json::Value;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_TRUE(Value::parse("true").as_bool());
+  EXPECT_FALSE(Value::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Value::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value root = Value::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(root.is_object());
+  const Value& a = root.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.items()[0].as_number(), 1.0);
+  EXPECT_TRUE(a.items()[2].at("b").as_bool());
+  EXPECT_TRUE(root.at("c").at("d").is_null());
+  EXPECT_EQ(root.at("e").as_string(), "x");
+}
+
+TEST(Json, ObjectPreservesMemberOrder) {
+  const Value root = Value::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(root.members().size(), 3u);
+  EXPECT_EQ(root.members()[0].first, "z");
+  EXPECT_EQ(root.members()[1].first, "a");
+  EXPECT_EQ(root.members()[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = Value::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, WhitespaceTolerantButRejectsTrailingGarbage) {
+  EXPECT_DOUBLE_EQ(Value::parse("  \n\t 7  \n").as_number(), 7.0);
+  EXPECT_THROW((void)Value::parse("7 x"), Error);
+  EXPECT_THROW((void)Value::parse("{} []"), Error);
+}
+
+TEST(Json, MalformedDocumentsThrowWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\": }", "tru", "\"unterminated",
+        "[1 2]", "{1: 2}", "nan"}) {
+    EXPECT_THROW((void)Value::parse(bad), Error) << bad;
+  }
+  try {
+    (void)Value::parse("[1, ]");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    // The message carries a byte offset for debugging.
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, FindAndAt) {
+  const Value root = Value::parse(R"({"x": 1})");
+  ASSERT_NE(root.find("x"), nullptr);
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_THROW((void)root.at("missing"), Error);
+  // find on a non-object is a nullptr, not a throw.
+  EXPECT_EQ(Value::parse("[]").find("x"), nullptr);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = Value::parse("42");
+  EXPECT_THROW((void)v.as_string(), Error);
+  EXPECT_THROW((void)v.as_bool(), Error);
+  EXPECT_THROW((void)v.items(), Error);
+  EXPECT_THROW((void)v.members(), Error);
+}
+
+TEST(Json, RoundTripsRepoEmittedMetricsShape) {
+  // The shape obs::MetricsSnapshot::to_json and BENCH_*.json emit: nested
+  // objects, arrays of numbers, scientific notation.
+  const Value root = Value::parse(R"({
+    "schema": "qntn-bench-v1",
+    "cases": [
+      {"name": "a", "repeats_ms": [1.25, 2.5e-2, 3], "median_ms": 1.25}
+    ]
+  })");
+  const Value& c = root.at("cases").items().front();
+  EXPECT_EQ(c.at("name").as_string(), "a");
+  EXPECT_DOUBLE_EQ(c.at("repeats_ms").items()[1].as_number(), 0.025);
+}
+
+}  // namespace
+}  // namespace qntn

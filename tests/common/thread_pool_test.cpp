@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace qntn {
@@ -61,6 +64,35 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   bool called = false;
   parallel_for_index(pool, 0, [&called](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ThreadLabelsNameMainAndWorkers) {
+  EXPECT_EQ(thread_label(), "main");
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::string> labels;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      labels.insert(thread_label());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  // Every observed label is a worker's; with 32 tasks on 3 workers each
+  // label almost surely appears, but only the format is guaranteed.
+  EXPECT_FALSE(labels.empty());
+  for (const std::string& label : labels) {
+    EXPECT_EQ(label.rfind("worker-", 0), 0u) << label;
+  }
+}
+
+TEST(ThreadPool, SetThreadLabelOverrides) {
+  const std::string before = thread_label();
+  set_thread_label("custom");
+  EXPECT_EQ(thread_label(), "custom");
+  set_thread_label(before);
+  EXPECT_EQ(thread_label(), before);
 }
 
 TEST(ThreadPool, ParallelForRethrowsTaskFailure) {

@@ -1,0 +1,192 @@
+#include "obs/perf_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qntn::obs {
+namespace {
+
+BenchReport small_report() {
+  BenchReport report;
+  report.bench = "unit";
+  report.smoke = true;
+  report.warmup = 1;
+  report.repeats = 5;
+  report.threads = 4;
+  report.max_rss_kb = 2048;
+  report.cases.push_back(make_bench_case("alpha", 100, {1.0, 2.0, 3.0, 4.0, 5.0}));
+  report.cases.push_back(make_bench_case("beta", 0, {10.0, 10.5, 9.5}));
+  return report;
+}
+
+TEST(PerfReport, MakeBenchCaseDerivesRobustStats) {
+  const BenchCase c = make_bench_case("stats", 7, {1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(c.name, "stats");
+  EXPECT_EQ(c.items, 7u);
+  EXPECT_DOUBLE_EQ(c.median_ms, 3.0);
+  EXPECT_DOUBLE_EQ(c.mad_ms, 1.0);  // deviations {2,1,0,1,2}
+  EXPECT_DOUBLE_EQ(c.p95_ms, 4.8);  // linear interpolation
+  EXPECT_DOUBLE_EQ(c.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(c.mean_ms, 3.0);
+  EXPECT_EQ(c.repeats_ms.size(), 5u);
+  EXPECT_THROW((void)make_bench_case("empty", 0, {}), Error);
+}
+
+TEST(PerfReport, MedianIsRobustToOneOutlier) {
+  const BenchCase c = make_bench_case("outlier", 0, {1.0, 1.1, 0.9, 1.0, 50.0});
+  EXPECT_DOUBLE_EQ(c.median_ms, 1.0);
+  EXPECT_LE(c.mad_ms, 0.1 + 1e-12);
+}
+
+TEST(PerfReport, JsonRoundTrip) {
+  const BenchReport report = small_report();
+  const BenchReport parsed = parse_bench_report(report.to_json());
+  EXPECT_EQ(parsed.schema, kBenchSchemaVersion);
+  EXPECT_EQ(parsed.bench, "unit");
+  EXPECT_TRUE(parsed.smoke);
+  EXPECT_EQ(parsed.warmup, 1u);
+  EXPECT_EQ(parsed.repeats, 5u);
+  EXPECT_EQ(parsed.threads, 4u);
+  EXPECT_EQ(parsed.max_rss_kb, 2048u);
+  ASSERT_EQ(parsed.cases.size(), 2u);
+  EXPECT_EQ(parsed.cases[0].name, "alpha");
+  EXPECT_EQ(parsed.cases[0].items, 100u);
+  EXPECT_EQ(parsed.cases[0].repeats_ms, report.cases[0].repeats_ms);
+  EXPECT_DOUBLE_EQ(parsed.cases[0].median_ms, 3.0);
+  EXPECT_DOUBLE_EQ(parsed.cases[1].median_ms, report.cases[1].median_ms);
+  // Round-tripping the parse is byte-stable.
+  EXPECT_EQ(parsed.to_json(), report.to_json());
+}
+
+TEST(PerfReport, EmptyCasesRoundTrip) {
+  BenchReport report = small_report();
+  report.cases.clear();
+  EXPECT_TRUE(parse_bench_report(report.to_json()).cases.empty());
+}
+
+TEST(PerfReport, SchemaRejectionsNameTheField) {
+  auto expect_rejected = [](std::string json, std::string_view needle) {
+    try {
+      (void)parse_bench_report(json);
+      FAIL() << "expected schema error for: " << json;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_rejected("[1, 2]", "not an object");
+  expect_rejected(R"({"schema": "qntn-bench-v999"})", "unsupported version");
+
+  const BenchReport good = small_report();
+  std::string wrong_version = good.to_json();
+  const auto at = wrong_version.find("qntn-bench-v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_version.replace(at, 13, "qntn-bench-v2");
+  expect_rejected(wrong_version, "unsupported version");
+
+  expect_rejected(R"({"schema": "qntn-bench-v1"})", "\"bench\"");
+  expect_rejected(R"({"schema": "qntn-bench-v1", "bench": "x"})", "\"smoke\"");
+  expect_rejected(
+      R"({"schema": "qntn-bench-v1", "bench": "x", "smoke": false,
+          "warmup": 1, "repeats": 3, "threads": 1, "max_rss_kb": 0})",
+      "\"cases\"");
+  expect_rejected(
+      R"({"schema": "qntn-bench-v1", "bench": "x", "smoke": false,
+          "warmup": 1, "repeats": 3, "threads": 1, "max_rss_kb": 0,
+          "cases": [{"name": "a", "items": 0, "repeats_ms": []}]})",
+      "non-empty repeats_ms");
+  expect_rejected(
+      R"({"schema": "qntn-bench-v1", "bench": "x", "smoke": false,
+          "warmup": 1, "repeats": 3, "threads": 1, "max_rss_kb": 0,
+          "cases": [{"name": "a", "items": 0, "repeats_ms": [1, "fast"]}]})",
+      "non-numeric repeat");
+
+  // Duplicate case names would make bench-compare ambiguous.
+  BenchReport duplicated = small_report();
+  duplicated.cases.push_back(duplicated.cases.front());
+  expect_rejected(duplicated.to_json(), "duplicate case");
+}
+
+TEST(PerfReport, IdenticalReportsDoNotRegress) {
+  const BenchReport report = small_report();
+  const BenchComparison comparison = compare_bench_reports(report, report);
+  EXPECT_FALSE(comparison.regressed());
+  ASSERT_EQ(comparison.deltas.size(), 2u);
+  for (const BenchCaseDelta& delta : comparison.deltas) {
+    EXPECT_FALSE(delta.regressed);
+    EXPECT_FALSE(delta.improved);
+    EXPECT_DOUBLE_EQ(delta.ratio, 1.0);
+  }
+  EXPECT_TRUE(comparison.only_base.empty());
+  EXPECT_TRUE(comparison.only_current.empty());
+}
+
+TEST(PerfReport, TwentyPercentSlowdownOnStableCaseRegresses) {
+  BenchReport base;
+  base.bench = "gate";
+  base.cases.push_back(make_bench_case("hot", 0, {10.0, 10.0, 10.0, 10.1, 9.9}));
+  BenchReport current = base;
+  current.cases[0] =
+      make_bench_case("hot", 0, {12.0, 12.0, 12.0, 12.1, 11.9});
+  const BenchComparison comparison = compare_bench_reports(base, current);
+  ASSERT_EQ(comparison.deltas.size(), 1u);
+  EXPECT_TRUE(comparison.deltas[0].regressed);
+  EXPECT_TRUE(comparison.regressed());
+  EXPECT_NEAR(comparison.deltas[0].ratio, 1.2, 1e-9);
+
+  // The same delta in the other direction reads as an improvement.
+  const BenchComparison reversed = compare_bench_reports(current, base);
+  EXPECT_FALSE(reversed.regressed());
+  EXPECT_TRUE(reversed.deltas[0].improved);
+}
+
+TEST(PerfReport, NoisyCaseDoesNotTripTheGate) {
+  // Median shifts by 20% but the MAD is comparable to the shift: the
+  // mad_factor guard keeps jitter from counting as a regression.
+  BenchReport base;
+  base.bench = "noise";
+  base.cases.push_back(make_bench_case("jittery", 0, {8.0, 10.0, 12.0, 9.0, 11.0}));
+  BenchReport current = base;
+  current.cases[0] =
+      make_bench_case("jittery", 0, {9.6, 12.0, 14.4, 10.8, 13.2});
+  const BenchComparison comparison = compare_bench_reports(base, current);
+  ASSERT_EQ(comparison.deltas.size(), 1u);
+  EXPECT_FALSE(comparison.deltas[0].regressed);
+}
+
+TEST(PerfReport, SubMinimumCasesAreIgnored) {
+  BenchReport base;
+  base.bench = "tiny";
+  base.cases.push_back(make_bench_case("nanofast", 0, {1e-5, 1e-5, 1e-5}));
+  BenchReport current = base;
+  current.cases[0] = make_bench_case("nanofast", 0, {5e-5, 5e-5, 5e-5});
+  // A 5x slowdown under min_ms stays invisible: clock granularity.
+  EXPECT_FALSE(compare_bench_reports(base, current).regressed());
+  // Lowering min_ms exposes it.
+  BenchCompareOptions strict;
+  strict.min_ms = 0.0;
+  EXPECT_TRUE(compare_bench_reports(base, current, strict).regressed());
+}
+
+TEST(PerfReport, ReportsAddedAndRemovedCases) {
+  BenchReport base = small_report();
+  BenchReport current = small_report();
+  current.cases.erase(current.cases.begin());  // drop "alpha"
+  current.cases.push_back(make_bench_case("gamma", 0, {1.0}));
+  const BenchComparison comparison = compare_bench_reports(base, current);
+  ASSERT_EQ(comparison.only_base.size(), 1u);
+  EXPECT_EQ(comparison.only_base[0], "alpha");
+  ASSERT_EQ(comparison.only_current.size(), 1u);
+  EXPECT_EQ(comparison.only_current[0], "gamma");
+  ASSERT_EQ(comparison.deltas.size(), 1u);
+  EXPECT_EQ(comparison.deltas[0].name, "beta");
+}
+
+}  // namespace
+}  // namespace qntn::obs

@@ -1,0 +1,181 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qntn::obs {
+namespace {
+
+/// Span names present in a parsed chrome trace document.
+std::set<std::string> span_names(const json::Value& doc) {
+  std::set<std::string> names;
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "X") {
+      names.insert(event.at("name").as_string());
+    }
+  }
+  return names;
+}
+
+TEST(Profiler, SpanIsNoOpWithoutAmbientProfiler) {
+  ASSERT_EQ(ambient_profiler(), nullptr);
+  { const Span span("ignored"); }
+  Profiler profiler;
+  { const Span span("also_ignored"); }  // constructed before install
+  EXPECT_EQ(profiler.span_count(), 0u);
+  EXPECT_EQ(profiler.dropped(), 0u);
+}
+
+TEST(Profiler, RecordsNestedSpans) {
+  Profiler profiler;
+  {
+    const ScopedProfiler install(&profiler);
+    const Span outer("outer", 7);
+    { const Span inner("inner"); }
+    { const Span inner("inner"); }
+  }
+  EXPECT_EQ(profiler.span_count(), 3u);
+  const json::Value doc = json::Value::parse(profiler.chrome_trace_json());
+  EXPECT_EQ(span_names(doc), (std::set<std::string>{"inner", "outer"}));
+
+  // The outer span must contain both inner spans (ts/dur nesting is how
+  // Chrome reconstructs the hierarchy).
+  double outer_ts = -1.0, outer_end = -1.0;
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() != "X") continue;
+    if (event.at("name").as_string() == "outer") {
+      outer_ts = event.at("ts").as_number();
+      outer_end = outer_ts + event.at("dur").as_number();
+      EXPECT_DOUBLE_EQ(event.at("args").at("n").as_number(), 7.0);
+    }
+  }
+  ASSERT_GE(outer_ts, 0.0);
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() != "X") continue;
+    if (event.at("name").as_string() == "inner") {
+      EXPECT_GE(event.at("ts").as_number(), outer_ts);
+      EXPECT_LE(event.at("ts").as_number() + event.at("dur").as_number(),
+                outer_end);
+      EXPECT_EQ(event.at("args").find("n"), nullptr);  // no payload requested
+    }
+  }
+}
+
+TEST(Profiler, ScopedInstallRestoresPrevious) {
+  Profiler a;
+  Profiler b;
+  const ScopedProfiler install_a(&a);
+  EXPECT_EQ(ambient_profiler(), &a);
+  {
+    const ScopedProfiler install_b(&b);
+    EXPECT_EQ(ambient_profiler(), &b);
+    {
+      const ScopedProfiler uninstall(nullptr);
+      EXPECT_EQ(ambient_profiler(), nullptr);
+      const Span span("dropped_on_floor");
+    }
+    EXPECT_EQ(ambient_profiler(), &b);
+  }
+  EXPECT_EQ(ambient_profiler(), &a);
+  EXPECT_EQ(a.span_count(), 0u);
+  EXPECT_EQ(b.span_count(), 0u);
+}
+
+TEST(Profiler, RingOverwritesOldestAndCountsDrops) {
+  Profiler profiler(/*capacity_per_thread=*/4);
+  const ScopedProfiler install(&profiler);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const Span span("tick", i);
+  }
+  EXPECT_EQ(profiler.span_count(), 4u);
+  EXPECT_EQ(profiler.dropped(), 6u);
+
+  const json::Value doc = json::Value::parse(profiler.chrome_trace_json());
+  std::vector<double> kept_args;
+  bool saw_drop_marker = false;
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "X") {
+      kept_args.push_back(event.at("args").at("n").as_number());
+    } else if (event.at("name").as_string() == "qntn_dropped_spans") {
+      saw_drop_marker = true;
+      EXPECT_DOUBLE_EQ(event.at("args").at("count").as_number(), 6.0);
+    }
+  }
+  // The survivors are the newest four, in start order.
+  EXPECT_EQ(kept_args, (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+  EXPECT_TRUE(saw_drop_marker);
+}
+
+TEST(Profiler, NamesThreadsFromThreadLabels) {
+  Profiler profiler;
+  {
+    const ScopedProfiler install(&profiler);
+    const Span span("on_main");
+  }
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&profiler] {
+      const ScopedProfiler install(&profiler);
+      const Span span("on_worker");
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  const json::Value doc = json::Value::parse(profiler.chrome_trace_json());
+  std::set<std::string> thread_names;
+  bool saw_process_name = false;
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() != "M") continue;
+    const std::string name = event.at("name").as_string();
+    if (name == "thread_name") {
+      thread_names.insert(event.at("args").at("name").as_string());
+    } else if (name == "process_name") {
+      saw_process_name = true;
+      EXPECT_EQ(event.at("args").at("name").as_string(), "qntn");
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  ASSERT_TRUE(thread_names.count("main")) << "main thread unnamed";
+  // Both workers ran at least one of the eight tasks with high probability,
+  // but only the label format is guaranteed.
+  bool saw_worker = false;
+  for (const std::string& name : thread_names) {
+    if (name.rfind("worker-", 0) == 0) saw_worker = true;
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_EQ(profiler.span_count(), 9u);
+}
+
+TEST(Profiler, TraceDocumentShape) {
+  Profiler profiler;
+  {
+    const ScopedProfiler install(&profiler);
+    const Span span("one");
+  }
+  const std::string text = profiler.chrome_trace_json();
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  for (const json::Value& event : doc.at("traceEvents").items()) {
+    EXPECT_DOUBLE_EQ(event.at("pid").as_number(), 1.0);
+    EXPECT_TRUE(event.at("tid").is_number());
+  }
+}
+
+TEST(Profiler, WriteChromeTraceThrowsOnUnwritablePath) {
+  Profiler profiler;
+  EXPECT_THROW(profiler.write_chrome_trace("/nonexistent-dir/trace.json"),
+               Error);
+}
+
+}  // namespace
+}  // namespace qntn::obs

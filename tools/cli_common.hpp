@@ -9,6 +9,8 @@
 //   --metrics-out FILE   write the run's counters/stats as JSON
 //   --trace-out FILE     write the per-snapshot JSONL trace
 //   --trace-level L      off | snapshots | requests (default: requests)
+//   --profile-out FILE   write a Chrome trace-event span profile
+//                        (load in chrome://tracing or ui.perfetto.dev)
 //
 // Flags may be spelled `--key value` or `--key=value`; anything that does
 // not start with `--` stays positional. Unknown flags throw.
@@ -25,6 +27,7 @@
 #include "common/error.hpp"
 #include "core/config_io.hpp"
 #include "core/experiments.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -35,6 +38,7 @@ struct CommonOptions {
   std::optional<std::string> out;
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
+  std::optional<std::string> profile_out;
   obs::TraceLevel trace_level = obs::TraceLevel::Requests;
   std::optional<std::size_t> threads;
   std::optional<std::uint64_t> seed;
@@ -85,6 +89,8 @@ inline CommonOptions parse_common_flags(int argc, char** argv) {
       opts.metrics_out = take_value();
     } else if (arg == "--trace-out") {
       opts.trace_out = take_value();
+    } else if (arg == "--profile-out") {
+      opts.profile_out = take_value();
     } else if (arg == "--trace-level") {
       opts.trace_level = obs::trace_level_from(take_value());
     } else if (arg == "--threads") {
@@ -105,11 +111,13 @@ inline core::QntnConfig load_config(const CommonOptions& opts) {
 }
 
 /// Owning bundle behind a RunContext's observability pointers. Created
-/// whenever --metrics-out / --trace-out ask for output (a registry is also
-/// created for a trace-only run: traces and counters come from one run).
+/// whenever --metrics-out / --trace-out / --profile-out ask for output (a
+/// registry is also created for a trace-only run: traces and counters come
+/// from one run).
 struct ObsBundle {
   std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::Profiler> profiler;
 };
 
 inline ObsBundle make_obs(const CommonOptions& opts) {
@@ -120,6 +128,9 @@ inline ObsBundle make_obs(const CommonOptions& opts) {
   if (opts.trace_out.has_value()) {
     bundle.trace =
         std::make_unique<obs::TraceSink>(*opts.trace_out, opts.trace_level);
+  }
+  if (opts.profile_out.has_value()) {
+    bundle.profiler = std::make_unique<obs::Profiler>();
   }
   return bundle;
 }
@@ -134,6 +145,7 @@ inline core::RunContext make_run_context(const CommonOptions& opts,
   ctx.config = std::move(config);
   ctx.registry = bundle.registry.get();
   ctx.trace = bundle.trace.get();
+  ctx.profiler = bundle.profiler.get();
   ctx.seed = opts.seed;
   return ctx;
 }
@@ -144,6 +156,12 @@ inline void write_metrics(const CommonOptions& opts, const ObsBundle& bundle) {
   std::ofstream out(*opts.metrics_out);
   if (!out) throw qntn::Error("cannot write " + *opts.metrics_out);
   out << bundle.registry->snapshot().to_json();
+}
+
+/// Write the collected span profile to --profile-out, if requested.
+inline void write_profile(const CommonOptions& opts, const ObsBundle& bundle) {
+  if (!opts.profile_out.has_value() || bundle.profiler == nullptr) return;
+  bundle.profiler->write_chrome_trace(*opts.profile_out);
 }
 
 }  // namespace qntn::tools

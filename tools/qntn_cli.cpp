@@ -11,8 +11,9 @@
 //
 // Common flags (tools/cli_common.hpp): --config FILE, --out PATH,
 // --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
-// --trace-level off|snapshots|requests. A trailing positional argument is
-// still accepted as the config file (legacy spelling).
+// --trace-level off|snapshots|requests, --profile-out FILE. A trailing
+// positional argument is still accepted as the config file (legacy
+// spelling).
 
 #include <cstdio>
 #include <cstdlib>
@@ -150,7 +151,8 @@ int usage() {
       "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | "
       "traffic RATE | contacts N | sessions N>\n"
       "  [--config FILE] [--threads N] [--seed N] [--metrics-out FILE]\n"
-      "  [--trace-out FILE] [--trace-level off|snapshots|requests]\n",
+      "  [--trace-out FILE] [--trace-level off|snapshots|requests]\n"
+      "  [--profile-out FILE]\n",
       stderr);
   return 2;
 }
@@ -181,8 +183,10 @@ int main(int argc, char** argv) {
     const core::RunContext ctx =
         tools::make_run_context(opts, bundle, tools::load_config(opts));
     // Ambient for the commands below run_scenario's reach (contact-plan
-    // compilation, traffic): their counters land in --metrics-out too.
+    // compilation, traffic): their counters land in --metrics-out and
+    // their spans in --profile-out too.
     const obs::ScopedRegistry ambient(bundle.registry.get());
+    const obs::ScopedProfiler profiling(bundle.profiler.get());
 
     int rc = -1;
     if (command == "air") {
@@ -202,6 +206,7 @@ int main(int argc, char** argv) {
     }
     if (rc < 0) return usage();
     tools::write_metrics(opts, bundle);
+    tools::write_profile(opts, bundle);
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,20 +6,27 @@
 //   qntn_report [out-dir]        full report (legacy: out-dir config-file)
 //   qntn_report metrics [N]      run space-ground at N satellites (default
 //                                54) and print the collected counters/stats
+//   qntn_report bench-compare <baseline.json> <current.json>
+//                                gate current BENCH_*.json results against a
+//                                baseline; exit 1 on regression
+//   qntn_report bench-compare --check-schema <file.json>...
+//                                validate files against the bench schema
 //
 // Common flags (tools/cli_common.hpp): --config FILE, --out PATH,
 // --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
-// --trace-level off|snapshots|requests.
+// --trace-level off|snapshots|requests, --profile-out FILE.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli_common.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/perf_report.hpp"
 
 namespace {
 
@@ -44,10 +51,15 @@ int cmd_metrics(const tools::CommonOptions& opts) {
   if (opts.trace_out.has_value()) {
     trace = std::make_unique<obs::TraceSink>(*opts.trace_out, opts.trace_level);
   }
+  std::unique_ptr<obs::Profiler> profiler;
+  if (opts.profile_out.has_value()) {
+    profiler = std::make_unique<obs::Profiler>();
+  }
   core::RunContext ctx;
   ctx.config = tools::load_config(opts);
   ctx.registry = &registry;
   ctx.trace = trace.get();
+  ctx.profiler = profiler.get();
   ctx.seed = opts.seed;
 
   const core::ArchitectureMetrics m = core::evaluate_space_ground(ctx, n);
@@ -79,6 +91,109 @@ int cmd_metrics(const tools::CommonOptions& opts) {
     out << snapshot.to_json();
     std::printf("\nwrote %s\n", opts.metrics_out->c_str());
   }
+  if (profiler != nullptr) {
+    profiler->write_chrome_trace(*opts.profile_out);
+    std::printf("wrote %s\n", opts.profile_out->c_str());
+  }
+  return 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw qntn::Error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `qntn_report bench-compare`: the perf regression gate. Parses its own
+/// argv tail (its flags are not the common tool flags). Exit codes: 0 = no
+/// regression / all schemas valid, 1 = regression or invalid schema, 2 =
+/// usage error.
+int cmd_bench_compare(const std::vector<std::string>& args) {
+  const auto usage = []() {
+    std::fputs(
+        "usage: qntn_report bench-compare <baseline.json> <current.json>\n"
+        "         [--threshold FRAC] [--mad-factor X] [--min-ms MS]\n"
+        "       qntn_report bench-compare --check-schema <file.json>...\n",
+        stderr);
+    return 2;
+  };
+
+  bool check_schema = false;
+  obs::BenchCompareOptions options;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto take_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw qntn::Error("missing value for " + arg);
+      return args[++i];
+    };
+    if (arg == "--check-schema") {
+      check_schema = true;
+    } else if (arg == "--threshold") {
+      options.threshold = std::stod(take_value());
+    } else if (arg == "--mad-factor") {
+      options.mad_factor = std::stod(take_value());
+    } else if (arg == "--min-ms") {
+      options.min_ms = std::stod(take_value());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown bench-compare flag %s\n",
+                   arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (check_schema) {
+    if (files.empty()) return usage();
+    bool ok = true;
+    for (const std::string& file : files) {
+      try {
+        const obs::BenchReport report = obs::parse_bench_report(read_file(file));
+        std::printf("%s: ok (%s, %zu cases)\n", file.c_str(),
+                    report.bench.c_str(), report.cases.size());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", file.c_str(), e.what());
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (files.size() != 2) return usage();
+  const obs::BenchReport baseline = obs::parse_bench_report(read_file(files[0]));
+  const obs::BenchReport current = obs::parse_bench_report(read_file(files[1]));
+  const obs::BenchComparison comparison =
+      obs::compare_bench_reports(baseline, current, options);
+
+  Table table("bench-compare: " + baseline.bench);
+  table.set_header({"case", "base_ms", "new_ms", "ratio", "verdict"});
+  for (const obs::BenchCaseDelta& d : comparison.deltas) {
+    const char* verdict = d.regressed   ? "REGRESSED"
+                          : d.improved  ? "improved"
+                                        : "ok";
+    table.add_row({d.name, Table::num(d.base_ms, 4), Table::num(d.new_ms, 4),
+                   Table::num(d.ratio, 3), verdict});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  for (const std::string& name : comparison.only_base) {
+    std::fprintf(stderr, "warning: case \"%s\" only in baseline\n",
+                 name.c_str());
+  }
+  for (const std::string& name : comparison.only_current) {
+    std::fprintf(stderr, "warning: case \"%s\" only in current\n",
+                 name.c_str());
+  }
+  if (comparison.regressed()) {
+    std::fprintf(stderr,
+                 "bench-compare: regression beyond %.0f %% threshold\n",
+                 100.0 * options.threshold);
+    return 1;
+  }
+  std::printf("bench-compare: no regression (threshold %.0f %%)\n",
+              100.0 * options.threshold);
   return 0;
 }
 
@@ -151,6 +266,7 @@ int cmd_report(const tools::CommonOptions& opts) {
   write(out_dir / "REPORT.md", md.str());
 
   tools::write_metrics(opts, bundle);
+  tools::write_profile(opts, bundle);
   std::printf("done: %s/REPORT.md\n", out_dir.string().c_str());
   return 0;
 }
@@ -159,6 +275,10 @@ int cmd_report(const tools::CommonOptions& opts) {
 
 int main(int argc, char** argv) {
   try {
+    // bench-compare owns its argv tail (its flags are not the common set).
+    if (argc >= 2 && std::string(argv[1]) == "bench-compare") {
+      return cmd_bench_compare(std::vector<std::string>(argv + 2, argv + argc));
+    }
     tools::CommonOptions opts = tools::parse_common_flags(argc, argv);
     // Legacy spelling: `qntn_report out-dir config-file`.
     if (!opts.config_path.has_value() && opts.positional.size() >= 2 &&

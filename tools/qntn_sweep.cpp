@@ -6,7 +6,7 @@
 // Usage: qntn_sweep [n_sats ...]   (default: 36 72 108)
 // Common flags (tools/cli_common.hpp): --config FILE, --out PATH (CSV),
 // --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
-// --trace-level off|snapshots|requests.
+// --trace-level off|snapshots|requests, --profile-out FILE.
 
 #include <cstdio>
 #include <vector>
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
 
     if (opts.out.has_value()) table.write_csv(*opts.out);
     tools::write_metrics(opts, bundle);
+    tools::write_profile(opts, bundle);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
