@@ -1,0 +1,101 @@
+// Parallel snapshot engine vs the serial seed path on the paper's daily
+// scenario (coverage every 30 s plus 100 request snapshots): end-to-end
+// evaluate_space_ground timings — model build and contact-plan compile
+// included — for the per-step rebuild without a pool (the historical seed
+// configuration), the epoch-partitioned contact plan without a pool, and
+// the contact plan driving the engine at 2 and 8 threads. The engine is
+// required to be bitwise deterministic: the run exits non-zero if any
+// threaded case disagrees with the serial contact-plan case on any metric.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/experiments.hpp"
+#include "perf_harness.hpp"
+
+namespace {
+
+using namespace qntn;
+
+bool same_metrics(const core::ArchitectureMetrics& a,
+                  const core::ArchitectureMetrics& b) {
+  return a.coverage_percent == b.coverage_percent &&
+         a.served_percent == b.served_percent &&
+         a.mean_fidelity == b.mean_fidelity &&
+         a.mean_transmissivity == b.mean_transmissivity &&
+         a.mean_hops == b.mean_hops && a.requests_issued == b.requests_issued &&
+         a.requests_served == b.requests_served &&
+         a.requests_no_path == b.requests_no_path &&
+         a.requests_isolated == b.requests_isolated &&
+         a.handovers == b.handovers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("parallel_sim", argc, argv);
+    const std::vector<std::size_t> sizes =
+        harness.smoke() ? std::vector<std::size_t>{36}
+                        : std::vector<std::size_t>{36, 108};
+
+    bool deterministic = true;
+    for (const std::size_t n : sizes) {
+      const std::string suffix = "_n" + std::to_string(n);
+
+      core::QntnConfig config;
+      const auto day_steps = static_cast<std::uint64_t>(config.day_duration /
+                                                        config.ephemeris_step);
+
+      core::ArchitectureMetrics seed_metrics;
+      config.topology_mode = core::TopologyMode::Rebuild;
+      const double seed_ms =
+          harness.run_case("serial_seed" + suffix, day_steps, [&] {
+            seed_metrics = core::evaluate_space_ground(config, n);
+          });
+
+      config.topology_mode = core::TopologyMode::ContactPlan;
+      core::ArchitectureMetrics plan_metrics;
+      const double plan_ms =
+          harness.run_case("plan_serial" + suffix, day_steps, [&] {
+            plan_metrics = core::evaluate_space_ground(config, n);
+          });
+
+      std::vector<double> parallel_ms;
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        ThreadPool pool(threads);
+        core::RunContext ctx{config};
+        ctx.pool = &pool;
+        core::ArchitectureMetrics threaded;
+        parallel_ms.push_back(harness.run_case(
+            "plan_parallel_t" + std::to_string(threads) + suffix, day_steps,
+            [&] { threaded = core::evaluate_space_ground(ctx, n); }));
+        const bool match = same_metrics(plan_metrics, threaded);
+        std::printf("n=%zu t=%zu vs serial plan: metrics %s\n", n, threads,
+                    match ? "identical" : "MISMATCH");
+        if (!match) deterministic = false;
+      }
+
+      std::printf(
+          "n=%zu: plan-serial %.2fx, 2 threads %.2fx, 8 threads %.2fx vs "
+          "serial seed path\n",
+          n, plan_ms > 0.0 ? seed_ms / plan_ms : 0.0,
+          parallel_ms[0] > 0.0 ? seed_ms / parallel_ms[0] : 0.0,
+          parallel_ms[1] > 0.0 ? seed_ms / parallel_ms[1] : 0.0);
+      (void)seed_metrics;
+    }
+
+    const int rc = harness.finish();
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "error: parallel engine metrics differ from serial\n");
+      return 1;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -70,4 +70,27 @@ void parallel_for_index(ThreadPool& pool, std::size_t count,
   for (std::future<void>& f : futures) f.get();
 }
 
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t count, std::size_t max_chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  // More chunks than hardware threads only adds scheduling churn: each
+  // chunk is uniform work, so extra fan-out cannot rebalance anything (on a
+  // single-core host it degenerates gracefully to one serial chunk). The
+  // result is chunk-count independent either way — callers merge in index
+  // order.
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t chunks =
+      std::clamp<std::size_t>(std::min(max_chunks, hardware), 1, count);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * count / chunks;
+    const std::size_t end = (c + 1) * count / chunks;
+    futures.push_back(pool.submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
 }  // namespace qntn

@@ -59,4 +59,16 @@ class ThreadPool {
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& fn);
 
+/// Run fn(begin, end) over at most max_chunks contiguous ranges covering
+/// [0, count); blocks until all complete. Contiguity is the point: the
+/// snapshot engine hands each worker a run of consecutive time steps so
+/// per-epoch caches (graph skeleton, route trees) stay hot within a chunk.
+/// The fan-out is additionally capped at the hardware thread count —
+/// results never depend on the chunk count (callers merge in index order),
+/// so oversubscribing a small machine would only add scheduling churn.
+/// Exceptions from tasks are rethrown (the first one encountered).
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         std::size_t max_chunks,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace qntn

@@ -122,6 +122,8 @@ std::string serialize_config(const QntnConfig& config) {
      << "lan_topology = " << topology_name(config.lan_topology) << '\n'
      << "weather = " << weather_name(config.weather) << '\n'
      << "topology_mode = " << topology_mode_name(config.topology_mode) << '\n'
+     << "parallel_snapshots = "
+     << (config.parallel_snapshots ? "true" : "false") << '\n'
      << "contact_sample_tolerance = " << config.contact_sample_tolerance << '\n'
      << "contact_max_elevation_rate = " << config.contact_max_elevation_rate
      << '\n'
@@ -208,6 +210,8 @@ QntnConfig parse_config(const std::string& text) {
            [&](const std::string& v) { config.weather = weather_from(v); }},
           {"topology_mode",
            [&](const std::string& v) { config.topology_mode = topology_mode_from(v); }},
+          {"parallel_snapshots",
+           [&](const std::string& v) { config.parallel_snapshots = as_bool(v); }},
           {"contact_sample_tolerance",
            [&](const std::string& v) { config.contact_sample_tolerance = as_double(v); }},
           {"contact_max_elevation_rate",

@@ -55,6 +55,7 @@ sim::ScenarioConfig RunContext::scenario_config() const {
   sc.registry = registry;
   sc.trace = trace;
   sc.profiler = profiler;
+  sc.pool = config.parallel_snapshots ? pool : nullptr;
   if (seed.has_value()) sc.request_seed = *seed;
   return sc;
 }
@@ -126,19 +127,24 @@ ArchitectureMetrics evaluate_space_ground(const QntnConfig& config,
 std::vector<ArchitectureMetrics> space_ground_sweep(
     const RunContext& ctx, const std::vector<std::size_t>& sizes) {
   RunContext point_ctx = ctx;
-  point_ctx.pool = nullptr;
   // Concurrent evaluations would interleave their JSONL streams; only a
   // single-size "sweep" keeps the trace.
   if (sizes.size() > 1) point_ctx.trace = nullptr;
   const obs::ScopedProfiler profiling(ctx.profiler);
   const obs::Span span("core.sweep", sizes.size());
   std::vector<ArchitectureMetrics> out(sizes.size());
-  if (ctx.pool == nullptr) {
+  if (ctx.pool == nullptr || sizes.size() <= 1) {
+    // Sizes run serially on this thread; each evaluation keeps ctx.pool so
+    // run_scenario's snapshot engine can use it.
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       out[i] = evaluate_space_ground(point_ctx, sizes[i]);
     }
     return out;
   }
+  // Fan out across sizes instead: the inner evaluations run on pool workers
+  // and must not re-enter the pool (a nested blocking fan-out from a worker
+  // can deadlock), so they get no pool of their own.
+  point_ctx.pool = nullptr;
   parallel_for_index(*ctx.pool, sizes.size(), [&](std::size_t i) {
     out[i] = evaluate_space_ground(point_ctx, sizes[i]);
   });

@@ -77,8 +77,10 @@ struct ArchitectureMetrics {
 /// be nullptr.
 struct RunContext {
   QntnConfig config{};
-  /// Parallelises space_ground_sweep across constellation sizes; single
-  /// evaluations ignore it. nullptr = run serially.
+  /// Parallelises space_ground_sweep across constellation sizes; for single
+  /// evaluations (and single-size sweeps) it is handed to run_scenario's
+  /// parallel snapshot engine instead, unless config.parallel_snapshots is
+  /// off. nullptr = run serially.
   ThreadPool* pool = nullptr;
   /// Metrics registry, installed as the ambient registry for the duration
   /// of each evaluation (so routing/topology layers report into it).

@@ -67,6 +67,12 @@ struct QntnConfig {
 
   // --- Contact-plan control plane (plan/, DESIGN.md §2). ---
   TopologyMode topology_mode = TopologyMode::Rebuild;
+  /// Let evaluations hand their RunContext pool to run_scenario's parallel
+  /// snapshot engine (DESIGN.md §9). The engine additionally requires an
+  /// epoch-partitioned provider (topology_mode = ContactPlan), is bitwise
+  /// deterministic, and off it falls back to the serial loop; this switch
+  /// exists for A/B timing and as an escape hatch.
+  bool parallel_snapshots = true;
   /// Compression tolerance on cached window transmissivities (see
   /// plan::ContactPlanOptions::sample_tolerance).
   double contact_sample_tolerance = 1.0e-4;

@@ -25,14 +25,19 @@ Vec3 ecef_to_eci(const Vec3& ecef, double gmst) {
   return {c * ecef.x - s * ecef.y, s * ecef.x + c * ecef.y, ecef.z};
 }
 
-AzElRange look_angles(const Geodetic& site, const Vec3& target, EarthModel model) {
-  const Vec3 obs = geodetic_to_ecef(site, model);
-  const Vec3 d = target - obs;
+TopocentricFrame::TopocentricFrame(const Geodetic& site, EarthModel model)
+    : origin(geodetic_to_ecef(site, model)),
+      sin_lat(std::sin(site.latitude)),
+      cos_lat(std::cos(site.latitude)),
+      sin_lon(std::sin(site.longitude)),
+      cos_lon(std::cos(site.longitude)) {}
 
-  const double slat = std::sin(site.latitude);
-  const double clat = std::cos(site.latitude);
-  const double slon = std::sin(site.longitude);
-  const double clon = std::cos(site.longitude);
+AzElRange look_angles(const TopocentricFrame& frame, const Vec3& target) {
+  const Vec3 d = target - frame.origin;
+  const double slat = frame.sin_lat;
+  const double clat = frame.cos_lat;
+  const double slon = frame.sin_lon;
+  const double clon = frame.cos_lon;
 
   // ENU basis expressed in ECEF.
   const double east = -slon * d.x + clon * d.y;
@@ -46,14 +51,22 @@ AzElRange look_angles(const Geodetic& site, const Vec3& target, EarthModel model
   return out;
 }
 
-bool line_of_sight(const Vec3& a, const Vec3& b, double clearance_radius) {
+AzElRange look_angles(const Geodetic& site, const Vec3& target, EarthModel model) {
+  return look_angles(TopocentricFrame(site, model), target);
+}
+
+double geocentre_clearance(const Vec3& a, const Vec3& b) {
   // Closest approach of segment ab to the geocentre.
   const Vec3 ab = b - a;
   const double len_sq = ab.norm_sq();
   double t = len_sq > 0.0 ? -a.dot(ab) / len_sq : 0.0;
   t = std::clamp(t, 0.0, 1.0);
   const Vec3 closest = a + t * ab;
-  return closest.norm() >= clearance_radius;
+  return closest.norm();
+}
+
+bool line_of_sight(const Vec3& a, const Vec3& b, double clearance_radius) {
+  return geocentre_clearance(a, b) >= clearance_radius;
 }
 
 }  // namespace qntn::geo

@@ -40,6 +40,36 @@ struct AzElRange {
 [[nodiscard]] AzElRange look_angles(const Geodetic& site, const Vec3& target,
                                     EarthModel model = EarthModel::Wgs84);
 
+/// Precomputed ENU frame of a fixed observer: its ECEF position plus the
+/// latitude/longitude sines and cosines that define the basis. Sweeps that
+/// evaluate one site against many target positions (pass prediction, the
+/// contact-plan compiler) hoist this out of the inner loop; the per-site
+/// trigonometry is otherwise recomputed on every look_angles call. Results
+/// are bit-identical to the Geodetic overload, which delegates here.
+struct TopocentricFrame {
+  explicit TopocentricFrame(const Geodetic& site,
+                            EarthModel model = EarthModel::Wgs84);
+
+  Vec3 origin;        ///< site position, ECEF [m]
+  double sin_lat = 0.0;
+  double cos_lat = 0.0;
+  double sin_lon = 0.0;
+  double cos_lon = 0.0;
+};
+
+/// Az/el/range from a precomputed observer frame to a target at ECEF
+/// `target`. Bit-identical to look_angles(site, target) for the frame's
+/// site.
+[[nodiscard]] AzElRange look_angles(const TopocentricFrame& frame,
+                                    const Vec3& target);
+
+/// Closest-approach distance [m] of the straight segment between two ECEF
+/// points to the geocentre. Because each endpoint moves no faster than its
+/// platform, this distance is Lipschitz in time with the same speed bound —
+/// scans use the slack above a blockage radius to hop grid points that
+/// provably cannot lose line of sight.
+[[nodiscard]] double geocentre_clearance(const Vec3& a, const Vec3& b);
+
 /// True if the straight segment between two ECEF points clears a sphere of
 /// radius `clearance_radius` centred at the geocentre (Earth-obstruction
 /// test for inter-satellite links; pass kEarthRadius + grazing altitude).

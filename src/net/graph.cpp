@@ -22,6 +22,32 @@ void Graph::add_edge(NodeId a, NodeId b, double transmissivity) {
   edges_.push_back({a, b, transmissivity});
   adjacency_[a].push_back({b, transmissivity});
   adjacency_[b].push_back({a, transmissivity});
+  edge_slots_.emplace_back(adjacency_[a].size() - 1, adjacency_[b].size() - 1);
+}
+
+void Graph::set_edge_transmissivity(std::size_t edge_index,
+                                    double transmissivity) {
+  QNTN_REQUIRE(edge_index < edges_.size(), "edge index out of range");
+  QNTN_REQUIRE(transmissivity >= 0.0 && transmissivity <= 1.0,
+               "transmissivity must be in [0, 1]");
+  Edge& edge = edges_[edge_index];
+  edge.transmissivity = transmissivity;
+  const auto [slot_a, slot_b] = edge_slots_[edge_index];
+  adjacency_[edge.a][slot_a].transmissivity = transmissivity;
+  adjacency_[edge.b][slot_b].transmissivity = transmissivity;
+}
+
+void Graph::truncate_edges(std::size_t count) {
+  QNTN_REQUIRE(count <= edges_.size(), "truncate count exceeds edge count");
+  // Removing in reverse add order keeps every victim's half-edges at the
+  // tails of their adjacency lists, so each removal is two pop_backs.
+  while (edges_.size() > count) {
+    const Edge& edge = edges_.back();
+    adjacency_[edge.a].pop_back();
+    adjacency_[edge.b].pop_back();
+    edges_.pop_back();
+    edge_slots_.pop_back();
+  }
 }
 
 bool Graph::connected(NodeId u, NodeId v) const {

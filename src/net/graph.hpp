@@ -37,6 +37,20 @@ class Graph {
   /// relaxation opportunities); self-loops are rejected.
   void add_edge(NodeId a, NodeId b, double transmissivity);
 
+  /// Re-weight an existing edge in place (edge list and both adjacency
+  /// entries), keeping the graph structure untouched. This is the epoch
+  /// snapshot fast path: within one contact-plan epoch the edge *set* is
+  /// fixed and only transmissivities vary, so a per-epoch skeleton graph is
+  /// refreshed with zero allocation. Preconditions as add_edge.
+  void set_edge_transmissivity(std::size_t edge_index, double transmissivity);
+
+  /// Drop every edge with index >= count (the most recently added ones),
+  /// keeping nodes and the first `count` edges untouched. With add_edge
+  /// this makes the graph a reusable skeleton + tail: the epoch snapshot
+  /// engine truncates back to the static skeleton and re-appends the new
+  /// epoch's dynamic edges, reusing all adjacency storage.
+  void truncate_edges(std::size_t count);
+
   [[nodiscard]] std::size_t node_count() const { return names_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
   [[nodiscard]] const std::string& name(NodeId id) const { return names_[id]; }
@@ -55,6 +69,9 @@ class Graph {
   std::vector<std::string> names_;
   std::vector<Edge> edges_;
   std::vector<std::vector<Adjacency>> adjacency_;
+  /// Per edge: its slot in adjacency_[a] and adjacency_[b], so re-weighting
+  /// is O(1) instead of an adjacency scan.
+  std::vector<std::pair<std::size_t, std::size_t>> edge_slots_;
 };
 
 }  // namespace qntn::net

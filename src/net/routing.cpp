@@ -139,21 +139,34 @@ std::optional<Route> DistanceVectorRouter::route(NodeId src, NodeId dst) const {
   return out;
 }
 
+void compute_edge_costs(const Graph& graph, CostMetric metric,
+                        std::vector<double>& out) {
+  out.clear();
+  out.reserve(graph.edge_count());
+  for (const Edge& e : graph.edges()) {
+    out.push_back(edge_cost(e.transmissivity, metric));
+  }
+}
+
 ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
-                                   CostMetric metric) {
+                                   const std::vector<double>& edge_costs) {
   QNTN_REQUIRE(src < graph.node_count(), "source out of range");
+  QNTN_REQUIRE(edge_costs.size() == graph.edge_count(),
+               "edge cost buffer does not match the graph");
   obs::count("net.bf_trees");
   const obs::Span span("net.bf_tree", graph.node_count());
   const std::size_t n = graph.node_count();
   ShortestPathTree tree{std::vector<double>(n, kInf),
                         std::vector<std::optional<NodeId>>(n)};
   tree.cost[src] = 0.0;
+  const std::vector<Edge>& edges = graph.edges();
   std::size_t rounds = 0;
   for (std::size_t round = 0; round + 1 < n; ++round) {
     ++rounds;
     bool changed = false;
-    for (const Edge& e : graph.edges()) {
-      const double c = edge_cost(e.transmissivity, metric);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const Edge& e = edges[i];
+      const double c = edge_costs[i];
       if (tree.cost[e.a] + c < tree.cost[e.b]) {
         tree.cost[e.b] = tree.cost[e.a] + c;
         tree.previous[e.b] = e.a;
@@ -169,6 +182,16 @@ ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
   }
   obs::count("net.bf_rounds", rounds);
   return tree;
+}
+
+ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
+                                   CostMetric metric) {
+  // Price every edge once up front: edge_cost is pure in (eta, metric), so
+  // hoisting it out of the relaxation rounds (where it used to run per edge
+  // per round — a std::log for NegLogEta) changes no result bit.
+  std::vector<double> costs;
+  compute_edge_costs(graph, metric, costs);
+  return bellman_ford_tree(graph, src, costs);
 }
 
 std::optional<Route> route_from_tree(const Graph& graph,

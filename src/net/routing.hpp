@@ -30,6 +30,20 @@ enum class CostMetric {
 /// Edge cost under a metric.
 [[nodiscard]] double edge_cost(double transmissivity, CostMetric metric);
 
+/// True when the metric's edge cost does not depend on the transmissivity
+/// (HopCount): shortest-path trees over one edge *set* can then be cached
+/// across snapshots that only re-weight edges (the per-epoch route cache).
+[[nodiscard]] constexpr bool metric_is_eta_independent(CostMetric metric) {
+  return metric == CostMetric::HopCount;
+}
+
+/// Cost of every edge of `graph` under `metric`, parallel to graph.edges().
+/// Appends into `out` (cleared first) so serving loops reuse one scratch
+/// buffer instead of re-running edge_cost — a std::log per edge for
+/// NegLogEta — inside every Bellman-Ford round.
+void compute_edge_costs(const Graph& graph, CostMetric metric,
+                        std::vector<double>& out);
+
 /// A resolved route.
 struct Route {
   std::vector<NodeId> path;     ///< node sequence, source first
@@ -81,6 +95,13 @@ struct ShortestPathTree {
 };
 [[nodiscard]] ShortestPathTree bellman_ford_tree(const Graph& graph, NodeId src,
                                                  CostMetric metric);
+
+/// Same relaxation with caller-precomputed edge costs (parallel to
+/// graph.edges(), e.g. from compute_edge_costs). Lets a serving loop price
+/// the snapshot's edges once and amortise the cost across every source's
+/// tree instead of re-deriving them per tree per round.
+[[nodiscard]] ShortestPathTree bellman_ford_tree(
+    const Graph& graph, NodeId src, const std::vector<double>& edge_costs);
 
 /// Dijkstra with a binary heap on the same metrics (costs are non-negative
 /// for every metric above, so it applies). Oracle/baseline for tests and

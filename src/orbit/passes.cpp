@@ -9,15 +9,16 @@ namespace qntn::orbit {
 
 namespace {
 
-double elevation_at(const Ephemeris& ephemeris, const geo::Geodetic& site,
-                    double t) {
+double elevation_at(const Ephemeris& ephemeris,
+                    const geo::TopocentricFrame& site, double t) {
   return geo::look_angles(site, ephemeris.position_ecef(t)).elevation;
 }
 
 /// Bisect the elevation-mask crossing within [lo, hi]; `rising` selects the
 /// crossing direction. Preconditions: the crossing is bracketed.
-double refine_crossing(const Ephemeris& ephemeris, const geo::Geodetic& site,
-                       double mask, double lo, double hi, bool rising) {
+double refine_crossing(const Ephemeris& ephemeris,
+                       const geo::TopocentricFrame& site, double mask,
+                       double lo, double hi, bool rising) {
   for (int iter = 0; iter < 40; ++iter) {
     const double mid = 0.5 * (lo + hi);
     const bool above = elevation_at(ephemeris, site, mid) >= mask;
@@ -34,9 +35,13 @@ double refine_crossing(const Ephemeris& ephemeris, const geo::Geodetic& site,
 }  // namespace
 
 std::vector<Pass> find_passes(const Ephemeris& ephemeris,
-                              const geo::Geodetic& site, double duration,
-                              double min_elevation, double step) {
+                              const geo::Geodetic& site_geodetic,
+                              double duration, double min_elevation,
+                              double step) {
   QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
+  // Hoist the site's ENU frame out of the scan: every elevation sample
+  // otherwise re-derives the site ECEF position and basis trigonometry.
+  const geo::TopocentricFrame site(site_geodetic);
   std::vector<Pass> passes;
   bool in_pass = elevation_at(ephemeris, site, 0.0) >= min_elevation;
   Pass current;
@@ -78,13 +83,14 @@ std::vector<Pass> find_passes(const Ephemeris& ephemeris,
 }
 
 std::vector<Pass> find_passes_adaptive(const Ephemeris& ephemeris,
-                                       const geo::Geodetic& site,
+                                       const geo::Geodetic& site_geodetic,
                                        double duration, double min_elevation,
                                        double step, double max_elevation_rate) {
   QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration/step must be positive");
   if (max_elevation_rate <= 0.0) {
-    return find_passes(ephemeris, site, duration, min_elevation, step);
+    return find_passes(ephemeris, site_geodetic, duration, min_elevation, step);
   }
+  const geo::TopocentricFrame site(site_geodetic);
   std::vector<Pass> passes;
   double elevation = elevation_at(ephemeris, site, 0.0);
   bool in_pass = elevation >= min_elevation;

@@ -17,9 +17,11 @@ namespace {
 
 /// Bisect a boolean linkability predicate's flip inside [lo, hi] (predicate
 /// differs at the ends) to ~1 ms, mirroring orbit/passes' crossing
-/// refinement.
-double refine_flip(const std::function<bool(double)>& linkable, double lo,
-                   double hi, bool rising) {
+/// refinement. Templated on the predicate: these run hundreds of thousands
+/// of times per compile, and a std::function hop per sample is measurable.
+template <class Linkable>
+double refine_flip(const Linkable& linkable, double lo, double hi,
+                   bool rising) {
   for (int iter = 0; iter < 40; ++iter) {
     const double mid = 0.5 * (lo + hi);
     if (linkable(mid) == rising) {
@@ -85,8 +87,9 @@ void compress_polyline(std::vector<double>& times, std::vector<double>& etas,
 /// interpolation matches the midpoint within tol (spans longer than
 /// `always_split` are split unconditionally so symmetric oscillations
 /// cannot fool the midpoint test) or the span falls below `min_dt`.
-void sample_adaptive(const std::function<double(double)>& eta, double t0,
-                     double e0, double t1, double e1, double tol, double min_dt,
+template <class Eta>
+void sample_adaptive(const Eta& eta, double t0, double e0, double t1,
+                     double e1, double tol, double min_dt,
                      double always_split, std::vector<double>& times,
                      std::vector<double>& etas) {
   const double span = t1 - t0;
@@ -111,10 +114,33 @@ struct Compiler {
   const ContactPlanOptions& options;
   const sim::TopologyBuilder builder;
   std::vector<ContactWindow> windows;
+  /// Lazily filled ECEF positions of each satellite at the global scan
+  /// grid times k*step: every site and every pairing scans the same grid,
+  /// so one table per satellite replaces the redundant position_ecef calls
+  /// (hundreds per grid point at paper sizes). Entries are exactly
+  /// position_ecef(k*step), keeping every scan bit-identical.
+  std::vector<std::vector<Vec3>> grid_pos;
 
   Compiler(const sim::NetworkModel& m, const sim::LinkPolicy& p,
            const ContactPlanOptions& o)
-      : model(m), policy(p), options(o), builder(m, p) {}
+      : model(m), policy(p), options(o), builder(m, p),
+        grid_pos(m.node_count()) {}
+
+  [[nodiscard]] const std::vector<Vec3>& grid_positions(net::NodeId sat_id) {
+    std::vector<Vec3>& cache = grid_pos[sat_id];
+    if (cache.empty()) {
+      const orbit::Ephemeris& eph = model.ephemeris(sat_id);
+      const auto count = static_cast<std::size_t>(std::floor(
+                             options.horizon / options.step + 1e-9)) +
+                         1;
+      cache.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        cache.push_back(
+            eph.position_ecef(static_cast<double>(k) * options.step));
+      }
+    }
+    return cache;
+  }
 
   /// Append a window for pair (a, b) spanning [start, end) with the given
   /// sampled profile (compressed in place).
@@ -137,24 +163,41 @@ struct Compiler {
   /// within each pass on the scan grid, boundaries refined by bisection.
   void compile_site_satellite(net::NodeId site_id, net::NodeId sat_id,
                               const channel::FsoLinkEvaluator& evaluator) {
+    const std::vector<orbit::Pass> passes = orbit::find_passes_adaptive(
+        model.ephemeris(sat_id), model.node(site_id).position,
+        options.horizon, policy.elevation_mask, options.step,
+        options.max_elevation_rate);
+    compile_site_within(site_id, sat_id, evaluator, passes);
+  }
+
+  /// Windows of one site against one satellite, scanning only inside the
+  /// given candidate passes. The candidates must cover every instant the
+  /// site can see the satellite above the elevation mask; they may be wider
+  /// (the grid classification below re-checks the mask per sample, exactly
+  /// as the per-step rebuild does). This is how one widened-mask pass
+  /// search is shared across a whole LAN of near-colocated sites.
+  void compile_site_within(net::NodeId site_id, net::NodeId sat_id,
+                           const channel::FsoLinkEvaluator& evaluator,
+                           const std::vector<orbit::Pass>& passes) {
     const geo::Geodetic& site = model.node(site_id).position;
+    // One ENU frame per site/satellite sweep; the scan and the boundary
+    // bisections evaluate it millions of times per compile.
+    const geo::TopocentricFrame frame(site);
     const orbit::Ephemeris& eph = model.ephemeris(sat_id);
     const double threshold = policy.transmissivity_threshold;
     const double step = options.step;
 
     const auto eta_at = [&](double t) {
-      const geo::AzElRange look = geo::look_angles(site, eph.position_ecef(t));
+      const geo::AzElRange look = geo::look_angles(frame, eph.position_ecef(t));
       return evaluator.symmetric(look.range, look.elevation);
     };
     const auto linkable = [&](double t) {
-      const geo::AzElRange look = geo::look_angles(site, eph.position_ecef(t));
+      const geo::AzElRange look = geo::look_angles(frame, eph.position_ecef(t));
       return look.elevation >= policy.elevation_mask &&
              evaluator.symmetric(look.range, look.elevation) >= threshold;
     };
 
-    const std::vector<orbit::Pass> passes = orbit::find_passes_adaptive(
-        eph, site, options.horizon, policy.elevation_mask, step,
-        options.max_elevation_rate);
+    const std::vector<Vec3>& sat_grid = grid_positions(sat_id);
     for (const orbit::Pass& pass : passes) {
       // Grid points inside the pass (nudged so a boundary exactly on the
       // grid still counts as inside).
@@ -183,8 +226,14 @@ struct Compiler {
       double prev_t = pass.aos;
       for (std::size_t k = k_lo; k <= k_hi; ++k) {
         const double t = static_cast<double>(k) * step;
-        const double eta = eta_at(t);
-        const bool above = eta >= threshold;
+        // Mask first, budget second — the same predicate the per-step
+        // rebuild applies, so a candidate grid point below the site's own
+        // mask can never open a window.
+        const geo::AzElRange look = geo::look_angles(frame, sat_grid[k]);
+        const bool visible = look.elevation >= policy.elevation_mask;
+        const double eta =
+            visible ? evaluator.symmetric(look.range, look.elevation) : 0.0;
+        const bool above = visible && eta >= threshold;
         if (above && !in_window) {
           in_window = true;
           times.clear();
@@ -224,9 +273,19 @@ struct Compiler {
   /// is monotone decreasing in range for the focused beam, pinned by
   /// tests), so the scan is pure geometry; transmissivities are sampled
   /// adaptively only inside windows.
+  ///
+  /// `min_radius` is a lower bound on both endpoints' geocentric radii over
+  /// the whole horizon (min ephemeris sample radius, deflated for the
+  /// interpolation sagitta). Any segment shorter than the chord of the
+  /// min-radius sphere tangent to the blockage sphere stays above the
+  /// blockage sphere regardless of orientation, so line of sight needs an
+  /// explicit check only beyond that range — and a window can only close
+  /// once the range climbs to the threshold band or that chord, which
+  /// bounds how long it must persist and lets the scan hop in-window grid
+  /// points too (ISL windows last hours at full grid resolution otherwise).
   void compile_satellite_pair(net::NodeId sat_a, net::NodeId sat_b,
                               const channel::FsoLinkEvaluator& evaluator,
-                              double threshold_range) {
+                              double threshold_range, double min_radius) {
     const orbit::Ephemeris& eph_a = model.ephemeris(sat_a);
     const orbit::Ephemeris& eph_b = model.ephemeris(sat_b);
     const double threshold = policy.transmissivity_threshold;
@@ -236,6 +295,13 @@ struct Compiler {
     // budget instead of the precomputed crossing (guards the bisection
     // tolerance).
     const double band = 10.0;  // [m]
+    // Chord of the min-radius sphere whose midpoint grazes the blockage
+    // sphere: clearance(a, b) >= sqrt(min_radius^2 - (range/2)^2) for any
+    // endpoints at radius >= min_radius, so ranges at or below this bound
+    // have guaranteed line of sight.
+    const double los_safe_range =
+        2.0 * std::sqrt(std::max(
+                  0.0, min_radius * min_radius - clearance * clearance));
 
     const auto range_at = [&](double t) {
       return distance(eph_a.position_ecef(t), eph_b.position_ecef(t));
@@ -243,8 +309,10 @@ struct Compiler {
     const auto linkable = [&](double t) {
       const Vec3 pa = eph_a.position_ecef(t);
       const Vec3 pb = eph_b.position_ecef(t);
-      if (!geo::line_of_sight(pa, pb, clearance)) return false;
       const double range = distance(pa, pb);
+      if (range > los_safe_range && !geo::line_of_sight(pa, pb, clearance)) {
+        return false;
+      }
       if (range <= threshold_range - band) return true;
       if (range >= threshold_range + band) return false;
       return evaluator.symmetric(range, kPi / 2.0) >= threshold;
@@ -253,25 +321,44 @@ struct Compiler {
       return evaluator.symmetric(range_at(t), kPi / 2.0);
     };
 
+    // The range below which the link cannot drop: to close, the range must
+    // first reach the threshold band or the line-of-sight chord.
+    const double close_range = std::min(threshold_range - band, los_safe_range);
+    const std::vector<Vec3>& grid_a = grid_positions(sat_a);
+    const std::vector<Vec3>& grid_b = grid_positions(sat_b);
     bool in_window = linkable(0.0);
     double window_start = 0.0;
     double prev_t = 0.0;
+    double prev_range = range_at(0.0);
     std::size_t k = 0;
     while (prev_t < options.horizon) {
-      // Out of range and far from the threshold: hop grid points that the
-      // range-rate bound proves unreachable.
+      // Hop grid points the range-rate bound proves uneventful: out of
+      // window the range cannot fall back to the threshold yet; in window
+      // it cannot climb to the band or far enough to lose line of sight.
       std::size_t hop = 1;
-      if (!in_window && options.max_range_rate > 0.0) {
-        const double gap = range_at(prev_t) - threshold_range;
-        if (gap > 0.0) {
+      if (options.max_range_rate > 0.0) {
+        const double slack = in_window ? close_range - prev_range
+                                       : prev_range - threshold_range;
+        if (slack > 0.0) {
           hop = std::max<std::size_t>(
-              1, static_cast<std::size_t>(gap /
+              1, static_cast<std::size_t>(slack /
                                           (options.max_range_rate * step)));
         }
       }
       k += hop;
       const double t = std::min(static_cast<double>(k) * step, options.horizon);
-      const bool above = linkable(t);
+      const bool on_grid = k < grid_a.size();
+      const Vec3 pa = on_grid ? grid_a[k] : eph_a.position_ecef(t);
+      const Vec3 pb = on_grid ? grid_b[k] : eph_b.position_ecef(t);
+      const double range = distance(pa, pb);
+      bool above = false;
+      if (range <= los_safe_range || geo::line_of_sight(pa, pb, clearance)) {
+        if (range <= threshold_range - band) {
+          above = true;
+        } else if (range < threshold_range + band) {
+          above = evaluator.symmetric(range, kPi / 2.0) >= threshold;
+        }
+      }
       if (above && !in_window) {
         window_start = refine_flip(linkable, prev_t, t, /*rising=*/true);
         in_window = true;
@@ -281,14 +368,16 @@ struct Compiler {
         in_window = false;
       }
       prev_t = t;
+      prev_range = range;
     }
     if (in_window) {
       emit_isl(sat_a, sat_b, window_start, options.horizon, eta_at);
     }
   }
 
+  template <class Eta>
   void emit_isl(net::NodeId sat_a, net::NodeId sat_b, double start, double end,
-                const std::function<double(double)>& eta_at) {
+                const Eta& eta_at) {
     if (end - start < 1e-6) return;
     std::vector<double> times{start};
     std::vector<double> etas{eta_at(start)};
@@ -299,6 +388,82 @@ struct Compiler {
                     options.sample_tolerance, options.step,
                     16.0 * options.step, times, etas);
     emit(sat_a, sat_b, start, end, std::move(times), std::move(etas));
+  }
+
+  /// A set of near-colocated sites sharing one candidate pass search (a
+  /// LAN spans a campus, so its members see every satellite within a
+  /// fraction of a degree of each other).
+  struct SiteGroup {
+    std::vector<net::NodeId> sites;
+    geo::Geodetic centroid;
+    double max_chord = 0.0;  ///< [m], farthest member from the centroid
+  };
+
+  [[nodiscard]] SiteGroup make_group(
+      const std::vector<net::NodeId>& sites) const {
+    SiteGroup group;
+    group.sites = sites;
+    double lat = 0.0, lon = 0.0, alt = 0.0;
+    for (const net::NodeId id : sites) {
+      const geo::Geodetic& g = model.node(id).position;
+      lat += g.latitude;
+      lon += g.longitude;
+      alt += g.altitude;
+    }
+    const double n = static_cast<double>(sites.size());
+    group.centroid = {lat / n, lon / n, alt / n};
+    const Vec3 centre = geo::geodetic_to_ecef(group.centroid);
+    for (const net::NodeId id : sites) {
+      group.max_chord = std::max(
+          group.max_chord,
+          distance(centre, geo::geodetic_to_ecef(model.node(id).position)));
+    }
+    return group;
+  }
+
+  /// Lowest sample altitude of a satellite over the horizon [m] — a sound
+  /// floor on the slant range of any above-mask contact, used to bound how
+  /// much the elevation to a satellite can differ across a site group.
+  [[nodiscard]] double min_altitude(net::NodeId sat_id) const {
+    const orbit::Ephemeris& eph = model.ephemeris(sat_id);
+    double min_radius = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < eph.sample_count(); ++i) {
+      min_radius = std::min(min_radius, eph.sample(i).norm());
+    }
+    return min_radius - kEarthRadius;
+  }
+
+  /// Compile every site of the group against one satellite. Groups of two
+  /// or more share a single widened-mask pass search at the centroid: for
+  /// members within max_chord of the centroid, elevations differ from the
+  /// centroid's by at most asin(chord / slant_range) + chord / R_earth, so
+  /// lowering the mask by that margin yields candidate passes covering
+  /// every member's own passes. Each member then scans only inside the
+  /// candidates, applying its own exact mask/threshold per grid sample.
+  void compile_group(const SiteGroup& group, net::NodeId sat_id,
+                     const channel::FsoLinkEvaluator& evaluator,
+                     double slant_floor) {
+    const double margin =
+        group.sites.size() > 1
+            ? std::asin(std::min(1.0, group.max_chord / slant_floor)) +
+                  group.max_chord / kEarthRadius + 1e-4
+            : 0.0;
+    if (group.sites.size() == 1 || margin >= policy.elevation_mask) {
+      // Solo site, or the group is too spread out for a sound shared scan
+      // (e.g. a degenerate centroid across the antimeridian): per-site
+      // pass searches.
+      for (const net::NodeId site : group.sites) {
+        compile_site_satellite(site, sat_id, evaluator);
+      }
+      return;
+    }
+    const std::vector<orbit::Pass> candidates = orbit::find_passes_adaptive(
+        model.ephemeris(sat_id), group.centroid, options.horizon,
+        policy.elevation_mask - margin, options.step,
+        options.max_elevation_rate);
+    for (const net::NodeId site : group.sites) {
+      compile_site_within(site, sat_id, evaluator, candidates);
+    }
   }
 
   /// Largest range at which the ISL budget meets the threshold (bisection
@@ -331,11 +496,15 @@ struct Compiler {
     if (const auto* ground_sat =
             builder.evaluator(sim::NodeKind::Ground, sim::NodeKind::Satellite)) {
       const obs::Span span("plan.compile.ground_sat", sats.size());
+      std::vector<SiteGroup> groups;
+      groups.reserve(model.lan_count());
+      for (std::size_t lan = 0; lan < model.lan_count(); ++lan) {
+        groups.push_back(make_group(model.lan_nodes(lan)));
+      }
       for (const net::NodeId sat : sats) {
-        for (std::size_t lan = 0; lan < model.lan_count(); ++lan) {
-          for (const net::NodeId ground : model.lan_nodes(lan)) {
-            compile_site_satellite(ground, sat, *ground_sat);
-          }
+        const double slant_floor = std::max(1e3, min_altitude(sat) - 1e4);
+        for (const SiteGroup& group : groups) {
+          compile_group(group, sat, *ground_sat, slant_floor);
         }
       }
     }
@@ -353,10 +522,18 @@ struct Compiler {
       const obs::Span span("plan.compile.isl", sats.size());
       const double threshold_range = isl_threshold_range(*sat_sat);
       if (threshold_range > 0.0) {
+        std::vector<double> min_alt(sats.size());
+        for (std::size_t i = 0; i < sats.size(); ++i) {
+          min_alt[i] = min_altitude(sats[i]);
+        }
         for (std::size_t i = 0; i < sats.size(); ++i) {
           for (std::size_t j = i + 1; j < sats.size(); ++j) {
+            // 10 km deflation covers the linear-interpolation sagitta of
+            // the sampled ephemerides, as in the ground-station slant floor.
+            const double min_radius =
+                kEarthRadius + std::min(min_alt[i], min_alt[j]) - 1e4;
             compile_satellite_pair(sats[i], sats[j], *sat_sat,
-                                   threshold_range);
+                                   threshold_range, min_radius);
           }
         }
       }

@@ -1,33 +1,42 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
+#include <cstdint>
 #include <vector>
 
+#include "net/graph.hpp"
 #include "plan/contact_plan.hpp"
 #include "sim/network_model.hpp"
 #include "sim/topology.hpp"
 
 /// \file contact_topology.hpp
-/// Event-driven TopologyProvider backed by a compiled ContactPlan.
+/// Epoch-partitioned TopologyProvider backed by a compiled ContactPlan.
 ///
 /// Where TopologyBuilder::graph_at re-evaluates every link budget on every
-/// call, this provider replays a precomputed open/close event timeline: a
-/// forward query advances the cursor over the events in (last_t, t] and
-/// toggles the affected windows; the graph is then assembled from the
-/// static links plus the active windows' interpolated transmissivities.
-/// Sweeping a day in time order costs O(events) total instead of
-/// O(steps * N^2) budget evaluations.
+/// call, this provider precomputes the *epoch partition* of the horizon from
+/// the plan's sorted open/close events: between two consecutive event times
+/// the active-window set — and therefore the edge set — is constant. Epochs
+/// are dense (every link-state change opens one), so materialising the full
+/// active set per epoch would cost O(epochs x windows) time and memory. The
+/// constructor instead stores the sorted event stream plus a sorted
+/// active-set *checkpoint* every kCheckpointStride epochs; a query binary-
+/// searches the epoch start times, copies the nearest checkpoint at or
+/// before the epoch, and merges in the few events between — O(log E +
+/// active + stride), lock-free, random-access (no cursor, identical cost
+/// forwards, backwards, or from many threads at once). snapshot_at
+/// additionally refreshes a caller-held graph in place: same epoch rewrites
+/// only the dynamic etas, and an epoch change truncates the dynamic tail
+/// and re-appends it, reusing every allocation across epochs.
 
 namespace qntn::plan {
 
-/// Serves sim::TopologyProvider::graph_at from a ContactPlan. Windows are
-/// half-open [start, end): a link exists at its start time and is gone at
-/// its end time, matching the per-step rebuild's classification at grid
-/// times. The exception is windows clipped at the plan horizon — those
-/// never close, so graph_at(horizon) equals the rebuild's final snapshot. Queries may jump backwards (the cursor resets and replays), and
-/// the provider is safe to share across threads (the cursor is internally
-/// locked). The plan and model must outlive the provider.
+/// Serves sim::TopologyProvider from a ContactPlan. Windows are half-open
+/// [start, end): a link exists at its start time and is gone at its end
+/// time, matching the per-step rebuild's classification at grid times. The
+/// exception is windows clipped at the plan horizon — those never close, so
+/// graph_at(horizon) equals the rebuild's final snapshot. All state is
+/// immutable after construction; every query is safe from any thread with
+/// no synchronisation. The plan and model must outlive the provider.
 class ContactPlanTopology final : public sim::TopologyProvider {
  public:
   ContactPlanTopology(const ContactPlan& plan, const sim::NetworkModel& model);
@@ -38,27 +47,81 @@ class ContactPlanTopology final : public sim::TopologyProvider {
   /// windows in plan order).
   [[nodiscard]] std::vector<sim::LinkRecord> links_at(double t) const;
 
-  /// Number of open/close events in the timeline (two per window).
-  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  /// Epoch containing t: the largest epoch whose start time is <= t.
+  /// Epoch 0 spans everything before the first event (no dynamic links).
+  [[nodiscard]] std::size_t epoch_of(double t) const override;
+
+  [[nodiscard]] std::size_t epoch_count() const override {
+    return epoch_starts_.size();
+  }
+
+  /// Fill (or refresh in place) the snapshot for time t. Same-epoch refresh
+  /// rewrites only the dynamic edges' transmissivities — zero allocation —
+  /// and counts "plan.epoch_hits"; an epoch change rebuilds the dynamic
+  /// tail (reusing the slot's graph storage when the slot is already owned
+  /// by this provider) and counts "plan.epoch_builds". Either way
+  /// "plan.graph_queries" ticks once, so hits + builds always reconcile
+  /// with the query count.
+  void snapshot_at(double t, sim::TopologySnapshot& snap) const override;
+
+  /// Start time of epoch e; epoch 0 starts at -infinity. Epoch e covers
+  /// [epoch_start(e), epoch_start(e + 1)) (the last one is unbounded).
+  [[nodiscard]] double epoch_start(std::size_t epoch) const {
+    return epoch_starts_[epoch];
+  }
+
+  /// Window ids (indices into plan().windows()) active throughout epoch e,
+  /// ascending. Links of the epoch are the static links plus these.
+  [[nodiscard]] std::vector<std::size_t> epoch_window_ids(
+      std::size_t epoch) const;
+
+  /// Number of open/close events in the timeline (two per window, one for
+  /// windows clipped at the horizon).
+  [[nodiscard]] std::size_t event_count() const { return event_count_; }
+
+  [[nodiscard]] const ContactPlan& plan() const { return plan_; }
 
  private:
-  struct Event {
-    double time = 0.0;
-    std::size_t window = 0;
+  /// One epoch boundary's effect on a single window.
+  struct TimelineEvent {
+    std::uint32_t window = 0;
     bool open = false;
   };
 
-  /// Move the cursor to time t (caller holds mutex_).
-  void seek(double t) const;
+  /// Epochs between consecutive sorted active-set checkpoints. Queries pay
+  /// O(stride) event merging on top of the checkpoint copy; the constructor
+  /// pays one O(windows) scan per checkpoint. 64 keeps both far below the
+  /// cost of the graph work a query does with the result.
+  static constexpr std::size_t kCheckpointStride = 64;
+
+  /// Ascending window ids active throughout `epoch`, reconstructed from the
+  /// preceding checkpoint plus the events in between (last event wins).
+  void active_windows(std::size_t epoch, std::vector<std::size_t>& out) const;
+
+  /// Append the active windows' edges for (epoch, t) onto `graph`, which
+  /// must hold exactly the static skeleton. `ids` receives the window ids.
+  void append_dynamic_edges(std::size_t epoch, double t, net::Graph& graph,
+                            std::vector<std::size_t>& ids) const;
 
   const ContactPlan& plan_;
   const sim::NetworkModel& model_;
-  std::vector<Event> events_;
+  std::size_t event_count_ = 0;
 
-  mutable std::mutex mutex_;
-  mutable std::size_t next_event_ = 0;
-  mutable double cursor_t_ = -1.0;
-  mutable std::vector<char> active_;  ///< per-window open flag
+  // Epoch partition: epoch e covers [epoch_starts_[e], epoch_starts_[e+1])
+  // and applies events_[epoch_event_offsets_[e] .. epoch_event_offsets_[e+1])
+  // at its start (epoch 0 applies none). Checkpoint c holds the active set
+  // of epoch c * kCheckpointStride in checkpoint_ids_[checkpoint_offsets_[c]
+  // .. checkpoint_offsets_[c+1]), ascending.
+  std::vector<double> epoch_starts_;
+  std::vector<TimelineEvent> events_;
+  std::vector<std::size_t> epoch_event_offsets_;
+  std::vector<std::size_t> checkpoint_offsets_;
+  std::vector<std::uint32_t> checkpoint_ids_;
+
+  // Immutable static skeleton (all nodes + time-invariant links); graph
+  // builds start from a copy of it instead of re-adding every node.
+  net::Graph skeleton_;
+  std::size_t static_edge_count_ = 0;
 };
 
 }  // namespace qntn::plan

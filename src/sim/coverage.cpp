@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 
 namespace qntn::sim {
 
@@ -27,12 +30,58 @@ CoverageResult analyze_coverage(const NetworkModel& model,
   CoverageResult result;
   const auto steps =
       static_cast<std::size_t>(std::ceil(options.duration / options.step));
+
+  // Connectivity flag per step, from the engine or the serial loop below.
+  std::vector<std::uint8_t> connected_at(steps, 0);
+
+  if (options.pool != nullptr && topology.epoch_count() > 0) {
+    // Parallel engine: connectivity only depends on the edge set, which is
+    // constant within an epoch, so evaluate one representative step per
+    // distinct epoch and fan those out across the pool.
+    std::vector<std::size_t> distinct_index(steps, 0);
+    std::vector<double> representative;  // first step time of each epoch
+    std::size_t last_epoch = TopologyProvider::kNoEpoch;
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double t = static_cast<double>(i) * options.step;
+      const std::size_t epoch = topology.epoch_of(t);
+      if (representative.empty() || epoch != last_epoch) {
+        representative.push_back(t);
+        last_epoch = epoch;
+      }
+      distinct_index[i] = representative.size() - 1;
+    }
+    std::vector<std::uint8_t> epoch_connected(representative.size(), 0);
+    parallel_for_chunks(
+        *options.pool, representative.size(), options.pool->size(),
+        [&](std::size_t begin, std::size_t end) {
+          const obs::ScopedRegistry ambient_registry(options.registry);
+          const obs::ScopedProfiler ambient_profiler(options.profiler);
+          const obs::Span span("sim.coverage_chunk", end - begin);
+          TopologySnapshot snap;
+          for (std::size_t e = begin; e < end; ++e) {
+            topology.snapshot_at(representative[e], snap);
+            epoch_connected[e] =
+                all_lans_connected(model, snap.graph) ? 1 : 0;
+          }
+        });
+    for (std::size_t i = 0; i < steps; ++i) {
+      connected_at[i] = epoch_connected[distinct_index[i]];
+    }
+  } else {
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double t = static_cast<double>(i) * options.step;
+      const net::Graph graph = topology.graph_at(t);
+      connected_at[i] = all_lans_connected(model, graph) ? 1 : 0;
+    }
+  }
+
+  // Ordered reduction, identical for both paths (and bit-identical to the
+  // historical single loop): samples are merged in step order.
   result.step_connected.reserve(steps);
   for (std::size_t i = 0; i < steps; ++i) {
     const double t = static_cast<double>(i) * options.step;
     const double dt = std::min(options.step, options.duration - t);
-    const net::Graph graph = topology.graph_at(t);
-    const bool connected = all_lans_connected(model, graph);
+    const bool connected = connected_at[i] != 0;
     result.step_connected.push_back(connected ? 1 : 0);
     result.intervals.add_sample(t, dt, connected);
   }

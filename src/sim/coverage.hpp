@@ -13,11 +13,28 @@
 /// LAN connectivity is transitive over graph components, so "every pair
 /// connected" is equivalent to "all LANs in one connected component".
 
+namespace qntn {
+class ThreadPool;
+namespace obs {
+class Profiler;
+class Registry;
+}  // namespace obs
+}  // namespace qntn
+
 namespace qntn::sim {
 
 struct CoverageOptions {
   double duration = 86'400.0;  ///< [s], the paper evaluates one day
   double step = 30.0;          ///< [s], the paper's STK sampling interval
+  /// Borrowed pool for the parallel engine; nullptr = serial per-step loop.
+  /// The engine also needs an epoch-partitioned provider: the edge set is
+  /// constant within an epoch, so LAN connectivity is computed once per
+  /// *epoch* (in parallel) instead of once per step — same result bits.
+  ThreadPool* pool = nullptr;
+  /// Ambient metrics/profiler to install inside worker tasks (they are
+  /// thread-local, so workers do not inherit the caller's); nullptr = none.
+  obs::Registry* registry = nullptr;
+  obs::Profiler* profiler = nullptr;
 };
 
 struct CoverageResult {

@@ -1,6 +1,7 @@
 #include "sim/requests.hpp"
 
-#include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -41,19 +42,40 @@ std::string_view serve_status_name(ServeStatus status) {
   return "unknown";
 }
 
-ServeResult serve_requests(const net::Graph& graph,
-                           const std::vector<Request>& requests,
+RequestBatch make_request_batch(std::vector<Request> requests) {
+  RequestBatch batch;
+  batch.requests = std::move(requests);
+  batch.source_slot.reserve(batch.requests.size());
+  std::unordered_map<net::NodeId, std::size_t> slot_of;
+  for (const Request& req : batch.requests) {
+    const auto [it, inserted] = slot_of.try_emplace(req.source,
+                                                    batch.sources.size());
+    if (inserted) batch.sources.push_back(req.source);
+    batch.source_slot.push_back(it->second);
+  }
+  return batch;
+}
+
+ServeResult serve_snapshot(const net::Graph& graph, const RequestBatch& batch,
                            net::CostMetric metric,
                            quantum::FidelityConvention convention,
-                           bool record_outcomes) {
-  ServeResult result;
-  result.total = requests.size();
-  if (record_outcomes) result.outcomes.resize(requests.size());
+                           ServeScratch& scratch, bool record_outcomes,
+                           bool reuse_trees) {
+  if (!reuse_trees || scratch.tree_valid.size() != batch.sources.size() ||
+      scratch.edge_costs.size() != graph.edge_count()) {
+    scratch.trees.resize(batch.sources.size());
+    scratch.tree_valid.assign(batch.sources.size(), 0);
+    net::compute_edge_costs(graph, metric, scratch.edge_costs);
+  }
 
-  // One shortest-path tree per distinct source.
-  std::map<net::NodeId, net::ShortestPathTree> trees;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const Request& req = requests[i];
+  ServeResult result;
+  result.total = batch.requests.size();
+  if (record_outcomes) result.outcomes.resize(batch.requests.size());
+
+  // One shortest-path tree per distinct source, built on demand and kept in
+  // the scratch's flat slot table.
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& req = batch.requests[i];
     RequestOutcome outcome;
     // Isolated endpoints cannot be served regardless of routing; classify
     // them before paying for a shortest-path tree.
@@ -64,14 +86,14 @@ ServeResult serve_requests(const net::Graph& graph,
       if (record_outcomes) result.outcomes[i] = outcome;
       continue;
     }
-    auto it = trees.find(req.source);
-    if (it == trees.end()) {
-      it = trees.emplace(req.source,
-                         net::bellman_ford_tree(graph, req.source, metric))
-               .first;
+    const std::size_t slot = batch.source_slot[i];
+    if (scratch.tree_valid[slot] == 0) {
+      scratch.trees[slot] =
+          net::bellman_ford_tree(graph, req.source, scratch.edge_costs);
+      scratch.tree_valid[slot] = 1;
     }
-    const auto route =
-        net::route_from_tree(graph, it->second, req.source, req.destination);
+    const auto route = net::route_from_tree(graph, scratch.trees[slot],
+                                            req.source, req.destination);
     if (!route.has_value()) {
       outcome.status = ServeStatus::NoPath;
       ++result.unserved_no_path;
@@ -94,6 +116,17 @@ ServeResult serve_requests(const net::Graph& graph,
     }
   }
   return result;
+}
+
+ServeResult serve_requests(const net::Graph& graph,
+                           const std::vector<Request>& requests,
+                           net::CostMetric metric,
+                           quantum::FidelityConvention convention,
+                           bool record_outcomes) {
+  const RequestBatch batch = make_request_batch(requests);
+  ServeScratch scratch;
+  return serve_snapshot(graph, batch, metric, convention, scratch,
+                        record_outcomes, /*reuse_trees=*/false);
 }
 
 }  // namespace qntn::sim

@@ -35,6 +35,32 @@ struct Request {
                                                      std::size_t count,
                                                      Rng& rng);
 
+/// A request batch with its source-compaction table, built once per run:
+/// the scenario serves the same requests at every snapshot, so the distinct
+/// sources (and each request's slot in that table) are day-invariants that
+/// do not belong in the per-step loop. Shortest-path trees are stored in a
+/// flat vector indexed by slot — no per-step std::map.
+struct RequestBatch {
+  std::vector<Request> requests;
+  /// Distinct request sources in first-appearance order.
+  std::vector<net::NodeId> sources;
+  /// Per request: index of its source in `sources`.
+  std::vector<std::size_t> source_slot;
+};
+
+[[nodiscard]] RequestBatch make_request_batch(std::vector<Request> requests);
+
+/// Reusable per-worker serving scratch: the edge-cost buffer priced once
+/// per snapshot and the per-source shortest-path trees (flat, slot-indexed).
+/// With an eta-independent metric the trees survive every snapshot of one
+/// topology epoch (the per-epoch route cache); otherwise they are
+/// invalidated per snapshot and only the allocations are reused.
+struct ServeScratch {
+  std::vector<double> edge_costs;
+  std::vector<net::ShortestPathTree> trees;
+  std::vector<char> tree_valid;
+};
+
 /// Why a request was or wasn't served on a snapshot — the per-request
 /// telemetry the obs trace records.
 enum class ServeStatus : std::uint8_t {
@@ -85,5 +111,20 @@ struct ServeResult {
     quantum::FidelityConvention convention =
         quantum::FidelityConvention::Uhlmann,
     bool record_outcomes = false);
+
+/// Serving core: serve a prebuilt batch against one snapshot, reusing the
+/// caller's scratch. With reuse_trees the per-source trees cached in the
+/// scratch are assumed valid for this graph — only correct when the metric
+/// is eta-independent and the graph is the same epoch's skeleton with
+/// refreshed transmissivities (route structure is then unchanged; served
+/// transmissivity/fidelity still read the current etas through the graph).
+/// Bitwise-identical to serve_requests on the same inputs.
+[[nodiscard]] ServeResult serve_snapshot(const net::Graph& graph,
+                                         const RequestBatch& batch,
+                                         net::CostMetric metric,
+                                         quantum::FidelityConvention convention,
+                                         ServeScratch& scratch,
+                                         bool record_outcomes,
+                                         bool reuse_trees = false);
 
 }  // namespace qntn::sim

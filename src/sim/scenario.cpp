@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <optional>
 
+#include "common/thread_pool.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/snapshot.hpp"
 
 namespace qntn::sim {
 
@@ -65,7 +67,11 @@ ScenarioResult run_scenario(const NetworkModel& model,
   {
     const obs::ScopedTimer timer("time.coverage_s");
     const obs::Span span("sim.coverage");
-    result.coverage = analyze_coverage(model, topology, config.coverage);
+    CoverageOptions coverage = config.coverage;
+    coverage.pool = config.pool;
+    coverage.registry = config.registry;
+    coverage.profiler = config.profiler;
+    result.coverage = analyze_coverage(model, topology, coverage);
   }
   if (trace_snapshots) {
     trace->emit(obs::TraceEvent("coverage")
@@ -74,22 +80,21 @@ ScenarioResult run_scenario(const NetworkModel& model,
   }
 
   Rng rng(config.request_seed);
-  const std::vector<Request> requests =
-      generate_requests(model, config.request_count, rng);
+  const RequestBatch batch = make_request_batch(
+      generate_requests(model, config.request_count, rng));
+  const std::vector<Request>& requests = batch.requests;
 
   // Last relay each request was served over, for handover accounting.
   std::vector<std::optional<net::NodeId>> last_relay(requests.size());
 
   const obs::ScopedTimer serving_timer("time.serving_s");
   const obs::Span serving_span("sim.serving", config.request_steps);
-  for (std::size_t step = 0; step < config.request_steps; ++step) {
-    const obs::Span step_span("sim.serve_step", step);
-    const double t = static_cast<double>(step) * interval;
-    const net::Graph graph = topology.graph_at(t);
-    const ServeResult served = serve_requests(
-        graph, requests, config.metric, config.convention,
-        /*record_outcomes=*/true);
 
+  // The per-step merge shared by the serial and parallel paths: it replays
+  // the historical single-loop accumulation in step order, so both engines
+  // produce bit-identical stats, counters, handovers, and trace bytes.
+  const auto merge_step = [&](std::size_t step, const ServeResult& served) {
+    const double t = static_cast<double>(step) * interval;
     std::size_t step_handovers = 0;
     for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
       const RequestOutcome& outcome = served.outcomes[i];
@@ -160,6 +165,39 @@ ScenarioResult run_scenario(const NetworkModel& model,
                                              served.unserved_isolated))
                       .field("handovers",
                              static_cast<std::uint64_t>(step_handovers)));
+    }
+  };
+
+  const bool parallel_engine =
+      config.pool != nullptr && topology.epoch_count() > 0;
+  if (parallel_engine) {
+    // Parallel snapshot engine: workers produce per-step ServeResults into
+    // preallocated slots (no shared mutable state), then the main thread
+    // merges them in step order.
+    std::vector<ServeResult> per_step(config.request_steps);
+    parallel_for_chunks(
+        *config.pool, config.request_steps, config.pool->size(),
+        [&](std::size_t begin, std::size_t end) {
+          const obs::ScopedRegistry worker_registry(config.registry);
+          const obs::ScopedProfiler worker_profiler(config.profiler);
+          const obs::Span span("sim.serve_chunk", end - begin);
+          SnapshotServer server(topology, batch, config.metric,
+                                config.convention);
+          for (std::size_t step = begin; step < end; ++step) {
+            per_step[step] =
+                server.serve_at(static_cast<double>(step) * interval);
+          }
+        });
+    for (std::size_t step = 0; step < config.request_steps; ++step) {
+      merge_step(step, per_step[step]);
+    }
+  } else {
+    SnapshotServer server(topology, batch, config.metric, config.convention);
+    for (std::size_t step = 0; step < config.request_steps; ++step) {
+      const obs::Span step_span("sim.serve_step", step);
+      const ServeResult served =
+          server.serve_at(static_cast<double>(step) * interval);
+      merge_step(step, served);
     }
   }
   result.served_fraction = result.served_per_step.mean();

@@ -49,6 +49,17 @@ struct ScenarioConfig {
   /// Span profiler, installed as the thread's ambient profiler for the
   /// duration of run_scenario so the layers below record spans into it.
   obs::Profiler* profiler = nullptr;
+
+  /// Borrowed pool for the parallel snapshot engine (nullptr = serial). With
+  /// a pool AND an epoch-partitioned topology provider, coverage and request
+  /// serving fan out across workers and are merged with a deterministic
+  /// ordered reduction — every metric, counter total, and trace byte is
+  /// identical to the serial run. Providers without an epoch partition (the
+  /// per-step rebuild) keep the serial path regardless. Never pass a pool
+  /// when run_scenario itself executes on one of that pool's workers (the
+  /// nested fan-out would deadlock); the architecture sweeps therefore null
+  /// it for their inner evaluations.
+  ThreadPool* pool = nullptr;
 };
 
 struct ScenarioResult {

@@ -38,6 +38,13 @@ std::optional<channel::OpticalTerminal> class_terminal(const NetworkModel& model
 
 }  // namespace
 
+void TopologyProvider::snapshot_at(double t, TopologySnapshot& snap) const {
+  snap.graph = graph_at(t);
+  snap.epoch = kNoEpoch;
+  snap.owner = this;
+  snap.dynamic_base = snap.graph.edge_count();
+}
+
 TopologyBuilder::TopologyBuilder(const NetworkModel& model,
                                  const LinkPolicy& policy)
     : model_(model), policy_(policy) {

@@ -46,17 +46,69 @@ struct LinkRecord {
   double transmissivity = 0.0;
 };
 
+class TopologyProvider;
+
+/// Reusable snapshot slot for TopologyProvider::snapshot_at. Workers of the
+/// parallel snapshot engine each own one: an epoch-aware provider that is
+/// asked for a time inside the epoch the slot already holds only rewrites
+/// the time-varying edge transmissivities in place (zero allocation, no
+/// graph rebuild); any other request rebuilds the graph and re-tags the
+/// slot. A default-constructed slot is empty and always triggers a build.
+struct TopologySnapshot {
+  net::Graph graph;
+  /// Epoch the graph currently represents; kNoEpoch = none/unknown.
+  std::size_t epoch = static_cast<std::size_t>(-1);
+  /// Provider that filled the slot; refresh is only valid against the same
+  /// provider instance.
+  const void* owner = nullptr;
+  /// Index of the first time-varying (dynamic) edge in graph.edges();
+  /// edges below it are static and never rewritten.
+  std::size_t dynamic_base = 0;
+  /// Provider-specific tag per dynamic edge (edge dynamic_base + i carries
+  /// dynamic_tags[i]); ContactPlanTopology stores the contact-window id so
+  /// a same-epoch refresh can re-evaluate each edge without replaying the
+  /// epoch's active set.
+  std::vector<std::size_t> dynamic_tags;
+};
+
 /// Anything that can produce the link graph at a simulation time. The
 /// coverage and scenario layers consume this interface so decorators (e.g.
 /// the HAP endurance model in endurance.hpp) can reshape the topology
 /// without the analysis code knowing.
+///
+/// Thread safety: all const members must be safe to call concurrently (the
+/// snapshot engine fans queries out across a thread pool). Both built-in
+/// providers qualify — TopologyBuilder is stateless after construction and
+/// ContactPlanTopology serves from immutable precomputed epoch tables.
 class TopologyProvider {
  public:
+  /// Sentinel for providers without an epoch structure.
+  static constexpr std::size_t kNoEpoch = static_cast<std::size_t>(-1);
+
   virtual ~TopologyProvider() = default;
 
   /// Snapshot graph at simulation time t [s]. Node ids in the graph equal
   /// NetworkModel node ids.
   [[nodiscard]] virtual net::Graph graph_at(double t) const = 0;
+
+  /// Epoch id of time t. Within one epoch the edge *set* is constant (only
+  /// transmissivities vary), so LAN connectivity and eta-independent route
+  /// trees can be cached per epoch. Providers without an epoch partition
+  /// return kNoEpoch for every t, which disables all epoch caching.
+  [[nodiscard]] virtual std::size_t epoch_of(double t) const {
+    (void)t;
+    return kNoEpoch;
+  }
+
+  /// Number of epochs in the provider's partition (0 = no partition; the
+  /// snapshot engine then falls back to the serial per-step path).
+  [[nodiscard]] virtual std::size_t epoch_count() const { return 0; }
+
+  /// Fill `snap` with the graph at time t, reusing its structure when the
+  /// slot already holds the same epoch of the same provider. The default
+  /// delegates to graph_at (a full rebuild each call); epoch-aware
+  /// providers override it with the in-place eta refresh.
+  virtual void snapshot_at(double t, TopologySnapshot& snap) const;
 };
 
 class TopologyBuilder final : public TopologyProvider {

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qntn {
@@ -101,6 +103,64 @@ TEST(ThreadPool, ParallelForRethrowsTaskFailure) {
                                   [](std::size_t i) {
                                     if (i == 3) throw std::runtime_error("bad");
                                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{100}}) {
+    for (const std::size_t chunks : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{8}, std::size_t{200}}) {
+      std::vector<std::atomic<int>> hits(count);
+      parallel_for_chunks(pool, count, chunks,
+                          [&](std::size_t begin, std::size_t end) {
+                            ASSERT_LE(begin, end);
+                            for (std::size_t i = begin; i < end; ++i) {
+                              ++hits[i];
+                            }
+                          });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "count=" << count
+                                     << " chunks=" << chunks << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksUsesContiguousRanges) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  parallel_for_chunks(pool, 100, 4, [&](std::size_t begin, std::size_t end) {
+    const std::lock_guard lock(mutex);
+    ranges.emplace_back(begin, end);
+  });
+  // The fan-out is capped at the hardware thread count, so the exact chunk
+  // count is host-dependent; coverage and contiguity are not.
+  const std::size_t expected_chunks = std::min<std::size_t>(
+      4, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  ASSERT_EQ(ranges.size(), expected_chunks);
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 100u);
+}
+
+TEST(ThreadPool, ParallelForChunksPropagatesExceptions) {
+  ThreadPool pool(2);
+  // Throw from whichever chunk owns index 5, so the test holds under any
+  // hardware-dependent chunk cap.
+  EXPECT_THROW(parallel_for_chunks(pool, 10, 4,
+                                   [](std::size_t begin, std::size_t end) {
+                                     if (begin <= 5 && 5 < end) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
                std::runtime_error);
 }
 

@@ -196,5 +196,33 @@ TEST(Routing, LinearChainPathAndCost) {
   EXPECT_NEAR(route->transmissivity, std::pow(0.9, 4.0), 1e-12);
 }
 
+TEST(Routing, PrecomputedEdgeCostsMatchMetricOverload) {
+  // The costs-taking overload (one edge pricing pass shared across sources)
+  // must produce trees identical to the metric-taking one, for every
+  // metric — same costs, same predecessors, to the last bit.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_graph(24, 0.2, rng);
+    for (const CostMetric metric :
+         {CostMetric::InverseEta, CostMetric::NegLogEta, CostMetric::HopCount}) {
+      std::vector<double> costs;
+      compute_edge_costs(g, metric, costs);
+      ASSERT_EQ(costs.size(), g.edge_count());
+      for (NodeId src = 0; src < g.node_count(); ++src) {
+        const ShortestPathTree by_metric = bellman_ford_tree(g, src, metric);
+        const ShortestPathTree by_costs = bellman_ford_tree(g, src, costs);
+        EXPECT_EQ(by_metric.cost, by_costs.cost);
+        EXPECT_EQ(by_metric.previous, by_costs.previous);
+      }
+    }
+  }
+}
+
+TEST(Routing, MetricEtaIndependence) {
+  static_assert(metric_is_eta_independent(CostMetric::HopCount));
+  static_assert(!metric_is_eta_independent(CostMetric::InverseEta));
+  static_assert(!metric_is_eta_independent(CostMetric::NegLogEta));
+}
+
 }  // namespace
 }  // namespace qntn::net

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "core/experiments.hpp"
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
@@ -33,8 +39,8 @@ TEST(ContactPlanTopology, BackwardQueriesReplayCorrectly) {
   const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
                                                 config.plan_options());
   const ContactPlanTopology warm(plan, model);
-  // Drag the cursor forward, then jump back: the answer must match a fresh
-  // provider that has never advanced.
+  // Query far ahead, then jump back: random access must match a fresh
+  // provider (the partition is immutable — there is no cursor to rewind).
   (void)warm.links_at(80'000.0);
   for (const double t : {120.0, 5'000.0, 60.0}) {
     const ContactPlanTopology cold(plan, model);
@@ -62,6 +68,94 @@ TEST(ContactPlanTopology, EventTimelineHasTwoEventsPerWindow) {
     if (window.end >= plan.horizon()) ++clipped;
   }
   EXPECT_EQ(topology.event_count(), 2 * plan.windows().size() - clipped);
+}
+
+// The epoch partition pinned against the raw event list: epoch boundaries
+// are exactly the distinct event times (opens at window starts, closes at
+// non-clipped window ends) preceded by the -inf epoch 0, and each epoch's
+// active-window row matches a brute-force "start <= t < end" scan at the
+// epoch's start time.
+TEST(ContactPlanTopology, EpochPartitionMatchesEventList) {
+  for (const std::size_t n :
+       {std::size_t{6}, std::size_t{54}, std::size_t{108}}) {
+    SCOPED_TRACE(std::to_string(n) + " satellites");
+    const core::QntnConfig config;
+    const sim::NetworkModel model = core::build_space_ground_model(config, n);
+    const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                  config.plan_options());
+    const ContactPlanTopology topology(plan, model);
+
+    std::set<double> boundaries;
+    for (const ContactWindow& window : plan.windows()) {
+      boundaries.insert(window.start);
+      if (window.end < plan.horizon()) boundaries.insert(window.end);
+    }
+    ASSERT_EQ(topology.epoch_count(), boundaries.size() + 1);
+    EXPECT_EQ(topology.epoch_start(0),
+              -std::numeric_limits<double>::infinity());
+    std::size_t epoch = 1;
+    for (const double boundary : boundaries) {
+      EXPECT_EQ(topology.epoch_start(epoch), boundary);
+      ++epoch;
+    }
+
+    for (std::size_t e = 0; e < topology.epoch_count(); ++e) {
+      const double t = e == 0 ? 0.0 : topology.epoch_start(e);
+      EXPECT_EQ(topology.epoch_of(t), e == 0 ? topology.epoch_of(0.0) : e);
+      std::vector<std::size_t> expected;
+      for (std::size_t w = 0; w < plan.windows().size(); ++w) {
+        const ContactWindow& window = plan.windows()[w];
+        const bool open_ended = window.end >= plan.horizon();
+        if (window.start <= t && (t < window.end || open_ended)) {
+          expected.push_back(w);
+        }
+      }
+      if (e == 0) expected.clear();  // epoch 0 precedes every event
+      EXPECT_EQ(topology.epoch_window_ids(e), expected) << "epoch " << e;
+    }
+  }
+}
+
+TEST(ContactPlanTopology, EpochOfBracketsBoundaries) {
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 6);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  const ContactPlanTopology topology(plan, model);
+  ASSERT_GE(topology.epoch_count(), 3u);
+  for (std::size_t e = 1; e < topology.epoch_count(); ++e) {
+    const double start = topology.epoch_start(e);
+    // A query exactly at the boundary lands in the new epoch (events with
+    // time <= t are applied); an instant earlier still sees the old one.
+    EXPECT_EQ(topology.epoch_of(start), e);
+    EXPECT_EQ(topology.epoch_of(std::nextafter(start, -1.0)), e - 1);
+  }
+  // Before the first event and beyond the horizon.
+  EXPECT_EQ(topology.epoch_of(-1.0e9), 0u);
+  EXPECT_EQ(topology.epoch_of(1.0e12), topology.epoch_count() - 1);
+}
+
+TEST(ContactPlanTopology, SnapshotRefreshMatchesRebuiltGraph) {
+  // Riding one snapshot slot across epochs and times must give exactly the
+  // graph a cold graph_at builds: same edges, same transmissivities.
+  const core::QntnConfig config;
+  const sim::NetworkModel model = core::build_space_ground_model(config, 12);
+  const ContactPlan plan = compile_contact_plan(model, config.link_policy(),
+                                                config.plan_options());
+  const ContactPlanTopology topology(plan, model);
+  sim::TopologySnapshot snap;
+  for (const double t : {0.0, 30.0, 60.0, 7'777.0, 7'807.0, 43'200.0, 60.0}) {
+    topology.snapshot_at(t, snap);
+    const net::Graph expected = topology.graph_at(t);
+    ASSERT_EQ(snap.graph.edge_count(), expected.edge_count()) << "t = " << t;
+    for (std::size_t i = 0; i < expected.edge_count(); ++i) {
+      EXPECT_EQ(snap.graph.edges()[i].a, expected.edges()[i].a);
+      EXPECT_EQ(snap.graph.edges()[i].b, expected.edges()[i].b);
+      EXPECT_EQ(snap.graph.edges()[i].transmissivity,
+                expected.edges()[i].transmissivity)
+          << "t = " << t << " edge " << i;
+    }
+  }
 }
 
 // Acceptance check for the whole control plane: the scenario pipeline

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 #include "core/qntn_config.hpp"
@@ -74,6 +75,54 @@ TEST(Coverage, RejectsBadOptions) {
   CoverageOptions bad;
   bad.duration = 0.0;
   EXPECT_THROW((void)analyze_coverage(model, topology, bad), PreconditionError);
+}
+
+TEST(Coverage, ParallelEngineMatchesSerialLoop) {
+  // The per-epoch parallel engine must reproduce the serial per-step loop
+  // bit for bit: identical flags, identical merged intervals.
+  const QntnConfig cfg;
+  QntnConfig plan_cfg = cfg;
+  plan_cfg.topology_mode = core::TopologyMode::ContactPlan;
+  const NetworkModel model = core::build_space_ground_model(plan_cfg, 12);
+  const core::Topology topology = core::make_topology(plan_cfg, model);
+
+  CoverageOptions serial;
+  serial.duration = 14'400.0;
+  serial.step = 30.0;
+  const CoverageResult expected =
+      analyze_coverage(model, topology.provider(), serial);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    CoverageOptions parallel = serial;
+    parallel.pool = &pool;
+    const CoverageResult actual =
+        analyze_coverage(model, topology.provider(), parallel);
+    EXPECT_EQ(actual.step_connected, expected.step_connected);
+    EXPECT_EQ(actual.covered_seconds, expected.covered_seconds);
+    EXPECT_EQ(actual.percent, expected.percent);
+    EXPECT_EQ(actual.intervals.episode_count(),
+              expected.intervals.episode_count());
+  }
+}
+
+TEST(Coverage, PoolWithoutEpochPartitionStaysSerial) {
+  // TopologyBuilder has no epoch partition: handing a pool must change
+  // nothing (the engine requires epoch_count() > 0).
+  const QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 6);
+  const TopologyBuilder topology(model, config.link_policy());
+  CoverageOptions options;
+  options.duration = 3'600.0;
+  options.step = 60.0;
+  const CoverageResult serial = analyze_coverage(model, topology, options);
+  ThreadPool pool(4);
+  options.pool = &pool;
+  const CoverageResult pooled = analyze_coverage(model, topology, options);
+  EXPECT_EQ(pooled.step_connected, serial.step_connected);
+  EXPECT_EQ(pooled.covered_seconds, serial.covered_seconds);
 }
 
 }  // namespace

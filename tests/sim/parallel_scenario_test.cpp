@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+
+/// Golden determinism contract of the parallel snapshot engine (DESIGN.md
+/// §9): for every topology mode and thread count, run_scenario must produce
+/// a ScenarioResult — and a trace stream — bitwise identical to the serial
+/// run. EXPECT_EQ on doubles below is deliberate: the ordered reduction
+/// promises equality to the last bit, not approximate agreement.
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+using core::TopologyMode;
+
+ScenarioConfig quick_config(const QntnConfig& config) {
+  ScenarioConfig sc = config.scenario_config();
+  sc.coverage.duration = 14'400.0;  // 4 hours
+  sc.coverage.step = 120.0;
+  sc.request_count = 30;
+  sc.request_steps = 10;
+  sc.request_step_interval = 1440.0;
+  return sc;
+}
+
+struct RunOutput {
+  ScenarioResult result;
+  std::string trace;
+};
+
+RunOutput run_with(TopologyMode mode, ThreadPool* pool,
+                   obs::Registry* registry = nullptr) {
+  QntnConfig config;
+  config.topology_mode = mode;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const core::Topology topology = core::make_topology(config, model);
+  RunOutput out;
+  std::ostringstream trace_stream;
+  obs::TraceSink trace(trace_stream, obs::TraceLevel::Requests);
+  ScenarioConfig sc = quick_config(config);
+  sc.pool = pool;
+  sc.trace = &trace;
+  sc.registry = registry;
+  out.result = run_scenario(model, topology.provider(), sc);
+  out.trace = trace_stream.str();
+  return out;
+}
+
+void expect_same_stats(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  if (a.count() == 0 || b.count() == 0) return;
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.stddev(), b.stddev());
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.result.coverage.percent, b.result.coverage.percent);
+  EXPECT_EQ(a.result.coverage.covered_seconds,
+            b.result.coverage.covered_seconds);
+  EXPECT_EQ(a.result.coverage.step_connected, b.result.coverage.step_connected);
+  EXPECT_EQ(a.result.served_fraction, b.result.served_fraction);
+  expect_same_stats(a.result.served_per_step, b.result.served_per_step);
+  expect_same_stats(a.result.fidelity, b.result.fidelity);
+  expect_same_stats(a.result.transmissivity, b.result.transmissivity);
+  expect_same_stats(a.result.hops, b.result.hops);
+  EXPECT_EQ(a.result.requests_issued, b.result.requests_issued);
+  EXPECT_EQ(a.result.requests_served, b.result.requests_served);
+  EXPECT_EQ(a.result.requests_no_path, b.result.requests_no_path);
+  EXPECT_EQ(a.result.requests_isolated, b.result.requests_isolated);
+  EXPECT_EQ(a.result.handovers, b.result.handovers);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ParallelScenario, BitIdenticalAcrossThreadCountsContactPlan) {
+  const RunOutput serial = run_with(TopologyMode::ContactPlan, nullptr);
+  EXPECT_FALSE(serial.trace.empty());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel = run_with(TopologyMode::ContactPlan, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelScenario, BitIdenticalAcrossThreadCountsRebuild) {
+  // The per-step rebuild provider has no epoch partition, so a pool must
+  // leave the serial path (and its results) untouched.
+  const RunOutput serial = run_with(TopologyMode::Rebuild, nullptr);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel = run_with(TopologyMode::Rebuild, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelScenario, ModesAgreeUnderTheEngine) {
+  // Contact-plan epochs must reproduce the rebuild's scenario bit for bit
+  // even when the engine rides the epoch fast paths.
+  ThreadPool pool(4);
+  const RunOutput rebuild = run_with(TopologyMode::Rebuild, &pool);
+  const RunOutput plan = run_with(TopologyMode::ContactPlan, &pool);
+  expect_identical(rebuild, plan);
+}
+
+TEST(ParallelScenario, EpochCountersReconcileWithQueries) {
+  // Engine mode funnels every topology query through snapshot_at, so
+  // in-place refreshes plus skeleton builds must account for every query,
+  // and the scenario must have taken exactly request_steps snapshots.
+  ThreadPool pool(4);
+  obs::Registry registry;
+  (void)run_with(TopologyMode::ContactPlan, &pool, &registry);
+  const std::uint64_t queries = registry.counter("plan.graph_queries");
+  const std::uint64_t hits = registry.counter("plan.epoch_hits");
+  const std::uint64_t builds = registry.counter("plan.epoch_builds");
+  EXPECT_GT(queries, 0u);
+  EXPECT_GT(builds, 0u);
+  EXPECT_EQ(queries, hits + builds);
+  EXPECT_EQ(registry.counter("scenario.snapshots"), 10u);
+}
+
+TEST(ParallelScenario, SerialContactPlanQueriesCoverEveryStep) {
+  // Serial contact-plan runs query once per coverage step plus once per
+  // request snapshot, and the hit/build split accounts for every query on
+  // the fresh-materialisation path too (graph_at counts as a build).
+  obs::Registry registry;
+  (void)run_with(TopologyMode::ContactPlan, nullptr, &registry);
+  const std::uint64_t queries = registry.counter("plan.graph_queries");
+  const std::uint64_t hits = registry.counter("plan.epoch_hits");
+  const std::uint64_t builds = registry.counter("plan.epoch_builds");
+  EXPECT_EQ(queries, 120u + 10u);  // 4 h / 120 s coverage + 10 snapshots
+  EXPECT_EQ(queries, hits + builds);
+}
+
+}  // namespace
+}  // namespace qntn::sim
