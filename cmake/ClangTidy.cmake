@@ -1,0 +1,23 @@
+# `tidy` target: run clang-tidy over the whole tree using the repo-root
+# .clang-tidy config and the exported compile database. Gated on the tools
+# being installed — the default dev container only ships GCC, so the target
+# simply does not exist there and the CI lint job (which installs clang)
+# provides the enforcement.
+
+find_program(QNTN_CLANG_TIDY NAMES clang-tidy)
+find_program(QNTN_RUN_CLANG_TIDY NAMES run-clang-tidy run-clang-tidy.py)
+
+if(QNTN_CLANG_TIDY AND QNTN_RUN_CLANG_TIDY)
+  set(CMAKE_EXPORT_COMPILE_COMMANDS ON CACHE BOOL "" FORCE)
+  add_custom_target(tidy
+    COMMAND ${QNTN_RUN_CLANG_TIDY}
+      -clang-tidy-binary ${QNTN_CLANG_TIDY}
+      -p ${CMAKE_BINARY_DIR}
+      -quiet
+      "${CMAKE_SOURCE_DIR}/(src|tools|bench|tests|examples)/.*"
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy over src/ tools/ bench/ tests/ examples/"
+    VERBATIM)
+else()
+  message(STATUS "clang-tidy/run-clang-tidy not found; `tidy` target disabled")
+endif()

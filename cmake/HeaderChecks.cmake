@@ -1,0 +1,44 @@
+# Self-contained-header check: compile every public header in isolation so a
+# header can never silently depend on what its includers happened to include
+# first. For each header a one-line TU `#include "<header>"` is generated
+# under the build tree and compiled (never linked) in an OBJECT library with
+# the same warnings/-Werror set as the production code.
+#
+# Enabled with -DQNTN_HEADER_CHECKS=ON (the lint preset and CI lint job turn
+# it on); the target is `header_checks`, built as part of `all`.
+
+function(qntn_add_header_checks)
+  set(gen_dir ${CMAKE_BINARY_DIR}/header_checks)
+  file(MAKE_DIRECTORY ${gen_dir})
+
+  file(GLOB_RECURSE src_headers CONFIGURE_DEPENDS
+    ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  file(GLOB bench_headers CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/bench/*.hpp)
+  set(tool_headers ${CMAKE_SOURCE_DIR}/tools/cli_common.hpp)
+
+  set(tus "")
+  foreach(header IN LISTS src_headers bench_headers tool_headers)
+    file(RELATIVE_PATH rel ${CMAKE_SOURCE_DIR} ${header})
+    # src/obs/trace.hpp is included as "obs/trace.hpp"; bench/ and tools/
+    # headers are included by their repo-relative path.
+    string(REGEX REPLACE "^src/" "" include_path ${rel})
+    string(REPLACE "/" "_" tu_name ${rel})
+    string(REGEX REPLACE "\\.hpp$" "_check.cpp" tu_name ${tu_name})
+    set(tu ${gen_dir}/${tu_name})
+    set(tu_content "#include \"${include_path}\"\n")
+    # Only rewrite on change so reconfigures don't force a recompile.
+    set(existing "")
+    if(EXISTS ${tu})
+      file(READ ${tu} existing)
+    endif()
+    if(NOT existing STREQUAL tu_content)
+      file(WRITE ${tu} ${tu_content})
+    endif()
+    list(APPEND tus ${tu})
+  endforeach()
+
+  add_library(header_checks OBJECT ${tus})
+  target_include_directories(header_checks PRIVATE
+    ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR})
+  target_link_libraries(header_checks PRIVATE qntn_warnings Threads::Threads)
+endfunction()

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\ncoverage period T_c = %.1f min of %.0f (Eq. 6)\n",
-              s_to_minutes(result.coverage.covered_seconds), 1440.0);
+              s_to_minutes(result.coverage.covered_s), 1440.0);
   std::printf("coverage percentage P = %.2f%% (Eq. 7; paper: 55.17%% @108)\n",
               result.coverage.percent);
   std::printf("served requests       = %.2f%% (paper: 57.75%% @108)\n",

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_safety.hpp"
+
+/// \file mutex.hpp
+/// Annotated locking primitives: a std::mutex wrapper carrying the clang
+/// thread-safety `capability` attribute, the matching RAII holder, and a
+/// condition variable that waits on it. std::mutex / std::lock_guard work
+/// fine dynamically but are invisible to -Wthread-safety with libstdc++
+/// (only libc++ annotates them), so every mutex that guards cross-thread
+/// state in this codebase uses these types instead — that is what lets
+/// QNTN_GUARDED_BY members be checked at compile time.
+///
+/// The wrappers add nothing at runtime: Mutex is layout-identical to
+/// std::mutex, MutexLock compiles to the same code as std::lock_guard, and
+/// CondVar is a std::condition_variable_any (needed because it waits on the
+/// annotated Mutex rather than a std::unique_lock<std::mutex>; pool wakeups
+/// are far off any hot path).
+
+namespace qntn {
+
+class CondVar;
+
+/// Exclusive lock with thread-safety-analysis annotations.
+class QNTN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QNTN_ACQUIRE() { impl_.lock(); }
+  void unlock() QNTN_RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() QNTN_TRY_ACQUIRE(true) {
+    return impl_.try_lock();
+  }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII holder for Mutex; the annotated equivalent of std::lock_guard.
+class QNTN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) QNTN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() QNTN_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable waiting on an annotated Mutex. Callers hold the mutex
+/// (via MutexLock) and loop on their predicate around wait() — the guarded
+/// reads in the loop condition are then visible to the analysis, which a
+/// predicate lambda would hide:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  /// Atomically releases `mutex`, sleeps, and reacquires before returning.
+  /// The capability is held again on return, so the REQUIRES contract is
+  /// preserved across the call as far as callers can observe.
+  void wait(Mutex& mutex) QNTN_REQUIRES(mutex) { impl_.wait(mutex); }
+
+  void notify_one() noexcept { impl_.notify_one(); }
+  void notify_all() noexcept { impl_.notify_all(); }
+
+ private:
+  std::condition_variable_any impl_;
+};
+
+}  // namespace qntn

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -39,7 +39,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -50,8 +50,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();

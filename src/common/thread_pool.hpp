@@ -1,14 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 /// \file thread_pool.hpp
 /// Fixed-size thread pool plus a deterministic parallel_for_index helper.
@@ -40,18 +40,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; the returned future reports completion / exceptions.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) QNTN_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() QNTN_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  ///< set in ctor, joined in dtor only
+  Mutex mutex_;
+  std::queue<std::packaged_task<void()>> queue_ QNTN_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ QNTN_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, count) on the pool; blocks until all complete.

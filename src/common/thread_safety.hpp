@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file thread_safety.hpp
+/// Clang thread-safety-analysis annotation macros, compiled out on every
+/// other compiler. The CI lint job builds the tree with clang and
+/// -Wthread-safety (promoted to an error by QNTN_WERROR), so the lock
+/// discipline written down with these macros — which data member a mutex
+/// guards, which functions must (or must not) be entered with it held — is
+/// machine-checked on every commit instead of living only in comments.
+///
+/// The macros carry a QNTN_ prefix on purpose: the conventional bare names
+/// collide with real code (`REQUIRES(...)` would be eaten by C++20
+/// requires-clauses written as `requires (...)`).
+///
+/// Usage map (see common/mutex.hpp for the annotated primitives):
+///   QNTN_CAPABILITY("mutex")   on a lockable type
+///   QNTN_SCOPED_CAPABILITY     on an RAII lock holder
+///   QNTN_GUARDED_BY(mutex_)    on a data member
+///   QNTN_REQUIRES(mutex_)      caller must hold mutex_
+///   QNTN_EXCLUDES(mutex_)      caller must NOT hold mutex_ (anti-deadlock)
+///   QNTN_ACQUIRE()/QNTN_RELEASE()/QNTN_TRY_ACQUIRE(bool)
+///   QNTN_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify in a
+///                                   comment; TSan still covers it)
+
+#if defined(__clang__)
+#define QNTN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QNTN_THREAD_ANNOTATION(x)  // no-op on GCC / MSVC
+#endif
+
+#define QNTN_CAPABILITY(x) QNTN_THREAD_ANNOTATION(capability(x))
+#define QNTN_SCOPED_CAPABILITY QNTN_THREAD_ANNOTATION(scoped_lockable)
+#define QNTN_GUARDED_BY(x) QNTN_THREAD_ANNOTATION(guarded_by(x))
+#define QNTN_PT_GUARDED_BY(x) QNTN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define QNTN_REQUIRES(...) \
+  QNTN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QNTN_EXCLUDES(...) QNTN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define QNTN_ACQUIRE(...) \
+  QNTN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QNTN_RELEASE(...) \
+  QNTN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QNTN_TRY_ACQUIRE(...) \
+  QNTN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define QNTN_ASSERT_CAPABILITY(x) QNTN_THREAD_ANNOTATION(assert_capability(x))
+#define QNTN_RETURN_CAPABILITY(x) QNTN_THREAD_ANNOTATION(lock_returned(x))
+#define QNTN_NO_THREAD_SAFETY_ANALYSIS \
+  QNTN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,411 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+
+namespace qntn::lint {
+
+namespace {
+
+/// Emitter files: the sources that write machine-read run output (metrics
+/// JSON, JSONL traces, Chrome profiles, bench reports). Determinism rules
+/// bite hardest here — a golden-trace test pins these bytes.
+constexpr std::string_view kEmitterFiles = R"(^(src/obs/|bench/perf_harness\.hpp))";
+
+const std::vector<RuleSpec>& rule_table() {
+  static const std::vector<RuleSpec> kRules = {
+      {
+          "rng-source",
+          RuleKind::Pattern,
+          ScanText::StrippedCommentsAndStrings,
+          R"(\bsrand\b|\brand\b|\brandom_device\b|\bdrand48\b|\blrand48\b)",
+          "",
+          R"(^src/common/rng\.hpp$)",
+          "rng-ok",
+          "nondeterministic randomness source; draw from qntn::Rng "
+          "(common/rng.hpp), seeded from the scenario config",
+      },
+      {
+          "wall-clock",
+          RuleKind::Pattern,
+          ScanText::StrippedCommentsAndStrings,
+          R"(\bsystem_clock\b|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b|\bstrftime\b|\btime\s*\(\s*(nullptr|NULL|0)?\s*\))",
+          "",
+          "",
+          "wall-clock-ok",
+          "wall-clock read makes runs irreproducible; use scenario time for "
+          "results and steady_clock for durations",
+      },
+      {
+          "float-format",
+          RuleKind::Pattern,
+          ScanText::StrippedComments,
+          R"(%[-+#0-9]*(\.\d+)?[feEaA]|%(?![-+#0-9]*\.\d)[-+#0-9]*[gG]|\bstd::(fixed|scientific|hexfloat|setprecision)\b)",
+          kEmitterFiles,
+          "",
+          "float-ok",
+          "non-canonical float formatting in a result/trace emitter; use the "
+          "deterministic \"%.10g\" helpers so output bytes stay stable",
+      },
+      {
+          "ordered-iteration",
+          RuleKind::UnorderedIteration,
+          ScanText::StrippedCommentsAndStrings,
+          "",
+          kEmitterFiles,
+          "",
+          "ordered-ok",
+          "iterating an unordered container in a file that writes run "
+          "output; emit in sorted order, or justify with `// lint: "
+          "ordered-ok` when the loop provably cannot affect output order",
+      },
+      {
+          "unit-suffix",
+          RuleKind::Pattern,
+          ScanText::StrippedCommentsAndStrings,
+          R"(\b(double|float)\s+\w+(_seconds?|_secs?|_met(er|re)s?|_kilomet(er|re)s?|_kms|_degrees?|_degs|_radians?|_rads|_decibels?|_minutes?|_milliseconds?|_msecs?|_microseconds?|_usecs?|_nanoseconds?|_hertz)\b)",
+          "",
+          R"(^src/common/units\.hpp$)",
+          "unit-ok",
+          "physical quantity with a non-canonical unit suffix; use the "
+          "common/units.hpp conventions (_m, _km, _s, _ms, _us, _deg, _rad, "
+          "_db, _hz, _nm)",
+      },
+      {
+          "header-pragma",
+          RuleKind::HeaderPragma,
+          ScanText::StrippedComments,
+          "",
+          R"(\.hpp$)",
+          "",
+          "pragma-ok",
+          "headers must open with `#pragma once` (no include guards) so the "
+          "self-contained-header check can compile them in isolation",
+      },
+  };
+  return kRules;
+}
+
+/// Compiled pattern per rule, in table order (empty regex for non-Pattern
+/// kinds). Compiled once; the checker is run over a few hundred files.
+const std::vector<std::regex>& compiled_patterns() {
+  static const std::vector<std::regex> kCompiled = [] {
+    std::vector<std::regex> out;
+    out.reserve(rule_table().size());
+    for (const RuleSpec& rule : rule_table()) {
+      out.emplace_back(rule.pattern.empty() ? "$^" : std::string(rule.pattern),
+                       std::regex::ECMAScript | std::regex::optimize);
+    }
+    return out;
+  }();
+  return kCompiled;
+}
+
+[[nodiscard]] bool path_matches(std::string_view path, std::string_view filter) {
+  if (filter.empty()) return true;
+  return std::regex_search(path.begin(), path.end(),
+                           std::regex(std::string(filter)));
+}
+
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// `// lint: <token> [<token>...]` justification comments per 1-based line.
+[[nodiscard]] std::map<std::size_t, std::vector<std::string>> suppressions(
+    std::string_view text) {
+  static const std::regex kLintComment(R"(//\s*lint:\s*([A-Za-z0-9_, -]+))");
+  std::map<std::size_t, std::vector<std::string>> out;
+  const std::vector<std::string_view> lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::cmatch match;
+    if (!std::regex_search(lines[i].begin(), lines[i].end(), match,
+                           kLintComment)) {
+      continue;
+    }
+    // Tokens are comma/space separated: `// lint: ordered-ok, float-ok`.
+    std::string token;
+    for (const char c : match[1].str()) {
+      if (c == ',' || c == ' ') {
+        if (!token.empty()) out[i + 1].push_back(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (!token.empty()) out[i + 1].push_back(token);
+  }
+  return out;
+}
+
+[[nodiscard]] bool suppressed(
+    const std::map<std::size_t, std::vector<std::string>>& tokens,
+    std::size_t line, std::string_view token) {
+  // A justification covers its own line and the line below it, so both
+  // trailing comments and a comment line above the construct work.
+  for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
+    const auto it = tokens.find(at);
+    if (it == tokens.end()) continue;
+    if (std::find(it->second.begin(), it->second.end(), token) !=
+        it->second.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Names declared as std::unordered_{map,set} in this file: find each
+/// occurrence, balance the template angle brackets, and take the identifier
+/// that follows (the declared variable or member).
+[[nodiscard]] std::vector<std::string> unordered_names(std::string_view text) {
+  std::vector<std::string> names;
+  static const std::regex kUnordered(R"(\bunordered_(map|set|multimap|multiset)\b)");
+  auto begin = std::cregex_iterator(text.begin(), text.end(), kUnordered);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos >= text.size() || text[pos] != '<') continue;
+    int depth = 0;
+    for (; pos < text.size(); ++pos) {
+      if (text[pos] == '<') ++depth;
+      if (text[pos] == '>' && --depth == 0) {
+        ++pos;
+        break;
+      }
+    }
+    // Skip whitespace and reference/pointer declarators between the
+    // template-id and the declared name (`unordered_map<K, V>& counters`).
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      name += text[pos++];
+    }
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+/// Range-for loops whose range expression mentions one of `names`. Matches
+/// the repo style `for (decl : range)`; the range expression is everything
+/// after the last top-level ` : ` on the line.
+void check_unordered_iteration(
+    const RuleSpec& rule, std::string_view path,
+    const std::vector<std::string_view>& lines,
+    const std::map<std::size_t, std::vector<std::string>>& tokens,
+    const std::vector<std::string>& names, std::vector<Finding>& findings) {
+  if (names.empty()) return;
+  static const std::regex kRangeFor(R"(\bfor\s*\(.* : (.*)\))");
+  static const std::regex kIdent(R"([A-Za-z_]\w*)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::cmatch match;
+    if (!std::regex_search(lines[i].begin(), lines[i].end(), match,
+                           kRangeFor)) {
+      continue;
+    }
+    const std::string range_expr = match[1].str();
+    auto ident = std::sregex_iterator(range_expr.begin(), range_expr.end(),
+                                      kIdent);
+    bool hit = false;
+    for (auto id = ident; id != std::sregex_iterator(); ++id) {
+      if (std::find(names.begin(), names.end(), id->str()) != names.end()) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit || suppressed(tokens, i + 1, rule.suppress)) continue;
+    findings.push_back({std::string(path), i + 1, std::string(rule.name),
+                        std::string(rule.message)});
+  }
+}
+
+void check_header_pragma(const RuleSpec& rule, std::string_view path,
+                         const std::vector<std::string_view>& lines,
+                         std::vector<Finding>& findings) {
+  static const std::regex kGuard(R"(^\s*#\s*ifndef\s+\w+_(H|HPP|H_|HPP_)\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    // First non-blank content must be the pragma; include guards anywhere
+    // are flagged too (a guarded header defeats the isolation compile).
+    const bool blank =
+        std::all_of(line.begin(), line.end(), [](unsigned char c) {
+          return std::isspace(c) != 0;
+        });
+    if (blank) continue;
+    std::cmatch match;
+    if (std::regex_search(line.begin(), line.end(), match, kGuard) ||
+        line.find("#pragma once") == std::string_view::npos) {
+      findings.push_back({std::string(path), i + 1, std::string(rule.name),
+                          std::string(rule.message)});
+    }
+    return;  // only the first non-blank line decides
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleSpec>& rules() { return rule_table(); }
+
+std::string strip_source(std::string_view text, bool strip_strings) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string raw_delim;  // )delim" closing a raw string literal
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = text.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            out += c;
+            break;
+          }
+          // Built with clear()+push_back rather than operator=(const char*):
+          // GCC 12's -Werror=restrict range analysis trips on the inlined
+          // char-traits memcpy of the latter.
+          raw_delim.clear();
+          raw_delim.push_back(')');
+          raw_delim.append(text.substr(i + 2, open - (i + 2)));
+          raw_delim.push_back('"');
+          state = State::RawString;
+          out += strip_strings ? std::string(open - i + 1, ' ')
+                               : std::string(text.substr(i, open - i + 1));
+          i = open;
+        } else if (c == '"') {
+          state = State::String;
+          out += strip_strings ? ' ' : c;
+        } else if (c == '\'') {
+          state = State::Char;
+          out += strip_strings ? ' ' : c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::String:
+      case State::Char: {
+        const char quote = state == State::String ? '"' : '\'';
+        if (c == '\\') {
+          out += strip_strings ? "  " : std::string(text.substr(i, 2));
+          ++i;
+        } else if (c == quote) {
+          state = State::Code;
+          out += strip_strings ? ' ' : c;
+        } else {
+          out += strip_strings ? (c == '\n' ? '\n' : ' ') : c;
+        }
+        break;
+      }
+      case State::RawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out += strip_strings ? std::string(raw_delim.size(), ' ')
+                               : raw_delim;
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          out += strip_strings ? (c == '\n' ? '\n' : ' ') : c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_source(std::string_view path,
+                                  std::string_view text) {
+  std::vector<Finding> findings;
+  const std::string no_comments = strip_source(text, /*strip_strings=*/false);
+  const std::string code_only = strip_source(text, /*strip_strings=*/true);
+  const std::vector<std::string_view> no_comment_lines =
+      split_lines(no_comments);
+  const std::vector<std::string_view> code_lines = split_lines(code_only);
+  const std::map<std::size_t, std::vector<std::string>> tokens =
+      suppressions(text);
+
+  const std::vector<RuleSpec>& table = rule_table();
+  const std::vector<std::regex>& patterns = compiled_patterns();
+  for (std::size_t r = 0; r < table.size(); ++r) {
+    const RuleSpec& rule = table[r];
+    if (!path_matches(path, rule.file_filter)) continue;
+    if (!rule.allow_files.empty() && path_matches(path, rule.allow_files)) {
+      continue;
+    }
+    const std::vector<std::string_view>& lines =
+        rule.scan == ScanText::StrippedComments ? no_comment_lines
+                                                : code_lines;
+    switch (rule.kind) {
+      case RuleKind::Pattern:
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (!std::regex_search(lines[i].begin(), lines[i].end(),
+                                 patterns[r])) {
+            continue;
+          }
+          if (suppressed(tokens, i + 1, rule.suppress)) continue;
+          findings.push_back({std::string(path), i + 1,
+                              std::string(rule.name),
+                              std::string(rule.message)});
+        }
+        break;
+      case RuleKind::UnorderedIteration:
+        check_unordered_iteration(rule, path, lines, tokens,
+                                  unordered_names(code_only), findings);
+        break;
+      case RuleKind::HeaderPragma:
+        check_header_pragma(rule, path, lines, findings);
+        break;
+    }
+  }
+  return findings;
+}
+
+}  // namespace qntn::lint

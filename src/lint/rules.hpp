@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file rules.hpp
+/// The qntn_lint rule engine: fast lexical checks for project invariants
+/// that clang-tidy cannot know. The headline claim of this reproduction is
+/// determinism — ScenarioResult and every emitted trace byte are identical
+/// across thread counts and topology modes — and these rules statically ban
+/// the ways a future change could quietly break that (ad-hoc randomness,
+/// wall-clock reads, locale/precision-dependent float formatting, iteration
+/// order of unordered containers feeding run output), plus two hygiene
+/// invariants (canonical unit suffixes, `#pragma once` headers).
+///
+/// Rules are data-driven: each is a RuleSpec row interpreted by one of a
+/// small set of checker kinds, so adding a rule is adding a table entry.
+/// Matching runs on comment-stripped (and, for most rules, string-stripped)
+/// text, and every rule has a justification token — `// lint: <token>` on
+/// the offending line or the line above acknowledges a reviewed exception.
+
+namespace qntn::lint {
+
+enum class RuleKind {
+  /// Regex applied line by line to the stripped text.
+  Pattern,
+  /// Range-for over a container declared std::unordered_* in the same file.
+  UnorderedIteration,
+  /// Headers must open with `#pragma once` (no include guards).
+  HeaderPragma,
+};
+
+/// What the matcher may see: string literals usually carry no violations
+/// (and plenty of false positives), except for printf format strings.
+enum class ScanText {
+  StrippedCommentsAndStrings,
+  StrippedComments,  ///< keep string literals (format-string rules)
+};
+
+struct RuleSpec {
+  std::string_view name;     ///< diagnostic id, e.g. "rng-source"
+  RuleKind kind;
+  ScanText scan;
+  std::string_view pattern;  ///< ECMAScript regex (Pattern rules)
+  /// Regex over the repo-relative path selecting the files the rule applies
+  /// to; empty = every C++ source/header.
+  std::string_view file_filter;
+  /// Regex over the repo-relative path of files exempt from the rule.
+  std::string_view allow_files;
+  /// Token after `// lint: ` that suppresses a finding on that line or the
+  /// next one.
+  std::string_view suppress;
+  /// One-line diagnostic: what is wrong and what to use instead.
+  std::string_view message;
+};
+
+/// The rule table, in reporting order.
+[[nodiscard]] const std::vector<RuleSpec>& rules();
+
+struct Finding {
+  std::string file;   ///< repo-relative path, forward slashes
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Run every applicable rule over one file. `path` must be repo-relative
+/// with forward slashes (rule filters match against it).
+[[nodiscard]] std::vector<Finding> check_source(std::string_view path,
+                                                std::string_view text);
+
+/// Replace comments — and, when `strip_strings`, string/char literals —
+/// with spaces, preserving the line structure so line numbers still match.
+[[nodiscard]] std::string strip_source(std::string_view text,
+                                       bool strip_strings);
+
+}  // namespace qntn::lint

@@ -1,0 +1,70 @@
+#include "lint/scan.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qntn::lint {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::string>& default_scan_dirs() {
+  static const std::vector<std::string> kDirs = {"src", "tools", "bench",
+                                                 "tests", "examples"};
+  return kDirs;
+}
+
+namespace {
+
+[[nodiscard]] bool checked_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("qntn_lint: cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<std::string> list_sources(const std::string& root) {
+  std::vector<std::string> out;
+  for (const std::string& dir : default_scan_dirs()) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !checked_extension(entry.path())) {
+        continue;
+      }
+      std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      // Fixture corpus violates the rules on purpose (golden test data).
+      if (rel.rfind("tests/lint/fixtures", 0) == 0) continue;
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Finding> check_tree(const std::string& root) {
+  std::vector<Finding> findings;
+  for (const std::string& rel : list_sources(root)) {
+    const std::string text = read_file(fs::path(root) / rel);
+    std::vector<Finding> file_findings = check_source(rel, text);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace qntn::lint

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+/// \file scan.hpp
+/// Repo-tree scanning for qntn_lint: enumerate the checked C++ sources
+/// under a repo root and run every rule over them. Shared between the
+/// qntn_lint CLI and the "repo is lint-clean" test so the two can never
+/// disagree about what is covered.
+
+namespace qntn::lint {
+
+/// The directories checked under the repo root, in scan order.
+[[nodiscard]] const std::vector<std::string>& default_scan_dirs();
+
+/// Repo-relative paths (forward slashes, sorted) of every .hpp/.cpp under
+/// the scan dirs. `tests/lint/fixtures` is excluded: those files are rule
+/// test data and violate the rules on purpose.
+[[nodiscard]] std::vector<std::string> list_sources(const std::string& root);
+
+/// Run every rule over every listed source. Findings come back sorted by
+/// (file, line) — the scan order — so output is deterministic.
+[[nodiscard]] std::vector<Finding> check_tree(const std::string& root);
+
+}  // namespace qntn::lint

@@ -68,14 +68,14 @@ void append_us(std::string& out, std::uint64_t ns) {
 }  // namespace
 
 struct Profiler::ThreadBuffer {
-  std::string name;          ///< thread label at first span ("main", ...)
-  std::uint32_t tid = 0;     ///< registration index, Chrome tid
-  std::vector<SpanRecord> ring;
-  std::size_t next = 0;      ///< ring write index
-  std::uint64_t total = 0;   ///< spans ever recorded (>= ring.size())
+  std::string name;       ///< thread label; written once at registration
+  std::uint32_t tid = 0;  ///< registration index, Chrome tid; set once
   /// The owning thread is the only writer; the profiler locks this only
   /// while draining so a snapshot never reads a half-written record.
-  std::mutex mutex;
+  Mutex mutex;
+  std::vector<SpanRecord> ring QNTN_GUARDED_BY(mutex);
+  std::size_t next QNTN_GUARDED_BY(mutex) = 0;    ///< ring write index
+  std::uint64_t total QNTN_GUARDED_BY(mutex) = 0; ///< spans ever recorded
 };
 
 Profiler::Profiler(std::size_t capacity_per_thread)
@@ -98,13 +98,14 @@ Profiler::ThreadBuffer& Profiler::local_buffer() {
       return *static_cast<ThreadBuffer*>(entry.buffer);
     }
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ThreadBuffer*& slot = by_thread_[std::this_thread::get_id()];
   if (slot == nullptr) {
     buffers_.push_back(std::make_unique<ThreadBuffer>());
     slot = buffers_.back().get();
     slot->name = thread_label();
     slot->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+    const MutexLock init_lock(slot->mutex);
     slot->ring.reserve(std::min<std::size_t>(capacity_, 1024));
   }
   t_buffer_cache[t_buffer_next] = {serial_, slot};
@@ -115,7 +116,7 @@ Profiler::ThreadBuffer& Profiler::local_buffer() {
 void Profiler::record(const char* name, std::uint64_t start_ns,
                       std::uint64_t dur_ns, std::uint64_t arg) {
   ThreadBuffer& buffer = local_buffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  const MutexLock lock(buffer.mutex);
   const SpanRecord span{name, start_ns, dur_ns, arg};
   if (buffer.ring.size() < capacity_) {
     buffer.ring.push_back(span);
@@ -127,34 +128,34 @@ void Profiler::record(const char* name, std::uint64_t start_ns,
 }
 
 std::uint64_t Profiler::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::uint64_t dropped = 0;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     dropped += buffer->total - buffer->ring.size();
   }
   return dropped;
 }
 
 std::size_t Profiler::span_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     count += buffer->ring.size();
   }
   return count;
 }
 
 std::string Profiler::chrome_trace_json() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string out;
   out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   out +=
       "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
       "\"args\": {\"name\": \"qntn\"}}";
   for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     const std::string tid = std::to_string(buffer->tid);
     out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
            ", \"name\": \"thread_name\", \"args\": {\"name\": ";

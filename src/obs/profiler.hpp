@@ -4,11 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 /// \file profiler.hpp
 /// Hierarchical span profiler: RAII obs::Span scopes record (name, start,
@@ -56,16 +57,16 @@ class Profiler {
               std::uint64_t arg);
 
   /// Spans overwritten because a thread's ring filled, over all threads.
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const QNTN_EXCLUDES(mutex_);
 
   /// Spans currently held (post-overwrite), over all threads.
-  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t span_count() const QNTN_EXCLUDES(mutex_);
 
   /// The whole profile as Chrome trace-event JSON: one metadata event per
   /// thread (thread_name / thread_sort_index) and one "X" (complete) event
   /// per span, one event per line, spans sorted by (tid, start). ts/dur are
   /// microseconds since the profiler epoch.
-  [[nodiscard]] std::string chrome_trace_json() const;
+  [[nodiscard]] std::string chrome_trace_json() const QNTN_EXCLUDES(mutex_);
 
   /// Write chrome_trace_json() to a file; throws qntn::Error on failure.
   void write_chrome_trace(const std::string& path) const;
@@ -75,14 +76,15 @@ class Profiler {
 
   /// The calling thread's ring, created (and named after the thread's
   /// label) on first use; TLS-cached by profiler serial like Registry.
-  ThreadBuffer& local_buffer();
+  ThreadBuffer& local_buffer() QNTN_EXCLUDES(mutex_);
 
   const std::uint64_t serial_;  ///< process-unique; guards the TLS cache
   const std::size_t capacity_;
-  std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  ///< guards buffers_ / by_thread_
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::unordered_map<std::thread::id, ThreadBuffer*> by_thread_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ QNTN_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, ThreadBuffer*> by_thread_
+      QNTN_GUARDED_BY(mutex_);
 };
 
 /// The thread's ambient profiler (nullptr when none is installed).

@@ -72,12 +72,16 @@ struct Registry::Shard {
   /// Guards map structure and the stats values. The owning thread is the
   /// only inserter, so writers lock solely around first-touch inserts and
   /// stat updates; established counter cells are updated lock-free.
-  std::mutex mutex;
+  Mutex mutex;
+  /// Deliberately NOT QNTN_GUARDED_BY(mutex): the owning thread reads the
+  /// map lock-free (single-writer protocol, outside the lock-based model
+  /// thread-safety analysis can express) and takes `mutex` only to insert.
+  /// TSan covers this path; see Registry::count.
   std::unordered_map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
                      StringHash, std::equal_to<>>
       counters;
   std::unordered_map<std::string, RunningStats, StringHash, std::equal_to<>>
-      stats;
+      stats QNTN_GUARDED_BY(mutex);
 };
 
 Registry::Registry()
@@ -89,7 +93,7 @@ Registry::Shard& Registry::local_shard() {
   for (const TlsShardEntry& entry : t_shard_cache) {
     if (entry.serial == serial_) return *static_cast<Shard*>(entry.shard);
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Shard*& slot = by_thread_[std::this_thread::get_id()];
   if (slot == nullptr) {
     shards_.push_back(std::make_unique<Shard>());
@@ -106,7 +110,7 @@ void Registry::count(std::string_view name, std::uint64_t delta) {
   // snapshot() readers never mutate the map.
   auto it = shard.counters.find(name);
   if (it == shard.counters.end()) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     it = shard.counters
              .try_emplace(std::string(name),
                           std::make_unique<std::atomic<std::uint64_t>>(0))
@@ -117,7 +121,7 @@ void Registry::count(std::string_view name, std::uint64_t delta) {
 
 void Registry::observe(std::string_view name, double value) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   auto it = shard.stats.find(name);
   if (it == shard.stats.end()) {
     it = shard.stats.try_emplace(std::string(name)).first;
@@ -127,13 +131,15 @@ void Registry::observe(std::string_view name, double value) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
-    for (const auto& [name, cell] : shard->counters) {
+    const MutexLock shard_lock(shard->mutex);
+    // Shard maps are unordered, but both loops merge into the snapshot's
+    // sorted std::map, so visitation order cannot reach the output bytes.
+    for (const auto& [name, cell] : shard->counters) {  // lint: ordered-ok
       out.counters[name] += cell->load(std::memory_order_relaxed);
     }
-    for (const auto& [name, stats] : shard->stats) {
+    for (const auto& [name, stats] : shard->stats) {  // lint: ordered-ok
       out.stats[name].merge(stats);
     }
   }
@@ -142,9 +148,9 @@ MetricsSnapshot Registry::snapshot() const {
 
 std::uint64_t Registry::counter(std::string_view name) const {
   std::uint64_t total = 0;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const MutexLock shard_lock(shard->mutex);
     const auto it = shard->counters.find(name);
     if (it != shard->counters.end()) {
       total += it->second->load(std::memory_order_relaxed);
@@ -155,9 +161,9 @@ std::uint64_t Registry::counter(std::string_view name) const {
 
 RunningStats Registry::stat(std::string_view name) const {
   RunningStats total;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const MutexLock shard_lock(shard->mutex);
     const auto it = shard->stats.find(name);
     if (it != shard->stats.end()) total.merge(it->second);
   }
@@ -167,7 +173,8 @@ RunningStats Registry::stat(std::string_view name) const {
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, value] : counters) {
+  // MetricsSnapshot::counters is std::map — already sorted by name.
+  for (const auto& [name, value] : counters) {  // lint: ordered-ok
     out += first ? "\n    " : ",\n    ";
     first = false;
     append_json_string(out, name);
@@ -177,7 +184,8 @@ std::string MetricsSnapshot::to_json() const {
   out += counters.empty() ? "},\n" : "\n  },\n";
   out += "  \"stats\": {";
   first = true;
-  for (const auto& [name, running] : stats) {
+  // MetricsSnapshot::stats is std::map — already sorted by name.
+  for (const auto& [name, running] : stats) {  // lint: ordered-ok
     out += first ? "\n    " : ",\n    ";
     first = false;
     append_json_string(out, name);

@@ -3,13 +3,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/stats.hpp"
 
 /// \file registry.hpp
@@ -51,13 +51,15 @@ class Registry {
   void observe(std::string_view name, double value);
 
   /// Merge every shard into one consistent snapshot.
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const QNTN_EXCLUDES(mutex_);
 
   /// Convenience: the merged value of one counter (0 if never touched).
-  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const
+      QNTN_EXCLUDES(mutex_);
 
   /// Convenience: the merged distribution of one stat (empty if absent).
-  [[nodiscard]] RunningStats stat(std::string_view name) const;
+  [[nodiscard]] RunningStats stat(std::string_view name) const
+      QNTN_EXCLUDES(mutex_);
 
  private:
   struct Shard;
@@ -65,12 +67,13 @@ class Registry {
   /// The calling thread's shard, created on first use. A small thread-local
   /// cache keyed by the registry serial makes the steady state allocation-
   /// and lock-free.
-  Shard& local_shard();
+  Shard& local_shard() QNTN_EXCLUDES(mutex_);
 
   const std::uint64_t serial_;  ///< process-unique; guards the TLS cache
-  mutable std::mutex mutex_;    ///< guards shards_ / by_thread_
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::unordered_map<std::thread::id, Shard*> by_thread_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_ QNTN_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, Shard*> by_thread_
+      QNTN_GUARDED_BY(mutex_);
 };
 
 /// The thread's ambient registry (nullptr when none is installed).

@@ -113,13 +113,13 @@ TraceSink::TraceSink(const std::string& path, TraceLevel level)
 void TraceSink::emit(const TraceEvent& event) {
   if (out_ == nullptr) return;
   const std::string line = event.json();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   *out_ << line << '\n';
 }
 
 void TraceSink::flush() {
   if (out_ == nullptr) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   out_->flush();
 }
 

@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.hpp"
 
 /// \file trace.hpp
 /// Structured per-run trace sink: one JSON object per line (JSON Lines),
@@ -74,15 +75,15 @@ class TraceSink {
 
   /// Append one event line. Serialized internally; safe from worker
   /// threads, though interleaved runs should use separate sinks.
-  void emit(const TraceEvent& event);
+  void emit(const TraceEvent& event) QNTN_EXCLUDES(mutex_);
 
-  void flush();
+  void flush() QNTN_EXCLUDES(mutex_);
 
  private:
-  TraceLevel level_ = TraceLevel::Off;
-  std::ostream* out_ = nullptr;
-  std::unique_ptr<std::ostream> owned_;
-  std::mutex mutex_;
+  TraceLevel level_ = TraceLevel::Off;      // set at construction only
+  std::ostream* out_ = nullptr;             // set at construction only
+  std::unique_ptr<std::ostream> owned_;     // set at construction only
+  Mutex mutex_;  ///< serializes writes through *out_ (the stream itself)
 };
 
 }  // namespace qntn::obs

@@ -37,6 +37,15 @@ namespace qntn::plan {
 /// graph_at(horizon) equals the rebuild's final snapshot. All state is
 /// immutable after construction; every query is safe from any thread with
 /// no synchronisation. The plan and model must outlive the provider.
+///
+/// Thread-safety discipline: this class deliberately holds NO mutex, so
+/// there is nothing for the clang -Wthread-safety annotations
+/// (common/thread_safety.hpp) to guard — concurrent readers are safe
+/// because every member is written exactly once, by the constructor.
+/// Anyone adding mutable state (a memoisation cache, say) must guard it
+/// with a qntn::Mutex + QNTN_GUARDED_BY so the CI lint job re-checks the
+/// lock discipline; the parallel scenario/coverage engines query this
+/// provider from many threads at once (tests/sim/parallel_scenario_test).
 class ContactPlanTopology final : public sim::TopologyProvider {
  public:
   ContactPlanTopology(const ContactPlan& plan, const sim::NetworkModel& model);

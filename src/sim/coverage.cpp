@@ -85,8 +85,8 @@ CoverageResult analyze_coverage(const NetworkModel& model,
     result.step_connected.push_back(connected ? 1 : 0);
     result.intervals.add_sample(t, dt, connected);
   }
-  result.covered_seconds = result.intervals.total();
-  result.percent = 100.0 * result.covered_seconds / options.duration;
+  result.covered_s = result.intervals.total();
+  result.percent = 100.0 * result.covered_s / options.duration;
   return result;
 }
 

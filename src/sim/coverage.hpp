@@ -41,7 +41,7 @@ struct CoverageResult {
   /// Merged connectivity episodes, in seconds of simulation time.
   IntervalSet intervals;
   /// T_c of Eq. (6) [s].
-  double covered_seconds = 0.0;
+  double covered_s = 0.0;
   /// P of Eq. (7) [%].
   double percent = 0.0;
   /// Per-step connectivity flags (time series for plotting).

@@ -76,7 +76,7 @@ ScenarioResult run_scenario(const NetworkModel& model,
   if (trace_snapshots) {
     trace->emit(obs::TraceEvent("coverage")
                     .field("percent", result.coverage.percent)
-                    .field("covered_s", result.coverage.covered_seconds));
+                    .field("covered_s", result.coverage.covered_s));
   }
 
   Rng rng(config.request_seed);

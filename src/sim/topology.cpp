@@ -121,11 +121,19 @@ void TopologyBuilder::build_static_links() {
 
   // Ground-HAP FSO links are fixed (both endpoints hover/stand still).
   if (ground_hap_) {
+    // Endpoints are loop-invariant: hoist the HAP positions out of the
+    // per-LAN sweep and the ground position out of the per-HAP sweep.
+    std::vector<channel::Endpoint> hap_pos;
+    hap_pos.reserve(model_.hap_ids().size());
+    for (const net::NodeId h : model_.hap_ids()) {
+      hap_pos.push_back(model_.endpoint_at(h, 0.0));
+    }
     for (std::size_t lan = 0; lan < model_.lan_count(); ++lan) {
       for (const net::NodeId g : model_.lan_nodes(lan)) {
-        for (const net::NodeId h : model_.hap_ids()) {
-          const channel::Endpoint eg = model_.endpoint_at(g, 0.0);
-          const channel::Endpoint eh = model_.endpoint_at(h, 0.0);
+        const channel::Endpoint eg = model_.endpoint_at(g, 0.0);
+        for (std::size_t hi = 0; hi < hap_pos.size(); ++hi) {
+          const net::NodeId h = model_.hap_ids()[hi];
+          const channel::Endpoint& eh = hap_pos[hi];
           if (!channel::fso_link_visible(eg, eh, policy_.elevation_mask)) continue;
           const channel::FsoGeometry geom = channel::make_fso_geometry(eg, eh);
           const double eta = ground_hap_->symmetric(geom.range, geom.elevation);
@@ -239,40 +247,30 @@ std::optional<double> TopologyBuilder::link_transmissivity(net::NodeId a,
   const channel::Endpoint ea = model_.endpoint_at(a, t);
   const channel::Endpoint eb = model_.endpoint_at(b, t);
 
-  auto kinds = [&](NodeKind x, NodeKind y) {
-    return (na.kind == x && nb.kind == y) || (na.kind == y && nb.kind == x);
-  };
-
   if (na.kind == NodeKind::Ground && nb.kind == NodeKind::Ground) {
     if (na.lan != nb.lan) return std::nullopt;  // no inter-city fiber (paper)
     const channel::FiberChannel fiber{distance(ea.ecef, eb.ecef),
                                       policy_.fiber_attenuation_db_per_km};
     return fiber.transmissivity();
   }
-  const channel::FsoLinkEvaluator* evaluator = nullptr;
-  if (kinds(NodeKind::Ground, NodeKind::Satellite)) {
-    evaluator = ground_sat_ ? &*ground_sat_ : nullptr;
-  } else if (kinds(NodeKind::Ground, NodeKind::Hap)) {
-    evaluator = ground_hap_ ? &*ground_hap_ : nullptr;
-  } else if (kinds(NodeKind::Hap, NodeKind::Satellite)) {
-    evaluator = hap_sat_ ? &*hap_sat_ : nullptr;
-  } else if (kinds(NodeKind::Satellite, NodeKind::Satellite)) {
-    evaluator = sat_sat_ ? &*sat_sat_ : nullptr;
-  }
-  if (evaluator == nullptr) return std::nullopt;
+  // Dispatch through the evaluator() member — a previous version shadowed
+  // it with a local of the same name that re-implemented this table, and
+  // the two copies could drift.
+  const channel::FsoLinkEvaluator* fso = evaluator(na.kind, nb.kind);
+  if (fso == nullptr) return std::nullopt;
 
   if (na.kind == NodeKind::Satellite && nb.kind == NodeKind::Satellite) {
     if (!geo::line_of_sight(ea.ecef, eb.ecef,
                             kEarthRadius + kAtmosphereTopAltitude)) {
       return std::nullopt;
     }
-    return evaluator->symmetric(distance(ea.ecef, eb.ecef), kPi / 2.0);
+    return fso->symmetric(distance(ea.ecef, eb.ecef), kPi / 2.0);
   }
   if (!channel::fso_link_visible(ea, eb, policy_.elevation_mask)) {
     return std::nullopt;
   }
   const channel::FsoGeometry geom = channel::make_fso_geometry(ea, eb);
-  return evaluator->symmetric(geom.range, geom.elevation);
+  return fso->symmetric(geom.range, geom.elevation);
 }
 
 }  // namespace qntn::sim

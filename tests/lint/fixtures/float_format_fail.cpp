@@ -1,0 +1,12 @@
+// Fixture: violates float-format when treated as an emitter file (the test
+// presents it under a src/obs/ path). Fixed-precision %f and iomanip
+// precision both drift with locale/width choices.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+void emit_metrics(double value) {
+  std::printf("{\"mean\": %.3f}\n", value);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(6) << value;
+}

@@ -1,0 +1,7 @@
+// Fixture: clean under float-format even as an emitter file. %.10g is the
+// canonical deterministic float rendering; %zu and %s are not floats.
+#include <cstdio>
+
+void emit_metrics(double value, std::size_t count) {
+  std::printf("{\"mean\": %.10g, \"count\": %zu}\n", value, count);
+}

@@ -1,0 +1,9 @@
+// Fixture: violates header-pragma (classic include guard, no pragma once).
+#ifndef QNTN_TESTS_LINT_FIXTURES_HEADER_PRAGMA_FAIL_HPP
+#define QNTN_TESTS_LINT_FIXTURES_HEADER_PRAGMA_FAIL_HPP
+
+struct Guarded {
+  int value = 0;
+};
+
+#endif

@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: clean under header-pragma — the first directive is pragma once.
+struct Guarded {
+  int value = 0;
+};

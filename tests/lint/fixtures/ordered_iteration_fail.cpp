@@ -1,0 +1,11 @@
+// Fixture: violates ordered-iteration when treated as an emitter file.
+// Hash-map order reaches the emitted bytes directly.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void emit_counters(const std::unordered_map<std::string, long>& counters) {
+  for (const auto& [name, value] : counters) {
+    std::printf("%s=%ld\n", name.c_str(), value);
+  }
+}

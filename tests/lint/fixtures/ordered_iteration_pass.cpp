@@ -1,0 +1,20 @@
+// Fixture: clean under ordered-iteration as an emitter file. Emission walks
+// a sorted std::map; the unordered lookup table is only probed, and the one
+// justified loop carries its token.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void emit_counters(const std::map<std::string, long>& sorted,
+                   const std::unordered_map<std::string, long>& lookup) {
+  for (const auto& [name, value] : sorted) {
+    std::printf("%s=%ld\n", name.c_str(), value);
+  }
+  long total = 0;
+  // Summation is commutative: visitation order cannot reach the output.
+  for (const auto& [name, value] : lookup) {  // lint: ordered-ok
+    total += value;
+  }
+  std::printf("total=%ld\n", total);
+}

@@ -1,0 +1,9 @@
+// Fixture: violates rng-source (ad-hoc randomness outside common/rng.hpp).
+#include <cstdlib>
+#include <random>
+
+int noisy_sample() {
+  std::random_device entropy;
+  std::srand(entropy());
+  return std::rand();
+}

@@ -1,0 +1,5 @@
+// Fixture: clean under rng-source. Draws from the project Rng, seeded from
+// the scenario config; mentions of std::rand in comments do not count.
+#include "common/rng.hpp"
+
+double clean_sample(qntn::Rng& rng) { return rng.uniform(); }

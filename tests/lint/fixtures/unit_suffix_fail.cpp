@@ -1,0 +1,10 @@
+// Fixture: violates unit-suffix (spelled-out unit names instead of the
+// canonical common/units.hpp suffixes).
+struct PassWindow {
+  double rise_seconds = 0.0;
+  double slant_kilometers = 0.0;
+};
+
+double dwell_minutes(const PassWindow& w, double mask_degrees) {
+  return (w.rise_seconds + mask_degrees) / 60.0;
+}

@@ -1,0 +1,11 @@
+// Fixture: clean under unit-suffix. Canonical suffixes throughout; a
+// dimensionless count needs no suffix at all.
+struct PassWindow {
+  double rise_s = 0.0;
+  double slant_km = 0.0;
+  double mask_deg = 0.0;
+  double loss_db = 0.0;
+  int samples = 0;
+};
+
+double dwell_s(const PassWindow& w) { return w.rise_s + w.mask_deg; }

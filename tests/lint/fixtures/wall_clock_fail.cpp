@@ -1,0 +1,9 @@
+// Fixture: violates wall-clock (system time reaches a result).
+#include <chrono>
+#include <ctime>
+
+long stamp_run() {
+  const std::time_t now = std::time(nullptr);
+  const auto tick = std::chrono::system_clock::now();
+  return static_cast<long>(now) + tick.time_since_epoch().count();
+}

@@ -1,0 +1,15 @@
+// Fixture: clean under wall-clock. Durations come from steady_clock and the
+// one justified exception carries its token.
+#include <chrono>
+#include <ctime>
+
+double elapsed_s() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// The profiler epoch is allowed to read the wall clock once at startup.
+long justified_epoch() {
+  return static_cast<long>(std::time(nullptr));  // lint: wall-clock-ok
+}

@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/rules.hpp"
+#include "lint/scan.hpp"
+
+// Golden-fixture tests for the qntn_lint rule engine. Each rule has one
+// passing and one failing sample under tests/lint/fixtures/ (a directory
+// the repo scan deliberately skips). The emitter-scoped rules only apply
+// under src/obs/ paths, so fixtures are read from disk but presented to
+// check_source under a synthetic repo-relative path.
+
+namespace {
+
+using qntn::lint::Finding;
+using qntn::lint::check_source;
+using qntn::lint::strip_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(QNTN_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> check_fixture(const std::string& name,
+                                   const std::string& as_path) {
+  return check_source(as_path, read_fixture(name));
+}
+
+bool fired(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintRules, RngSourceFailsOnAdHocRandomness) {
+  const auto findings = check_fixture("rng_source_fail.cpp", "src/x/f.cpp");
+  EXPECT_TRUE(fired(findings, "rng-source"));
+  EXPECT_GE(findings.size(), 2u);  // random_device, srand, rand
+}
+
+TEST(LintRules, RngSourcePassesOnProjectRng) {
+  EXPECT_TRUE(check_fixture("rng_source_pass.cpp", "src/x/f.cpp").empty());
+}
+
+TEST(LintRules, RngSourceAllowsTheRngHeaderItself) {
+  EXPECT_FALSE(fired(
+      check_fixture("rng_source_fail.cpp", "src/common/rng.hpp"),
+      "rng-source"));
+}
+
+TEST(LintRules, WallClockFailsOnSystemTime) {
+  const auto findings = check_fixture("wall_clock_fail.cpp", "src/x/f.cpp");
+  EXPECT_TRUE(fired(findings, "wall-clock"));
+}
+
+TEST(LintRules, WallClockPassesOnSteadyClockAndJustifiedRead) {
+  EXPECT_TRUE(check_fixture("wall_clock_pass.cpp", "src/x/f.cpp").empty());
+}
+
+TEST(LintRules, FloatFormatFailsInEmitterFile) {
+  const auto findings =
+      check_fixture("float_format_fail.cpp", "src/obs/emit.cpp");
+  EXPECT_TRUE(fired(findings, "float-format"));
+}
+
+TEST(LintRules, FloatFormatIgnoredOutsideEmitterFiles) {
+  EXPECT_FALSE(fired(check_fixture("float_format_fail.cpp", "src/x/f.cpp"),
+                     "float-format"));
+}
+
+TEST(LintRules, FloatFormatPassesOnCanonicalG) {
+  EXPECT_TRUE(
+      check_fixture("float_format_pass.cpp", "src/obs/emit.cpp").empty());
+}
+
+TEST(LintRules, OrderedIterationFailsInEmitterFile) {
+  const auto findings =
+      check_fixture("ordered_iteration_fail.cpp", "src/obs/emit.cpp");
+  ASSERT_TRUE(fired(findings, "ordered-iteration"));
+  // The diagnostic points at the range-for line.
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.rule == "ordered-iteration"; });
+  EXPECT_EQ(it->line, 8u);
+}
+
+TEST(LintRules, OrderedIterationPassesOnSortedMapAndJustifiedLoop) {
+  EXPECT_TRUE(
+      check_fixture("ordered_iteration_pass.cpp", "src/obs/emit.cpp").empty());
+}
+
+TEST(LintRules, UnitSuffixFailsOnSpelledOutUnits) {
+  const auto findings = check_fixture("unit_suffix_fail.cpp", "src/x/f.cpp");
+  EXPECT_TRUE(fired(findings, "unit-suffix"));
+}
+
+TEST(LintRules, UnitSuffixPassesOnCanonicalSuffixes) {
+  EXPECT_TRUE(check_fixture("unit_suffix_pass.cpp", "src/x/f.cpp").empty());
+}
+
+TEST(LintRules, HeaderPragmaFailsOnIncludeGuard) {
+  const auto findings =
+      check_fixture("header_pragma_fail.hpp", "src/x/f.hpp");
+  EXPECT_TRUE(fired(findings, "header-pragma"));
+}
+
+TEST(LintRules, HeaderPragmaPassesOnPragmaOnce) {
+  EXPECT_TRUE(check_fixture("header_pragma_pass.hpp", "src/x/f.hpp").empty());
+}
+
+TEST(LintRules, HeaderPragmaIgnoredForCppFiles) {
+  EXPECT_FALSE(fired(check_fixture("header_pragma_fail.hpp", "src/x/f.cpp"),
+                     "header-pragma"));
+}
+
+TEST(LintStrip, CommentsAndStringsBecomeSpacesLinesSurvive) {
+  const std::string stripped =
+      strip_source("int a; // std::rand()\nconst char* s = \"time(0)\";\n",
+                   /*strip_strings=*/true);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAreStripped) {
+  const std::string stripped = strip_source(
+      "auto s = R\"x(std::rand() inside)x\"; int b;", /*strip_strings=*/true);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, KeepStringsModePreservesFormatStrings) {
+  const std::string stripped = strip_source(
+      "printf(\"%.3f\\n\", x); // %.1f in comment", /*strip_strings=*/false);
+  EXPECT_NE(stripped.find("%.3f"), std::string::npos);
+  EXPECT_EQ(stripped.find("%.1f"), std::string::npos);
+}
+
+// The whole point: the shipped tree is lint-clean. Runs the identical scan
+// the qntn_lint CLI runs, so CI failures reproduce locally byte for byte.
+TEST(LintRepo, SourceTreeIsClean) {
+  const std::vector<Finding> findings =
+      qntn::lint::check_tree(QNTN_LINT_SOURCE_DIR);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_GT(qntn::lint::list_sources(QNTN_LINT_SOURCE_DIR).size(), 200u);
+}
+
+TEST(LintRules, EveryRuleHasNameMessageAndSuppressToken) {
+  for (const qntn::lint::RuleSpec& rule : qntn::lint::rules()) {
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_FALSE(rule.message.empty());
+    EXPECT_FALSE(rule.suppress.empty()) << rule.name;
+  }
+}
+
+}  // namespace

@@ -23,7 +23,7 @@ TEST(Coverage, AirGroundCoversTheWholeDay) {
   options.step = 60.0;
   const CoverageResult result = analyze_coverage(model, topology, options);
   EXPECT_DOUBLE_EQ(result.percent, 100.0);
-  EXPECT_DOUBLE_EQ(result.covered_seconds, 7200.0);
+  EXPECT_DOUBLE_EQ(result.covered_s, 7200.0);
   EXPECT_EQ(result.intervals.episode_count(), 1u);
 }
 
@@ -63,9 +63,9 @@ TEST(Coverage, StepSeriesMatchesIntervalTotal) {
   std::size_t active = 0;
   for (const auto flag : result.step_connected) active += flag;
   EXPECT_EQ(result.step_connected.size(), 120u);
-  EXPECT_NEAR(result.covered_seconds, static_cast<double>(active) * 120.0, 1e-9);
+  EXPECT_NEAR(result.covered_s, static_cast<double>(active) * 120.0, 1e-9);
   EXPECT_NEAR(result.percent,
-              100.0 * result.covered_seconds / options.duration, 1e-12);
+              100.0 * result.covered_s / options.duration, 1e-12);
 }
 
 TEST(Coverage, RejectsBadOptions) {
@@ -101,7 +101,7 @@ TEST(Coverage, ParallelEngineMatchesSerialLoop) {
     const CoverageResult actual =
         analyze_coverage(model, topology.provider(), parallel);
     EXPECT_EQ(actual.step_connected, expected.step_connected);
-    EXPECT_EQ(actual.covered_seconds, expected.covered_seconds);
+    EXPECT_EQ(actual.covered_s, expected.covered_s);
     EXPECT_EQ(actual.percent, expected.percent);
     EXPECT_EQ(actual.intervals.episode_count(),
               expected.intervals.episode_count());
@@ -122,7 +122,7 @@ TEST(Coverage, PoolWithoutEpochPartitionStaysSerial) {
   options.pool = &pool;
   const CoverageResult pooled = analyze_coverage(model, topology, options);
   EXPECT_EQ(pooled.step_connected, serial.step_connected);
-  EXPECT_EQ(pooled.covered_seconds, serial.covered_seconds);
+  EXPECT_EQ(pooled.covered_s, serial.covered_s);
 }
 
 }  // namespace

@@ -67,8 +67,8 @@ void expect_same_stats(const RunningStats& a, const RunningStats& b) {
 
 void expect_identical(const RunOutput& a, const RunOutput& b) {
   EXPECT_EQ(a.result.coverage.percent, b.result.coverage.percent);
-  EXPECT_EQ(a.result.coverage.covered_seconds,
-            b.result.coverage.covered_seconds);
+  EXPECT_EQ(a.result.coverage.covered_s,
+            b.result.coverage.covered_s);
   EXPECT_EQ(a.result.coverage.step_connected, b.result.coverage.step_connected);
   EXPECT_EQ(a.result.served_fraction, b.result.served_fraction);
   expect_same_stats(a.result.served_per_step, b.result.served_per_step);

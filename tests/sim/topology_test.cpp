@@ -161,5 +161,29 @@ TEST(Topology, HybridEnablesHapSatelliteLinks) {
   EXPECT_TRUE(ever_visible);
 }
 
+// Regression: link_transmissivity once carried its own copy of the
+// kind-pair -> evaluator dispatch table (in a local that shadowed the
+// evaluator() member), so the pairwise query could drift from the bulk
+// links_at() enumeration. Pin the two code paths to identical values for
+// every emitted link, across all link classes of the hybrid model.
+TEST(Topology, PairwiseQueryAgreesWithBulkEnumeration) {
+  QntnConfig config;
+  config.enable_hap_satellite = true;
+  const NetworkModel model = core::build_hybrid_model(config, 6);
+  const TopologyBuilder topology(model, config.link_policy());
+  std::size_t checked = 0;
+  for (double t = 0.0; t < 86'400.0; t += 7'200.0) {
+    for (const LinkRecord& link : topology.links_at(t)) {
+      const auto eta = topology.link_transmissivity(link.a, link.b, t);
+      ASSERT_TRUE(eta.has_value())
+          << "links_at emitted " << link.a << "-" << link.b
+          << " but the pairwise query denies it (t=" << t << ")";
+      EXPECT_DOUBLE_EQ(*eta, link.transmissivity);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000u);  // fiber meshes alone give 170 links per epoch
+}
+
 }  // namespace
 }  // namespace qntn::sim

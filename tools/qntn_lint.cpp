@@ -1,0 +1,82 @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lint/scan.hpp"
+
+/// qntn_lint: the project's domain linter. Enforces the determinism and
+/// hygiene invariants clang-tidy cannot know (see src/lint/rules.cpp for
+/// the rule table). Exit status 0 when the tree is clean, 1 when any rule
+/// fires, 2 on usage/IO errors. Diagnostics are one per line,
+/// `file:line: error: [rule] message`, so editors and CI annotate them.
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "usage: qntn_lint [--root DIR] [--list-rules]\n"
+      "\n"
+      "Checks the qntn source tree (src/ tools/ bench/ tests/ examples/\n"
+      "under --root, default the current directory) against the project\n"
+      "lint rules. tests/lint/fixtures is excluded: it is the rule test\n"
+      "corpus and violates the rules on purpose.\n"
+      "\n"
+      "  --root DIR    repository root to scan\n"
+      "  --list-rules  print the rule table and exit\n",
+      stderr);
+}
+
+void list_rules() {
+  for (const qntn::lint::RuleSpec& rule : qntn::lint::rules()) {
+    std::printf("%-18s %s\n", std::string(rule.name).c_str(),
+                std::string(rule.message).c_str());
+    if (!rule.suppress.empty()) {
+      std::printf("%-18s   (justify with `// lint: %s`)\n", "",
+                  std::string(rule.suppress).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      list_rules();
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "qntn_lint: unknown argument '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    const std::vector<qntn::lint::Finding> findings =
+        qntn::lint::check_tree(root);
+    for (const qntn::lint::Finding& f : findings) {
+      std::printf("%s:%zu: error: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    const std::size_t files = qntn::lint::list_sources(root).size();
+    if (findings.empty()) {
+      std::printf("qntn_lint: %zu files clean\n", files);
+      return 0;
+    }
+    std::printf("qntn_lint: %zu finding(s) in %zu files\n", findings.size(),
+                files);
+    return 1;
+  } catch (const qntn::Error& e) {
+    std::fprintf(stderr, "qntn_lint: %s\n", e.what());
+    return 2;
+  }
+}
