@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "quantum/memory.hpp"
 
 namespace qntn::core {
 
@@ -83,6 +84,16 @@ TopologyMode topology_mode_from(const std::string& name) {
   throw Error("unknown topology mode: " + name);
 }
 
+std::string serving_mode_name(ServingMode mode) {
+  return mode == ServingMode::Entanglement ? "entanglement" : "single_shot";
+}
+
+ServingMode serving_mode_from(const std::string& name) {
+  if (name == "single_shot") return ServingMode::SingleShot;
+  if (name == "entanglement") return ServingMode::Entanglement;
+  throw Error("unknown serving mode: " + name);
+}
+
 }  // namespace
 
 std::string serialize_config(const QntnConfig& config) {
@@ -127,7 +138,18 @@ std::string serialize_config(const QntnConfig& config) {
      << "contact_sample_tolerance = " << config.contact_sample_tolerance << '\n'
      << "contact_max_elevation_rate = " << config.contact_max_elevation_rate
      << '\n'
-     << "contact_max_range_rate = " << config.contact_max_range_rate << '\n';
+     << "contact_max_range_rate = " << config.contact_max_range_rate << '\n'
+     << "serving_mode = " << serving_mode_name(config.serving_mode) << '\n'
+     << "em_memory_slots = " << config.em_memory_slots << '\n'
+     << "em_generation_period_s = " << config.em_generation_period << '\n'
+     << "em_max_storage_s = " << config.em_max_storage << '\n'
+     << "em_memory_t1_s = " << config.em_memory_t1 << '\n'
+     << "em_memory_t2_s = " << config.em_memory_t2 << '\n'
+     << "em_heralding_latency_s = " << config.em_heralding_latency << '\n'
+     << "em_k_paths = " << config.em_k_paths << '\n'
+     << "em_node_capacity = " << config.em_node_capacity << '\n'
+     << "em_fidelity_slo = " << config.em_fidelity_slo << '\n'
+     << "em_purify_max_rounds = " << config.em_purify_max_rounds << '\n';
   return os.str();
 }
 
@@ -218,6 +240,28 @@ QntnConfig parse_config(const std::string& text) {
            [&](const std::string& v) { config.contact_max_elevation_rate = as_double(v); }},
           {"contact_max_range_rate",
            [&](const std::string& v) { config.contact_max_range_rate = as_double(v); }},
+          {"serving_mode",
+           [&](const std::string& v) { config.serving_mode = serving_mode_from(v); }},
+          {"em_memory_slots",
+           [&](const std::string& v) { config.em_memory_slots = as_size(v); }},
+          {"em_generation_period_s",
+           [&](const std::string& v) { config.em_generation_period = as_double(v); }},
+          {"em_max_storage_s",
+           [&](const std::string& v) { config.em_max_storage = as_double(v); }},
+          {"em_memory_t1_s",
+           [&](const std::string& v) { config.em_memory_t1 = as_double(v); }},
+          {"em_memory_t2_s",
+           [&](const std::string& v) { config.em_memory_t2 = as_double(v); }},
+          {"em_heralding_latency_s",
+           [&](const std::string& v) { config.em_heralding_latency = as_double(v); }},
+          {"em_k_paths",
+           [&](const std::string& v) { config.em_k_paths = as_size(v); }},
+          {"em_node_capacity",
+           [&](const std::string& v) { config.em_node_capacity = as_size(v); }},
+          {"em_fidelity_slo",
+           [&](const std::string& v) { config.em_fidelity_slo = as_double(v); }},
+          {"em_purify_max_rounds",
+           [&](const std::string& v) { config.em_purify_max_rounds = as_size(v); }},
       };
 
   std::istringstream in(text);
@@ -254,6 +298,15 @@ QntnConfig parse_config(const std::string& text) {
       throw Error("config line " + std::to_string(line_number) + " (" + key +
                   "): " + e.what());
     }
+  }
+  // Cross-field checks run after the whole file is read (the keys may come
+  // in any order). The memory-physicality check in particular must fail at
+  // parse time with a clear message, not deep inside a scenario run.
+  try {
+    quantum::MemoryModel{config.em_memory_t1, config.em_memory_t2}.validate();
+  } catch (const std::exception& e) {
+    throw Error(std::string("config (em_memory_t1_s/em_memory_t2_s): ") +
+                e.what());
   }
   return config;
 }

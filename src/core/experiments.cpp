@@ -44,6 +44,29 @@ double transmissivity_threshold_for(const std::vector<FidelityPoint>& sweep,
   return 1.0;
 }
 
+ArchitectureMetrics traffic_metrics(std::string architecture,
+                                    std::size_t satellites,
+                                    const sim::TrafficResult& r) {
+  ArchitectureMetrics m;
+  m.architecture = std::move(architecture);
+  m.satellites = satellites;
+  m.served_percent = 100.0 * r.served_fraction();
+  m.mean_fidelity = r.fidelity.mean();
+  m.mean_transmissivity = r.path_eta.mean();
+  m.requests_issued = r.arrivals;
+  m.requests_served = r.served;
+  m.requests_no_path = r.dropped_no_path;
+  // Queue drops are a congestion outcome, not a routing failure.
+  m.requests_congested = r.dropped_queue;
+  m.latency_p50 = r.latency_percentile(0.50);
+  m.latency_p95 = r.latency_percentile(0.95);
+  m.latency_p99 = r.latency_percentile(0.99);
+  m.waiting_p50 = r.waiting_percentile(0.50);
+  m.waiting_p95 = r.waiting_percentile(0.95);
+  m.waiting_p99 = r.waiting_percentile(0.99);
+  return m;
+}
+
 std::vector<std::size_t> paper_constellation_sizes() {
   std::vector<std::size_t> sizes;
   for (std::size_t n = 6; n <= 108; n += 6) sizes.push_back(n);
@@ -77,7 +100,23 @@ ArchitectureMetrics summarize(std::string architecture,
   m.requests_served = r.requests_served;
   m.requests_no_path = r.requests_no_path;
   m.requests_isolated = r.requests_isolated;
+  m.requests_congested = r.requests_congested;
   m.handovers = r.handovers;
+  if (r.em.enabled) {
+    m.em.enabled = true;
+    m.em.swaps = r.em.swaps;
+    m.em.purification_rounds = r.em.purification_rounds;
+    m.em.pairs_consumed = r.em.pairs_consumed;
+    m.em.slo_met = r.em.slo_met;
+    m.em.multipath_spills = r.em.spilled;
+    m.em.mean_memory_occupancy = r.em.memory_occupancy.mean();
+    m.em.mean_swap_depth = r.em.swap_depth.mean();
+    if (!r.em.latency_samples.empty()) {
+      m.latency_p50 = percentile(r.em.latency_samples, 0.50);
+      m.latency_p95 = percentile(r.em.latency_samples, 0.95);
+      m.latency_p99 = percentile(r.em.latency_samples, 0.99);
+    }
+  }
   return m;
 }
 

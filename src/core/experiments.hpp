@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
+#include "sim/traffic.hpp"
 
 namespace qntn::obs {
 class Profiler;
@@ -62,14 +63,48 @@ struct ArchitectureMetrics {
   double mean_transmissivity = 0.0;
   double mean_hops = 0.0;
   /// Request accounting across all snapshots (issued = served + no_path +
-  /// isolated; served/issued == served_percent/100).
+  /// isolated + congested; served/issued == served_percent/100).
   std::size_t requests_issued = 0;
   std::size_t requests_served = 0;
   std::size_t requests_no_path = 0;
   std::size_t requests_isolated = 0;
+  /// Routes existed but relays/buffers could not pay (em serving mode only).
+  std::size_t requests_congested = 0;
   /// Relay changes between consecutively served snapshots of one request.
   std::size_t handovers = 0;
+
+  /// Latency tail percentiles [s] over served requests. Filled by the em
+  /// serving mode (classical heralding latency) and by traffic_metrics
+  /// (queueing + heralding); all 0 for the paper's instantaneous single-shot
+  /// model, which has no latency notion.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  /// Queueing-delay percentiles [s]; only the traffic runner fills these.
+  double waiting_p50 = 0.0;
+  double waiting_p95 = 0.0;
+  double waiting_p99 = 0.0;
+
+  /// Entanglement-management accounting (serving_mode = Entanglement only).
+  struct EmSummary {
+    bool enabled = false;
+    std::size_t swaps = 0;                ///< Bell-state measurements
+    std::size_t purification_rounds = 0;  ///< BBPSSW rounds spent
+    std::size_t pairs_consumed = 0;       ///< buffered elementary pairs
+    std::size_t slo_met = 0;              ///< served requests meeting SLO
+    std::size_t multipath_spills = 0;     ///< served on an alternate route
+    double mean_memory_occupancy = 0.0;   ///< in [0, 1]
+    double mean_swap_depth = 0.0;         ///< heralding rounds per served
+  } em;
 };
+
+/// Convert an event-driven traffic run into the unified metrics row
+/// (served fraction, delivered fidelity, latency/waiting tails). Coverage,
+/// hop and em fields stay at their defaults — the traffic engine does not
+/// measure them.
+[[nodiscard]] ArchitectureMetrics traffic_metrics(std::string architecture,
+                                                  std::size_t satellites,
+                                                  const sim::TrafficResult& r);
 
 /// --- Execution context threaded through every runner. ---
 /// Aggregates the scenario parameters with the machinery an evaluation may

@@ -29,7 +29,24 @@ sim::ScenarioConfig QntnConfig::scenario_config() const {
   config.metric = metric;
   config.convention = convention;
   config.request_seed = request_seed;
+  config.em = em_options();
   return config;
+}
+
+em::EmOptions QntnConfig::em_options() const {
+  em::EmOptions options;
+  options.enabled = serving_mode == ServingMode::Entanglement;
+  options.pool.slots_per_node = em_memory_slots;
+  options.pool.generation_period = em_generation_period;
+  options.pool.max_storage = em_max_storage;
+  options.pool.memory = quantum::MemoryModel{em_memory_t1, em_memory_t2};
+  options.swap.heralding_latency = em_heralding_latency;
+  options.purify.fidelity_slo = em_fidelity_slo;
+  options.purify.max_rounds = em_purify_max_rounds;
+  options.k_paths = em_k_paths;
+  options.node_capacity = em_node_capacity;
+  options.validate();
+  return options;
 }
 
 plan::ContactPlanOptions QntnConfig::plan_options() const {

@@ -25,6 +25,16 @@ enum class TopologyMode {
   ContactPlan,
 };
 
+/// How request snapshots are served (DESIGN.md §11).
+enum class ServingMode {
+  /// The paper's model: every snapshot routes one path per request and
+  /// serves it instantaneously from fresh link-generated pairs.
+  SingleShot,
+  /// The entanglement-management layer: buffered elementary pairs, swap
+  /// trees, purification budgeting, k-disjoint multipath load balancing.
+  Entanglement,
+};
+
 struct QntnConfig {
   // --- Paper parameters (Section IV). ---
   double transmissivity_threshold = 0.7;
@@ -80,11 +90,34 @@ struct QntnConfig {
   double contact_max_elevation_rate = 0.01;   ///< [rad/s]
   double contact_max_range_rate = 16'000.0;   ///< [m/s]
 
+  // --- Entanglement-management serving (src/em, DESIGN.md §11). ---
+  ServingMode serving_mode = ServingMode::SingleShot;
+  /// Pair halves per node memory. The pool fair-shares these across a
+  /// node's incident links, so size to the topology's degree: TN-LAN clique
+  /// nodes see ~14 fiber neighbours plus visible satellites, and fewer
+  /// slots than links starves the later (satellite) links of buffers.
+  std::size_t em_memory_slots = 32;
+  double em_generation_period = 0.05;   ///< [s] between pair generations
+  double em_max_storage = 1.0;          ///< [s] storage lifetime cap
+  double em_memory_t1 = 10.0;           ///< [s] relaxation during storage
+  double em_memory_t2 = 5.0;            ///< [s] dephasing; must be <= 2 T1
+  double em_heralding_latency = 0.01;   ///< [s] per swap-tree level
+  std::size_t em_k_paths = 3;           ///< disjoint candidate routes
+  std::size_t em_node_capacity = 8;     ///< BSMs per relay per snapshot
+  double em_fidelity_slo = 0.0;         ///< purification target; 0 = off
+  std::size_t em_purify_max_rounds = 2; ///< BBPSSW round cap
+
   /// Derived: the sim::LinkPolicy for this configuration.
   [[nodiscard]] sim::LinkPolicy link_policy() const;
 
-  /// Derived: the sim::ScenarioConfig for this configuration.
+  /// Derived: the sim::ScenarioConfig for this configuration (including
+  /// the em options when serving_mode is Entanglement).
   [[nodiscard]] sim::ScenarioConfig scenario_config() const;
+
+  /// Derived: the em::EmOptions this configuration describes (enabled iff
+  /// serving_mode is Entanglement). Throws qntn::Error on invalid em
+  /// parameters — including the T2 <= 2 T1 memory-physicality check.
+  [[nodiscard]] em::EmOptions em_options() const;
 
   /// Derived: contact-plan compile options (horizon = day, step =
   /// ephemeris step, so plan and rebuild sample the same grid).

@@ -1,0 +1,46 @@
+#include "em/purify_budget.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/purification.hpp"
+
+namespace qntn::em {
+
+void PurifyOptions::validate() const {
+  QNTN_REQUIRE(fidelity_slo < 1.0,
+               "em fidelity_slo must be below 1 (a perfect-fidelity SLO is "
+               "unreachable by purification)");
+  QNTN_REQUIRE(max_rounds <= 16,
+               "em purify max_rounds above 16 is not meaningful (pair cost "
+               "is 2^rounds)");
+}
+
+PurifyPlan plan_purification(double fidelity, const PurifyOptions& options,
+                             quantum::FidelityConvention convention) {
+  options.validate();
+  QNTN_REQUIRE(fidelity >= 0.0 && fidelity <= 1.0,
+               "fidelity must be in [0, 1]");
+  PurifyPlan plan;
+  plan.fidelity = fidelity;
+  if (options.fidelity_slo <= 0.0) return plan;
+
+  // The BBPSSW recurrence is stated on Jozsa (squared) fidelities.
+  const bool uhlmann = convention == quantum::FidelityConvention::Uhlmann;
+  double jozsa = uhlmann ? fidelity * fidelity : fidelity;
+  const double target = uhlmann ? options.fidelity_slo * options.fidelity_slo
+                                : options.fidelity_slo;
+
+  while (jozsa < target && plan.rounds < options.max_rounds) {
+    const double next = quantum::bbpssw_fidelity(jozsa);
+    if (next <= jozsa) break;  // below threshold or at the fixed point
+    jozsa = next;
+    ++plan.rounds;
+  }
+  plan.pairs_per_hop = std::size_t{1} << plan.rounds;
+  plan.fidelity = uhlmann ? std::sqrt(jozsa) : jozsa;
+  plan.slo_met = plan.fidelity + 1e-12 >= options.fidelity_slo;
+  return plan;
+}
+
+}  // namespace qntn::em

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+
+#include "quantum/fidelity.hpp"
+
+/// \file purify_budget.hpp
+/// Purification budgeting: decide how many BBPSSW recurrence rounds to
+/// spend lifting a delivered pair towards a configured fidelity SLO, and
+/// what that costs in buffered elementary pairs. Each nested round consumes
+/// two outputs of the previous one, so r rounds multiply the per-hop pair
+/// bill by 2^r — the budgeter trades memory occupancy against delivered
+/// fidelity, which the EXPERIMENTS.md sweep quantifies.
+///
+/// The recurrence uses the closed-form Werner-state BBPSSW map
+/// (quantum::bbpssw_fidelity); the ladder works in the Jozsa (squared)
+/// convention internally — that is what the recurrence is stated in — and
+/// converts at the boundary.
+
+namespace qntn::em {
+
+struct PurifyOptions {
+  /// Delivered-fidelity target in the caller's convention; <= 0 disables
+  /// purification entirely (0 rounds, SLO trivially met).
+  double fidelity_slo = 0.0;
+  /// Hard cap on recurrence rounds (pair cost grows as 2^rounds).
+  std::size_t max_rounds = 2;
+
+  /// Throws qntn::Error when the SLO is >= 1 (unreachable) or the round cap
+  /// is absurd (> 16 would mean a 65536x pair bill).
+  void validate() const;
+};
+
+/// The budgeter's decision for one delivered pair.
+struct PurifyPlan {
+  std::size_t rounds = 0;         ///< recurrence rounds spent
+  std::size_t pairs_per_hop = 1;  ///< 2^rounds elementary pairs per hop
+  double fidelity = 0.0;          ///< fidelity after purification
+  bool slo_met = true;            ///< fidelity >= SLO (true when disabled)
+};
+
+/// Plan purification for a pair delivered at `fidelity` (in `convention`).
+/// Spends rounds while the SLO is unmet, the cap allows, and a round still
+/// helps (BBPSSW only improves Werner states with F_jozsa > 1/2, and the
+/// recurrence has a fixed point short of 1 — rounds that no longer move the
+/// fidelity are not charged). The returned fidelity is in `convention`.
+[[nodiscard]] PurifyPlan plan_purification(
+    double fidelity, const PurifyOptions& options,
+    quantum::FidelityConvention convention);
+
+}  // namespace qntn::em

@@ -1,0 +1,243 @@
+#include "em/serving.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/registry.hpp"
+#include "obs/profiler.hpp"
+
+namespace qntn::em {
+
+std::string_view em_status_name(EmStatus status) {
+  switch (status) {
+    case EmStatus::Served:
+      return "served";
+    case EmStatus::NoPath:
+      return "no_path";
+    case EmStatus::Isolated:
+      return "isolated";
+    case EmStatus::Congested:
+      return "congested";
+  }
+  return "unknown";
+}
+
+void EmOptions::validate() const {
+  pool.validate();
+  swap.validate();
+  purify.validate();
+  QNTN_REQUIRE(k_paths > 0, "em k_paths must be positive");
+  QNTN_REQUIRE(node_capacity > 0, "em node_capacity must be positive");
+}
+
+EntanglementManager::EntanglementManager(const EmOptions& options)
+    : options_(options), pool_(options.pool) {
+  options_.validate();
+}
+
+const std::vector<net::Route>& EntanglementManager::candidates(
+    const net::Graph& graph, net::NodeId source, net::NodeId destination,
+    std::size_t epoch) {
+  const bool cacheable =
+      epoch != kNoEpoch && net::metric_is_eta_independent(options_.metric);
+  if (!cacheable) {
+    scratch_routes_ = net::k_disjoint_paths(graph, source, destination,
+                                            options_.k_paths, options_.metric);
+    return scratch_routes_;
+  }
+  if (cache_epoch_ != epoch) {
+    cache_epoch_ = epoch;
+    route_cache_.clear();
+  }
+  const auto key = std::make_pair(source, destination);
+  auto it = route_cache_.find(key);
+  if (it == route_cache_.end()) {
+    it = route_cache_
+             .emplace(key, net::k_disjoint_paths(graph, source, destination,
+                                                 options_.k_paths,
+                                                 options_.metric))
+             .first;
+  } else {
+    obs::count("em.route_cache_hits");
+  }
+  return it->second;
+}
+
+EmServeResult EntanglementManager::serve(
+    const net::Graph& graph, const std::vector<EmRequest>& requests,
+    std::size_t epoch, quantum::FidelityConvention convention,
+    bool record_outcomes) {
+  obs::Span span("em.serve", requests.size());
+
+  pool_.rebuild(graph);
+  node_load_.assign(graph.node_count(), 0);
+  node_degree_.assign(graph.node_count(), 0);
+  edge_index_.clear();
+  for (std::size_t i = 0; i < graph.edges().size(); ++i) {
+    const net::Edge& e = graph.edges()[i];
+    ++node_degree_[e.a];
+    ++node_degree_[e.b];
+    // Of parallel edges keep the best eta (the routers see the same link);
+    // ties keep the earlier index, so the choice is deterministic.
+    const auto key = std::make_pair(std::min(e.a, e.b), std::max(e.a, e.b));
+    const auto [it, inserted] = edge_index_.emplace(key, i);
+    if (!inserted &&
+        graph.edges()[it->second].transmissivity < e.transmissivity) {
+      it->second = i;
+    }
+  }
+
+  EmServeResult result;
+  result.total = requests.size();
+  result.memory_occupancy = pool_.occupancy();
+  if (record_outcomes) result.outcomes.resize(requests.size());
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const EmRequest& request = requests[r];
+    EmOutcome outcome;
+
+    if (node_degree_[request.source] == 0 ||
+        node_degree_[request.destination] == 0) {
+      outcome.status = EmStatus::Isolated;
+      ++result.unserved_isolated;
+      obs::count("em.requests_isolated");
+      if (record_outcomes) result.outcomes[r] = outcome;
+      continue;
+    }
+
+    const std::vector<net::Route>& routes =
+        candidates(graph, request.source, request.destination, epoch);
+    if (routes.empty()) {
+      outcome.status = EmStatus::NoPath;
+      ++result.unserved_no_path;
+      obs::count("em.requests_no_path");
+      if (record_outcomes) result.outcomes[r] = outcome;
+      continue;
+    }
+
+    bool committed = false;
+    for (std::size_t route_index = 0;
+         route_index < routes.size() && !committed; ++route_index) {
+      const net::Route& route = routes[route_index];
+      const std::size_t hops = route.path.size() - 1;
+
+      // Relay capacity: every interior node performs one BSM.
+      bool relays_free = true;
+      for (std::size_t i = 1; i + 1 < route.path.size(); ++i) {
+        if (node_load_[route.path[i]] >= options_.node_capacity) {
+          relays_free = false;
+          break;
+        }
+      }
+      if (!relays_free) continue;
+
+      // Re-price the route's hops from the *current* graph: cached routes
+      // hold the epoch's structure, but etas vary per snapshot.
+      hop_edges_.clear();
+      hop_etas_.clear();
+      bool edges_present = true;
+      for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+        const auto key = std::make_pair(
+            std::min(route.path[i], route.path[i + 1]),
+            std::max(route.path[i], route.path[i + 1]));
+        const auto it = edge_index_.find(key);
+        if (it == edge_index_.end()) {
+          edges_present = false;
+          break;
+        }
+        hop_edges_.push_back(it->second);
+        hop_etas_.push_back(graph.edges()[it->second].transmissivity);
+      }
+      if (!edges_present) continue;
+
+      const SwapPlan swap_plan = plan_swap_tree(hops, options_.swap);
+
+      // Every hop pair sits in memory from its buffered age until the last
+      // heralding round of the tree completes.
+      hop_durations_.clear();
+      for (const std::size_t edge : hop_edges_) {
+        if (pool_.available(edge) == 0) break;
+        hop_durations_.push_back(pool_.next_age(edge) +
+                                 swap_plan.heralding_delay);
+      }
+      if (hop_durations_.size() != hops) continue;  // a buffer ran dry
+
+      const double swapped = swapped_chain_fidelity(
+          hop_etas_, hop_durations_, options_.pool.memory, convention);
+      const PurifyPlan purify_plan =
+          plan_purification(swapped, options_.purify, convention);
+
+      // Commit: consume pairs_per_hop buffered pairs on every hop, then
+      // charge the relays. All-or-nothing: availability is checked for the
+      // full bill first (the hops of a simple path are distinct edges, so
+      // the checks are independent) and only then consumed.
+      bool buffers_pay = true;
+      for (const std::size_t edge : hop_edges_) {
+        if (pool_.available(edge) < purify_plan.pairs_per_hop) {
+          buffers_pay = false;
+          break;
+        }
+      }
+      if (!buffers_pay) continue;
+      for (const std::size_t edge : hop_edges_) {
+        const bool consumed =
+            pool_.try_consume(edge, purify_plan.pairs_per_hop);
+        QNTN_REQUIRE(consumed, "em buffer commit must be all-or-nothing");
+      }
+      for (std::size_t i = 1; i + 1 < route.path.size(); ++i) {
+        ++node_load_[route.path[i]];
+      }
+
+      outcome.status = EmStatus::Served;
+      outcome.fidelity = purify_plan.fidelity;
+      outcome.transmissivity = chain_transmissivity(hop_etas_);
+      outcome.hops = hops;
+      outcome.swaps = swap_plan.swaps;
+      outcome.swap_depth = swap_plan.depth;
+      outcome.purification_rounds = purify_plan.rounds;
+      outcome.pairs_consumed = purify_plan.pairs_per_hop * hops;
+      outcome.route_index = route_index;
+      outcome.slo_met = purify_plan.slo_met;
+      // Classical latency: the tree's heralding rounds plus one two-way
+      // exchange per purification round.
+      outcome.latency =
+          swap_plan.heralding_delay +
+          static_cast<double>(purify_plan.rounds) *
+              options_.swap.heralding_latency;
+      if (route.path.size() > 2) outcome.relay = route.path[1];
+      committed = true;
+    }
+
+    if (committed) {
+      ++result.served;
+      result.swaps += outcome.swaps;
+      result.purification_rounds += outcome.purification_rounds;
+      result.pairs_consumed += outcome.pairs_consumed;
+      if (outcome.slo_met) ++result.slo_met;
+      if (outcome.route_index > 0) {
+        ++result.spilled;
+        obs::count("em.requests_spilled");
+      }
+      result.fidelity.add(outcome.fidelity);
+      result.transmissivity.add(outcome.transmissivity);
+      result.hops.add(static_cast<double>(outcome.hops));
+      result.latency.add(outcome.latency);
+      result.swap_depth.add(static_cast<double>(outcome.swap_depth));
+      obs::count("em.requests_served");
+      obs::count("em.swaps", outcome.swaps);
+      obs::count("em.purification_rounds", outcome.purification_rounds);
+      obs::count("em.pairs_consumed", outcome.pairs_consumed);
+    } else {
+      outcome.status = EmStatus::Congested;
+      ++result.unserved_congested;
+      obs::count("em.requests_congested");
+    }
+    if (record_outcomes) result.outcomes[r] = outcome;
+  }
+
+  obs::observe("em.memory_occupancy", result.memory_occupancy);
+  return result;
+}
+
+}  // namespace qntn::em

@@ -145,6 +145,32 @@ std::vector<Route> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst,
   return accepted;
 }
 
+std::vector<Route> k_disjoint_paths(const Graph& graph, NodeId src, NodeId dst,
+                                    std::size_t k, CostMetric metric) {
+  QNTN_REQUIRE(src < graph.node_count() && dst < graph.node_count(),
+               "node out of range");
+  QNTN_REQUIRE(k > 0, "k must be positive");
+  std::vector<Route> accepted;
+  std::set<NodeId> banned_nodes;
+  std::set<std::pair<NodeId, NodeId>> banned_edges;
+  while (accepted.size() < k) {
+    const auto route =
+        masked_dijkstra(graph, src, dst, metric, banned_nodes, banned_edges);
+    if (!route) break;
+    for (std::size_t i = 1; i + 1 < route->path.size(); ++i) {
+      banned_nodes.insert(route->path[i]);
+    }
+    if (route->path.size() == 2) {
+      // A direct route has no interior to ban; ban the edge itself so at
+      // most one direct src-dst route is accepted (parallel edges are
+      // duplicates of the same physical link here).
+      banned_edges.insert({std::min(src, dst), std::max(src, dst)});
+    }
+    accepted.push_back(std::move(*route));
+  }
+  return accepted;
+}
+
 double path_diversity(const std::vector<Route>& routes) {
   if (routes.size() < 2) return 1.0;
   std::size_t shared = 0;

@@ -20,6 +20,18 @@ namespace qntn::net {
     const Graph& graph, NodeId src, NodeId dst, std::size_t k,
     CostMetric metric = CostMetric::InverseEta);
 
+/// Up to k pairwise interior-node-disjoint routes from src to dst, ordered
+/// by non-decreasing cost: successive shortest paths, each masking the
+/// interior nodes of every accepted route. Endpoints may be shared; interior
+/// relays never are, so the routes fail independently when a relay saturates
+/// or drops out — the property the entanglement-management layer's multipath
+/// load balancer relies on. Fewer than k routes are returned when the graph
+/// runs out of disjoint alternatives (k larger than available is not an
+/// error).
+[[nodiscard]] std::vector<Route> k_disjoint_paths(
+    const Graph& graph, NodeId src, NodeId dst, std::size_t k,
+    CostMetric metric = CostMetric::InverseEta);
+
 /// Diversity of a route set: 1 - (shared intermediate nodes / total
 /// intermediate nodes across pairs); 1 means fully node-disjoint interiors,
 /// 0 means every alternative reuses the same relays. Routes with no

@@ -1,6 +1,7 @@
 #include "quantum/memory.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "quantum/channels.hpp"
@@ -10,12 +11,25 @@
 namespace qntn::quantum {
 
 namespace {
-void check(const MemoryModel& model) {
-  QNTN_REQUIRE(model.t1 > 0.0 && model.t2 > 0.0, "T1/T2 must be positive");
-  QNTN_REQUIRE(model.t2 <= 2.0 * model.t1 + 1e-12,
-               "physicality requires T2 <= 2 T1");
-}
+void check(const MemoryModel& model) { model.validate(); }
 }  // namespace
+
+void MemoryModel::validate() const {
+  QNTN_REQUIRE(t1 > 0.0 && t2 > 0.0,
+               "memory T1/T2 must be positive (got T1 = " +
+                   std::to_string(t1) + " s, T2 = " + std::to_string(t2) +
+                   " s)");
+  QNTN_REQUIRE(t2 <= 2.0 * t1 + 1e-12,
+               "memory physicality requires T2 <= 2 T1 (got T1 = " +
+                   std::to_string(t1) + " s, T2 = " + std::to_string(t2) +
+                   " s; the implied pure-dephasing rate would be negative)");
+}
+
+MemoryModel MemoryModel::checked(double t1, double t2) {
+  const MemoryModel model{t1, t2};
+  model.validate();
+  return model;
+}
 
 double MemoryModel::relaxation_survival(double duration) const {
   check(*this);

@@ -15,6 +15,16 @@ struct MemoryModel {
   double t1 = 1.0;  ///< relaxation time constant [s]
   double t2 = 0.5;  ///< dephasing time constant [s]; must satisfy T2 <= 2 T1
 
+  /// Throws qntn::Error naming the violated constraint when the pair
+  /// (T1, T2) is unphysical: both must be positive and T2 <= 2 T1 (beyond
+  /// that bound the implied pure-dephasing rate 1/T2 - 1/(2 T1) is
+  /// negative). Call this at construction/config-parse boundaries so bad
+  /// configurations fail loudly instead of silently clamping.
+  void validate() const;
+
+  /// Validating factory: returns {t1, t2} after validate().
+  [[nodiscard]] static MemoryModel checked(double t1, double t2);
+
   /// Survival of the excited-state population after storing for `duration`.
   [[nodiscard]] double relaxation_survival(double duration) const;
 

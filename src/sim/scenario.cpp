@@ -8,6 +8,7 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/em_snapshot.hpp"
 #include "sim/snapshot.hpp"
 
 namespace qntn::sim {
@@ -168,9 +169,140 @@ ScenarioResult run_scenario(const NetworkModel& model,
     }
   };
 
+  // merge_step's twin for the entanglement-management mode: the same
+  // handover/trace discipline and step-ordered reduction, plus the em
+  // accounting (swap/purification totals, occupancy, latency samples).
+  const auto merge_em = [&](std::size_t step, const em::EmServeResult& served) {
+    const double t = static_cast<double>(step) * interval;
+    std::size_t step_handovers = 0;
+    for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
+      const em::EmOutcome& outcome = served.outcomes[i];
+      if (outcome.status == em::EmStatus::Served) {
+        if (last_relay[i].has_value() && outcome.relay.has_value() &&
+            *last_relay[i] != *outcome.relay) {
+          ++step_handovers;
+          if (trace_requests) {
+            trace->emit(
+                obs::TraceEvent("handover")
+                    .field("step", static_cast<std::uint64_t>(step))
+                    .field("t", t)
+                    .field("id", static_cast<std::uint64_t>(i))
+                    .field("from", static_cast<std::uint64_t>(*last_relay[i]))
+                    .field("to", static_cast<std::uint64_t>(*outcome.relay)));
+          }
+        }
+        last_relay[i] = outcome.relay;
+        result.em.latency_samples.push_back(outcome.latency);
+      } else {
+        last_relay[i].reset();
+      }
+      if (trace_requests) {
+        obs::TraceEvent event("request");
+        event.field("step", static_cast<std::uint64_t>(step))
+            .field("t", t)
+            .field("id", static_cast<std::uint64_t>(i))
+            .field("src", static_cast<std::uint64_t>(requests[i].source))
+            .field("dst", static_cast<std::uint64_t>(requests[i].destination))
+            .field("status", em::em_status_name(outcome.status));
+        if (outcome.status == em::EmStatus::Served) {
+          event.field("eta", outcome.transmissivity)
+              .field("fidelity", outcome.fidelity)
+              .field("hops", static_cast<std::uint64_t>(outcome.hops))
+              .field("relay",
+                     static_cast<std::uint64_t>(outcome.relay.value_or(
+                         requests[i].destination)))
+              .field("swaps", static_cast<std::uint64_t>(outcome.swaps))
+              .field("depth", static_cast<std::uint64_t>(outcome.swap_depth))
+              .field("purify", static_cast<std::uint64_t>(
+                                   outcome.purification_rounds))
+              .field("pairs",
+                     static_cast<std::uint64_t>(outcome.pairs_consumed))
+              .field("route",
+                     static_cast<std::uint64_t>(outcome.route_index))
+              .field("latency", outcome.latency);
+        }
+        trace->emit(event);
+      }
+    }
+
+    result.served_per_step.add(served.served_fraction());
+    result.fidelity.merge(served.fidelity);
+    result.transmissivity.merge(served.transmissivity);
+    result.hops.merge(served.hops);
+    result.requests_issued += served.total;
+    result.requests_served += served.served;
+    result.requests_no_path += served.unserved_no_path;
+    result.requests_isolated += served.unserved_isolated;
+    result.requests_congested += served.unserved_congested;
+    result.handovers += step_handovers;
+
+    result.em.swaps += served.swaps;
+    result.em.purification_rounds += served.purification_rounds;
+    result.em.pairs_consumed += served.pairs_consumed;
+    result.em.slo_met += served.slo_met;
+    result.em.spilled += served.spilled;
+    result.em.memory_occupancy.add(served.memory_occupancy);
+    result.em.swap_depth.merge(served.swap_depth);
+    result.em.latency.merge(served.latency);
+
+    obs::count("scenario.snapshots");
+    obs::count("scenario.requests_issued", served.total);
+    obs::count("scenario.requests_served", served.served);
+    obs::count("scenario.requests_no_path", served.unserved_no_path);
+    obs::count("scenario.requests_isolated", served.unserved_isolated);
+    obs::count("scenario.requests_congested", served.unserved_congested);
+    obs::count("scenario.handovers", step_handovers);
+
+    if (trace_snapshots) {
+      trace->emit(obs::TraceEvent("snapshot")
+                      .field("step", static_cast<std::uint64_t>(step))
+                      .field("t", t)
+                      .field("served", static_cast<std::uint64_t>(served.served))
+                      .field("total", static_cast<std::uint64_t>(served.total))
+                      .field("no_path", static_cast<std::uint64_t>(
+                                            served.unserved_no_path))
+                      .field("isolated", static_cast<std::uint64_t>(
+                                             served.unserved_isolated))
+                      .field("congested", static_cast<std::uint64_t>(
+                                              served.unserved_congested))
+                      .field("occupancy", served.memory_occupancy)
+                      .field("handovers",
+                             static_cast<std::uint64_t>(step_handovers)));
+    }
+  };
+
   const bool parallel_engine =
       config.pool != nullptr && topology.epoch_count() > 0;
-  if (parallel_engine) {
+  if (config.em.enabled) {
+    result.em.enabled = true;
+    if (parallel_engine) {
+      std::vector<em::EmServeResult> per_step(config.request_steps);
+      parallel_for_chunks(
+          *config.pool, config.request_steps, config.pool->size(),
+          [&](std::size_t begin, std::size_t end) {
+            const obs::ScopedRegistry worker_registry(config.registry);
+            const obs::ScopedProfiler worker_profiler(config.profiler);
+            const obs::Span span("sim.serve_chunk", end - begin);
+            EmSnapshotServer server(topology, batch, config.em,
+                                    config.convention);
+            for (std::size_t step = begin; step < end; ++step) {
+              per_step[step] =
+                  server.serve_at(static_cast<double>(step) * interval);
+            }
+          });
+      for (std::size_t step = 0; step < config.request_steps; ++step) {
+        merge_em(step, per_step[step]);
+      }
+    } else {
+      EmSnapshotServer server(topology, batch, config.em, config.convention);
+      for (std::size_t step = 0; step < config.request_steps; ++step) {
+        const obs::Span step_span("sim.serve_step", step);
+        const em::EmServeResult served =
+            server.serve_at(static_cast<double>(step) * interval);
+        merge_em(step, served);
+      }
+    }
+  } else if (parallel_engine) {
     // Parallel snapshot engine: workers produce per-step ServeResults into
     // preallocated slots (no shared mutable state), then the main thread
     // merges them in step order.

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "em/serving.hpp"
 #include "sim/coverage.hpp"
 #include "sim/requests.hpp"
 
@@ -60,6 +62,30 @@ struct ScenarioConfig {
   /// nested fan-out would deadlock); the architecture sweeps therefore null
   /// it for their inner evaluations.
   ThreadPool* pool = nullptr;
+
+  /// Entanglement-management serving mode (DESIGN.md §11): when
+  /// `em.enabled`, requests are served from buffered elementary pairs via
+  /// swap trees, purification budgeting, and k-disjoint multipath routing
+  /// instead of the paper's instantaneous single-shot links. Off by
+  /// default, so seed results are untouched.
+  em::EmOptions em{};
+};
+
+/// Entanglement-management serving statistics, filled only when
+/// ScenarioConfig::em.enabled.
+struct EmScenarioStats {
+  bool enabled = false;
+  std::size_t swaps = 0;                ///< BSMs across all served requests
+  std::size_t purification_rounds = 0;  ///< BBPSSW rounds spent
+  std::size_t pairs_consumed = 0;       ///< buffered pairs spent
+  std::size_t slo_met = 0;              ///< served requests meeting the SLO
+  std::size_t spilled = 0;              ///< served on an alternate route
+  RunningStats memory_occupancy;        ///< per snapshot, in [0, 1]
+  RunningStats swap_depth;              ///< per served request
+  RunningStats latency;                 ///< heralding latency per served [s]
+  /// Every served request's heralding latency, in deterministic merge
+  /// order, for percentile reporting.
+  std::vector<double> latency_samples;
 };
 
 struct ScenarioResult {
@@ -83,8 +109,14 @@ struct ScenarioResult {
   std::size_t requests_served = 0;
   std::size_t requests_no_path = 0;
   std::size_t requests_isolated = 0;
+  /// Requests with routes whose relays/buffers could not pay (em mode only;
+  /// single-shot serving has no congestion notion and leaves this 0).
+  std::size_t requests_congested = 0;
   /// Relay changes between consecutively served snapshots of one request.
   std::size_t handovers = 0;
+
+  /// Entanglement-management statistics (em.enabled scenarios only).
+  EmScenarioStats em;
 };
 
 /// Run coverage + request serving for one architecture.

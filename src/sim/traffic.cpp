@@ -138,6 +138,8 @@ TrafficResult run_traffic_simulation(const NetworkModel& model,
     ++result.served;
     result.latency.add(waiting + service);
     result.waiting.add(waiting);
+    result.latency_samples.push_back(waiting + service);
+    result.waiting_samples.push_back(waiting);
     result.path_eta.add(route->transmissivity);
     result.fidelity.add(
         config.memory.stored_pair_fidelity(route->transmissivity, storage));
@@ -180,6 +182,16 @@ TrafficResult run_traffic_simulation(const NetworkModel& model,
   // Whatever is still queued at the end of the span never got served.
   result.dropped_queue += backlog.size();
   return result;
+}
+
+double TrafficResult::latency_percentile(double q) const {
+  if (latency_samples.empty()) return 0.0;
+  return percentile(latency_samples, q);
+}
+
+double TrafficResult::waiting_percentile(double q) const {
+  if (waiting_samples.empty()) return 0.0;
+  return percentile(waiting_samples, q);
 }
 
 }  // namespace qntn::sim

@@ -48,6 +48,17 @@ struct TrafficResult {
   RunningStats waiting;         ///< queueing component of latency [s]
   RunningStats fidelity;        ///< including memory decoherence while waiting
   RunningStats path_eta;        ///< optical transmissivity of chosen routes
+  /// Per-served-request samples backing the tail percentiles (event order,
+  /// deterministic for a fixed config).
+  std::vector<double> latency_samples;
+  std::vector<double> waiting_samples;
+
+  /// Latency percentile over served requests, q in [0, 1]; 0 when nothing
+  /// was served. p50/p95/p99 are what the reports print — the tails are
+  /// where queueing bites, and means hide them.
+  [[nodiscard]] double latency_percentile(double q) const;
+  /// Waiting-time percentile over served requests, q in [0, 1].
+  [[nodiscard]] double waiting_percentile(double q) const;
 
   [[nodiscard]] double served_fraction() const {
     return arrivals > 0

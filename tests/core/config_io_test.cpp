@@ -81,6 +81,56 @@ TEST(ConfigIo, FileRoundTrip) {
   EXPECT_THROW((void)load_config("/nonexistent/qntn.cfg"), Error);
 }
 
+TEST(ConfigIo, EmKeysRoundTrip) {
+  QntnConfig config;
+  config.serving_mode = ServingMode::Entanglement;
+  config.em_memory_slots = 16;
+  config.em_generation_period = 0.02;
+  config.em_max_storage = 0.5;
+  config.em_memory_t1 = 4.0;
+  config.em_memory_t2 = 2.5;
+  config.em_heralding_latency = 0.003;
+  config.em_k_paths = 5;
+  config.em_node_capacity = 3;
+  config.em_fidelity_slo = 0.9;
+  config.em_purify_max_rounds = 3;
+  const QntnConfig parsed = parse_config(serialize_config(config));
+  EXPECT_EQ(parsed.serving_mode, ServingMode::Entanglement);
+  EXPECT_EQ(parsed.em_memory_slots, 16u);
+  EXPECT_DOUBLE_EQ(parsed.em_generation_period, 0.02);
+  EXPECT_DOUBLE_EQ(parsed.em_max_storage, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.em_memory_t1, 4.0);
+  EXPECT_DOUBLE_EQ(parsed.em_memory_t2, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.em_heralding_latency, 0.003);
+  EXPECT_EQ(parsed.em_k_paths, 5u);
+  EXPECT_EQ(parsed.em_node_capacity, 3u);
+  EXPECT_DOUBLE_EQ(parsed.em_fidelity_slo, 0.9);
+  EXPECT_EQ(parsed.em_purify_max_rounds, 3u);
+  // The scenario config the parsed document builds really runs em serving.
+  EXPECT_TRUE(parsed.scenario_config().em.enabled);
+  EXPECT_EQ(parsed.scenario_config().em.k_paths, 5u);
+  // Defaults keep the paper's single-shot serving.
+  EXPECT_EQ(QntnConfig{}.serving_mode, ServingMode::SingleShot);
+  EXPECT_FALSE(QntnConfig{}.scenario_config().em.enabled);
+}
+
+TEST(ConfigIo, RejectsUnphysicalEmMemoryPair) {
+  // Cross-field validation at the parse boundary: T2 > 2 T1 must fail
+  // loudly, naming the em keys, not deep inside a scenario run.
+  try {
+    (void)parse_config("em_memory_t1_s = 1.0\nem_memory_t2_s = 3.0\n");
+    FAIL() << "unphysical (T1, T2) must throw at parse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("em_memory"), std::string::npos)
+        << e.what();
+  }
+  // The boundary T2 = 2 T1 parses fine.
+  const QntnConfig limit =
+      parse_config("em_memory_t1_s = 1.0\nem_memory_t2_s = 2.0\n");
+  EXPECT_DOUBLE_EQ(limit.em_memory_t2, 2.0);
+  EXPECT_THROW((void)parse_config("serving_mode = telepathy\n"), Error);
+}
+
 TEST(ConfigIo, HapPositionSerializedInDegrees) {
   const QntnConfig config;
   const std::string text = serialize_config(config);

@@ -1,0 +1,108 @@
+#include "em/purify_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/purification.hpp"
+
+namespace qntn::em {
+namespace {
+
+using quantum::FidelityConvention;
+
+TEST(PurifyBudget, DisabledSloSpendsNothing) {
+  PurifyOptions options;  // fidelity_slo = 0 -> off
+  const PurifyPlan plan =
+      plan_purification(0.8, options, FidelityConvention::Jozsa);
+  EXPECT_EQ(plan.rounds, 0u);
+  EXPECT_EQ(plan.pairs_per_hop, 1u);
+  EXPECT_DOUBLE_EQ(plan.fidelity, 0.8);
+  EXPECT_TRUE(plan.slo_met);
+}
+
+TEST(PurifyBudget, AlreadyMetSloSpendsNothing) {
+  PurifyOptions options;
+  options.fidelity_slo = 0.85;
+  const PurifyPlan plan =
+      plan_purification(0.9, options, FidelityConvention::Jozsa);
+  EXPECT_EQ(plan.rounds, 0u);
+  EXPECT_TRUE(plan.slo_met);
+}
+
+TEST(PurifyBudget, RoundsFollowTheBbpsswRecurrence) {
+  PurifyOptions options;
+  options.fidelity_slo = 0.90;
+  options.max_rounds = 4;
+  const double input = 0.85;
+  const PurifyPlan plan =
+      plan_purification(input, options, FidelityConvention::Jozsa);
+  ASSERT_GE(plan.rounds, 1u);
+  double expected = input;
+  for (std::size_t r = 0; r < plan.rounds; ++r) {
+    expected = quantum::bbpssw_fidelity(expected);
+  }
+  EXPECT_DOUBLE_EQ(plan.fidelity, expected);
+  EXPECT_GE(plan.fidelity, options.fidelity_slo);
+  EXPECT_TRUE(plan.slo_met);
+  EXPECT_EQ(plan.pairs_per_hop, std::size_t{1} << plan.rounds);
+}
+
+TEST(PurifyBudget, RoundCapLimitsSpendAndReportsMiss) {
+  PurifyOptions options;
+  options.fidelity_slo = 0.999;  // unreachable in one round from 0.75
+  options.max_rounds = 1;
+  const PurifyPlan plan =
+      plan_purification(0.75, options, FidelityConvention::Jozsa);
+  EXPECT_EQ(plan.rounds, 1u);
+  EXPECT_EQ(plan.pairs_per_hop, 2u);
+  EXPECT_FALSE(plan.slo_met);
+  EXPECT_LT(plan.fidelity, options.fidelity_slo);
+}
+
+TEST(PurifyBudget, BelowThresholdPairsAreNotThrownGoodMoneyAfter) {
+  // BBPSSW cannot improve Werner states at or below F = 1/2: the budgeter
+  // must not burn pairs on a lost cause.
+  PurifyOptions options;
+  options.fidelity_slo = 0.9;
+  options.max_rounds = 4;
+  const PurifyPlan plan =
+      plan_purification(0.45, options, FidelityConvention::Jozsa);
+  EXPECT_EQ(plan.rounds, 0u);
+  EXPECT_EQ(plan.pairs_per_hop, 1u);
+  EXPECT_FALSE(plan.slo_met);
+  EXPECT_DOUBLE_EQ(plan.fidelity, 0.45);
+}
+
+TEST(PurifyBudget, UhlmannConventionConvertsAtTheBoundary) {
+  // The same physical state and SLO must produce the same plan whether the
+  // caller speaks Jozsa or Uhlmann.
+  PurifyOptions jozsa_options;
+  jozsa_options.fidelity_slo = 0.90;
+  PurifyOptions uhlmann_options;
+  uhlmann_options.fidelity_slo = std::sqrt(0.90);
+  const double f_jozsa = 0.85;
+  const PurifyPlan a =
+      plan_purification(f_jozsa, jozsa_options, FidelityConvention::Jozsa);
+  const PurifyPlan b = plan_purification(
+      std::sqrt(f_jozsa), uhlmann_options, FidelityConvention::Uhlmann);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.slo_met, b.slo_met);
+  EXPECT_NEAR(b.fidelity * b.fidelity, a.fidelity, 1e-12);
+}
+
+TEST(PurifyOptions, ValidateRejectsBadParameters) {
+  PurifyOptions options;
+  options.fidelity_slo = 1.0;
+  EXPECT_THROW(options.validate(), Error);
+  options = PurifyOptions{};
+  options.max_rounds = 17;
+  EXPECT_THROW(options.validate(), Error);
+  EXPECT_THROW(
+      (void)plan_purification(1.5, PurifyOptions{}, FidelityConvention::Jozsa),
+      Error);
+}
+
+}  // namespace
+}  // namespace qntn::em

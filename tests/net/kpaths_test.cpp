@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -91,6 +95,87 @@ TEST(KPaths, CostsAreNonDecreasing) {
   for (std::size_t i = 1; i < paths.size(); ++i) {
     EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
   }
+}
+
+TEST(KDisjointPaths, DiamondYieldsBothRelaysThenDirect) {
+  // k beyond what the graph offers is not an error: the diamond has exactly
+  // two interior-disjoint relay routes plus one direct edge.
+  const auto paths = k_disjoint_paths(diamond(), 0, 3, 10);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].path, (std::vector<NodeId>{0, 1, 3}));  // via a
+  EXPECT_EQ(paths[1].path, (std::vector<NodeId>{0, 2, 3}));  // via b
+  EXPECT_EQ(paths[2].path, (std::vector<NodeId>{0, 3}));     // direct
+  EXPECT_DOUBLE_EQ(path_diversity(paths), 1.0);
+}
+
+TEST(KDisjointPaths, InteriorsArePairwiseDisjointOnRandomGraphs) {
+  for (const std::uint64_t seed : {3u, 7u, 21u}) {
+    Rng rng(seed);
+    Graph g;
+    for (int i = 0; i < 14; ++i) g.add_node();
+    for (NodeId i = 0; i < 14; ++i) {
+      for (NodeId j = i + 1; j < 14; ++j) {
+        if (rng.uniform(0.0, 1.0) < 0.4) {
+          g.add_edge(i, j, rng.uniform(0.3, 1.0));
+        }
+      }
+    }
+    const auto paths = k_disjoint_paths(g, 0, 13, 6);
+    for (std::size_t a = 0; a < paths.size(); ++a) {
+      const std::set<NodeId> ia(paths[a].path.begin() + 1,
+                                paths[a].path.end() - 1);
+      for (std::size_t b = a + 1; b < paths.size(); ++b) {
+        for (std::size_t i = 1; i + 1 < paths[b].path.size(); ++i) {
+          EXPECT_EQ(ia.count(paths[b].path[i]), 0u)
+              << "seed " << seed << ": routes " << a << " and " << b
+              << " share relay " << paths[b].path[i];
+        }
+      }
+    }
+    if (!paths.empty()) {
+      EXPECT_DOUBLE_EQ(path_diversity(paths), 1.0);
+    }
+  }
+}
+
+TEST(KDisjointPaths, CostsAreNonDecreasing) {
+  Rng rng(11);
+  Graph g;
+  for (int i = 0; i < 12; ++i) g.add_node();
+  for (NodeId i = 0; i < 12; ++i) {
+    for (NodeId j = i + 1; j < 12; ++j) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        g.add_edge(i, j, rng.uniform(0.3, 1.0));
+      }
+    }
+  }
+  const auto paths = k_disjoint_paths(g, 0, 11, 8);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
+  }
+}
+
+TEST(KDisjointPaths, SingleChainYieldsOneRoute) {
+  // Banning the chain's interior after the first route leaves no
+  // alternative: k = 5 gracefully returns one.
+  Graph g;
+  g.add_node();
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, 0.9);
+  g.add_edge(1, 2, 0.9);
+  const auto paths = k_disjoint_paths(g, 0, 2, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(KDisjointPaths, UnreachableGivesEmpty) {
+  Graph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_TRUE(k_disjoint_paths(g, 0, 1, 3).empty());
+  EXPECT_THROW((void)k_disjoint_paths(g, 0, 1, 0), PreconditionError);
 }
 
 TEST(PathDiversity, DisjointAndOverlappingSets) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "quantum/channels.hpp"
@@ -90,6 +91,28 @@ TEST(Memory, RejectsUnphysicalParameters) {
   EXPECT_THROW((void)negative.dephasing_probability(1.0), PreconditionError);
   const MemoryModel ok;
   EXPECT_THROW((void)ok.relaxation_survival(-0.1), PreconditionError);
+}
+
+TEST(Memory, ValidateCatchesUnphysicalPairsAtConstruction) {
+  // Regression: T2 > 2 T1 used to slip through until the first
+  // relaxation_survival call deep inside a scenario; validate()/checked()
+  // now fail at the construction/config boundary with a message naming the
+  // constraint.
+  EXPECT_THROW((void)MemoryModel::checked(1.0, 3.0), Error);
+  try {
+    (void)MemoryModel::checked(1.0, 3.0);
+    FAIL() << "checked(1, 3) must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("T2"), std::string::npos)
+        << "error should name the violated constraint: " << e.what();
+  }
+  EXPECT_THROW((void)MemoryModel::checked(0.0, 0.5), Error);
+  EXPECT_THROW((void)MemoryModel::checked(1.0, 0.0), Error);
+  // The boundary T2 = 2 T1 (all dephasing from relaxation) is physical.
+  const MemoryModel limit = MemoryModel::checked(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(limit.t2, 2.0);
+  MemoryModel ok;
+  ok.validate();  // defaults are physical
 }
 
 }  // namespace

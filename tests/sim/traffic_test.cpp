@@ -59,6 +59,30 @@ TEST(Traffic, LightLoadOnAirGroundServesEverything) {
   EXPECT_NEAR(result.waiting.mean(), 0.0, 1e-9);
 }
 
+TEST(Traffic, PercentilesBackedByOneSamplePerServedRequest) {
+  const QntnConfig config;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const TopologyBuilder topology(model, config.link_policy());
+  const TrafficResult result =
+      run_traffic_simulation(model, topology, light_load());
+  ASSERT_GT(result.served, 0u);
+  EXPECT_EQ(result.latency_samples.size(), result.served);
+  EXPECT_EQ(result.waiting_samples.size(), result.served);
+  // Tails are ordered and bracketed by the running stats' extremes.
+  const double p50 = result.latency_percentile(0.50);
+  const double p95 = result.latency_percentile(0.95);
+  const double p99 = result.latency_percentile(0.99);
+  EXPECT_LE(result.latency.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, result.latency.max());
+  EXPECT_LE(result.waiting_percentile(0.50), result.waiting_percentile(0.99));
+  // Empty distributions report 0 instead of throwing.
+  const TrafficResult empty;
+  EXPECT_DOUBLE_EQ(empty.latency_percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.waiting_percentile(0.5), 0.0);
+}
+
 TEST(Traffic, AccountingAlwaysBalances) {
   const QntnConfig config;
   const NetworkModel model = core::build_air_ground_model(config);

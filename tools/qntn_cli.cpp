@@ -5,6 +5,7 @@
 //   qntn_cli air                         air-ground architecture
 //   qntn_cli hybrid N                    hybrid architecture at N satellites
 //   qntn_cli sweep                       Figs. 6-8 full sweep
+//   qntn_cli em N                        entanglement-management serving at N
 //   qntn_cli traffic RATE                Poisson traffic on the air-ground net
 //   qntn_cli contacts N                  compiled contact plan at N satellites
 //   qntn_cli sessions N                  session admission at N satellites
@@ -31,12 +32,27 @@ using namespace qntn;
 
 void print_metrics_block(const core::ArchitectureMetrics& m) {
   std::printf("  coverage  %.2f %%\n", m.coverage_percent);
-  std::printf("  served    %.2f %% (%zu/%zu; %zu no-path, %zu isolated)\n",
+  std::printf("  served    %.2f %% (%zu/%zu; %zu no-path, %zu isolated",
               m.served_percent, m.requests_served, m.requests_issued,
               m.requests_no_path, m.requests_isolated);
+  if (m.requests_congested > 0) {
+    std::printf(", %zu congested", m.requests_congested);
+  }
+  std::printf(")\n");
   std::printf("  fidelity  %.4f (mean path eta %.4f, %.2f hops)\n",
               m.mean_fidelity, m.mean_transmissivity, m.mean_hops);
   std::printf("  handovers %zu\n", m.handovers);
+  if (m.em.enabled) {
+    std::printf("  em        %zu swaps (depth %.2f mean), %zu purify rounds, "
+                "%zu pairs\n",
+                m.em.swaps, m.em.mean_swap_depth, m.em.purification_rounds,
+                m.em.pairs_consumed);
+    std::printf("  em        occupancy %.3f mean, %zu SLO-met, %zu spills\n",
+                m.em.mean_memory_occupancy, m.em.slo_met,
+                m.em.multipath_spills);
+    std::printf("  latency   p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                m.latency_p50 * 1e3, m.latency_p95 * 1e3, m.latency_p99 * 1e3);
+  }
 }
 
 int cmd_config() {
@@ -80,6 +96,16 @@ int cmd_sweep(core::RunContext ctx, std::size_t threads) {
   return 0;
 }
 
+int cmd_em(std::size_t n, core::RunContext ctx) {
+  // Entanglement-management serving over the space-ground architecture:
+  // buffered memories, swap trees, purification, k-path load balancing.
+  ctx.config.serving_mode = core::ServingMode::Entanglement;
+  const core::ArchitectureMetrics point = core::evaluate_space_ground(ctx, n);
+  std::printf("space-ground @%zu satellites (entanglement serving)\n", n);
+  print_metrics_block(point);
+  return 0;
+}
+
 int cmd_traffic(double rate, const core::QntnConfig& config) {
   const sim::NetworkModel model = core::build_air_ground_model(config);
   const sim::TopologyBuilder topology(model, config.link_policy());
@@ -97,6 +123,14 @@ int cmd_traffic(double rate, const core::QntnConfig& config) {
   if (result.served > 0) {
     std::printf("  latency    %.2f ms mean (%.2f ms wait)\n",
                 result.latency.mean() * 1e3, result.waiting.mean() * 1e3);
+    std::printf("  latency    p50 %.2f / p95 %.2f / p99 %.2f ms\n",
+                result.latency_percentile(0.50) * 1e3,
+                result.latency_percentile(0.95) * 1e3,
+                result.latency_percentile(0.99) * 1e3);
+    std::printf("  waiting    p50 %.2f / p95 %.2f / p99 %.2f ms\n",
+                result.waiting_percentile(0.50) * 1e3,
+                result.waiting_percentile(0.95) * 1e3,
+                result.waiting_percentile(0.99) * 1e3);
     std::printf("  fidelity   %.4f mean\n", result.fidelity.mean());
   }
   return 0;
@@ -148,7 +182,7 @@ int cmd_sessions(std::size_t n, const core::QntnConfig& config) {
 
 int usage() {
   std::fputs(
-      "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | "
+      "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | em N | "
       "traffic RATE | contacts N | sessions N>\n"
       "  [--config FILE] [--threads N] [--seed N] [--metrics-out FILE]\n"
       "  [--trace-out FILE] [--trace-level off|snapshots|requests]\n"
@@ -197,6 +231,8 @@ int main(int argc, char** argv) {
       rc = cmd_coverage(positional_count(opts, 1), ctx);
     } else if (command == "hybrid" && opts.positional.size() >= 2) {
       rc = cmd_hybrid(positional_count(opts, 1), ctx);
+    } else if (command == "em" && opts.positional.size() >= 2) {
+      rc = cmd_em(positional_count(opts, 1), ctx);
     } else if (command == "traffic" && opts.positional.size() >= 2) {
       rc = cmd_traffic(std::atof(opts.positional[1].c_str()), ctx.config);
     } else if (command == "contacts" && opts.positional.size() >= 2) {

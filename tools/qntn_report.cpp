@@ -63,8 +63,13 @@ int cmd_metrics(const tools::CommonOptions& opts) {
   ctx.seed = opts.seed;
 
   const core::ArchitectureMetrics m = core::evaluate_space_ground(ctx, n);
-  std::printf("space-ground @%zu satellites: served %.2f %%, fidelity %.4f\n\n",
+  std::printf("space-ground @%zu satellites: served %.2f %%, fidelity %.4f\n",
               n, m.served_percent, m.mean_fidelity);
+  // Latency tails are only meaningful for serving modes with a latency
+  // notion (em heralding / traffic queueing); the single-shot model prints
+  // a zero row, which keeps the output shape stable for scripts.
+  std::printf("latency percentiles: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n\n",
+              m.latency_p50 * 1e3, m.latency_p95 * 1e3, m.latency_p99 * 1e3);
 
   const obs::MetricsSnapshot snapshot = registry.snapshot();
   Table counters("counters");
