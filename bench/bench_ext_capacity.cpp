@@ -30,7 +30,7 @@ double served_with_capacity(const sim::NetworkModel& model,
     policy.per_node_capacity = capacity;
     const sim::CapacityServeResult result = sim::serve_requests_with_capacity(
         topology.graph_at(t), requests, policy);
-    served.add(result.base.served_fraction());
+    served.add(result.outcome.served_fraction());
   }
   return 100.0 * served.mean();
 }

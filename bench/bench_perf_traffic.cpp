@@ -1,0 +1,98 @@
+// Open-arrival traffic serving (serving_mode = traffic) end to end: the
+// paper's day on the space-ground constellation with per-LAN diurnal
+// Poisson arrivals, event-driven capacity claims, queueing deadlines and
+// backpressure. Full mode runs the ~1M-requests/day acceptance scenario
+// (n=108, 2880 windows of 30 s, 4 req/s per LAN) serially and on 2/8
+// worker threads; smoke mode shrinks the constellation and rate for the
+// CI gate against bench/baselines/BENCH_traffic.json. The engine is
+// required to be bitwise deterministic: the run exits non-zero if any
+// threaded case disagrees with the serial case on any metric.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/experiments.hpp"
+#include "perf_harness.hpp"
+
+namespace {
+
+using namespace qntn;
+
+bool same_metrics(const core::ArchitectureMetrics& a,
+                  const core::ArchitectureMetrics& b) {
+  return a.coverage_percent == b.coverage_percent &&
+         a.served_percent == b.served_percent &&
+         a.mean_fidelity == b.mean_fidelity &&
+         a.mean_transmissivity == b.mean_transmissivity &&
+         a.mean_hops == b.mean_hops && a.requests_issued == b.requests_issued &&
+         a.requests_served == b.requests_served &&
+         a.requests_no_path == b.requests_no_path &&
+         a.requests_isolated == b.requests_isolated &&
+         a.requests_rejected_capacity == b.requests_rejected_capacity &&
+         a.requests_dropped_deadline == b.requests_dropped_deadline &&
+         a.latency_p50 == b.latency_p50 && a.latency_p99 == b.latency_p99 &&
+         a.waiting_p50 == b.waiting_p50 && a.waiting_p99 == b.waiting_p99 &&
+         a.traffic.mean_peak_utilisation == b.traffic.mean_peak_utilisation &&
+         a.traffic.peak_queue_depth == b.traffic.peak_queue_depth;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bench::PerfHarness harness("traffic", argc, argv);
+
+    core::QntnConfig config;
+    config.serving_mode = core::ServingMode::Traffic;
+    config.topology_mode = core::TopologyMode::ContactPlan;
+    const std::size_t n = harness.smoke() ? 36 : 108;
+    if (harness.smoke()) {
+      // ~50k arrivals over the day in 288 five-minute windows.
+      config.request_steps = 288;
+      config.traffic_arrival_rate = 0.2;
+    } else {
+      // The acceptance scenario: 2880 thirty-second windows, 4 req/s per
+      // LAN with the diurnal profile — ~1M arrivals over the day.
+      config.request_steps = 2880;
+    }
+    const auto windows = static_cast<std::uint64_t>(config.request_steps);
+
+    core::ArchitectureMetrics serial;
+    harness.run_case("serve_serial_n" + std::to_string(n), windows,
+                     [&] { serial = core::evaluate_space_ground(config, n); });
+    std::printf(
+        "n=%zu: issued %zu, served %.2f %%, rejected %zu, deadline-dropped "
+        "%zu, latency p99 %.2f ms, waiting p99 %.2f ms\n",
+        n, serial.requests_issued, serial.served_percent,
+        serial.requests_rejected_capacity, serial.requests_dropped_deadline,
+        serial.latency_p99 * 1e3, serial.waiting_p99 * 1e3);
+
+    bool deterministic = true;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      ThreadPool pool(threads);
+      core::RunContext ctx{config};
+      ctx.pool = &pool;
+      core::ArchitectureMetrics threaded;
+      harness.run_case(
+          "serve_t" + std::to_string(threads) + "_n" + std::to_string(n),
+          windows, [&] { threaded = core::evaluate_space_ground(ctx, n); });
+      const bool match = same_metrics(serial, threaded);
+      std::printf("t=%zu vs serial: metrics %s\n", threads,
+                  match ? "identical" : "MISMATCH");
+      if (!match) deterministic = false;
+    }
+
+    const int rc = harness.finish();
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "error: threaded traffic metrics differ from serial\n");
+      return 1;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -85,12 +85,21 @@ TopologyMode topology_mode_from(const std::string& name) {
 }
 
 std::string serving_mode_name(ServingMode mode) {
-  return mode == ServingMode::Entanglement ? "entanglement" : "single_shot";
+  switch (mode) {
+    case ServingMode::SingleShot:
+      return "single_shot";
+    case ServingMode::Entanglement:
+      return "entanglement";
+    case ServingMode::Traffic:
+      return "traffic";
+  }
+  throw Error("unknown serving mode");
 }
 
 ServingMode serving_mode_from(const std::string& name) {
   if (name == "single_shot") return ServingMode::SingleShot;
   if (name == "entanglement") return ServingMode::Entanglement;
+  if (name == "traffic") return ServingMode::Traffic;
   throw Error("unknown serving mode: " + name);
 }
 
@@ -149,7 +158,17 @@ std::string serialize_config(const QntnConfig& config) {
      << "em_k_paths = " << config.em_k_paths << '\n'
      << "em_node_capacity = " << config.em_node_capacity << '\n'
      << "em_fidelity_slo = " << config.em_fidelity_slo << '\n'
-     << "em_purify_max_rounds = " << config.em_purify_max_rounds << '\n';
+     << "em_purify_max_rounds = " << config.em_purify_max_rounds << '\n'
+     << "traffic_arrival_rate = " << config.traffic_arrival_rate << '\n'
+     << "traffic_diurnal_amplitude = " << config.traffic_diurnal_amplitude
+     << '\n'
+     << "traffic_service_overhead_s = " << config.traffic_service_overhead
+     << '\n'
+     << "traffic_max_queue_delay_s = " << config.traffic_max_queue_delay
+     << '\n'
+     << "traffic_node_capacity = " << config.traffic_node_capacity << '\n'
+     << "traffic_max_backlog = " << config.traffic_max_backlog << '\n'
+     << "traffic_seed = " << config.traffic_seed << '\n';
   return os.str();
 }
 
@@ -262,6 +281,20 @@ QntnConfig parse_config(const std::string& text) {
            [&](const std::string& v) { config.em_fidelity_slo = as_double(v); }},
           {"em_purify_max_rounds",
            [&](const std::string& v) { config.em_purify_max_rounds = as_size(v); }},
+          {"traffic_arrival_rate",
+           [&](const std::string& v) { config.traffic_arrival_rate = as_double(v); }},
+          {"traffic_diurnal_amplitude",
+           [&](const std::string& v) { config.traffic_diurnal_amplitude = as_double(v); }},
+          {"traffic_service_overhead_s",
+           [&](const std::string& v) { config.traffic_service_overhead = as_double(v); }},
+          {"traffic_max_queue_delay_s",
+           [&](const std::string& v) { config.traffic_max_queue_delay = as_double(v); }},
+          {"traffic_node_capacity",
+           [&](const std::string& v) { config.traffic_node_capacity = as_size(v); }},
+          {"traffic_max_backlog",
+           [&](const std::string& v) { config.traffic_max_backlog = as_size(v); }},
+          {"traffic_seed",
+           [&](const std::string& v) { config.traffic_seed = as_size(v); }},
       };
 
   std::istringstream in(text);
@@ -307,6 +340,17 @@ QntnConfig parse_config(const std::string& text) {
   } catch (const std::exception& e) {
     throw Error(std::string("config (em_memory_t1_s/em_memory_t2_s): ") +
                 e.what());
+  }
+  if (config.traffic_max_queue_delay <= 0.0) {
+    throw Error("config (traffic_max_queue_delay_s): must be > 0");
+  }
+  if (config.traffic_arrival_rate < 0.0) {
+    throw Error("config (traffic_arrival_rate): must be >= 0");
+  }
+  try {
+    (void)config.traffic_options();
+  } catch (const std::exception& e) {
+    throw Error(std::string("config (traffic_*): ") + e.what());
   }
   return config;
 }

@@ -56,8 +56,9 @@ ArchitectureMetrics traffic_metrics(std::string architecture,
   m.requests_issued = r.arrivals;
   m.requests_served = r.served;
   m.requests_no_path = r.dropped_no_path;
-  // Queue drops are a congestion outcome, not a routing failure.
-  m.requests_congested = r.dropped_queue;
+  // Queue drops are deadline expiries, matching the scenario traffic mode.
+  m.requests_dropped_deadline = r.dropped_queue;
+  m.traffic.enabled = true;
   m.latency_p50 = r.latency_percentile(0.50);
   m.latency_p95 = r.latency_percentile(0.95);
   m.latency_p99 = r.latency_percentile(0.99);
@@ -101,6 +102,8 @@ ArchitectureMetrics summarize(std::string architecture,
   m.requests_no_path = r.requests_no_path;
   m.requests_isolated = r.requests_isolated;
   m.requests_congested = r.requests_congested;
+  m.requests_rejected_capacity = r.requests_rejected_capacity;
+  m.requests_dropped_deadline = r.requests_dropped_deadline;
   m.handovers = r.handovers;
   if (r.em.enabled) {
     m.em.enabled = true;
@@ -115,6 +118,21 @@ ArchitectureMetrics summarize(std::string architecture,
       m.latency_p50 = percentile(r.em.latency_samples, 0.50);
       m.latency_p95 = percentile(r.em.latency_samples, 0.95);
       m.latency_p99 = percentile(r.em.latency_samples, 0.99);
+    }
+  }
+  if (r.traffic.enabled) {
+    m.traffic.enabled = true;
+    m.traffic.mean_peak_utilisation = r.traffic.peak_utilisation.mean();
+    m.traffic.peak_queue_depth = r.traffic.peak_queue_depth;
+    if (!r.traffic.latency_samples.empty()) {
+      m.latency_p50 = percentile(r.traffic.latency_samples, 0.50);
+      m.latency_p95 = percentile(r.traffic.latency_samples, 0.95);
+      m.latency_p99 = percentile(r.traffic.latency_samples, 0.99);
+    }
+    if (!r.traffic.waiting_samples.empty()) {
+      m.waiting_p50 = percentile(r.traffic.waiting_samples, 0.50);
+      m.waiting_p95 = percentile(r.traffic.waiting_samples, 0.95);
+      m.waiting_p99 = percentile(r.traffic.waiting_samples, 0.99);
     }
   }
   return m;

@@ -62,25 +62,30 @@ struct ArchitectureMetrics {
   double mean_fidelity = 0.0;      ///< Fig. 8 (over served requests)
   double mean_transmissivity = 0.0;
   double mean_hops = 0.0;
-  /// Request accounting across all snapshots (issued = served + no_path +
-  /// isolated + congested; served/issued == served_percent/100).
+  /// Request accounting across all snapshots (the ServeOutcome identity:
+  /// issued = served + no_path + isolated + congested + rejected_capacity +
+  /// dropped_deadline; served/issued == served_percent/100).
   std::size_t requests_issued = 0;
   std::size_t requests_served = 0;
   std::size_t requests_no_path = 0;
   std::size_t requests_isolated = 0;
   /// Routes existed but relays/buffers could not pay (em serving mode only).
   std::size_t requests_congested = 0;
+  /// Backpressure refusals at admission (traffic serving mode only).
+  std::size_t requests_rejected_capacity = 0;
+  /// Queueing-deadline drops (traffic serving mode only).
+  std::size_t requests_dropped_deadline = 0;
   /// Relay changes between consecutively served snapshots of one request.
   std::size_t handovers = 0;
 
   /// Latency tail percentiles [s] over served requests. Filled by the em
-  /// serving mode (classical heralding latency) and by traffic_metrics
-  /// (queueing + heralding); all 0 for the paper's instantaneous single-shot
-  /// model, which has no latency notion.
+  /// serving mode (classical heralding latency) and by the traffic serving
+  /// mode (queueing + heralding); all 0 for the paper's instantaneous
+  /// single-shot model, which has no latency notion.
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
-  /// Queueing-delay percentiles [s]; only the traffic runner fills these.
+  /// Queue-delay percentiles [s]; only the traffic serving mode fills these.
   double waiting_p50 = 0.0;
   double waiting_p95 = 0.0;
   double waiting_p99 = 0.0;
@@ -96,6 +101,15 @@ struct ArchitectureMetrics {
     double mean_memory_occupancy = 0.0;   ///< in [0, 1]
     double mean_swap_depth = 0.0;         ///< heralding rounds per served
   } em;
+
+  /// Open-arrival traffic accounting (serving_mode = Traffic only).
+  struct TrafficSummary {
+    bool enabled = false;
+    /// Mean over windows of the busiest node's load fraction, in [0, 1].
+    double mean_peak_utilisation = 0.0;
+    /// Largest backlog any serving window reached.
+    std::size_t peak_queue_depth = 0;
+  } traffic;
 };
 
 /// Convert an event-driven traffic run into the unified metrics row

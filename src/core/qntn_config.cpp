@@ -30,6 +30,7 @@ sim::ScenarioConfig QntnConfig::scenario_config() const {
   config.convention = convention;
   config.request_seed = request_seed;
   config.em = em_options();
+  config.traffic = traffic_options();
   return config;
 }
 
@@ -45,6 +46,24 @@ em::EmOptions QntnConfig::em_options() const {
   options.purify.max_rounds = em_purify_max_rounds;
   options.k_paths = em_k_paths;
   options.node_capacity = em_node_capacity;
+  options.validate();
+  return options;
+}
+
+sim::TrafficConfig QntnConfig::traffic_options() const {
+  sim::TrafficConfig options;
+  options.enabled = serving_mode == ServingMode::Traffic;
+  options.duration = day_duration;
+  options.arrival_rate = traffic_arrival_rate;
+  options.diurnal_amplitude = traffic_diurnal_amplitude;
+  options.node_capacity = traffic_node_capacity;
+  options.service_overhead = traffic_service_overhead;
+  options.max_queue_delay = traffic_max_queue_delay;
+  options.max_backlog = traffic_max_backlog;
+  options.snapshot_interval = ephemeris_step;
+  options.memory = quantum::MemoryModel{em_memory_t1, em_memory_t2};
+  options.metric = metric;
+  options.seed = traffic_seed;
   options.validate();
   return options;
 }

@@ -25,7 +25,7 @@ enum class TopologyMode {
   ContactPlan,
 };
 
-/// How request snapshots are served (DESIGN.md §11).
+/// How request snapshots are served (DESIGN.md §11/§12).
 enum class ServingMode {
   /// The paper's model: every snapshot routes one path per request and
   /// serves it instantaneously from fresh link-generated pairs.
@@ -33,6 +33,10 @@ enum class ServingMode {
   /// The entanglement-management layer: buffered elementary pairs, swap
   /// trees, purification budgeting, k-disjoint multipath load balancing.
   Entanglement,
+  /// The open-arrival traffic engine: per-LAN diurnal Poisson user
+  /// populations served through the event-driven core with capacity
+  /// claims, queueing deadlines, and backpressure.
+  Traffic,
 };
 
 struct QntnConfig {
@@ -107,6 +111,19 @@ struct QntnConfig {
   double em_fidelity_slo = 0.0;         ///< purification target; 0 = off
   std::size_t em_purify_max_rounds = 2; ///< BBPSSW round cap
 
+  // --- Open-arrival traffic serving (sim/traffic, DESIGN.md §12). ---
+  /// Poisson request arrivals per LAN [1/s] before the diurnal factor. The
+  /// default 4/s across the paper's three LANs is ~1M requests/day.
+  double traffic_arrival_rate = 4.0;
+  /// Diurnal modulation amplitude in [0, 1]: daytime LANs arrive at
+  /// rate*(1+a), night-time LANs at rate*(1-a).
+  double traffic_diurnal_amplitude = 0.5;
+  double traffic_service_overhead = 0.01;  ///< [s] per served request
+  double traffic_max_queue_delay = 0.5;    ///< [s] queueing deadline
+  std::size_t traffic_node_capacity = 8;   ///< concurrent pairs per node
+  std::size_t traffic_max_backlog = 256;   ///< admission backpressure bound
+  std::uint64_t traffic_seed = 20240707;   ///< arrival substream seed
+
   /// Derived: the sim::LinkPolicy for this configuration.
   [[nodiscard]] sim::LinkPolicy link_policy() const;
 
@@ -118,6 +135,11 @@ struct QntnConfig {
   /// serving_mode is Entanglement). Throws qntn::Error on invalid em
   /// parameters — including the T2 <= 2 T1 memory-physicality check.
   [[nodiscard]] em::EmOptions em_options() const;
+
+  /// Derived: the sim::TrafficConfig this configuration describes (enabled
+  /// iff serving_mode is Traffic). Throws qntn::PreconditionError on
+  /// degenerate traffic parameters.
+  [[nodiscard]] sim::TrafficConfig traffic_options() const;
 
   /// Derived: contact-plan compile options (horizon = day, step =
   /// ephemeris step, so plan and rebuild sample the same grid).

@@ -13,7 +13,7 @@ CapacityServeResult serve_requests_with_capacity(
   QNTN_REQUIRE(policy.per_node_capacity > 0, "capacity must be positive");
 
   CapacityServeResult result;
-  result.base.total = requests.size();
+  result.outcome.issued = requests.size();
   std::vector<std::size_t> used(graph.node_count(), 0);
 
   for (const Request& req : requests) {
@@ -26,9 +26,9 @@ CapacityServeResult serve_requests_with_capacity(
       // Distinguish "saturated" from "unreachable" by checking the full
       // graph for any path at all.
       if (graph.connected(req.source, req.destination)) {
-        ++result.rejected_capacity;
+        ++result.outcome.rejected_capacity;
       } else {
-        ++result.rejected_unreachable;
+        ++result.outcome.no_path;
       }
       continue;
     }
@@ -45,17 +45,17 @@ CapacityServeResult serve_requests_with_capacity(
         net::bellman_ford(filtered, req.source, req.destination, metric);
     if (!route.has_value()) {
       if (graph.connected(req.source, req.destination)) {
-        ++result.rejected_capacity;
+        ++result.outcome.rejected_capacity;
       } else {
-        ++result.rejected_unreachable;
+        ++result.outcome.no_path;
       }
       continue;
     }
     for (const net::NodeId id : route->path) ++used[id];
-    ++result.base.served;
-    result.base.transmissivity.add(route->transmissivity);
-    result.base.hops.add(static_cast<double>(route->path.size() - 1));
-    result.base.fidelity.add(
+    ++result.outcome.served;
+    result.outcome.transmissivity.add(route->transmissivity);
+    result.outcome.hops.add(static_cast<double>(route->path.size() - 1));
+    result.outcome.fidelity.add(
         quantum::bell_fidelity_after_damping(route->transmissivity, convention));
   }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "sim/requests.hpp"
+#include "sim/serving_engine.hpp"
 
 /// \file capacity.hpp
 /// Capacity-limited request serving. The paper assumes "each node can serve
@@ -20,14 +21,13 @@ struct CapacityPolicy {
   std::size_t per_node_capacity = 8;
 };
 
+/// Capacity serving reports in the common ServeOutcome shape (DESIGN.md
+/// §12): requests that had a path but were refused because a node on every
+/// usable route was saturated land in `outcome.rejected_capacity`; requests
+/// with no path at all land in `outcome.no_path`; the reconciliation
+/// identity `outcome.reconciles()` holds.
 struct CapacityServeResult {
-  ServeResult base;
-  /// Requests that had a path but were refused because a node on every
-  /// usable route was saturated.
-  std::size_t rejected_capacity = 0;
-  /// Requests with no path at all (same meaning as unserved in the
-  /// unlimited model).
-  std::size_t rejected_unreachable = 0;
+  ServeOutcome outcome;
   /// Peak utilisation of the busiest node, in [0, 1] of its capacity.
   double peak_utilisation = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 
@@ -8,8 +9,7 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
-#include "sim/em_snapshot.hpp"
-#include "sim/snapshot.hpp"
+#include "sim/serving_engine.hpp"
 
 namespace qntn::sim {
 
@@ -85,251 +85,204 @@ ScenarioResult run_scenario(const NetworkModel& model,
       generate_requests(model, config.request_count, rng));
   const std::vector<Request>& requests = batch.requests;
 
-  // Last relay each request was served over, for handover accounting.
+  // Last relay each request was served over, for handover accounting
+  // (fixed-batch modes only; open arrivals have no cross-step identity).
   std::vector<std::optional<net::NodeId>> last_relay(requests.size());
 
   const obs::ScopedTimer serving_timer("time.serving_s");
   const obs::Span serving_span("sim.serving", config.request_steps);
 
-  // The per-step merge shared by the serial and parallel paths: it replays
-  // the historical single-loop accumulation in step order, so both engines
-  // produce bit-identical stats, counters, handovers, and trace bytes.
-  const auto merge_step = [&](std::size_t step, const ServeResult& served) {
+  result.em.enabled = !config.traffic.enabled && config.em.enabled;
+  result.traffic.enabled = config.traffic.enabled;
+
+  // The per-step merge shared by the serial and parallel paths and by all
+  // three serving engines: it replays the historical single-loop
+  // accumulation in step order, so every path produces bit-identical stats,
+  // counters, handovers, and trace bytes.
+  const auto merge = [&](std::size_t step, const ServeStepResult& sr) {
     const double t = static_cast<double>(step) * interval;
+    const ServeOutcome& oc = sr.outcome;
+    const bool fixed_batch = !sr.traffic_enabled;
     std::size_t step_handovers = 0;
-    for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
-      const RequestOutcome& outcome = served.outcomes[i];
-      if (outcome.status == ServeStatus::Served) {
-        if (last_relay[i].has_value() && outcome.relay.has_value() &&
-            *last_relay[i] != *outcome.relay) {
-          ++step_handovers;
-          if (trace_requests) {
-            trace->emit(
-                obs::TraceEvent("handover")
-                    .field("step", static_cast<std::uint64_t>(step))
-                    .field("t", t)
-                    .field("id", static_cast<std::uint64_t>(i))
-                    .field("from", static_cast<std::uint64_t>(*last_relay[i]))
-                    .field("to", static_cast<std::uint64_t>(*outcome.relay)));
-          }
-        }
-        last_relay[i] = outcome.relay;
-      } else {
-        last_relay[i].reset();
-      }
-      if (trace_requests) {
-        obs::TraceEvent event("request");
-        event.field("step", static_cast<std::uint64_t>(step))
-            .field("t", t)
-            .field("id", static_cast<std::uint64_t>(i))
-            .field("src", static_cast<std::uint64_t>(requests[i].source))
-            .field("dst", static_cast<std::uint64_t>(requests[i].destination))
-            .field("status", serve_status_name(outcome.status));
-        if (outcome.status == ServeStatus::Served) {
-          event.field("eta", outcome.transmissivity)
-              .field("fidelity", outcome.fidelity)
-              .field("hops", static_cast<std::uint64_t>(outcome.hops))
-              .field("relay",
-                     static_cast<std::uint64_t>(outcome.relay.value_or(
-                         requests[i].destination)));
-        }
-        trace->emit(event);
-      }
-    }
-
-    result.served_per_step.add(served.served_fraction());
-    result.fidelity.merge(served.fidelity);
-    result.transmissivity.merge(served.transmissivity);
-    result.hops.merge(served.hops);
-    result.requests_issued += served.total;
-    result.requests_served += served.served;
-    result.requests_no_path += served.unserved_no_path;
-    result.requests_isolated += served.unserved_isolated;
-    result.handovers += step_handovers;
-
-    obs::count("scenario.snapshots");
-    obs::count("scenario.requests_issued", served.total);
-    obs::count("scenario.requests_served", served.served);
-    obs::count("scenario.requests_no_path", served.unserved_no_path);
-    obs::count("scenario.requests_isolated", served.unserved_isolated);
-    obs::count("scenario.handovers", step_handovers);
-
-    if (trace_snapshots) {
-      trace->emit(obs::TraceEvent("snapshot")
+    for (std::size_t i = 0; i < sr.requests.size(); ++i) {
+      const RequestRecord& rec = sr.requests[i];
+      const bool served_rec = rec.disposition == ServeDisposition::Served;
+      if (fixed_batch) {
+        if (served_rec) {
+          if (last_relay[i].has_value() && rec.relay.has_value() &&
+              *last_relay[i] != *rec.relay) {
+            ++step_handovers;
+            if (trace_requests) {
+              trace->emit(
+                  obs::TraceEvent("handover")
                       .field("step", static_cast<std::uint64_t>(step))
                       .field("t", t)
-                      .field("served", static_cast<std::uint64_t>(served.served))
-                      .field("total", static_cast<std::uint64_t>(served.total))
-                      .field("no_path", static_cast<std::uint64_t>(
-                                            served.unserved_no_path))
-                      .field("isolated", static_cast<std::uint64_t>(
-                                             served.unserved_isolated))
-                      .field("handovers",
-                             static_cast<std::uint64_t>(step_handovers)));
-    }
-  };
-
-  // merge_step's twin for the entanglement-management mode: the same
-  // handover/trace discipline and step-ordered reduction, plus the em
-  // accounting (swap/purification totals, occupancy, latency samples).
-  const auto merge_em = [&](std::size_t step, const em::EmServeResult& served) {
-    const double t = static_cast<double>(step) * interval;
-    std::size_t step_handovers = 0;
-    for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
-      const em::EmOutcome& outcome = served.outcomes[i];
-      if (outcome.status == em::EmStatus::Served) {
-        if (last_relay[i].has_value() && outcome.relay.has_value() &&
-            *last_relay[i] != *outcome.relay) {
-          ++step_handovers;
-          if (trace_requests) {
-            trace->emit(
-                obs::TraceEvent("handover")
-                    .field("step", static_cast<std::uint64_t>(step))
-                    .field("t", t)
-                    .field("id", static_cast<std::uint64_t>(i))
-                    .field("from", static_cast<std::uint64_t>(*last_relay[i]))
-                    .field("to", static_cast<std::uint64_t>(*outcome.relay)));
-          }
-        }
-        last_relay[i] = outcome.relay;
-        result.em.latency_samples.push_back(outcome.latency);
-      } else {
-        last_relay[i].reset();
-      }
-      if (trace_requests) {
-        obs::TraceEvent event("request");
-        event.field("step", static_cast<std::uint64_t>(step))
-            .field("t", t)
-            .field("id", static_cast<std::uint64_t>(i))
-            .field("src", static_cast<std::uint64_t>(requests[i].source))
-            .field("dst", static_cast<std::uint64_t>(requests[i].destination))
-            .field("status", em::em_status_name(outcome.status));
-        if (outcome.status == em::EmStatus::Served) {
-          event.field("eta", outcome.transmissivity)
-              .field("fidelity", outcome.fidelity)
-              .field("hops", static_cast<std::uint64_t>(outcome.hops))
-              .field("relay",
-                     static_cast<std::uint64_t>(outcome.relay.value_or(
-                         requests[i].destination)))
-              .field("swaps", static_cast<std::uint64_t>(outcome.swaps))
-              .field("depth", static_cast<std::uint64_t>(outcome.swap_depth))
-              .field("purify", static_cast<std::uint64_t>(
-                                   outcome.purification_rounds))
-              .field("pairs",
-                     static_cast<std::uint64_t>(outcome.pairs_consumed))
-              .field("route",
-                     static_cast<std::uint64_t>(outcome.route_index))
-              .field("latency", outcome.latency);
-        }
-        trace->emit(event);
-      }
-    }
-
-    result.served_per_step.add(served.served_fraction());
-    result.fidelity.merge(served.fidelity);
-    result.transmissivity.merge(served.transmissivity);
-    result.hops.merge(served.hops);
-    result.requests_issued += served.total;
-    result.requests_served += served.served;
-    result.requests_no_path += served.unserved_no_path;
-    result.requests_isolated += served.unserved_isolated;
-    result.requests_congested += served.unserved_congested;
-    result.handovers += step_handovers;
-
-    result.em.swaps += served.swaps;
-    result.em.purification_rounds += served.purification_rounds;
-    result.em.pairs_consumed += served.pairs_consumed;
-    result.em.slo_met += served.slo_met;
-    result.em.spilled += served.spilled;
-    result.em.memory_occupancy.add(served.memory_occupancy);
-    result.em.swap_depth.merge(served.swap_depth);
-    result.em.latency.merge(served.latency);
-
-    obs::count("scenario.snapshots");
-    obs::count("scenario.requests_issued", served.total);
-    obs::count("scenario.requests_served", served.served);
-    obs::count("scenario.requests_no_path", served.unserved_no_path);
-    obs::count("scenario.requests_isolated", served.unserved_isolated);
-    obs::count("scenario.requests_congested", served.unserved_congested);
-    obs::count("scenario.handovers", step_handovers);
-
-    if (trace_snapshots) {
-      trace->emit(obs::TraceEvent("snapshot")
-                      .field("step", static_cast<std::uint64_t>(step))
-                      .field("t", t)
-                      .field("served", static_cast<std::uint64_t>(served.served))
-                      .field("total", static_cast<std::uint64_t>(served.total))
-                      .field("no_path", static_cast<std::uint64_t>(
-                                            served.unserved_no_path))
-                      .field("isolated", static_cast<std::uint64_t>(
-                                             served.unserved_isolated))
-                      .field("congested", static_cast<std::uint64_t>(
-                                              served.unserved_congested))
-                      .field("occupancy", served.memory_occupancy)
-                      .field("handovers",
-                             static_cast<std::uint64_t>(step_handovers)));
-    }
-  };
-
-  const bool parallel_engine =
-      config.pool != nullptr && topology.epoch_count() > 0;
-  if (config.em.enabled) {
-    result.em.enabled = true;
-    if (parallel_engine) {
-      std::vector<em::EmServeResult> per_step(config.request_steps);
-      parallel_for_chunks(
-          *config.pool, config.request_steps, config.pool->size(),
-          [&](std::size_t begin, std::size_t end) {
-            const obs::ScopedRegistry worker_registry(config.registry);
-            const obs::ScopedProfiler worker_profiler(config.profiler);
-            const obs::Span span("sim.serve_chunk", end - begin);
-            EmSnapshotServer server(topology, batch, config.em,
-                                    config.convention);
-            for (std::size_t step = begin; step < end; ++step) {
-              per_step[step] =
-                  server.serve_at(static_cast<double>(step) * interval);
+                      .field("id", static_cast<std::uint64_t>(i))
+                      .field("from",
+                             static_cast<std::uint64_t>(*last_relay[i]))
+                      .field("to", static_cast<std::uint64_t>(*rec.relay)));
             }
-          });
-      for (std::size_t step = 0; step < config.request_steps; ++step) {
-        merge_em(step, per_step[step]);
+          }
+          last_relay[i] = rec.relay;
+          if (rec.has_em) result.em.latency_samples.push_back(rec.latency);
+        } else {
+          last_relay[i].reset();
+        }
       }
-    } else {
-      EmSnapshotServer server(topology, batch, config.em, config.convention);
-      for (std::size_t step = 0; step < config.request_steps; ++step) {
-        const obs::Span step_span("sim.serve_step", step);
-        const em::EmServeResult served =
-            server.serve_at(static_cast<double>(step) * interval);
-        merge_em(step, served);
+      if (trace_requests) {
+        const net::NodeId src = fixed_batch ? requests[i].source : rec.source;
+        const net::NodeId dst =
+            fixed_batch ? requests[i].destination : rec.destination;
+        obs::TraceEvent event("request");
+        event.field("step", static_cast<std::uint64_t>(step))
+            .field("t", t)
+            .field("id", static_cast<std::uint64_t>(i))
+            .field("src", static_cast<std::uint64_t>(src))
+            .field("dst", static_cast<std::uint64_t>(dst))
+            .field("status", serve_disposition_name(rec.disposition));
+        if (served_rec) {
+          event.field("eta", rec.transmissivity)
+              .field("fidelity", rec.fidelity)
+              .field("hops", static_cast<std::uint64_t>(rec.hops))
+              .field("relay",
+                     static_cast<std::uint64_t>(rec.relay.value_or(dst)));
+          if (rec.has_em) {
+            event.field("swaps", static_cast<std::uint64_t>(rec.em.swaps))
+                .field("depth", static_cast<std::uint64_t>(rec.em.swap_depth))
+                .field("purify", static_cast<std::uint64_t>(
+                                     rec.em.purification_rounds))
+                .field("pairs",
+                       static_cast<std::uint64_t>(rec.em.pairs_consumed))
+                .field("route",
+                       static_cast<std::uint64_t>(rec.em.route_index))
+                .field("latency", rec.latency);
+          }
+          if (sr.traffic_enabled) {
+            event.field("latency", rec.latency).field("waiting", rec.waiting);
+          }
+        }
+        trace->emit(event);
       }
     }
-  } else if (parallel_engine) {
-    // Parallel snapshot engine: workers produce per-step ServeResults into
+
+    result.served_per_step.add(oc.served_fraction());
+    result.fidelity.merge(oc.fidelity);
+    result.transmissivity.merge(oc.transmissivity);
+    result.hops.merge(oc.hops);
+    result.requests_issued += oc.issued;
+    result.requests_served += oc.served;
+    result.requests_no_path += oc.no_path;
+    result.requests_isolated += oc.isolated;
+    result.requests_congested += oc.congested;
+    result.requests_rejected_capacity += oc.rejected_capacity;
+    result.requests_dropped_deadline += oc.dropped_deadline;
+    result.handovers += step_handovers;
+
+    if (sr.em_enabled) {
+      result.em.swaps += sr.em.swaps;
+      result.em.purification_rounds += sr.em.purification_rounds;
+      result.em.pairs_consumed += sr.em.pairs_consumed;
+      result.em.slo_met += sr.em.slo_met;
+      result.em.spilled += sr.em.spilled;
+      result.em.memory_occupancy.add(sr.em.memory_occupancy);
+      result.em.swap_depth.merge(sr.em.swap_depth);
+      result.em.latency.merge(sr.em.latency);
+    }
+    if (sr.traffic_enabled) {
+      result.traffic.latency.merge(sr.traffic.latency);
+      result.traffic.waiting.merge(sr.traffic.waiting);
+      result.traffic.latency_samples.insert(
+          result.traffic.latency_samples.end(),
+          sr.traffic.latency_samples.begin(), sr.traffic.latency_samples.end());
+      result.traffic.waiting_samples.insert(
+          result.traffic.waiting_samples.end(),
+          sr.traffic.waiting_samples.begin(), sr.traffic.waiting_samples.end());
+      result.traffic.peak_utilisation.add(sr.traffic.peak_utilisation);
+      result.traffic.peak_queue_depth = std::max(
+          result.traffic.peak_queue_depth, sr.traffic.peak_queue_depth);
+    }
+
+    obs::count("scenario.snapshots");
+    obs::count("scenario.requests_issued", oc.issued);
+    obs::count("scenario.requests_served", oc.served);
+    obs::count("scenario.requests_no_path", oc.no_path);
+    obs::count("scenario.requests_isolated", oc.isolated);
+    if (sr.em_enabled) {
+      obs::count("scenario.requests_congested", oc.congested);
+    }
+    if (sr.traffic_enabled) {
+      obs::count("scenario.requests_rejected_capacity", oc.rejected_capacity);
+      obs::count("scenario.requests_dropped_deadline", oc.dropped_deadline);
+    }
+    if (fixed_batch) {
+      obs::count("scenario.handovers", step_handovers);
+    }
+
+    if (trace_snapshots) {
+      obs::TraceEvent event("snapshot");
+      event.field("step", static_cast<std::uint64_t>(step))
+          .field("t", t)
+          .field("served", static_cast<std::uint64_t>(oc.served))
+          .field("total", static_cast<std::uint64_t>(oc.issued))
+          .field("no_path", static_cast<std::uint64_t>(oc.no_path))
+          .field("isolated", static_cast<std::uint64_t>(oc.isolated));
+      if (sr.em_enabled) {
+        event.field("congested", static_cast<std::uint64_t>(oc.congested))
+            .field("occupancy", sr.em.memory_occupancy);
+      }
+      if (sr.traffic_enabled) {
+        event
+            .field("rejected_capacity",
+                   static_cast<std::uint64_t>(oc.rejected_capacity))
+            .field("dropped_deadline",
+                   static_cast<std::uint64_t>(oc.dropped_deadline))
+            .field("queue_peak",
+                   static_cast<std::uint64_t>(sr.traffic.peak_queue_depth))
+            .field("utilisation", sr.traffic.peak_utilisation);
+      }
+      if (fixed_batch) {
+        event.field("handovers", static_cast<std::uint64_t>(step_handovers));
+      }
+      trace->emit(event);
+    }
+  };
+
+  // The traffic engine's event windows are heavy enough to chunk on any
+  // provider; the fixed-batch engines only profit from chunking when the
+  // provider is epoch-partitioned (PR 4's condition).
+  const bool parallel_engine =
+      config.pool != nullptr &&
+      (topology.epoch_count() > 0 || config.traffic.enabled);
+  if (parallel_engine) {
+    // Parallel snapshot engine: workers produce per-step results into
     // preallocated slots (no shared mutable state), then the main thread
     // merges them in step order.
-    std::vector<ServeResult> per_step(config.request_steps);
+    std::vector<ServeStepResult> per_step(config.request_steps);
     parallel_for_chunks(
         *config.pool, config.request_steps, config.pool->size(),
         [&](std::size_t begin, std::size_t end) {
           const obs::ScopedRegistry worker_registry(config.registry);
           const obs::ScopedProfiler worker_profiler(config.profiler);
           const obs::Span span("sim.serve_chunk", end - begin);
-          SnapshotServer server(topology, batch, config.metric,
-                                config.convention);
+          const auto engine = make_serving_engine(model, topology, batch,
+                                                  config, interval,
+                                                  trace_requests);
           for (std::size_t step = begin; step < end; ++step) {
             per_step[step] =
-                server.serve_at(static_cast<double>(step) * interval);
+                engine->serve_step(step, static_cast<double>(step) * interval);
           }
         });
     for (std::size_t step = 0; step < config.request_steps; ++step) {
-      merge_step(step, per_step[step]);
+      merge(step, per_step[step]);
     }
   } else {
-    SnapshotServer server(topology, batch, config.metric, config.convention);
+    const auto engine = make_serving_engine(model, topology, batch, config,
+                                            interval, trace_requests);
     for (std::size_t step = 0; step < config.request_steps; ++step) {
       const obs::Span step_span("sim.serve_step", step);
-      const ServeResult served =
-          server.serve_at(static_cast<double>(step) * interval);
-      merge_step(step, served);
+      const ServeStepResult served =
+          engine->serve_step(step, static_cast<double>(step) * interval);
+      merge(step, served);
     }
   }
   result.served_fraction = result.served_per_step.mean();

@@ -6,6 +6,7 @@
 #include "em/serving.hpp"
 #include "sim/coverage.hpp"
 #include "sim/requests.hpp"
+#include "sim/traffic.hpp"
 
 namespace qntn::obs {
 class Profiler;
@@ -53,14 +54,14 @@ struct ScenarioConfig {
   obs::Profiler* profiler = nullptr;
 
   /// Borrowed pool for the parallel snapshot engine (nullptr = serial). With
-  /// a pool AND an epoch-partitioned topology provider, coverage and request
-  /// serving fan out across workers and are merged with a deterministic
-  /// ordered reduction — every metric, counter total, and trace byte is
-  /// identical to the serial run. Providers without an epoch partition (the
-  /// per-step rebuild) keep the serial path regardless. Never pass a pool
-  /// when run_scenario itself executes on one of that pool's workers (the
-  /// nested fan-out would deadlock); the architecture sweeps therefore null
-  /// it for their inner evaluations.
+  /// a pool AND an epoch-partitioned topology provider (or the traffic
+  /// serving mode, whose event windows are heavy enough to chunk on any
+  /// provider), request serving fans out across workers and is merged with
+  /// a deterministic ordered reduction — every metric, counter total, and
+  /// trace byte is identical to the serial run. Never pass a pool when
+  /// run_scenario itself executes on one of that pool's workers (the nested
+  /// fan-out would deadlock); the architecture sweeps therefore null it for
+  /// their inner evaluations.
   ThreadPool* pool = nullptr;
 
   /// Entanglement-management serving mode (DESIGN.md §11): when
@@ -69,6 +70,14 @@ struct ScenarioConfig {
   /// instead of the paper's instantaneous single-shot links. Off by
   /// default, so seed results are untouched.
   em::EmOptions em{};
+
+  /// Open-arrival traffic serving mode (DESIGN.md §12): when
+  /// `traffic.enabled`, the fixed request batch is replaced by per-LAN
+  /// Poisson user populations with a diurnal rate profile, served through
+  /// the event-driven engine (capacity claims, queueing deadlines,
+  /// backpressure) one window per snapshot step. Takes precedence over the
+  /// em mode. Off by default, so seed results are untouched.
+  TrafficConfig traffic{};
 };
 
 /// Entanglement-management serving statistics, filled only when
@@ -88,6 +97,20 @@ struct EmScenarioStats {
   std::vector<double> latency_samples;
 };
 
+/// Open-arrival traffic statistics, filled only when
+/// ScenarioConfig::traffic.enabled.
+struct TrafficScenarioStats {
+  bool enabled = false;
+  RunningStats latency;           ///< arrival -> delivered, served [s]
+  RunningStats waiting;           ///< queueing component [s]
+  RunningStats peak_utilisation;  ///< per window busiest-node load, [0, 1]
+  std::size_t peak_queue_depth = 0;  ///< max backlog across all windows
+  /// Per-served samples in deterministic merge order, for percentile
+  /// reporting (p50/p95/p99 latency and queue delay).
+  std::vector<double> latency_samples;
+  std::vector<double> waiting_samples;
+};
+
 struct ScenarioResult {
   CoverageResult coverage;
   /// Mean served fraction across snapshots (the paper's "percentage of
@@ -102,21 +125,30 @@ struct ScenarioResult {
   /// Path length (edges) over served requests.
   RunningStats hops;
 
-  /// Request accounting totals across all snapshots; issued = served +
-  /// no_path + isolated, and served / issued equals served_fraction (every
-  /// snapshot serves the same batch).
+  /// Request accounting totals across all snapshots; the ServeOutcome
+  /// identity holds mode-independently: issued = served + no_path +
+  /// isolated + congested + rejected_capacity + dropped_deadline.
   std::size_t requests_issued = 0;
   std::size_t requests_served = 0;
   std::size_t requests_no_path = 0;
   std::size_t requests_isolated = 0;
   /// Requests with routes whose relays/buffers could not pay (em mode only;
-  /// single-shot serving has no congestion notion and leaves this 0).
+  /// the other modes leave this 0).
   std::size_t requests_congested = 0;
-  /// Relay changes between consecutively served snapshots of one request.
+  /// Traffic backpressure: arrivals refused at admission because the queue
+  /// was full (traffic mode only).
+  std::size_t requests_rejected_capacity = 0;
+  /// Traffic deadline drops: requests queued past max_queue_delay (traffic
+  /// mode only).
+  std::size_t requests_dropped_deadline = 0;
+  /// Relay changes between consecutively served snapshots of one request
+  /// (fixed-batch modes only; open arrivals have no cross-step identity).
   std::size_t handovers = 0;
 
   /// Entanglement-management statistics (em.enabled scenarios only).
   EmScenarioStats em;
+  /// Open-arrival traffic statistics (traffic.enabled scenarios only).
+  TrafficScenarioStats traffic;
 };
 
 /// Run coverage + request serving for one architecture.

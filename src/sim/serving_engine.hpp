@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/graph.hpp"
+
+/// \file serving_engine.hpp
+/// The unified serving API of the scenario loop (DESIGN.md §12). The three
+/// serving modes — the paper's instantaneous single-shot links, the
+/// entanglement-management layer (src/em), and the open-arrival traffic
+/// engine — all answer the same question per snapshot ("what happened to
+/// the requests issued against this topology?") but historically returned
+/// three different result shapes. ServingEngine is the common interface:
+/// a step index and snapshot time in, one ServeStepResult out, with a
+/// single accounting identity every engine must satisfy:
+///
+///   issued = served + no_path + isolated + congested
+///            + rejected_capacity + dropped_deadline
+///
+/// Engines are per-worker objects (mirroring sim::SnapshotServer): the
+/// parallel scenario loop constructs one engine per chunk worker, and every
+/// serve_step must be a pure function of (step, snapshot, config) so the
+/// parallel and serial paths merge byte-identical results.
+
+namespace qntn::sim {
+
+/// Unified per-request disposition across all serving engines. The names
+/// (serve_disposition_name) match the historical trace vocabulary of the
+/// single-shot and em modes, so trace bytes are unchanged by the redesign.
+enum class ServeDisposition : std::uint8_t {
+  Served,
+  NoPath,            ///< endpoints have links, but no route connects them
+  Isolated,          ///< an endpoint has no links at all this snapshot
+  Congested,         ///< em: routes exist, but no candidate's relays can pay
+  RejectedCapacity,  ///< traffic: refused at admission (backlog full)
+  DroppedDeadline,   ///< traffic: queued longer than the deadline
+};
+
+[[nodiscard]] std::string_view serve_disposition_name(
+    ServeDisposition disposition);
+
+/// The common accounting every engine returns per step. The reconciliation
+/// identity (reconciles()) is part of the API contract and pinned by tests:
+/// every issued request lands in exactly one terminal bucket.
+struct ServeOutcome {
+  std::size_t issued = 0;
+  std::size_t served = 0;
+  std::size_t no_path = 0;
+  std::size_t isolated = 0;
+  std::size_t congested = 0;          ///< em serving only
+  std::size_t rejected_capacity = 0;  ///< traffic backpressure only
+  std::size_t dropped_deadline = 0;   ///< traffic deadline drops only
+  RunningStats fidelity;              ///< over served requests
+  RunningStats transmissivity;        ///< over served requests
+  RunningStats hops;                  ///< over served requests
+
+  [[nodiscard]] bool reconciles() const {
+    return issued == served + no_path + isolated + congested +
+                         rejected_capacity + dropped_deadline;
+  }
+  [[nodiscard]] double served_fraction() const {
+    return issued > 0
+               ? static_cast<double>(served) / static_cast<double>(issued)
+               : 0.0;
+  }
+};
+
+/// Em-specific per-request detail (meaningful when RequestRecord::has_em).
+struct EmRecordDetail {
+  std::size_t swaps = 0;
+  std::size_t swap_depth = 0;
+  std::size_t purification_rounds = 0;
+  std::size_t pairs_consumed = 0;
+  std::size_t route_index = 0;
+};
+
+/// Per-request telemetry record. Fixed-batch engines (single-shot, em) fill
+/// one record per batch request, in batch order, on every step — the
+/// scenario's handover accounting needs them. The traffic engine fills one
+/// record per arrival, in arrival order, only when asked to record (tracing
+/// a million-request day would otherwise dominate memory).
+struct RequestRecord {
+  ServeDisposition disposition = ServeDisposition::NoPath;
+  double transmissivity = 0.0;  ///< served only
+  double fidelity = 0.0;        ///< served only
+  std::size_t hops = 0;         ///< served only
+  /// First intermediate node of the committed route; nullopt for direct
+  /// paths. Drives the scenario's handover accounting.
+  std::optional<net::NodeId> relay;
+  /// Request endpoints; filled by the traffic engine (fixed-batch engines
+  /// leave them 0 — the scenario reads endpoints from the batch instead).
+  net::NodeId source = 0;
+  net::NodeId destination = 0;
+  double latency = 0.0;  ///< em heralding / traffic end-to-end [s]
+  double waiting = 0.0;  ///< traffic queueing component [s]
+  bool has_em = false;
+  EmRecordDetail em;
+};
+
+/// Em per-step aggregates (mirrors em::EmServeResult).
+struct EmStepStats {
+  std::size_t swaps = 0;
+  std::size_t purification_rounds = 0;
+  std::size_t pairs_consumed = 0;
+  std::size_t slo_met = 0;
+  std::size_t spilled = 0;
+  double memory_occupancy = 0.0;
+  RunningStats swap_depth;
+  RunningStats latency;
+};
+
+/// Traffic per-step aggregates: the latency/queue telemetry of one serving
+/// window.
+struct TrafficStepStats {
+  RunningStats latency;  ///< arrival -> pair delivered, served requests [s]
+  RunningStats waiting;  ///< queueing component [s]
+  /// Per-served samples in service-start order, for percentile reporting.
+  std::vector<double> latency_samples;
+  std::vector<double> waiting_samples;
+  std::size_t peak_queue_depth = 0;  ///< max backlog length in the window
+  double peak_utilisation = 0.0;     ///< busiest node / capacity, in [0, 1]
+};
+
+/// Everything one engine step produces: the common accounting plus the
+/// mode-specific extras the scenario folds into its result and trace.
+struct ServeStepResult {
+  ServeOutcome outcome;
+  std::vector<RequestRecord> requests;
+  bool em_enabled = false;
+  EmStepStats em;
+  bool traffic_enabled = false;
+  TrafficStepStats traffic;
+};
+
+/// Per-worker serving engine: topology snapshot in, step outcome out. Not
+/// thread-safe — the parallel scenario loop constructs one per worker.
+class ServingEngine {
+ public:
+  virtual ~ServingEngine() = default;
+
+  /// Serve scenario step `step` whose snapshot time is `t` [s]. Must be a
+  /// pure function of (step, t, construction inputs): no cross-step state
+  /// that changes results (caches that only speed things up are fine).
+  [[nodiscard]] virtual ServeStepResult serve_step(std::size_t step,
+                                                   double t) = 0;
+};
+
+class NetworkModel;
+class TopologyProvider;
+struct RequestBatch;
+struct ScenarioConfig;
+
+/// Build the engine the scenario config selects: traffic when
+/// config.traffic.enabled, em when config.em.enabled, single-shot
+/// otherwise. `step_interval` is the scenario's snapshot spacing (the
+/// traffic engine's serving-window length); `record_requests` asks the
+/// traffic engine for per-arrival records (fixed-batch engines always
+/// record — the handover accounting needs them). Each parallel worker
+/// calls this once; all referenced objects must outlive the engine.
+[[nodiscard]] std::unique_ptr<ServingEngine> make_serving_engine(
+    const NetworkModel& model, const TopologyProvider& topology,
+    const RequestBatch& batch, const ScenarioConfig& config,
+    double step_interval, bool record_requests);
+
+}  // namespace qntn::sim

@@ -1,7 +1,9 @@
 #include "sim/traffic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <queue>
 
 #include "common/constants.hpp"
@@ -9,6 +11,20 @@
 #include "quantum/fidelity.hpp"
 
 namespace qntn::sim {
+
+void TrafficConfig::validate() const {
+  QNTN_REQUIRE(duration > 0.0, "traffic duration must be > 0");
+  QNTN_REQUIRE(arrival_rate >= 0.0, "traffic arrival rate must be >= 0");
+  QNTN_REQUIRE(node_capacity > 0, "traffic node capacity must be positive");
+  QNTN_REQUIRE(service_overhead >= 0.0,
+               "traffic service overhead must be >= 0");
+  QNTN_REQUIRE(max_queue_delay > 0.0, "traffic max queue delay must be > 0");
+  QNTN_REQUIRE(max_backlog > 0, "traffic max backlog must be positive");
+  QNTN_REQUIRE(diurnal_amplitude >= 0.0 && diurnal_amplitude <= 1.0,
+               "traffic diurnal amplitude must be in [0, 1]");
+  QNTN_REQUIRE(snapshot_interval > 0.0,
+               "traffic snapshot interval must be > 0");
+}
 
 namespace {
 
@@ -56,15 +72,21 @@ class SnapshotCache {
   net::Graph graph_;
 };
 
+/// splitmix64 finaliser: one well-mixed 64-bit seed per substream index, so
+/// every (step, LAN) arrival stream is independent of processing order.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * index;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 TrafficResult run_traffic_simulation(const NetworkModel& model,
                                      const TopologyProvider& topology,
                                      const TrafficConfig& config) {
-  QNTN_REQUIRE(config.duration > 0.0 && config.arrival_rate >= 0.0,
-               "bad traffic config");
-  QNTN_REQUIRE(config.node_capacity > 0, "node capacity must be positive");
-  QNTN_REQUIRE(config.snapshot_interval > 0.0, "snapshot interval must be > 0");
+  config.validate();
 
   TrafficResult result;
 
@@ -192,6 +214,308 @@ double TrafficResult::latency_percentile(double q) const {
 double TrafficResult::waiting_percentile(double q) const {
   if (waiting_samples.empty()) return 0.0;
   return percentile(waiting_samples, q);
+}
+
+// ---------------------------------------------------------------------------
+// TrafficEngine: the scenario serving mode.
+
+TrafficEngine::TrafficEngine(const NetworkModel& model,
+                             const TopologyProvider& topology,
+                             const TrafficConfig& config, double window,
+                             bool record_requests)
+    : model_(model),
+      topology_(topology),
+      config_(config),
+      window_(window),
+      record_requests_(record_requests) {
+  config_.validate();
+  QNTN_REQUIRE(window_ > 0.0, "traffic serving window must be > 0");
+
+  // Destination candidates: the ground nodes of every *other* LAN, in node-id
+  // order (LANs are declared grounds-first, so iterating LANs in order gives
+  // a deterministic candidate list). Mirrors generate_requests' inter-LAN
+  // workload, but as a per-source-LAN population.
+  peers_.resize(model_.lan_count());
+  lan_sites_.resize(model_.lan_count());
+  for (std::size_t lan = 0; lan < model_.lan_count(); ++lan) {
+    for (std::size_t other = 0; other < model_.lan_count(); ++other) {
+      if (other == lan) continue;
+      const auto& nodes = model_.lan_nodes(other);
+      peers_[lan].insert(peers_[lan].end(), nodes.begin(), nodes.end());
+    }
+    if (!model_.lan_nodes(lan).empty()) {
+      lan_sites_[lan] = model_.node(model_.lan_nodes(lan).front()).position;
+    }
+  }
+  busy_.assign(model_.node_count(), 0);
+}
+
+void TrafficEngine::draw_arrivals(std::size_t step, double t0) {
+  arrivals_.clear();
+  const std::size_t lan_count = model_.lan_count();
+  for (std::size_t lan = 0; lan < lan_count; ++lan) {
+    const auto& sources = model_.lan_nodes(lan);
+    const auto& peers = peers_[lan];
+    if (sources.empty() || peers.empty()) continue;
+
+    // Diurnal profile: user populations are awake in daylight. The factor is
+    // evaluated once per window at the LAN site — rate changes land on window
+    // boundaries, keeping each window a homogeneous Poisson process.
+    const bool day = config_.sun.solar_elevation(lan_sites_[lan], t0) > 0.0;
+    const double rate = config_.arrival_rate *
+                        (day ? 1.0 + config_.diurnal_amplitude
+                             : 1.0 - config_.diurnal_amplitude);
+    if (rate <= 0.0) continue;
+
+    // One independent, well-mixed substream per (step, LAN): arrivals are a
+    // pure function of (seed, step, lan) no matter which worker draws them.
+    Rng rng(substream_seed(config_.seed,
+                           static_cast<std::uint64_t>(step) * lan_count + lan +
+                               1));
+    double offset = 0.0;
+    for (;;) {
+      const double u = rng.uniform(1e-12, 1.0);
+      offset += -std::log(u) / rate;
+      if (offset >= window_) break;
+      Arrival arrival;
+      arrival.time = t0 + offset;
+      arrival.source =
+          sources[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(sources.size()) - 1))];
+      arrival.destination =
+          peers[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(peers.size()) - 1))];
+      arrivals_.push_back(arrival);
+    }
+  }
+  // Interleave the per-LAN streams into one time-ordered arrival sequence;
+  // stable so equal times (possible only across LANs) keep LAN order.
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.time < b.time;
+                   });
+}
+
+ServeStepResult TrafficEngine::serve_step(std::size_t step, double t) {
+  topology_.snapshot_at(t, snap_);
+  const net::Graph& graph = snap_.graph;
+
+  // Per-window lazy route cache: one shortest-path tree per arrival source,
+  // stamped by window (the snapshot is frozen for the whole window).
+  ++stamp_;
+  trees_.resize(graph.node_count());
+  tree_stamp_.resize(graph.node_count(), 0);
+  net::compute_edge_costs(graph, config_.metric, edge_costs_);
+  const auto tree_for = [&](net::NodeId source) -> const net::ShortestPathTree& {
+    if (tree_stamp_[source] != stamp_) {
+      trees_[source] = net::bellman_ford_tree(graph, source, edge_costs_);
+      tree_stamp_[source] = stamp_;
+    }
+    return trees_[source];
+  };
+
+  draw_arrivals(step, t);
+
+  ServeStepResult out;
+  out.traffic_enabled = true;
+  out.outcome.issued = arrivals_.size();
+  if (record_requests_) out.requests.resize(arrivals_.size());
+
+  std::fill(busy_.begin(), busy_.end(), 0);
+  std::vector<InFlight> in_flight;
+  struct Pending {
+    std::size_t arrival_index = 0;
+  };
+  std::deque<Pending> backlog;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+  std::uint64_t sequence = 0;
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    heap.push({arrivals_[i].time, sequence++, Event::Kind::Arrival, i});
+  }
+
+  // Scratch for the saturation reroute: edge costs with saturated interior
+  // nodes priced out, rebuilt on demand.
+  std::vector<double> masked_costs;
+
+  const auto finish = [&](std::size_t index, ServeDisposition disposition,
+                          const net::Route* route, double waiting,
+                          double service) {
+    if (record_requests_) {
+      RequestRecord& rec = out.requests[index];
+      rec.disposition = disposition;
+      rec.source = arrivals_[index].source;
+      rec.destination = arrivals_[index].destination;
+      if (disposition == ServeDisposition::Served) {
+        rec.transmissivity = route->transmissivity;
+        rec.hops = route->path.size() - 1;
+        rec.latency = waiting + service;
+        rec.waiting = waiting;
+        if (route->path.size() > 2) rec.relay = route->path[1];
+      }
+    }
+    switch (disposition) {
+      case ServeDisposition::Served:
+        ++out.outcome.served;
+        break;
+      case ServeDisposition::NoPath:
+        ++out.outcome.no_path;
+        break;
+      case ServeDisposition::Isolated:
+        ++out.outcome.isolated;
+        break;
+      case ServeDisposition::RejectedCapacity:
+        ++out.outcome.rejected_capacity;
+        break;
+      case ServeDisposition::DroppedDeadline:
+        ++out.outcome.dropped_deadline;
+        break;
+      case ServeDisposition::Congested:
+        ++out.outcome.congested;
+        break;
+    }
+  };
+
+  // Attempt to start service for arrival `index` at time `now`; returns true
+  // if it reached a terminal disposition or started service, false if it
+  // must (keep) wait(ing) in the backlog.
+  const auto try_start = [&](std::size_t index, double now) -> bool {
+    const Arrival& arrival = arrivals_[index];
+    const bool first_attempt = now == arrival.time;
+    if (first_attempt) {
+      if (graph.neighbors(arrival.source).empty() ||
+          graph.neighbors(arrival.destination).empty()) {
+        finish(index, ServeDisposition::Isolated, nullptr, 0.0, 0.0);
+        return true;
+      }
+    }
+    auto route = net::route_from_tree(graph, tree_for(arrival.source),
+                                      arrival.source, arrival.destination);
+    if (!route.has_value()) {
+      // The topology is frozen for the window, so no-path is terminal; it
+      // can only trip on the first attempt (queued requests had a route).
+      finish(index, ServeDisposition::NoPath, nullptr, 0.0, 0.0);
+      return true;
+    }
+    // Endpoints must have room themselves; a saturated endpoint can only be
+    // waited out.
+    if (busy_[arrival.source] >= config_.node_capacity ||
+        busy_[arrival.destination] >= config_.node_capacity) {
+      return false;
+    }
+    bool saturated = false;
+    for (const net::NodeId id : route->path) {
+      if (busy_[id] >= config_.node_capacity) {
+        saturated = true;
+        break;
+      }
+    }
+    if (saturated) {
+      // Saturation reroute (the absorbed sim/capacity policy): retry with
+      // every edge touching a saturated node priced out. Deterministic —
+      // depends only on the busy table at `now`.
+      masked_costs = edge_costs_;
+      const auto& edges = graph.edges();
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (busy_[edges[e].a] >= config_.node_capacity ||
+            busy_[edges[e].b] >= config_.node_capacity) {
+          masked_costs[e] = std::numeric_limits<double>::infinity();
+        }
+      }
+      const auto masked_tree =
+          net::bellman_ford_tree(graph, arrival.source, masked_costs);
+      route = net::route_from_tree(graph, masked_tree, arrival.source,
+                                   arrival.destination);
+      if (!route.has_value() ||
+          !std::isfinite(route->cost)) {  // only infinite-cost detours left
+        return false;                     // wait for capacity
+      }
+    }
+    for (const net::NodeId id : route->path) ++busy_[id];
+    for (const net::NodeId id : route->path) {
+      const double utilisation = static_cast<double>(busy_[id]) /
+                                 static_cast<double>(config_.node_capacity);
+      out.traffic.peak_utilisation =
+          std::max(out.traffic.peak_utilisation, utilisation);
+    }
+
+    // Heralding: light makes one round trip over the physical path. Node
+    // positions are read at the window start — the same freeze the topology
+    // snapshot applies — so service times are a pure function of the step.
+    double path_length = 0.0;
+    for (std::size_t i = 0; i + 1 < route->path.size(); ++i) {
+      path_length += distance(model_.endpoint_at(route->path[i], t).ecef,
+                              model_.endpoint_at(route->path[i + 1], t).ecef);
+    }
+    const double service =
+        config_.service_overhead + 2.0 * path_length / kSpeedOfLight;
+    const double waiting = now - arrival.time;
+
+    in_flight.push_back({route->path});
+    heap.push({now + service, sequence++, Event::Kind::Completion,
+               in_flight.size() - 1});
+
+    out.outcome.transmissivity.add(route->transmissivity);
+    out.outcome.hops.add(static_cast<double>(route->path.size() - 1));
+    out.outcome.fidelity.add(config_.memory.stored_pair_fidelity(
+        route->transmissivity, waiting + service));
+    out.traffic.latency.add(waiting + service);
+    out.traffic.waiting.add(waiting);
+    out.traffic.latency_samples.push_back(waiting + service);
+    out.traffic.waiting_samples.push_back(waiting);
+    finish(index, ServeDisposition::Served, &*route, waiting, service);
+    return true;
+  };
+
+  // Drain the backlog (FIFO) as far as capacity allows at time `now`.
+  const auto drain_backlog = [&](double now) {
+    std::deque<Pending> still_waiting;
+    while (!backlog.empty()) {
+      const Pending pending = backlog.front();
+      backlog.pop_front();
+      if (now - arrivals_[pending.arrival_index].time >
+          config_.max_queue_delay) {
+        finish(pending.arrival_index, ServeDisposition::DroppedDeadline,
+               nullptr, 0.0, 0.0);
+        continue;
+      }
+      if (!try_start(pending.arrival_index, now)) {
+        still_waiting.push_back(pending);
+      }
+    }
+    backlog = std::move(still_waiting);
+  };
+
+  while (!heap.empty()) {
+    const Event event = heap.top();
+    heap.pop();
+    if (event.kind == Event::Kind::Arrival) {
+      if (!try_start(event.payload, event.time)) {
+        // Backpressure: a full queue refuses admission outright.
+        if (backlog.size() >= config_.max_backlog) {
+          finish(event.payload, ServeDisposition::RejectedCapacity, nullptr,
+                 0.0, 0.0);
+        } else {
+          backlog.push_back({event.payload});
+          out.traffic.peak_queue_depth =
+              std::max(out.traffic.peak_queue_depth, backlog.size());
+        }
+      }
+    } else {
+      for (const net::NodeId id : in_flight[event.payload].nodes) {
+        QNTN_REQUIRE(busy_[id] > 0, "capacity accounting underflow");
+        --busy_[id];
+      }
+      drain_backlog(event.time);
+    }
+  }
+  // Whatever is still queued when the window's work drains never got
+  // served: the window boundary is its deadline.
+  while (!backlog.empty()) {
+    finish(backlog.front().arrival_index, ServeDisposition::DroppedDeadline,
+           nullptr, 0.0, 0.0);
+    backlog.pop_front();
+  }
+  return out;
 }
 
 }  // namespace qntn::sim

@@ -3,8 +3,11 @@
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "geo/sun.hpp"
+#include "net/routing.hpp"
 #include "quantum/memory.hpp"
 #include "sim/requests.hpp"
+#include "sim/serving_engine.hpp"
 #include "sim/topology.hpp"
 
 /// \file traffic.hpp
@@ -18,25 +21,57 @@
 ///
 /// Event-driven core: a time-ordered heap of events (request arrivals,
 /// service completions); arrivals claim capacity on every node of their
-/// route or wait in a FIFO backlog bounded by `max_queue_delay`.
+/// route or wait in a FIFO backlog bounded by `max_queue_delay` and
+/// `max_backlog`.
+///
+/// Two frontends share the core:
+///  - run_traffic_simulation: the standalone single-span study (one global
+///    Poisson stream over a fixed duration, endpoints drawn like the
+///    paper's batch workload);
+///  - TrafficEngine: the scenario serving mode (ServingEngine, DESIGN.md
+///    §12) — per-LAN user populations with a diurnal rate profile, one
+///    bounded serving window per scenario step, unified ServeOutcome
+///    accounting with backpressure counters.
 
 namespace qntn::sim {
 
 struct TrafficConfig {
-  double duration = 3'600.0;        ///< simulated span [s]
-  double arrival_rate = 1.0;        ///< Poisson request arrivals [1/s]
-  /// Concurrent pairs a node can work on (relays bind first).
+  /// Scenario serving-mode switch (core::ServingMode::Traffic sets it);
+  /// the standalone run_traffic_simulation ignores it.
+  bool enabled = false;
+  double duration = 3'600.0;        ///< simulated span [s] (standalone)
+  /// Poisson request arrivals [1/s]: the global rate of the standalone
+  /// span, the *per-LAN* population rate of the scenario engine.
+  double arrival_rate = 1.0;
+  /// Concurrent pairs a node can work on (relays bind first). Absorbs the
+  /// former sim::CapacityPolicy::per_node_capacity role for open arrivals.
   std::size_t node_capacity = 4;
   /// Base service time per request [s] on top of the light-time heralding
   /// (local BSMs, classical processing).
   double service_overhead = 0.01;
   /// Requests queued longer than this are dropped (decohered / timed out).
   double max_queue_delay = 0.5;
-  /// Topology snapshot granularity [s] (links re-evaluated on this grid).
+  /// Backpressure bound (scenario engine): arrivals finding this many
+  /// requests already queued are refused at admission (rejected_capacity).
+  std::size_t max_backlog = 256;
+  /// Diurnal modulation amplitude a in [0, 1] (scenario engine): a LAN's
+  /// arrival rate is arrival_rate * (1 + a) while the sun is up at the LAN
+  /// site and arrival_rate * (1 - a) at night — user populations are awake
+  /// in daylight even though FSO links prefer darkness.
+  double diurnal_amplitude = 0.5;
+  /// Solar geometry behind the diurnal profile (sim/daylight's model).
+  geo::SunModel sun{};
+  /// Topology snapshot granularity [s] (standalone span; the scenario
+  /// engine snapshots once per serving window instead).
   double snapshot_interval = 30.0;
   quantum::MemoryModel memory{};
   net::CostMetric metric = net::CostMetric::InverseEta;
   std::uint64_t seed = 7;
+
+  /// Throws qntn::PreconditionError on degenerate parameters
+  /// (non-positive duration/deadline/capacity, negative rate, amplitude
+  /// outside [0, 1], ...).
+  void validate() const;
 };
 
 struct TrafficResult {
@@ -76,5 +111,57 @@ struct TrafficResult {
 [[nodiscard]] TrafficResult run_traffic_simulation(
     const NetworkModel& model, const TopologyProvider& topology,
     const TrafficConfig& config);
+
+/// The open-arrival serving engine of the scenario loop (ServingEngine
+/// impl). Each scenario step is one serving window [t, t + window): per-LAN
+/// Poisson arrivals are drawn from a seeded (step, LAN) substream with the
+/// diurnal rate factor at window start, then the event heap interleaves
+/// arrivals, capacity claims, deadline drops and completions against the
+/// step's topology snapshot. Capacity and backlog reset at every window
+/// boundary (the same steady-state discipline as the em pool rebuilt per
+/// snapshot), which makes serve_step a pure function of (step, snapshot,
+/// config) — exactly what the parallel scenario loop needs for
+/// byte-identical results across thread counts.
+class TrafficEngine final : public ServingEngine {
+ public:
+  /// Borrows model and topology; both must outlive the engine. `window` is
+  /// the scenario's snapshot interval [s]. Validates the config.
+  TrafficEngine(const NetworkModel& model, const TopologyProvider& topology,
+                const TrafficConfig& config, double window,
+                bool record_requests);
+
+  [[nodiscard]] ServeStepResult serve_step(std::size_t step,
+                                           double t) override;
+
+ private:
+  struct Arrival {
+    double time = 0.0;  ///< absolute simulation time [s]
+    net::NodeId source = 0;
+    net::NodeId destination = 0;
+  };
+
+  /// Draw the window's arrivals (all LANs, time-sorted) into arrivals_.
+  void draw_arrivals(std::size_t step, double t0);
+
+  const NetworkModel& model_;
+  const TopologyProvider& topology_;
+  TrafficConfig config_;
+  double window_ = 0.0;
+  bool record_requests_ = false;
+
+  /// Destination candidates per source LAN (ground nodes of other LANs)
+  /// and the site used for each LAN's diurnal factor.
+  std::vector<std::vector<net::NodeId>> peers_;
+  std::vector<geo::Geodetic> lan_sites_;
+
+  /// Reusable per-step scratch.
+  TopologySnapshot snap_;
+  std::vector<Arrival> arrivals_;
+  std::vector<double> edge_costs_;
+  std::vector<net::ShortestPathTree> trees_;   ///< indexed by source node
+  std::vector<std::uint32_t> tree_stamp_;      ///< step stamp per tree
+  std::uint32_t stamp_ = 0;
+  std::vector<std::size_t> busy_;
+};
 
 }  // namespace qntn::sim

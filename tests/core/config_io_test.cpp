@@ -131,6 +131,57 @@ TEST(ConfigIo, RejectsUnphysicalEmMemoryPair) {
   EXPECT_THROW((void)parse_config("serving_mode = telepathy\n"), Error);
 }
 
+TEST(ConfigIo, TrafficKeysRoundTrip) {
+  QntnConfig config;
+  config.serving_mode = ServingMode::Traffic;
+  config.traffic_arrival_rate = 2.5;
+  config.traffic_diurnal_amplitude = 0.25;
+  config.traffic_service_overhead = 0.02;
+  config.traffic_max_queue_delay = 1.5;
+  config.traffic_node_capacity = 3;
+  config.traffic_max_backlog = 64;
+  config.traffic_seed = 777;
+  const QntnConfig parsed = parse_config(serialize_config(config));
+  EXPECT_EQ(parsed.serving_mode, ServingMode::Traffic);
+  EXPECT_DOUBLE_EQ(parsed.traffic_arrival_rate, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.traffic_diurnal_amplitude, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.traffic_service_overhead, 0.02);
+  EXPECT_DOUBLE_EQ(parsed.traffic_max_queue_delay, 1.5);
+  EXPECT_EQ(parsed.traffic_node_capacity, 3u);
+  EXPECT_EQ(parsed.traffic_max_backlog, 64u);
+  EXPECT_EQ(parsed.traffic_seed, 777u);
+  // The scenario config the parsed document builds really runs traffic
+  // serving, with the em mode off.
+  EXPECT_TRUE(parsed.scenario_config().traffic.enabled);
+  EXPECT_FALSE(parsed.scenario_config().em.enabled);
+  EXPECT_DOUBLE_EQ(parsed.scenario_config().traffic.arrival_rate, 2.5);
+  // Defaults keep the paper's single-shot serving.
+  EXPECT_FALSE(QntnConfig{}.scenario_config().traffic.enabled);
+}
+
+TEST(ConfigIo, RejectsDegenerateTrafficParameters) {
+  // Cross-field validation at the parse boundary, naming the traffic keys.
+  try {
+    (void)parse_config("traffic_max_queue_delay_s = 0.0\n");
+    FAIL() << "zero queue deadline must throw at parse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("traffic_max_queue_delay"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse_config("traffic_arrival_rate = -1.0\n");
+    FAIL() << "negative arrival rate must throw at parse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("traffic_arrival_rate"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)parse_config("traffic_diurnal_amplitude = 2.0\n"), Error);
+  // Zero arrivals are a valid (quiet) workload.
+  EXPECT_NO_THROW((void)parse_config("traffic_arrival_rate = 0.0\n"));
+}
+
 TEST(ConfigIo, HapPositionSerializedInDegrees) {
   const QntnConfig config;
   const std::string text = serialize_config(config);

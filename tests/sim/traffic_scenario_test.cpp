@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/qntn_config.hpp"
+#include "core/scenario_factory.hpp"
+#include "geo/sun.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+#include "sim/traffic.hpp"
+
+/// The open-arrival traffic serving mode of run_scenario (DESIGN.md §12):
+/// determinism across thread counts (the PR 4 golden contract extended to
+/// event windows), the six-bucket accounting identity, backpressure and
+/// deadline behaviour under saturation, and the diurnal arrival profile.
+
+namespace qntn::sim {
+namespace {
+
+using core::QntnConfig;
+using core::TopologyMode;
+
+/// Four hours, ten 1440-s serving windows, light per-LAN arrivals — a few
+/// hundred events, seconds of wall clock.
+ScenarioConfig quick_traffic_config(const QntnConfig& config) {
+  ScenarioConfig sc = config.scenario_config();
+  sc.coverage.duration = 14'400.0;
+  sc.coverage.step = 120.0;
+  sc.request_count = 30;
+  sc.request_steps = 10;
+  sc.request_step_interval = 1440.0;
+  sc.traffic.arrival_rate = 0.02;
+  return sc;
+}
+
+struct RunOutput {
+  ScenarioResult result;
+  std::string trace;
+};
+
+RunOutput run_traffic_with(TopologyMode mode, ThreadPool* pool,
+                           obs::Registry* registry = nullptr) {
+  QntnConfig config;
+  config.serving_mode = core::ServingMode::Traffic;
+  config.topology_mode = mode;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const core::Topology topology = core::make_topology(config, model);
+  RunOutput out;
+  std::ostringstream trace_stream;
+  obs::TraceSink trace(trace_stream, obs::TraceLevel::Requests);
+  ScenarioConfig sc = quick_traffic_config(config);
+  sc.pool = pool;
+  sc.trace = &trace;
+  sc.registry = registry;
+  out.result = run_scenario(model, topology.provider(), sc);
+  out.trace = trace_stream.str();
+  return out;
+}
+
+void expect_same_stats(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  if (a.count() == 0 || b.count() == 0) return;
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.stddev(), b.stddev());
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.result.served_fraction, b.result.served_fraction);
+  expect_same_stats(a.result.fidelity, b.result.fidelity);
+  expect_same_stats(a.result.transmissivity, b.result.transmissivity);
+  expect_same_stats(a.result.hops, b.result.hops);
+  EXPECT_EQ(a.result.requests_issued, b.result.requests_issued);
+  EXPECT_EQ(a.result.requests_served, b.result.requests_served);
+  EXPECT_EQ(a.result.requests_no_path, b.result.requests_no_path);
+  EXPECT_EQ(a.result.requests_isolated, b.result.requests_isolated);
+  EXPECT_EQ(a.result.requests_rejected_capacity,
+            b.result.requests_rejected_capacity);
+  EXPECT_EQ(a.result.requests_dropped_deadline,
+            b.result.requests_dropped_deadline);
+  expect_same_stats(a.result.traffic.latency, b.result.traffic.latency);
+  expect_same_stats(a.result.traffic.waiting, b.result.traffic.waiting);
+  expect_same_stats(a.result.traffic.peak_utilisation,
+                    b.result.traffic.peak_utilisation);
+  EXPECT_EQ(a.result.traffic.peak_queue_depth,
+            b.result.traffic.peak_queue_depth);
+  EXPECT_EQ(a.result.traffic.latency_samples,
+            b.result.traffic.latency_samples);
+  EXPECT_EQ(a.result.traffic.waiting_samples,
+            b.result.traffic.waiting_samples);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(TrafficScenario, BitIdenticalAcrossThreadCountsContactPlan) {
+  const RunOutput serial = run_traffic_with(TopologyMode::ContactPlan, nullptr);
+  EXPECT_FALSE(serial.trace.empty());
+  EXPECT_GT(serial.result.requests_issued, 100u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel =
+        run_traffic_with(TopologyMode::ContactPlan, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(TrafficScenario, BitIdenticalAcrossThreadCountsRebuild) {
+  // Unlike the fixed-batch engines, traffic windows chunk on the rebuild
+  // provider too (no epoch partition needed), and must stay bit-identical.
+  const RunOutput serial = run_traffic_with(TopologyMode::Rebuild, nullptr);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel = run_traffic_with(TopologyMode::Rebuild, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(TrafficScenario, AccountingReconcilesAndCountersMatch) {
+  obs::Registry registry;
+  const RunOutput out = run_traffic_with(TopologyMode::ContactPlan, nullptr,
+                                         &registry);
+  const ScenarioResult& r = out.result;
+  ASSERT_GT(r.requests_issued, 0u);
+  EXPECT_EQ(r.requests_served + r.requests_no_path + r.requests_isolated +
+                r.requests_congested + r.requests_rejected_capacity +
+                r.requests_dropped_deadline,
+            r.requests_issued);
+  // Open arrivals have no cross-step identity: no handovers, no em stats.
+  EXPECT_EQ(r.handovers, 0u);
+  EXPECT_EQ(r.requests_congested, 0u);
+  EXPECT_FALSE(r.em.enabled);
+  ASSERT_TRUE(r.traffic.enabled);
+  EXPECT_EQ(r.traffic.latency_samples.size(), r.requests_served);
+  EXPECT_EQ(r.traffic.waiting_samples.size(), r.requests_served);
+  EXPECT_EQ(registry.counter("scenario.requests_issued"), r.requests_issued);
+  EXPECT_EQ(registry.counter("scenario.requests_served"), r.requests_served);
+  EXPECT_EQ(registry.counter("scenario.requests_rejected_capacity"),
+            r.requests_rejected_capacity);
+  EXPECT_EQ(registry.counter("scenario.requests_dropped_deadline"),
+            r.requests_dropped_deadline);
+  EXPECT_EQ(registry.counter("scenario.snapshots"), 10u);
+}
+
+TEST(TrafficScenario, SaturationTriggersBackpressureAndDeadlines) {
+  QntnConfig config;
+  config.serving_mode = core::ServingMode::Traffic;
+  // The air-ground network keeps the HAP on every inter-LAN route, so one
+  // concurrent pair per node, long services, and a tiny queue and deadline
+  // mean nearly every arrival beyond the first must wait, bounce or expire.
+  config.traffic_node_capacity = 1;
+  config.traffic_service_overhead = 30.0;
+  config.traffic_max_queue_delay = 1.0;
+  config.traffic_max_backlog = 4;
+  const NetworkModel model = core::build_air_ground_model(config);
+  const core::Topology topology = core::make_topology(config, model);
+  ScenarioConfig sc = quick_traffic_config(config);
+  sc.traffic.arrival_rate = 0.2;
+  const ScenarioResult r = run_scenario(model, topology.provider(), sc);
+  ASSERT_GT(r.requests_issued, 0u);
+  ASSERT_GT(r.requests_served, 0u);
+  EXPECT_GT(r.requests_dropped_deadline, 0u);
+  EXPECT_GT(r.requests_rejected_capacity, 0u);
+  EXPECT_LT(r.requests_served, r.requests_issued);
+  EXPECT_GT(r.traffic.peak_queue_depth, 0u);
+  EXPECT_EQ(r.requests_served + r.requests_no_path + r.requests_isolated +
+                r.requests_congested + r.requests_rejected_capacity +
+                r.requests_dropped_deadline,
+            r.requests_issued);
+}
+
+TEST(TrafficScenario, SingleShotModeCarriesNoTrafficState) {
+  // The engine refactor must leave the paper's single-shot results without
+  // any traffic accounting: disabled summary, zero traffic-only buckets.
+  QntnConfig config;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const core::Topology topology = core::make_topology(config, model);
+  ScenarioConfig sc = config.scenario_config();
+  sc.coverage.duration = 14'400.0;
+  sc.coverage.step = 120.0;
+  sc.request_count = 30;
+  sc.request_steps = 10;
+  sc.request_step_interval = 1440.0;
+  const ScenarioResult r = run_scenario(model, topology.provider(), sc);
+  EXPECT_FALSE(r.traffic.enabled);
+  EXPECT_EQ(r.requests_rejected_capacity, 0u);
+  EXPECT_EQ(r.requests_dropped_deadline, 0u);
+  EXPECT_EQ(r.traffic.latency_samples.size(), 0u);
+  EXPECT_EQ(r.requests_issued, 300u);  // 30 requests x 10 snapshots
+}
+
+TEST(TrafficEngine, FullAmplitudeSilencesNightWindows) {
+  // At diurnal_amplitude = 1 a night-time LAN arrives at rate 0. The three
+  // Tennessee LANs share a longitude band, so a night window issues nothing
+  // while a daytime window at the same rate stays busy.
+  QntnConfig config;
+  config.serving_mode = core::ServingMode::Traffic;
+  const NetworkModel model = core::build_space_ground_model(config, 12);
+  const core::Topology topology = core::make_topology(config, model);
+  TrafficConfig tc = config.traffic_options();
+  tc.arrival_rate = 0.05;
+  tc.diurnal_amplitude = 1.0;
+  const geo::SunModel sun = tc.sun;
+  const geo::Geodetic site = model.node(model.lan_nodes(0).front()).position;
+  double t_day = -1.0;
+  double t_night = -1.0;
+  for (double t = 0.0; t < 86'400.0; t += 1800.0) {
+    if (sun.solar_elevation(site, t) > 0.0) {
+      if (t_day < 0.0) t_day = t;
+    } else if (t_night < 0.0) {
+      t_night = t;
+    }
+  }
+  ASSERT_GE(t_day, 0.0);
+  ASSERT_GE(t_night, 0.0);
+  TrafficEngine engine(model, topology.provider(), tc, 1440.0, false);
+  const ServeStepResult day = engine.serve_step(0, t_day);
+  const ServeStepResult night = engine.serve_step(1, t_night);
+  EXPECT_GT(day.outcome.issued, 0u);
+  EXPECT_EQ(night.outcome.issued, 0u);
+}
+
+TEST(TrafficConfigValidate, RejectsDegenerateParameters) {
+  TrafficConfig good;
+  good.validate();  // defaults are fine
+  TrafficConfig bad = good;
+  bad.max_queue_delay = 0.0;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = good;
+  bad.arrival_rate = -1.0;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = good;
+  bad.diurnal_amplitude = 1.5;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = good;
+  bad.max_backlog = 0;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qntn::sim

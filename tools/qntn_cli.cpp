@@ -6,7 +6,7 @@
 //   qntn_cli hybrid N                    hybrid architecture at N satellites
 //   qntn_cli sweep                       Figs. 6-8 full sweep
 //   qntn_cli em N                        entanglement-management serving at N
-//   qntn_cli traffic RATE                Poisson traffic on the air-ground net
+//   qntn_cli traffic N                   open-arrival traffic serving at N
 //   qntn_cli contacts N                  compiled contact plan at N satellites
 //   qntn_cli sessions N                  session admission at N satellites
 //
@@ -24,7 +24,6 @@
 #include "cli_common.hpp"
 #include "core/experiments.hpp"
 #include "plan/session_scheduler.hpp"
-#include "sim/traffic.hpp"
 
 namespace {
 
@@ -37,6 +36,12 @@ void print_metrics_block(const core::ArchitectureMetrics& m) {
               m.requests_no_path, m.requests_isolated);
   if (m.requests_congested > 0) {
     std::printf(", %zu congested", m.requests_congested);
+  }
+  if (m.requests_rejected_capacity > 0) {
+    std::printf(", %zu rejected", m.requests_rejected_capacity);
+  }
+  if (m.requests_dropped_deadline > 0) {
+    std::printf(", %zu deadline", m.requests_dropped_deadline);
   }
   std::printf(")\n");
   std::printf("  fidelity  %.4f (mean path eta %.4f, %.2f hops)\n",
@@ -52,6 +57,14 @@ void print_metrics_block(const core::ArchitectureMetrics& m) {
                 m.em.multipath_spills);
     std::printf("  latency   p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
                 m.latency_p50 * 1e3, m.latency_p95 * 1e3, m.latency_p99 * 1e3);
+  }
+  if (m.traffic.enabled) {
+    std::printf("  traffic   peak util %.3f mean, queue depth %zu peak\n",
+                m.traffic.mean_peak_utilisation, m.traffic.peak_queue_depth);
+    std::printf("  latency   p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                m.latency_p50 * 1e3, m.latency_p95 * 1e3, m.latency_p99 * 1e3);
+    std::printf("  queueing  p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                m.waiting_p50 * 1e3, m.waiting_p95 * 1e3, m.waiting_p99 * 1e3);
   }
 }
 
@@ -106,33 +119,14 @@ int cmd_em(std::size_t n, core::RunContext ctx) {
   return 0;
 }
 
-int cmd_traffic(double rate, const core::QntnConfig& config) {
-  const sim::NetworkModel model = core::build_air_ground_model(config);
-  const sim::TopologyBuilder topology(model, config.link_policy());
-  sim::TrafficConfig tc;
-  tc.arrival_rate = rate;
-  tc.duration = 300.0;
-  const sim::TrafficResult result =
-      sim::run_traffic_simulation(model, topology, tc);
-  std::printf("traffic @%.1f req/s for %.0f s\n", rate, tc.duration);
-  std::printf("  arrivals   %zu\n  served     %zu (%.1f %%)\n",
-              result.arrivals, result.served,
-              100.0 * result.served_fraction());
-  std::printf("  dropped    %zu no-path, %zu queue\n", result.dropped_no_path,
-              result.dropped_queue);
-  if (result.served > 0) {
-    std::printf("  latency    %.2f ms mean (%.2f ms wait)\n",
-                result.latency.mean() * 1e3, result.waiting.mean() * 1e3);
-    std::printf("  latency    p50 %.2f / p95 %.2f / p99 %.2f ms\n",
-                result.latency_percentile(0.50) * 1e3,
-                result.latency_percentile(0.95) * 1e3,
-                result.latency_percentile(0.99) * 1e3);
-    std::printf("  waiting    p50 %.2f / p95 %.2f / p99 %.2f ms\n",
-                result.waiting_percentile(0.50) * 1e3,
-                result.waiting_percentile(0.95) * 1e3,
-                result.waiting_percentile(0.99) * 1e3);
-    std::printf("  fidelity   %.4f mean\n", result.fidelity.mean());
-  }
+int cmd_traffic(std::size_t n, core::RunContext ctx) {
+  // Open-arrival traffic serving over the space-ground architecture:
+  // per-LAN diurnal Poisson arrivals, capacity claims, queueing deadlines
+  // and admission backpressure (DESIGN.md §12).
+  ctx.config.serving_mode = core::ServingMode::Traffic;
+  const core::ArchitectureMetrics point = core::evaluate_space_ground(ctx, n);
+  std::printf("space-ground @%zu satellites (traffic serving)\n", n);
+  print_metrics_block(point);
   return 0;
 }
 
@@ -183,7 +177,7 @@ int cmd_sessions(std::size_t n, const core::QntnConfig& config) {
 int usage() {
   std::fputs(
       "usage: qntn_cli <config | coverage N | air | hybrid N | sweep | em N | "
-      "traffic RATE | contacts N | sessions N>\n"
+      "traffic N | contacts N | sessions N>\n"
       "  [--config FILE] [--threads N] [--seed N] [--metrics-out FILE]\n"
       "  [--trace-out FILE] [--trace-level off|snapshots|requests]\n"
       "  [--profile-out FILE]\n",
@@ -217,8 +211,8 @@ int main(int argc, char** argv) {
     const core::RunContext ctx =
         tools::make_run_context(opts, bundle, tools::load_config(opts));
     // Ambient for the commands below run_scenario's reach (contact-plan
-    // compilation, traffic): their counters land in --metrics-out and
-    // their spans in --profile-out too.
+    // compilation, session scheduling): their counters land in
+    // --metrics-out and their spans in --profile-out too.
     const obs::ScopedRegistry ambient(bundle.registry.get());
     const obs::ScopedProfiler profiling(bundle.profiler.get());
 
@@ -234,7 +228,7 @@ int main(int argc, char** argv) {
     } else if (command == "em" && opts.positional.size() >= 2) {
       rc = cmd_em(positional_count(opts, 1), ctx);
     } else if (command == "traffic" && opts.positional.size() >= 2) {
-      rc = cmd_traffic(std::atof(opts.positional[1].c_str()), ctx.config);
+      rc = cmd_traffic(positional_count(opts, 1), ctx);
     } else if (command == "contacts" && opts.positional.size() >= 2) {
       rc = cmd_contacts(positional_count(opts, 1), ctx.config);
     } else if (command == "sessions" && opts.positional.size() >= 2) {

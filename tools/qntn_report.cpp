@@ -68,8 +68,11 @@ int cmd_metrics(const tools::CommonOptions& opts) {
   // Latency tails are only meaningful for serving modes with a latency
   // notion (em heralding / traffic queueing); the single-shot model prints
   // a zero row, which keeps the output shape stable for scripts.
-  std::printf("latency percentiles: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n\n",
+  std::printf("latency percentiles: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
               m.latency_p50 * 1e3, m.latency_p95 * 1e3, m.latency_p99 * 1e3);
+  std::printf(
+      "queue-delay percentiles: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n\n",
+      m.waiting_p50 * 1e3, m.waiting_p95 * 1e3, m.waiting_p99 * 1e3);
 
   const obs::MetricsSnapshot snapshot = registry.snapshot();
   Table counters("counters");
