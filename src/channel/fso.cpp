@@ -154,6 +154,14 @@ double FsoLinkEvaluator::symmetric(double range, double elevation) const {
   return std::min(ab, ba);
 }
 
+void FsoLinkEvaluator::symmetric_batch(const double* ranges,
+                                       const double* elevations,
+                                       std::size_t count, double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = symmetric(ranges[i], elevations[i]);
+  }
+}
+
 FsoBudget evaluate_fso(const FsoConfig& config, const OpticalTerminal& tx,
                        const OpticalTerminal& rx, const FsoGeometry& geometry) {
   const double h_lo = std::min(geometry.altitude_low, geometry.altitude_high);

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "atmosphere/extinction.hpp"
 #include "atmosphere/turbulence.hpp"
 #include "channel/weather.hpp"
@@ -106,6 +108,15 @@ class FsoLinkEvaluator {
 
   /// Symmetric (undirected) transmissivity: worse of the two directions.
   [[nodiscard]] double symmetric(double range, double elevation) const;
+
+  /// Batched symmetric transmissivity over contiguous geometry arrays:
+  /// out[i] = symmetric(ranges[i], elevations[i]), element-wise identical.
+  /// The contact compiler stages each pass's grid geometry into
+  /// structure-of-arrays buffers and evaluates the budget here, keeping the
+  /// exp/trig-heavy loop free of the window state machine so the compiler
+  /// can pipeline it. Same preconditions per element as symmetric.
+  void symmetric_batch(const double* ranges, const double* elevations,
+                       std::size_t count, double* out) const;
 
  private:
   [[nodiscard]] FsoBudget evaluate_directed(double tx_aperture,

@@ -152,13 +152,19 @@ ArchitectureMetrics evaluate_architecture(const RunContext& ctx,
   const obs::ScopedRegistry ambient(ctx.registry);
   const obs::ScopedProfiler profiling(ctx.profiler);
   const obs::Span span(span_name, n_satellites);
+  // The build and the contact-plan compile fan out on the same pool the
+  // snapshot engine uses, under the same gate, so a "no parallelism"
+  // config stays serial end to end. Both fan-outs are deterministic; the
+  // built model and topology are identical for any thread count.
+  ThreadPool* const build_pool =
+      ctx.config.parallel_snapshots ? ctx.pool : nullptr;
   sim::NetworkModel model;
   Topology topology;
   {
     const obs::ScopedTimer timer("time.build_model_s");
     const obs::Span build_span("core.build_model", n_satellites);
-    model = build_model(ctx.config);
-    topology = make_topology(ctx.config, model);
+    model = build_model(ctx.config, build_pool);
+    topology = make_topology(ctx.config, model, build_pool);
   }
   const sim::ScenarioResult result =
       sim::run_scenario(model, topology.provider(), ctx.scenario_config());
@@ -171,8 +177,8 @@ ArchitectureMetrics evaluate_space_ground(const RunContext& ctx,
                                           std::size_t n_satellites) {
   return evaluate_architecture(
       ctx, "space-ground", "core.evaluate.space_ground", n_satellites,
-      [&](const QntnConfig& config) {
-        return build_space_ground_model(config, n_satellites);
+      [&](const QntnConfig& config, ThreadPool* pool) {
+        return build_space_ground_model(config, n_satellites, pool);
       });
 }
 
@@ -218,7 +224,7 @@ std::vector<ArchitectureMetrics> space_ground_sweep(
 
 ArchitectureMetrics evaluate_air_ground(const RunContext& ctx) {
   return evaluate_architecture(ctx, "air-ground", "core.evaluate.air_ground",
-                               0, [](const QntnConfig& config) {
+                               0, [](const QntnConfig& config, ThreadPool*) {
                                  return build_air_ground_model(config);
                                });
 }
@@ -231,8 +237,8 @@ ArchitectureMetrics evaluate_hybrid(const RunContext& ctx,
                                     std::size_t n_satellites) {
   return evaluate_architecture(
       ctx, "hybrid", "core.evaluate.hybrid", n_satellites,
-      [&](const QntnConfig& config) {
-        return build_hybrid_model(config, n_satellites);
+      [&](const QntnConfig& config, ThreadPool* pool) {
+        return build_hybrid_model(config, n_satellites, pool);
       });
 }
 

@@ -9,7 +9,15 @@
 
 /// \file scenario_factory.hpp
 /// Builders assembling the paper's two architectures (plus the hybrid
-/// future-work variant) into simulation-ready NetworkModels.
+/// future-work variant) into simulation-ready NetworkModels. Builders that
+/// accept a ThreadPool* fan the per-satellite work (ephemeris generation,
+/// contact-plan compilation) out across workers; the fan-outs are
+/// deterministic, so the built model and topology are identical for any
+/// thread count (including no pool).
+
+namespace qntn {
+class ThreadPool;
+}  // namespace qntn
 
 namespace qntn::core {
 
@@ -21,7 +29,8 @@ namespace qntn::core {
 /// constellation truncated to `n_satellites` (multiple of 6, <= 108), each
 /// satellite carrying a precomputed one-day ephemeris at the config's step.
 [[nodiscard]] sim::NetworkModel build_space_ground_model(
-    const QntnConfig& config, std::size_t n_satellites);
+    const QntnConfig& config, std::size_t n_satellites,
+    ThreadPool* pool = nullptr);
 
 /// Air-ground architecture (Section II-C): ground LANs plus one HAP at
 /// (35.6692, -85.0662), 30 km altitude.
@@ -30,8 +39,9 @@ namespace qntn::core {
 /// Hybrid architecture (the paper's future-work direction): HAP plus
 /// constellation. Enable config.enable_hap_satellite to also allow
 /// HAP-satellite FSO links.
-[[nodiscard]] sim::NetworkModel build_hybrid_model(const QntnConfig& config,
-                                                   std::size_t n_satellites);
+[[nodiscard]] sim::NetworkModel build_hybrid_model(
+    const QntnConfig& config, std::size_t n_satellites,
+    ThreadPool* pool = nullptr);
 
 /// Owning bundle produced by make_topology: the provider plus whatever
 /// state backs it (the compiled contact plan in ContactPlan mode). Movable;
@@ -45,8 +55,11 @@ struct Topology {
 };
 
 /// Instantiate the topology backend config.topology_mode selects. The model
-/// must outlive the returned bundle.
+/// must outlive the returned bundle. `pool` (optional) parallelizes the
+/// contact-plan compile in ContactPlan mode; the compiled plan is
+/// byte-identical for any thread count.
 [[nodiscard]] Topology make_topology(const QntnConfig& config,
-                                     const sim::NetworkModel& model);
+                                     const sim::NetworkModel& model,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace qntn::core

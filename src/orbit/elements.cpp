@@ -5,6 +5,7 @@
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "obs/profiler.hpp"
 
 namespace qntn::orbit {
 
@@ -48,6 +49,14 @@ double solve_kepler(double mean_anomaly, double eccentricity) {
     (f > 0.0 ? hi : lo) = mid;
   }
   throw NumericalError("solve_kepler failed to converge");
+}
+
+void solve_kepler_batch(const double* mean_anomalies, std::size_t count,
+                        double eccentricity, double* eccentric_out) {
+  const obs::Span span("orbit.batch_kepler", count);
+  for (std::size_t i = 0; i < count; ++i) {
+    eccentric_out[i] = solve_kepler(mean_anomalies[i], eccentricity);
+  }
 }
 
 double eccentric_to_true_anomaly(double eccentric_anomaly, double eccentricity) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "common/vec3.hpp"
 
 /// \file elements.hpp
@@ -38,6 +40,15 @@ struct StateVector {
 /// Newton-Raphson with a third-order starter; converges to |f(E)| < 1e-13
 /// for all e in [0, 0.99]. Throws NumericalError if it fails to converge.
 [[nodiscard]] double solve_kepler(double mean_anomaly, double eccentricity);
+
+/// Batched Kepler solve over a contiguous array of mean anomalies sharing
+/// one eccentricity (one orbit's worth of ephemeris samples at a time).
+/// Element-wise identical to solve_kepler — the batch exists so the
+/// ephemeris hot loop runs over structure-of-arrays buffers instead of
+/// interleaving the solve with frame conversions, and so the profiler can
+/// attribute the cost (obs::Span "orbit.batch_kepler").
+void solve_kepler_batch(const double* mean_anomalies, std::size_t count,
+                        double eccentricity, double* eccentric_out);
 
 /// Eccentric anomaly -> true anomaly.
 [[nodiscard]] double eccentric_to_true_anomaly(double eccentric_anomaly,

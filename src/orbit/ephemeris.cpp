@@ -13,12 +13,20 @@ Ephemeris Ephemeris::generate(const TwoBodyPropagator& prop, double duration,
   QNTN_REQUIRE(duration > 0.0 && step > 0.0, "duration and step must be positive");
   const auto n = static_cast<std::size_t>(std::ceil(duration / step)) + 1;
   const obs::Span span("orbit.ephemeris_generate", n);
+  // Structure-of-arrays staging: the sample times and ECI positions live in
+  // contiguous tables so the propagator's batched Kepler solve and the
+  // ECEF conversion each run as a tight loop. Values are bit-identical to
+  // the sample-at-a-time path (positions_eci_at mirrors state_at).
+  std::vector<double> times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = std::min(static_cast<double>(i) * step, duration);
+  }
+  std::vector<Vec3> eci(n);
+  prop.positions_eci_at(times.data(), n, eci.data());
   std::vector<Vec3> samples;
   samples.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double t = std::min(static_cast<double>(i) * step, duration);
-    const Vec3 eci = prop.state_at(t).position;
-    samples.push_back(geo::eci_to_ecef(eci, geo::gmst_at(t, gmst0)));
+    samples.push_back(geo::eci_to_ecef(eci[i], geo::gmst_at(times[i], gmst0)));
   }
   return Ephemeris(std::move(samples), step);
 }

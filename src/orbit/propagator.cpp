@@ -1,6 +1,7 @@
 #include "orbit/propagator.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/constants.hpp"
 #include "common/units.hpp"
@@ -37,6 +38,25 @@ KeplerianElements TwoBodyPropagator::elements_at(double t) const {
 
 StateVector TwoBodyPropagator::state_at(double t) const {
   return elements_to_state(elements_at(t));
+}
+
+void TwoBodyPropagator::positions_eci_at(const double* times,
+                                         std::size_t count, Vec3* out) const {
+  std::vector<double> mean(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    mean[i] = mean_anomaly0_ + mean_motion_ * times[i];
+  }
+  std::vector<double> eccentric(count);
+  solve_kepler_batch(mean.data(), count, epoch_.eccentricity, eccentric.data());
+  // Per-element conversion mirrors elements_at exactly (same expressions in
+  // the same order), so each position is bit-identical to the scalar path.
+  KeplerianElements el = epoch_;
+  for (std::size_t i = 0; i < count; ++i) {
+    el.raan = wrap_two_pi(epoch_.raan + raan_rate_ * times[i]);
+    el.arg_perigee = wrap_two_pi(epoch_.arg_perigee + argp_rate_ * times[i]);
+    el.true_anomaly = eccentric_to_true_anomaly(eccentric[i], el.eccentricity);
+    out[i] = elements_to_state(el).position;
+  }
 }
 
 }  // namespace qntn::orbit

@@ -29,6 +29,14 @@ class TwoBodyPropagator {
   /// ECI Cartesian state at time t [s since epoch].
   [[nodiscard]] StateVector state_at(double t) const;
 
+  /// Batched ECI positions: out[i] = state_at(times[i]).position,
+  /// element-wise identical. Stages the propagation as structure-of-arrays
+  /// passes (mean anomalies, then one batched Kepler solve, then the
+  /// element-to-state conversion) so ephemeris generation runs over
+  /// contiguous buffers instead of one sample at a time.
+  void positions_eci_at(const double* times, std::size_t count,
+                        Vec3* out) const;
+
   /// Secular nodal regression rate dRAAN/dt [rad/s] (0 without J2).
   [[nodiscard]] double raan_rate() const { return raan_rate_; }
 

@@ -7,8 +7,10 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "geo/frames.hpp"
 #include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 #include "orbit/passes.hpp"
 
 namespace qntn::plan {
@@ -114,11 +116,13 @@ struct Compiler {
   const ContactPlanOptions& options;
   const sim::TopologyBuilder builder;
   std::vector<ContactWindow> windows;
-  /// Lazily filled ECEF positions of each satellite at the global scan
-  /// grid times k*step: every site and every pairing scans the same grid,
-  /// so one table per satellite replaces the redundant position_ecef calls
-  /// (hundreds per grid point at paper sizes). Entries are exactly
-  /// position_ecef(k*step), keeping every scan bit-identical.
+  /// Structure-of-arrays ECEF position tables of each satellite at the
+  /// global scan grid times k*step: every site and every pairing scans the
+  /// same grid, so one table per satellite replaces the redundant
+  /// position_ecef calls (hundreds per grid point at paper sizes). Entries
+  /// are exactly position_ecef(k*step), keeping every scan bit-identical.
+  /// Filled by prefill_grids before the compile passes; the parallel
+  /// fan-out shares the tables read-only.
   std::vector<std::vector<Vec3>> grid_pos;
 
   Compiler(const sim::NetworkModel& m, const sim::LinkPolicy& p,
@@ -126,26 +130,41 @@ struct Compiler {
       : model(m), policy(p), options(o), builder(m, p),
         grid_pos(m.node_count()) {}
 
-  [[nodiscard]] const std::vector<Vec3>& grid_positions(net::NodeId sat_id) {
+  void fill_grid(net::NodeId sat_id) {
     std::vector<Vec3>& cache = grid_pos[sat_id];
-    if (cache.empty()) {
-      const orbit::Ephemeris& eph = model.ephemeris(sat_id);
-      const auto count = static_cast<std::size_t>(std::floor(
-                             options.horizon / options.step + 1e-9)) +
-                         1;
-      cache.reserve(count);
-      for (std::size_t k = 0; k < count; ++k) {
-        cache.push_back(
-            eph.position_ecef(static_cast<double>(k) * options.step));
-      }
+    const orbit::Ephemeris& eph = model.ephemeris(sat_id);
+    const auto count = static_cast<std::size_t>(std::floor(
+                           options.horizon / options.step + 1e-9)) +
+                       1;
+    cache.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      cache.push_back(eph.position_ecef(static_cast<double>(k) * options.step));
     }
-    return cache;
+  }
+
+  /// Fill every satellite's grid table up front — in parallel when a pool
+  /// is given (each index writes only its own slot). Must complete before
+  /// the compile passes fan out: a lazy fill would race across workers.
+  void prefill_grids(ThreadPool* pool) {
+    const std::vector<net::NodeId>& sats = model.satellite_ids();
+    if (pool != nullptr && pool->size() > 1 && sats.size() > 1) {
+      parallel_for_index(*pool, sats.size(),
+                         [&](std::size_t i) { fill_grid(sats[i]); });
+    } else {
+      for (const net::NodeId sat : sats) fill_grid(sat);
+    }
+  }
+
+  [[nodiscard]] const std::vector<Vec3>& grid_positions(
+      net::NodeId sat_id) const {
+    return grid_pos[sat_id];
   }
 
   /// Append a window for pair (a, b) spanning [start, end) with the given
   /// sampled profile (compressed in place).
   void emit(net::NodeId a, net::NodeId b, double start, double end,
-            std::vector<double> times, std::vector<double> etas) {
+            std::vector<double> times, std::vector<double> etas,
+            std::vector<ContactWindow>& out) const {
     if (end - start < 1e-6) return;  // degenerate: below refinement precision
     ContactWindow window;
     window.a = a;
@@ -155,19 +174,20 @@ struct Compiler {
     compress_polyline(times, etas, options.sample_tolerance);
     window.times = std::move(times);
     window.etas = std::move(etas);
-    windows.push_back(std::move(window));
+    out.push_back(std::move(window));
   }
 
   /// Windows of one site (ground or HAP) against one satellite: pass
   /// prediction above the elevation mask, then above-threshold episodes
   /// within each pass on the scan grid, boundaries refined by bisection.
   void compile_site_satellite(net::NodeId site_id, net::NodeId sat_id,
-                              const channel::FsoLinkEvaluator& evaluator) {
+                              const channel::FsoLinkEvaluator& evaluator,
+                              std::vector<ContactWindow>& out) const {
     const std::vector<orbit::Pass> passes = orbit::find_passes_adaptive(
         model.ephemeris(sat_id), model.node(site_id).position,
         options.horizon, policy.elevation_mask, options.step,
         options.max_elevation_rate);
-    compile_site_within(site_id, sat_id, evaluator, passes);
+    compile_site_within(site_id, sat_id, evaluator, passes, out);
   }
 
   /// Windows of one site against one satellite, scanning only inside the
@@ -178,7 +198,8 @@ struct Compiler {
   /// search is shared across a whole LAN of near-colocated sites.
   void compile_site_within(net::NodeId site_id, net::NodeId sat_id,
                            const channel::FsoLinkEvaluator& evaluator,
-                           const std::vector<orbit::Pass>& passes) {
+                           const std::vector<orbit::Pass>& passes,
+                           std::vector<ContactWindow>& out) const {
     const geo::Geodetic& site = model.node(site_id).position;
     // One ENU frame per site/satellite sweep; the scan and the boundary
     // bisections evaluate it millions of times per compile.
@@ -198,6 +219,14 @@ struct Compiler {
     };
 
     const std::vector<Vec3>& sat_grid = grid_positions(sat_id);
+    // Structure-of-arrays scratch reused across the sweep's passes: the
+    // look angles of one pass's grid slice, the above-mask subset packed
+    // into contiguous buffers for the batched budget evaluation, and the
+    // per-point transmissivities scattered back (0 below the mask, exactly
+    // as the scalar scan computed them).
+    std::vector<double> grid_elev, grid_eta;
+    std::vector<double> vis_range, vis_elev, vis_eta;
+    std::vector<std::size_t> vis_idx;
     for (const orbit::Pass& pass : passes) {
       // Grid points inside the pass (nudged so a boundary exactly on the
       // grid still counts as inside).
@@ -206,6 +235,32 @@ struct Compiler {
       const auto k_hi =
           static_cast<std::size_t>(std::floor(pass.los / step + 1e-9));
       if (k_lo > k_hi) continue;  // sub-step pass: invisible to the grid
+
+      // Mask first, budget second — the same predicate the per-step
+      // rebuild applies, so a candidate grid point below the site's own
+      // mask can never open a window.
+      const std::size_t count = k_hi - k_lo + 1;
+      grid_elev.resize(count);
+      grid_eta.assign(count, 0.0);
+      vis_range.clear();
+      vis_elev.clear();
+      vis_idx.clear();
+      for (std::size_t idx = 0; idx < count; ++idx) {
+        const geo::AzElRange look =
+            geo::look_angles(frame, sat_grid[k_lo + idx]);
+        grid_elev[idx] = look.elevation;
+        if (look.elevation >= policy.elevation_mask) {
+          vis_idx.push_back(idx);
+          vis_range.push_back(look.range);
+          vis_elev.push_back(look.elevation);
+        }
+      }
+      vis_eta.resize(vis_idx.size());
+      evaluator.symmetric_batch(vis_range.data(), vis_elev.data(),
+                                vis_idx.size(), vis_eta.data());
+      for (std::size_t i = 0; i < vis_idx.size(); ++i) {
+        grid_eta[vis_idx[i]] = vis_eta[i];
+      }
 
       bool in_window = false;
       double window_start = 0.0;
@@ -221,18 +276,13 @@ struct Compiler {
       const auto close_window = [&](double end) {
         push_sample(end, eta_at(end));
         emit(site_id, sat_id, window_start, last_pushed, std::move(times),
-             std::move(etas));
+             std::move(etas), out);
       };
       double prev_t = pass.aos;
       for (std::size_t k = k_lo; k <= k_hi; ++k) {
         const double t = static_cast<double>(k) * step;
-        // Mask first, budget second — the same predicate the per-step
-        // rebuild applies, so a candidate grid point below the site's own
-        // mask can never open a window.
-        const geo::AzElRange look = geo::look_angles(frame, sat_grid[k]);
-        const bool visible = look.elevation >= policy.elevation_mask;
-        const double eta =
-            visible ? evaluator.symmetric(look.range, look.elevation) : 0.0;
+        const bool visible = grid_elev[k - k_lo] >= policy.elevation_mask;
+        const double eta = grid_eta[k - k_lo];
         const bool above = visible && eta >= threshold;
         if (above && !in_window) {
           in_window = true;
@@ -285,7 +335,8 @@ struct Compiler {
   /// points too (ISL windows last hours at full grid resolution otherwise).
   void compile_satellite_pair(net::NodeId sat_a, net::NodeId sat_b,
                               const channel::FsoLinkEvaluator& evaluator,
-                              double threshold_range, double min_radius) {
+                              double threshold_range, double min_radius,
+                              std::vector<ContactWindow>& out) const {
     const orbit::Ephemeris& eph_a = model.ephemeris(sat_a);
     const orbit::Ephemeris& eph_b = model.ephemeris(sat_b);
     const double threshold = policy.transmissivity_threshold;
@@ -364,20 +415,20 @@ struct Compiler {
         in_window = true;
       } else if (!above && in_window) {
         const double end = refine_flip(linkable, prev_t, t, /*rising=*/false);
-        emit_isl(sat_a, sat_b, window_start, end, eta_at);
+        emit_isl(sat_a, sat_b, window_start, end, eta_at, out);
         in_window = false;
       }
       prev_t = t;
       prev_range = range;
     }
     if (in_window) {
-      emit_isl(sat_a, sat_b, window_start, options.horizon, eta_at);
+      emit_isl(sat_a, sat_b, window_start, options.horizon, eta_at, out);
     }
   }
 
   template <class Eta>
   void emit_isl(net::NodeId sat_a, net::NodeId sat_b, double start, double end,
-                const Eta& eta_at) {
+                const Eta& eta_at, std::vector<ContactWindow>& out) const {
     if (end - start < 1e-6) return;
     std::vector<double> times{start};
     std::vector<double> etas{eta_at(start)};
@@ -387,7 +438,7 @@ struct Compiler {
     sample_adaptive(eta_at, start, etas.front(), end, eta_at(end),
                     options.sample_tolerance, options.step,
                     16.0 * options.step, times, etas);
-    emit(sat_a, sat_b, start, end, std::move(times), std::move(etas));
+    emit(sat_a, sat_b, start, end, std::move(times), std::move(etas), out);
   }
 
   /// A set of near-colocated sites sharing one candidate pass search (a
@@ -442,7 +493,7 @@ struct Compiler {
   /// candidates, applying its own exact mask/threshold per grid sample.
   void compile_group(const SiteGroup& group, net::NodeId sat_id,
                      const channel::FsoLinkEvaluator& evaluator,
-                     double slant_floor) {
+                     double slant_floor, std::vector<ContactWindow>& out) const {
     const double margin =
         group.sites.size() > 1
             ? std::asin(std::min(1.0, group.max_chord / slant_floor)) +
@@ -453,7 +504,7 @@ struct Compiler {
       // (e.g. a degenerate centroid across the antimeridian): per-site
       // pass searches.
       for (const net::NodeId site : group.sites) {
-        compile_site_satellite(site, sat_id, evaluator);
+        compile_site_satellite(site, sat_id, evaluator, out);
       }
       return;
     }
@@ -462,7 +513,7 @@ struct Compiler {
         policy.elevation_mask - margin, options.step,
         options.max_elevation_rate);
     for (const net::NodeId site : group.sites) {
-      compile_site_within(site, sat_id, evaluator, candidates);
+      compile_site_within(site, sat_id, evaluator, candidates, out);
     }
   }
 
@@ -489,9 +540,37 @@ struct Compiler {
     return 0.5 * (lo + hi);
   }
 
-  ContactPlan run() {
+  /// Run `task(i, out)` for i in [0, count), appending windows to `out`.
+  /// Serial: every task appends straight to `windows`. Parallel: each task
+  /// fills its own buffer (workers inherit the caller's ambient registry /
+  /// profiler, which are thread-safe), and the buffers are spliced in task
+  /// order — the concatenation equals the serial append order exactly, so
+  /// the compiled plan is byte-identical for any thread count.
+  template <class Task>
+  void fan_out(ThreadPool* pool, std::size_t count, const Task& task) {
+    const bool parallel = pool != nullptr && pool->size() > 1 && count > 1;
+    if (!parallel) {
+      for (std::size_t i = 0; i < count; ++i) task(i, windows);
+      return;
+    }
+    std::vector<std::vector<ContactWindow>> parts(count);
+    obs::Registry* const registry = obs::ambient();
+    obs::Profiler* const profiler = obs::ambient_profiler();
+    parallel_for_index(*pool, count, [&](std::size_t i) {
+      const obs::ScopedRegistry worker_registry(registry);
+      const obs::ScopedProfiler worker_profiler(profiler);
+      task(i, parts[i]);
+    });
+    for (std::vector<ContactWindow>& part : parts) {
+      windows.insert(windows.end(), std::make_move_iterator(part.begin()),
+                     std::make_move_iterator(part.end()));
+    }
+  }
+
+  ContactPlan run(ThreadPool* pool) {
     const obs::Span compile_span("plan.compile", model.node_count());
     const std::vector<net::NodeId>& sats = model.satellite_ids();
+    prefill_grids(pool);
 
     if (const auto* ground_sat =
             builder.evaluator(sim::NodeKind::Ground, sim::NodeKind::Satellite)) {
@@ -501,21 +580,25 @@ struct Compiler {
       for (std::size_t lan = 0; lan < model.lan_count(); ++lan) {
         groups.push_back(make_group(model.lan_nodes(lan)));
       }
-      for (const net::NodeId sat : sats) {
-        const double slant_floor = std::max(1e3, min_altitude(sat) - 1e4);
-        for (const SiteGroup& group : groups) {
-          compile_group(group, sat, *ground_sat, slant_floor);
-        }
-      }
+      fan_out(pool, sats.size(),
+              [&](std::size_t si, std::vector<ContactWindow>& out) {
+                const net::NodeId sat = sats[si];
+                const double slant_floor =
+                    std::max(1e3, min_altitude(sat) - 1e4);
+                for (const SiteGroup& group : groups) {
+                  compile_group(group, sat, *ground_sat, slant_floor, out);
+                }
+              });
     }
     if (const auto* hap_sat =
             builder.evaluator(sim::NodeKind::Hap, sim::NodeKind::Satellite)) {
       const obs::Span span("plan.compile.hap_sat", sats.size());
-      for (const net::NodeId sat : sats) {
-        for (const net::NodeId hap : model.hap_ids()) {
-          compile_site_satellite(hap, sat, *hap_sat);
-        }
-      }
+      fan_out(pool, sats.size(),
+              [&](std::size_t si, std::vector<ContactWindow>& out) {
+                for (const net::NodeId hap : model.hap_ids()) {
+                  compile_site_satellite(hap, sats[si], *hap_sat, out);
+                }
+              });
     }
     if (const auto* sat_sat = builder.evaluator(sim::NodeKind::Satellite,
                                                 sim::NodeKind::Satellite)) {
@@ -526,16 +609,18 @@ struct Compiler {
         for (std::size_t i = 0; i < sats.size(); ++i) {
           min_alt[i] = min_altitude(sats[i]);
         }
-        for (std::size_t i = 0; i < sats.size(); ++i) {
-          for (std::size_t j = i + 1; j < sats.size(); ++j) {
-            // 10 km deflation covers the linear-interpolation sagitta of
-            // the sampled ephemerides, as in the ground-station slant floor.
-            const double min_radius =
-                kEarthRadius + std::min(min_alt[i], min_alt[j]) - 1e4;
-            compile_satellite_pair(sats[i], sats[j], *sat_sat,
-                                   threshold_range, min_radius);
-          }
-        }
+        fan_out(pool, sats.size(),
+                [&](std::size_t i, std::vector<ContactWindow>& out) {
+                  for (std::size_t j = i + 1; j < sats.size(); ++j) {
+                    // 10 km deflation covers the linear-interpolation
+                    // sagitta of the sampled ephemerides, as in the
+                    // ground-station slant floor.
+                    const double min_radius =
+                        kEarthRadius + std::min(min_alt[i], min_alt[j]) - 1e4;
+                    compile_satellite_pair(sats[i], sats[j], *sat_sat,
+                                           threshold_range, min_radius, out);
+                  }
+                });
       }
     }
 
@@ -604,11 +689,12 @@ ContactPlanStats ContactPlan::stats() const {
 
 ContactPlan compile_contact_plan(const sim::NetworkModel& model,
                                  const sim::LinkPolicy& policy,
-                                 const ContactPlanOptions& options) {
+                                 const ContactPlanOptions& options,
+                                 ThreadPool* pool) {
   QNTN_REQUIRE(options.horizon > 0.0 && options.step > 0.0,
                "contact plan horizon/step must be positive");
   Compiler compiler(model, policy, options);
-  return compiler.run();
+  return compiler.run(pool);
 }
 
 }  // namespace qntn::plan

@@ -25,6 +25,10 @@
 /// networks (Hu et al., QuESat) scale: topology queries cost per
 /// *link-state change*, not per step times N^2.
 
+namespace qntn {
+class ThreadPool;
+}  // namespace qntn
+
 namespace qntn::plan {
 
 /// One contact window: node pair `a`-`b` is linkable (visible and above
@@ -113,8 +117,13 @@ class ContactPlan {
 /// at every grid time t = k * options.step the plan's link set equals the
 /// per-step rebuild's, and retained samples carry bit-identical
 /// transmissivities.
+///
+/// `pool` (optional, borrowed) fans the per-satellite scans out across
+/// workers. The fan-out is deterministic: each task appends windows to its
+/// own buffer and the buffers are spliced in the serial task order, so the
+/// compiled plan is byte-identical for any thread count (including none).
 [[nodiscard]] ContactPlan compile_contact_plan(
     const sim::NetworkModel& model, const sim::LinkPolicy& policy,
-    const ContactPlanOptions& options = {});
+    const ContactPlanOptions& options = {}, ThreadPool* pool = nullptr);
 
 }  // namespace qntn::plan

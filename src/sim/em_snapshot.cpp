@@ -5,8 +5,11 @@ namespace qntn::sim {
 EmSnapshotServer::EmSnapshotServer(const TopologyProvider& topology,
                                    const RequestBatch& batch,
                                    const em::EmOptions& options,
-                                   quantum::FidelityConvention convention)
-    : topology_(topology), convention_(convention), manager_(options) {
+                                   quantum::FidelityConvention convention,
+                                   em::EmRouteSource* shared_routes)
+    : topology_(topology),
+      convention_(convention),
+      manager_(options, shared_routes) {
   requests_.reserve(batch.requests.size());
   for (const Request& request : batch.requests) {
     requests_.push_back(em::EmRequest{request.source, request.destination});

@@ -1,0 +1,187 @@
+#include "sim/epoch_cache.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/kpaths.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace qntn::sim {
+
+SharedEpochTreeCache::SharedEpochTreeCache(const TopologyProvider& topology,
+                                           net::CostMetric metric,
+                                           std::size_t node_count)
+    : topology_(topology),
+      metric_(metric),
+      node_count_(node_count),
+      active_(topology.epoch_count() > 0 &&
+              net::metric_is_eta_independent(metric)),
+      epochs_(active_ ? topology.epoch_count() : 0),
+      last_built_(active_ ? node_count : 0) {
+  for (auto& slot : epochs_) slot.store(nullptr, std::memory_order_relaxed);
+}
+
+SharedEpochTreeCache::~SharedEpochTreeCache() {
+  for (auto& slot : epochs_) {
+    EpochEntry* entry = slot.load(std::memory_order_relaxed);
+    if (entry == nullptr) continue;
+    for (auto& tree : entry->slots) {
+      delete tree.load(std::memory_order_relaxed);
+    }
+    delete entry;
+  }
+}
+
+const net::ShortestPathTree& SharedEpochTreeCache::tree_for(
+    std::size_t epoch, net::NodeId source, const net::Graph& graph) {
+  QNTN_REQUIRE(active_, "tree_for called on an inactive shared epoch cache");
+  QNTN_REQUIRE(epoch < epochs_.size(),
+               "tree_for epoch outside the topology's partition");
+  QNTN_REQUIRE(source < node_count_,
+               "tree_for source outside the cache's node table");
+
+  // Fast path: someone already built this (epoch, source). Two acquire
+  // loads, no lock.
+  EpochEntry* entry = epochs_[epoch].load(std::memory_order_acquire);
+  if (entry != nullptr) {
+    const net::ShortestPathTree* tree =
+        entry->slots[source].load(std::memory_order_acquire);
+    if (tree != nullptr) {
+      obs::count("sim.epoch_cache_hits");
+      return *tree;
+    }
+  }
+
+  MutexLock lock(build_mutex_);
+  if (entry == nullptr) {
+    entry = epochs_[epoch].load(std::memory_order_relaxed);
+    if (entry == nullptr) {
+      entry = new EpochEntry(node_count_);
+      epochs_[epoch].store(entry, std::memory_order_release);
+    }
+  }
+  {
+    const net::ShortestPathTree* tree =
+        entry->slots[source].load(std::memory_order_relaxed);
+    if (tree != nullptr) {
+      obs::count("sim.epoch_cache_hits");
+      return *tree;
+    }
+  }
+
+  const obs::Span span("sim.epoch_cache_build", epoch);
+  obs::count("sim.epoch_cache_builds");
+  net::compute_edge_costs(graph, metric_, edge_costs_);
+  auto built = std::make_unique<net::ShortestPathTree>();
+  LastBuilt& last = last_built_[source];
+  bool repaired = false;
+  if (last.tree != nullptr && last.epoch < epoch) {
+    delta_pairs_.clear();
+    if (topology_.epoch_delta(last.epoch, epoch, kMaxDeltaPairs,
+                              delta_pairs_)) {
+      *built = net::delta_update_tree(graph, source, edge_costs_, *last.tree,
+                                      delta_pairs_);
+      repaired = true;
+    }
+  }
+  if (!repaired) {
+    *built = net::canonical_tree(graph, source, edge_costs_);
+  }
+  const net::ShortestPathTree* tree = built.release();
+  last.epoch = epoch;
+  last.tree = tree;
+  entry->slots[source].store(tree, std::memory_order_release);
+  return *tree;
+}
+
+SharedEmRouteCache::SharedEmRouteCache(const TopologyProvider& topology,
+                                       const RequestBatch& batch,
+                                       const em::EmOptions& options)
+    : topology_(topology),
+      options_(options),
+      active_(topology.epoch_count() > 0 &&
+              net::metric_is_eta_independent(options.metric)),
+      epochs_(active_ ? topology.epoch_count() : 0) {
+  for (auto& slot : epochs_) slot.store(nullptr, std::memory_order_relaxed);
+  if (!active_) return;
+  for (const Request& request : batch.requests) {
+    const std::size_t next = pair_slots_.size();
+    pair_slots_.emplace(std::make_pair(request.source, request.destination),
+                        next);
+  }
+}
+
+SharedEmRouteCache::~SharedEmRouteCache() {
+  for (auto& slot : epochs_) {
+    EpochEntry* entry = slot.load(std::memory_order_relaxed);
+    if (entry == nullptr) continue;
+    for (auto& routes : entry->slots) {
+      delete routes.load(std::memory_order_relaxed);
+    }
+    delete entry;
+  }
+}
+
+const std::vector<net::Route>* SharedEmRouteCache::routes_for(
+    const net::Graph& graph, net::NodeId source, net::NodeId destination,
+    std::size_t epoch) {
+  if (!active_ || epoch == TopologyProvider::kNoEpoch) return nullptr;
+  QNTN_REQUIRE(epoch < epochs_.size(),
+               "routes_for epoch outside the topology's partition");
+  const auto it = pair_slots_.find(std::make_pair(source, destination));
+  if (it == pair_slots_.end()) return nullptr;
+  const std::size_t slot = it->second;
+
+  EpochEntry* entry = epochs_[epoch].load(std::memory_order_acquire);
+  if (entry != nullptr) {
+    const std::vector<net::Route>* routes =
+        entry->slots[slot].load(std::memory_order_acquire);
+    if (routes != nullptr) return routes;
+  }
+
+  MutexLock lock(build_mutex_);
+  if (entry == nullptr) {
+    entry = epochs_[epoch].load(std::memory_order_relaxed);
+    if (entry == nullptr) {
+      entry = new EpochEntry(pair_slots_.size());
+      epochs_[epoch].store(entry, std::memory_order_release);
+    }
+  }
+  const std::vector<net::Route>* routes =
+      entry->slots[slot].load(std::memory_order_relaxed);
+  if (routes == nullptr) {
+    const obs::Span span("sim.epoch_cache_build", epoch);
+    obs::count("em.shared_route_builds");
+    auto built = std::make_unique<std::vector<net::Route>>(
+        net::k_disjoint_paths(graph, source, destination, options_.k_paths,
+                              options_.metric));
+    routes = built.release();
+    entry->slots[slot].store(routes, std::memory_order_release);
+  }
+  return routes;
+}
+
+SharedServingCaches::SharedServingCaches(const TopologyProvider& topology,
+                                         const RequestBatch& batch,
+                                         const ScenarioConfig& config,
+                                         std::size_t node_count) {
+  // One cache per run, for whichever serving mode is active: the engines
+  // below consult it only when its active() gate (epoch partition +
+  // eta-independent metric) holds, so constructing it unconditionally per
+  // mode is free.
+  if (config.traffic.enabled) {
+    trees = std::make_unique<SharedEpochTreeCache>(
+        topology, config.traffic.metric, node_count);
+  } else if (config.em.enabled) {
+    em_routes =
+        std::make_unique<SharedEmRouteCache>(topology, batch, config.em);
+  } else {
+    trees = std::make_unique<SharedEpochTreeCache>(topology, config.metric,
+                                                   node_count);
+  }
+}
+
+}  // namespace qntn::sim

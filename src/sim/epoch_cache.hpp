@@ -1,0 +1,179 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "em/serving.hpp"
+#include "net/routing.hpp"
+#include "sim/requests.hpp"
+#include "sim/topology.hpp"
+
+/// \file epoch_cache.hpp
+/// Shared per-epoch route caches (DESIGN.md §13). The parallel scenario
+/// engine used to give every chunk worker its own per-epoch caches — each
+/// of 8 workers re-derived the same shortest-path trees and k-disjoint
+/// candidate sets for every epoch its chunk touched, so the routing work
+/// was *multiplied* by the thread count instead of divided. These caches
+/// hoist that state to run scope: one instance per run_scenario call,
+/// shared by the serial path and every chunk worker.
+///
+/// Concurrency discipline (the ContactPlanTopology pattern, plus one
+/// mutex): the per-epoch tables are arrays of std::atomic pointers to
+/// immutable values. Readers are lock-free (one acquire load). A miss takes
+/// the build mutex, re-checks the slot (exactly one build per key ever —
+/// the compute-once guarantee that keeps the obs counters deterministic),
+/// computes the value, and publishes it with a release store. Values are
+/// immutable after publication and owned by the cache.
+///
+/// Determinism: both caches are gated on eta-independent metrics, so every
+/// cached value is a pure function of (epoch, key) — independent of which
+/// worker computes it, from which snapshot time inside the epoch, and of
+/// whether a tree was built from scratch or delta-repaired from a
+/// neighbouring epoch (delta_update_tree is bit-identical to
+/// canonical_tree; pinned by tests/sim/parallel_scenario_test).
+
+namespace qntn::sim {
+
+/// Shared per-epoch shortest-path trees for eta-independent metrics: the
+/// single-shot and traffic engines' replacement for per-worker tree
+/// scratch. Trees are *canonical* (net::canonical_tree) so that
+/// delta-repaired and fully rebuilt trees coincide bit-for-bit.
+class SharedEpochTreeCache {
+ public:
+  static constexpr std::size_t kNoEpoch = static_cast<std::size_t>(-1);
+  /// Delta repairs are refused beyond this many open/close events between
+  /// the donor and target epochs; the build then falls back to a full
+  /// canonical rebuild (identical result, pinned by tests).
+  static constexpr std::size_t kMaxDeltaPairs = 256;
+
+  /// Borrows the topology; it must outlive the cache. Inactive (active() ==
+  /// false, tree_for must not be called) unless the provider is
+  /// epoch-partitioned and the metric is eta-independent.
+  SharedEpochTreeCache(const TopologyProvider& topology,
+                       net::CostMetric metric, std::size_t node_count);
+  ~SharedEpochTreeCache();
+
+  SharedEpochTreeCache(const SharedEpochTreeCache&) = delete;
+  SharedEpochTreeCache& operator=(const SharedEpochTreeCache&) = delete;
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// The canonical shortest-path tree of `source` on epoch `epoch`, whose
+  /// snapshot graph is `graph`. Lock-free on a hit; a miss builds the tree
+  /// once (delta-repairing from a previously built epoch of the same source
+  /// when the event delta is small) and publishes it for every worker.
+  /// Requires active() and a valid epoch; `graph` must be a snapshot of
+  /// `epoch` (any snapshot time — the metric cannot see the etas).
+  [[nodiscard]] const net::ShortestPathTree& tree_for(std::size_t epoch,
+                                                      net::NodeId source,
+                                                      const net::Graph& graph);
+
+ private:
+  struct EpochEntry {
+    explicit EpochEntry(std::size_t node_count) : slots(node_count) {
+      for (auto& slot : slots) slot.store(nullptr, std::memory_order_relaxed);
+    }
+    /// One published tree per source node; nullptr = not built yet.
+    std::vector<std::atomic<const net::ShortestPathTree*>> slots;
+  };
+
+  /// Most recent tree built for a source, the delta-repair donor.
+  struct LastBuilt {
+    std::size_t epoch = kNoEpoch;
+    const net::ShortestPathTree* tree = nullptr;
+  };
+
+  const TopologyProvider& topology_;
+  net::CostMetric metric_;
+  std::size_t node_count_ = 0;
+  bool active_ = false;
+
+  /// Per-epoch entries, published with release stores; readers only load.
+  std::vector<std::atomic<EpochEntry*>> epochs_;
+
+  /// Serialises builds (compute-once) and guards the build-side scratch.
+  Mutex build_mutex_;
+  std::vector<LastBuilt> last_built_ QNTN_GUARDED_BY(build_mutex_);
+  std::vector<double> edge_costs_ QNTN_GUARDED_BY(build_mutex_);
+  std::vector<net::ChangedPair> delta_pairs_ QNTN_GUARDED_BY(build_mutex_);
+};
+
+/// Shared per-epoch k-disjoint candidate routes for the entanglement
+/// manager (em::EmRouteSource impl): the cross-worker replacement for
+/// EntanglementManager's per-worker route cache. The candidate universe is
+/// the batch's distinct (source, destination) pairs, fixed for the run.
+class SharedEmRouteCache final : public em::EmRouteSource {
+ public:
+  /// Borrows the topology. Inactive unless the provider is
+  /// epoch-partitioned and options.metric is eta-independent; routes_for
+  /// then always returns nullptr and the managers fall back to their own
+  /// caches.
+  SharedEmRouteCache(const TopologyProvider& topology,
+                     const RequestBatch& batch, const em::EmOptions& options);
+  ~SharedEmRouteCache() override;
+
+  SharedEmRouteCache(const SharedEmRouteCache&) = delete;
+  SharedEmRouteCache& operator=(const SharedEmRouteCache&) = delete;
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  [[nodiscard]] const std::vector<net::Route>* routes_for(
+      const net::Graph& graph, net::NodeId source, net::NodeId destination,
+      std::size_t epoch) override;
+
+ private:
+  struct EpochEntry {
+    explicit EpochEntry(std::size_t pair_count) : slots(pair_count) {
+      for (auto& slot : slots) slot.store(nullptr, std::memory_order_relaxed);
+    }
+    /// One published candidate set per batch pair; nullptr = not built yet.
+    std::vector<std::atomic<const std::vector<net::Route>*>> slots;
+  };
+
+  const TopologyProvider& topology_;
+  em::EmOptions options_;
+  bool active_ = false;
+
+  /// Distinct batch pairs -> slot index (immutable after construction).
+  std::map<std::pair<net::NodeId, net::NodeId>, std::size_t> pair_slots_;
+
+  std::vector<std::atomic<EpochEntry*>> epochs_;
+
+  Mutex build_mutex_;
+};
+
+struct ScenarioConfig;
+
+/// The run-scoped cache bundle run_scenario hands every serving engine
+/// (serial and parallel paths alike — that is what keeps them
+/// byte-identical). Members are null when the mode/metric cannot use them.
+struct SharedServingCaches {
+  /// Shared trees for the active mode's metric (single-shot: config.metric;
+  /// traffic: config.traffic.metric); null in em mode.
+  std::unique_ptr<SharedEpochTreeCache> trees;
+  /// Shared em candidate routes; null unless em mode is active.
+  std::unique_ptr<SharedEmRouteCache> em_routes;
+
+  SharedServingCaches() = default;
+  /// Instantiate whatever the config's serving mode can share.
+  SharedServingCaches(const TopologyProvider& topology,
+                      const RequestBatch& batch, const ScenarioConfig& config,
+                      std::size_t node_count);
+
+  /// The tree cache, or nullptr when absent/inactive.
+  [[nodiscard]] SharedEpochTreeCache* tree_cache() const {
+    return trees != nullptr && trees->active() ? trees.get() : nullptr;
+  }
+  /// The em route cache, or nullptr when absent/inactive.
+  [[nodiscard]] SharedEmRouteCache* em_route_cache() const {
+    return em_routes != nullptr && em_routes->active() ? em_routes.get()
+                                                      : nullptr;
+  }
+};
+
+}  // namespace qntn::sim

@@ -9,6 +9,7 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/epoch_cache.hpp"
 #include "sim/serving_engine.hpp"
 
 namespace qntn::sim {
@@ -91,6 +92,13 @@ ScenarioResult run_scenario(const NetworkModel& model,
 
   const obs::ScopedTimer serving_timer("time.serving_s");
   const obs::Span serving_span("sim.serving", config.request_steps);
+
+  // Run-scoped shared per-epoch caches (sim/epoch_cache.hpp): trees and em
+  // candidate routes are computed once per (epoch, key) for the whole run
+  // instead of once per worker. The bundle reaches the serial path and
+  // every parallel worker alike, so thread count cannot change results.
+  const SharedServingCaches shared_caches(topology, batch, config,
+                                          model.nodes().size());
 
   result.em.enabled = !config.traffic.enabled && config.em.enabled;
   result.traffic.enabled = config.traffic.enabled;
@@ -264,9 +272,9 @@ ScenarioResult run_scenario(const NetworkModel& model,
           const obs::ScopedRegistry worker_registry(config.registry);
           const obs::ScopedProfiler worker_profiler(config.profiler);
           const obs::Span span("sim.serve_chunk", end - begin);
-          const auto engine = make_serving_engine(model, topology, batch,
-                                                  config, interval,
-                                                  trace_requests);
+          const auto engine =
+              make_serving_engine(model, topology, batch, config, interval,
+                                  trace_requests, &shared_caches);
           for (std::size_t step = begin; step < end; ++step) {
             per_step[step] =
                 engine->serve_step(step, static_cast<double>(step) * interval);
@@ -277,7 +285,8 @@ ScenarioResult run_scenario(const NetworkModel& model,
     }
   } else {
     const auto engine = make_serving_engine(model, topology, batch, config,
-                                            interval, trace_requests);
+                                            interval, trace_requests,
+                                            &shared_caches);
     for (std::size_t step = 0; step < config.request_steps; ++step) {
       const obs::Span step_span("sim.serve_step", step);
       const ServeStepResult served =

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "channel/fiber.hpp"
 #include "channel/fso.hpp"
@@ -103,6 +104,24 @@ class TopologyProvider {
   /// Number of epochs in the provider's partition (0 = no partition; the
   /// snapshot engine then falls back to the serial per-step path).
   [[nodiscard]] virtual std::size_t epoch_count() const { return 0; }
+
+  /// Append to `out` the unordered node pairs whose dynamic link set
+  /// changes when advancing from epoch `from` to epoch `to` (from < to;
+  /// the events applied at the starts of epochs from+1 .. to, duplicates
+  /// allowed). Returns true when the provider can enumerate the delta and
+  /// it spans at most `max_pairs` events; false (out untouched) tells the
+  /// caller to rebuild from scratch instead of delta-repairing. The default
+  /// — no epoch partition — never can.
+  [[nodiscard]] virtual bool epoch_delta(std::size_t from, std::size_t to,
+                                         std::size_t max_pairs,
+                                         std::vector<net::ChangedPair>& out)
+      const {
+    (void)from;
+    (void)to;
+    (void)max_pairs;
+    (void)out;
+    return false;
+  }
 
   /// Fill `snap` with the graph at time t, reusing its structure when the
   /// slot already holds the same epoch of the same provider. The default

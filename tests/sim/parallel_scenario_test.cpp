@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -7,15 +9,18 @@
 #include "common/thread_pool.hpp"
 #include "core/qntn_config.hpp"
 #include "core/scenario_factory.hpp"
+#include "net/routing.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 
 /// Golden determinism contract of the parallel snapshot engine (DESIGN.md
-/// §9): for every topology mode and thread count, run_scenario must produce
-/// a ScenarioResult — and a trace stream — bitwise identical to the serial
-/// run. EXPECT_EQ on doubles below is deliberate: the ordered reduction
-/// promises equality to the last bit, not approximate agreement.
+/// §9/§13): for every topology mode, serving mode and thread count,
+/// run_scenario must produce a ScenarioResult — and a trace stream —
+/// bitwise identical to the serial run, including when the shared per-epoch
+/// route caches are active (eta-independent metrics). EXPECT_EQ on doubles
+/// below is deliberate: the ordered reduction promises equality to the last
+/// bit, not approximate agreement.
 
 namespace qntn::sim {
 namespace {
@@ -39,7 +44,8 @@ struct RunOutput {
 };
 
 RunOutput run_with(TopologyMode mode, ThreadPool* pool,
-                   obs::Registry* registry = nullptr) {
+                   obs::Registry* registry = nullptr,
+                   void (*mutate)(ScenarioConfig&) = nullptr) {
   QntnConfig config;
   config.topology_mode = mode;
   const NetworkModel model = core::build_space_ground_model(config, 12);
@@ -51,6 +57,7 @@ RunOutput run_with(TopologyMode mode, ThreadPool* pool,
   sc.pool = pool;
   sc.trace = &trace;
   sc.registry = registry;
+  if (mutate != nullptr) mutate(sc);
   out.result = run_scenario(model, topology.provider(), sc);
   out.trace = trace_stream.str();
   return out;
@@ -80,6 +87,33 @@ void expect_identical(const RunOutput& a, const RunOutput& b) {
   EXPECT_EQ(a.result.requests_no_path, b.result.requests_no_path);
   EXPECT_EQ(a.result.requests_isolated, b.result.requests_isolated);
   EXPECT_EQ(a.result.handovers, b.result.handovers);
+  EXPECT_EQ(a.result.requests_congested, b.result.requests_congested);
+  EXPECT_EQ(a.result.requests_rejected_capacity,
+            b.result.requests_rejected_capacity);
+  EXPECT_EQ(a.result.requests_dropped_deadline,
+            b.result.requests_dropped_deadline);
+  EXPECT_EQ(a.result.em.enabled, b.result.em.enabled);
+  if (a.result.em.enabled) {
+    EXPECT_EQ(a.result.em.swaps, b.result.em.swaps);
+    EXPECT_EQ(a.result.em.purification_rounds, b.result.em.purification_rounds);
+    EXPECT_EQ(a.result.em.pairs_consumed, b.result.em.pairs_consumed);
+    EXPECT_EQ(a.result.em.slo_met, b.result.em.slo_met);
+    EXPECT_EQ(a.result.em.spilled, b.result.em.spilled);
+    expect_same_stats(a.result.em.memory_occupancy, b.result.em.memory_occupancy);
+    expect_same_stats(a.result.em.swap_depth, b.result.em.swap_depth);
+    EXPECT_EQ(a.result.em.latency_samples, b.result.em.latency_samples);
+  }
+  EXPECT_EQ(a.result.traffic.enabled, b.result.traffic.enabled);
+  if (a.result.traffic.enabled) {
+    expect_same_stats(a.result.traffic.peak_utilisation,
+                      b.result.traffic.peak_utilisation);
+    EXPECT_EQ(a.result.traffic.peak_queue_depth,
+              b.result.traffic.peak_queue_depth);
+    EXPECT_EQ(a.result.traffic.latency_samples,
+              b.result.traffic.latency_samples);
+    EXPECT_EQ(a.result.traffic.waiting_samples,
+              b.result.traffic.waiting_samples);
+  }
   EXPECT_EQ(a.trace, b.trace);
 }
 
@@ -131,6 +165,155 @@ TEST(ParallelScenario, EpochCountersReconcileWithQueries) {
   EXPECT_GT(builds, 0u);
   EXPECT_EQ(queries, hits + builds);
   EXPECT_EQ(registry.counter("scenario.snapshots"), 10u);
+}
+
+TEST(ParallelScenario, EmModeBitIdenticalAcrossThreadCounts) {
+  // Entanglement-management serving with its default HopCount metric: the
+  // shared per-epoch route cache (SharedEmRouteCache) is active, so workers
+  // at every thread count consult one run-scoped cache — results and trace
+  // must still match the serial run to the bit.
+  const auto enable_em = [](ScenarioConfig& sc) { sc.em.enabled = true; };
+  const RunOutput serial =
+      run_with(TopologyMode::ContactPlan, nullptr, nullptr, enable_em);
+  EXPECT_TRUE(serial.result.em.enabled);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel =
+        run_with(TopologyMode::ContactPlan, &pool, nullptr, enable_em);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelScenario, TrafficModeBitIdenticalAcrossThreadCounts) {
+  // Open-arrival traffic serving routed on HopCount: the shared per-epoch
+  // tree cache feeds every event window's route lookups. Event windows are
+  // chunked across workers, so this exercises concurrent tree_for calls
+  // with delta updates at epoch boundaries.
+  const auto enable_traffic = [](ScenarioConfig& sc) {
+    sc.traffic.enabled = true;
+    sc.traffic.metric = net::CostMetric::HopCount;
+  };
+  const RunOutput serial =
+      run_with(TopologyMode::ContactPlan, nullptr, nullptr, enable_traffic);
+  EXPECT_TRUE(serial.result.traffic.enabled);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel =
+        run_with(TopologyMode::ContactPlan, &pool, nullptr, enable_traffic);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelScenario, HopCountSingleShotBitIdenticalAcrossThreadCounts) {
+  // Single-shot serving under HopCount activates the shared tree cache on
+  // the paper's own serving path (canonical trees, delta-repaired across
+  // epoch boundaries) — still bit-identical at every thread count.
+  const auto hop_metric = [](ScenarioConfig& sc) {
+    sc.metric = net::CostMetric::HopCount;
+  };
+  obs::Registry registry;
+  const RunOutput serial =
+      run_with(TopologyMode::ContactPlan, nullptr, &registry, hop_metric);
+  // The shared cache must actually have been consulted, not just bypassed.
+  EXPECT_GT(registry.counter("sim.epoch_cache_builds"), 0u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    const RunOutput parallel =
+        run_with(TopologyMode::ContactPlan, &pool, nullptr, hop_metric);
+    expect_identical(serial, parallel);
+  }
+}
+
+// --- Delta-vs-full tree equivalence property test ------------------------
+
+// Deterministic 64-bit LCG (MMIX constants); tests must not depend on
+// wall-clock seeding.
+std::uint64_t lcg_next(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+TEST(DeltaTree, MatchesFullRebuildOverRandomizedEventStreams) {
+  // Property pinned by DESIGN.md §13: for an eta-independent metric,
+  // delta_update_tree applied across an arbitrary stream of link-set
+  // changes is bit-identical (costs and predecessors) to canonical_tree
+  // rebuilt from scratch on the new graph. Random graphs, random toggle
+  // streams, every source checked every epoch.
+  std::uint64_t rng = 0x5eed5eed5eedULL;
+  for (std::size_t trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 8 + lcg_next(rng) % 17;  // 8..24 nodes
+    net::Graph graph;
+    for (std::size_t i = 0; i < n; ++i) graph.add_node();
+    // Sparse static skeleton: a short chain, so connectivity hinges on the
+    // dynamic tail and the repair regularly sees unreachable regions.
+    for (std::size_t i = 0; i + 1 < std::min<std::size_t>(n, 4); ++i) {
+      graph.add_edge(i, i + 1, 0.9);
+    }
+    const std::size_t skeleton = graph.edge_count();
+
+    // Candidate dynamic links with per-candidate fixed transmissivities.
+    struct Candidate {
+      net::NodeId a, b;
+      double eta;
+      bool open;
+    };
+    std::vector<Candidate> candidates;
+    const std::size_t n_candidates = 3 * n;
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      const net::NodeId a = lcg_next(rng) % n;
+      net::NodeId b = lcg_next(rng) % n;
+      if (a == b) b = (b + 1) % n;
+      const double eta = 0.05 + 0.9 * static_cast<double>(lcg_next(rng) % 100) /
+                                    100.0;
+      candidates.push_back({a, b, eta, (lcg_next(rng) % 2) == 0});
+    }
+
+    const auto rebuild_tail = [&] {
+      graph.truncate_edges(skeleton);
+      for (const Candidate& c : candidates) {
+        if (c.open) graph.add_edge(c.a, c.b, c.eta);
+      }
+    };
+
+    rebuild_tail();
+    std::vector<double> costs;
+    net::compute_edge_costs(graph, net::CostMetric::HopCount, costs);
+    std::vector<net::ShortestPathTree> base(n);
+    for (net::NodeId src = 0; src < n; ++src) {
+      base[src] = net::canonical_tree(graph, src, costs);
+    }
+
+    for (std::size_t epoch = 0; epoch < 12; ++epoch) {
+      SCOPED_TRACE("trial=" + std::to_string(trial) +
+                   " epoch=" + std::to_string(epoch));
+      // Toggle a random handful of candidates; duplicates in the changed
+      // list are allowed by the repair's contract.
+      std::vector<net::ChangedPair> changed;
+      const std::size_t flips = 1 + lcg_next(rng) % 6;
+      for (std::size_t f = 0; f < flips; ++f) {
+        Candidate& c = candidates[lcg_next(rng) % candidates.size()];
+        c.open = !c.open;
+        changed.push_back({c.a, c.b});
+      }
+      rebuild_tail();
+      net::compute_edge_costs(graph, net::CostMetric::HopCount, costs);
+      for (net::NodeId src = 0; src < n; ++src) {
+        const net::ShortestPathTree full =
+            net::canonical_tree(graph, src, costs);
+        const net::ShortestPathTree delta =
+            net::delta_update_tree(graph, src, costs, base[src], changed);
+        EXPECT_EQ(full.cost, delta.cost) << "src=" << src;
+        EXPECT_EQ(full.previous, delta.previous) << "src=" << src;
+        base[src] = full;
+      }
+    }
+  }
 }
 
 TEST(ParallelScenario, SerialContactPlanQueriesCoverEveryStep) {

@@ -16,9 +16,13 @@
 // --threads N, --seed N, --metrics-out FILE, --trace-out FILE,
 // --trace-level off|snapshots|requests, --profile-out FILE.
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,6 +118,32 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// Split a thread-suffixed bench case name ("plan_parallel_t8_n108") into
+/// the scaling-group key with the thread token removed ("plan_parallel_n108")
+/// and the thread count. nullopt when the name carries no `_t<N>` token.
+struct ThreadSuffixedCase {
+  std::string group;
+  std::size_t threads = 0;
+};
+std::optional<ThreadSuffixedCase> split_thread_suffix(const std::string& name) {
+  for (std::size_t pos = name.find("_t"); pos != std::string::npos;
+       pos = name.find("_t", pos + 1)) {
+    std::size_t end = pos + 2;
+    while (end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[end])) != 0) {
+      ++end;
+    }
+    if (end == pos + 2) continue;              // "_t" with no digits
+    if (end < name.size() && name[end] != '_') continue;  // "_traffic" etc.
+    ThreadSuffixedCase out;
+    out.threads = static_cast<std::size_t>(
+        std::strtoul(name.c_str() + pos + 2, nullptr, 10));
+    out.group = name.substr(0, pos) + name.substr(end);
+    return out;
+  }
+  return std::nullopt;
+}
+
 /// `qntn_report bench-compare`: the perf regression gate. Parses its own
 /// argv tail (its flags are not the common tool flags). Exit codes: 0 = no
 /// regression / all schemas valid, 1 = regression or invalid schema, 2 =
@@ -176,14 +206,33 @@ int cmd_bench_compare(const std::vector<std::string>& args) {
   const obs::BenchComparison comparison =
       obs::compare_bench_reports(baseline, current, options);
 
+  // Scaling efficiency (tN median / t1 median, from the current report):
+  // benches emitting thread-suffixed case names ("..._t8_n108") get an
+  // extra column so flat thread scaling is visible in the gate output, not
+  // only in raw medians. Keyed by the name with the `_t<N>` token removed.
+  std::map<std::string, double> t1_median;
+  for (const obs::BenchCase& c : current.cases) {
+    const auto tc = split_thread_suffix(c.name);
+    if (tc.has_value() && tc->threads == 1) t1_median[tc->group] = c.median_ms;
+  }
+  const auto scaling_cell = [&](const std::string& name,
+                                double median) -> std::string {
+    const auto tc = split_thread_suffix(name);
+    if (!tc.has_value()) return "";
+    const auto it = t1_median.find(tc->group);
+    if (it == t1_median.end() || it->second <= 0.0) return "";
+    return Table::num(median / it->second, 3);
+  };
+
   Table table("bench-compare: " + baseline.bench);
-  table.set_header({"case", "base_ms", "new_ms", "ratio", "verdict"});
+  table.set_header({"case", "base_ms", "new_ms", "ratio", "tN/t1", "verdict"});
   for (const obs::BenchCaseDelta& d : comparison.deltas) {
     const char* verdict = d.regressed   ? "REGRESSED"
                           : d.improved  ? "improved"
                                         : "ok";
     table.add_row({d.name, Table::num(d.base_ms, 4), Table::num(d.new_ms, 4),
-                   Table::num(d.ratio, 3), verdict});
+                   Table::num(d.ratio, 3), scaling_cell(d.name, d.new_ms),
+                   verdict});
   }
   std::fputs(table.to_string().c_str(), stdout);
   for (const std::string& name : comparison.only_base) {
