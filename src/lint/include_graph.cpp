@@ -1,0 +1,397 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace qntn::lint {
+
+namespace {
+
+/// The declared architecture, lowest layer first. An edge is legal only
+/// within one module or strictly downward in rank; two modules sharing a
+/// rank are independent siblings. tests sit above tools/bench/examples so
+/// test code may exercise the CLIs' shared headers, never the reverse.
+const std::vector<LayerEntry>& layer_table() {
+  static const std::vector<LayerEntry> kLayers = {
+      {"common", 0},
+      {"obs", 1},
+      {"geo", 1},
+      {"quantum", 1},
+      {"atmosphere", 1},
+      {"orbit", 2},
+      {"channel", 2},
+      {"net", 2},
+      {"em", 3},
+      {"sim", 4},
+      {"plan", 5},
+      {"core", 6},
+      {"lint", 7},
+      {"tools", 8},
+      {"bench", 8},
+      {"examples", 8},
+      {"tests", 9},
+  };
+  return kLayers;
+}
+
+[[nodiscard]] std::map<std::string_view, int> rank_of(
+    const std::vector<LayerEntry>& layers) {
+  std::map<std::string_view, int> ranks;
+  for (const LayerEntry& entry : layers) ranks[entry.module] = entry.rank;
+  return ranks;
+}
+
+/// Normalize "a/./b" and "a/x/../b" path segments (includes are written
+/// plainly in this repo, but fixture trees may exercise the dots).
+[[nodiscard]] std::string normalize(std::string_view path) {
+  std::vector<std::string> parts;
+  std::string part;
+  const auto flush = [&] {
+    if (part.empty() || part == ".") {
+      // no segment
+    } else if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+    part.clear();
+  };
+  for (const char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      part += c;
+    }
+  }
+  flush();
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+[[nodiscard]] std::string dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string{}
+                                         : std::string(path.substr(0, slash));
+}
+
+/// Module-level aggregation: (from-module, to-module) → file-edge count,
+/// self-edges excluded. Deterministic via std::map ordering.
+[[nodiscard]] std::map<std::pair<std::string, std::string>, std::size_t>
+module_edges(const IncludeGraph& graph) {
+  std::map<std::pair<std::string, std::string>, std::size_t> edges;
+  for (const IncludeEdge& edge : graph.edges) {
+    const std::string from = module_of(edge.from);
+    const std::string to = module_of(edge.to);
+    if (from.empty() || to.empty() || from == to) continue;
+    ++edges[{from, to}];
+  }
+  return edges;
+}
+
+/// Modules present in the graph with their file counts, sorted by
+/// (rank, name); unknown modules sort last with rank INT_MAX.
+[[nodiscard]] std::vector<std::pair<std::string, std::size_t>>
+module_files(const IncludeGraph& graph,
+             const std::vector<LayerEntry>& layers) {
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& file : graph.files) {
+    const std::string module = module_of(file);
+    if (!module.empty()) ++counts[module];
+  }
+  const std::map<std::string_view, int> ranks = rank_of(layers);
+  std::vector<std::pair<std::string, std::size_t>> out(counts.begin(),
+                                                       counts.end());
+  std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+    const auto rank = [&](const std::string& m) {
+      const auto it = ranks.find(m);
+      return it == ranks.end() ? std::numeric_limits<int>::max() : it->second;
+    };
+    const int ra = rank(a.first);
+    const int rb = rank(b.first);
+    return ra != rb ? ra < rb : a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+const std::vector<LayerEntry>& default_layers() { return layer_table(); }
+
+std::string module_of(std::string_view path) {
+  constexpr std::string_view kSrc = "src/";
+  std::string_view rest = path;
+  if (path.substr(0, kSrc.size()) == kSrc) {
+    rest = path.substr(kSrc.size());
+    const std::size_t slash = rest.find('/');
+    // A file directly under src/ belongs to no module: flagged unknown.
+    return slash == std::string_view::npos ? std::string{}
+                                           : std::string(rest.substr(0, slash));
+  }
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  const std::string_view top = rest.substr(0, slash);
+  for (const std::string_view known : {"tools", "bench", "tests", "examples"}) {
+    if (top == known) return std::string(top);
+  }
+  return {};
+}
+
+IncludeGraph build_include_graph(
+    const std::map<std::string, std::string>& sources) {
+  IncludeGraph graph;
+  graph.files.reserve(sources.size());
+  for (const auto& [path, text] : sources) graph.files.push_back(path);
+
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  for (const auto& [path, text] : sources) {
+    // Comments stripped, strings kept: the include target is a literal.
+    const std::string stripped =
+        strip_source(text, /*strip_strings=*/false);
+    std::istringstream in(stripped);
+    std::string line;
+    std::size_t line_number = 0;
+    const std::string dir = dirname_of(path);
+    while (std::getline(in, line)) {
+      ++line_number;
+      std::smatch match;
+      if (!std::regex_search(line, match, kInclude)) continue;
+      const std::string target = match[1].str();
+      // Same-directory first (bench/perf_harness.hpp style), then the
+      // src/ include root ("obs/trace.hpp" style).
+      for (const std::string& candidate :
+           {normalize(dir.empty() ? target : dir + "/" + target),
+            normalize("src/" + target)}) {
+        if (sources.count(candidate) != 0) {
+          graph.edges.push_back({path, line_number, candidate});
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<Finding> check_layering(const IncludeGraph& graph,
+                                    const std::vector<LayerEntry>& layers) {
+  std::vector<Finding> findings;
+  const std::map<std::string_view, int> ranks = rank_of(layers);
+
+  // Every scanned file must belong to a declared module — the table has
+  // to grow with the tree, or layering silently stops covering new code.
+  std::set<std::string> unknown_reported;
+  for (const std::string& file : graph.files) {
+    const std::string module = module_of(file);
+    if (!module.empty() && ranks.count(module) != 0) continue;
+    const std::string dir = module.empty() ? dirname_of(file) : module;
+    if (!unknown_reported.insert(dir).second) continue;
+    findings.push_back(
+        {file, 1, "layer-unknown-module",
+         "directory '" + dir +
+             "' is not in the layer table (src/lint/include_graph.cpp); "
+             "add it at the right layer so the DAG check covers it"});
+  }
+
+  for (const IncludeEdge& edge : graph.edges) {
+    const std::string from = module_of(edge.from);
+    const std::string to = module_of(edge.to);
+    if (from == to) continue;
+    const auto from_rank = ranks.find(from);
+    const auto to_rank = ranks.find(to);
+    if (from_rank == ranks.end() || to_rank == ranks.end()) continue;
+    if (to_rank->second < from_rank->second) continue;
+    findings.push_back(
+        {edge.from, edge.line, "layer-violation",
+         "include chain " + edge.from + " -> " + edge.to + ": module '" +
+             from + "' (layer " + std::to_string(from_rank->second) +
+             ") may only include layers below " +
+             std::to_string(from_rank->second) + ", not '" + to + "' (layer " +
+             std::to_string(to_rank->second) + ")"});
+  }
+  return findings;
+}
+
+std::vector<Finding> check_include_cycles(const IncludeGraph& graph) {
+  // Index files and build a sorted adjacency list.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < graph.files.size(); ++i) {
+    index[graph.files[i]] = i;
+  }
+  const std::size_t n = graph.files.size();
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edge_line;
+  for (const IncludeEdge& edge : graph.edges) {
+    const std::size_t from = index.at(edge.from);
+    const std::size_t to = index.at(edge.to);
+    adjacency[from].push_back(to);
+    edge_line.emplace(std::make_pair(from, to), edge.line);
+  }
+  for (std::vector<std::size_t>& next : adjacency) {
+    std::sort(next.begin(), next.end());
+  }
+
+  // Iterative Tarjan SCC (the include graph can be deep).
+  std::vector<int> order(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  int next_order = 0;
+  struct Frame {
+    std::size_t node;
+    std::size_t edge = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (order[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::size_t v = frame.node;
+      if (frame.edge == 0) {
+        order[v] = low[v] = next_order++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (frame.edge < adjacency[v].size()) {
+        const std::size_t w = adjacency[v][frame.edge++];
+        if (order[w] == -1) {
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], order[w]);
+        }
+      } else {
+        if (low[v] == order[v]) {
+          std::vector<std::size_t> component;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          components.push_back(std::move(component));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[v]);
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (std::vector<std::size_t>& component : components) {
+    const bool self_loop =
+        component.size() == 1 &&
+        std::binary_search(adjacency[component[0]].begin(),
+                           adjacency[component[0]].end(), component[0]);
+    if (component.size() < 2 && !self_loop) continue;
+    std::sort(component.begin(), component.end());
+    const std::set<std::size_t> members(component.begin(), component.end());
+    const std::size_t start = component[0];
+
+    // Reconstruct one concrete chain start -> ... -> start by BFS inside
+    // the component (smallest-neighbor order keeps it deterministic).
+    std::map<std::size_t, std::size_t> parent;  // node -> predecessor
+    std::vector<std::size_t> queue{start};
+    std::size_t closing = start;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t v = queue[head];
+      for (const std::size_t w : adjacency[v]) {
+        if (members.count(w) == 0) continue;
+        if (w == start) {
+          closing = v;
+          head = queue.size();  // found a way back — stop the BFS
+          break;
+        }
+        if (parent.count(w) == 0) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+    std::vector<std::size_t> chain{start};
+    for (std::size_t v = closing; v != start; v = parent.at(v)) {
+      chain.push_back(v);
+    }
+    std::reverse(chain.begin() + 1, chain.end());
+    chain.push_back(start);
+
+    std::string message = "include cycle: ";
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i != 0) message += " -> ";
+      message += graph.files[chain[i]];
+    }
+    const auto line = edge_line.find({chain[0], chain[1]});
+    findings.push_back({graph.files[start],
+                        line == edge_line.end() ? 1 : line->second,
+                        "include-cycle", message});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return findings;
+}
+
+std::string graph_dot(const IncludeGraph& graph,
+                      const std::vector<LayerEntry>& layers) {
+  const std::map<std::string_view, int> ranks = rank_of(layers);
+  std::ostringstream out;
+  out << "digraph qntn_includes {\n  rankdir = BT;\n"
+      << "  node [shape = box, fontname = \"Helvetica\"];\n";
+  for (const auto& [module, files] : module_files(graph, layers)) {
+    out << "  \"" << module << "\" [label=\"" << module;
+    const auto rank = ranks.find(module);
+    if (rank != ranks.end()) out << "\\nlayer " << rank->second;
+    out << "\\n" << files << " files\"];\n";
+  }
+  for (const auto& [pair, count] : module_edges(graph)) {
+    out << "  \"" << pair.first << "\" -> \"" << pair.second
+        << "\" [label=\"" << count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string graph_json(const IncludeGraph& graph,
+                       const std::vector<LayerEntry>& layers) {
+  const std::map<std::string_view, int> ranks = rank_of(layers);
+  std::ostringstream out;
+  out << "{\n  \"version\": \"qntn-include-graph-v1\",\n  \"files\": "
+      << graph.files.size() << ",\n  \"modules\": [";
+  bool first = true;
+  for (const auto& [module, files] : module_files(graph, layers)) {
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << module
+        << "\", \"layer\": ";
+    const auto rank = ranks.find(module);
+    if (rank != ranks.end()) {
+      out << rank->second;
+    } else {
+      out << "null";
+    }
+    out << ", \"files\": " << files << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"edges\": [";
+  first = true;
+  for (const auto& [pair, count] : module_edges(graph)) {
+    out << (first ? "" : ",") << "\n    {\"from\": \"" << pair.first
+        << "\", \"to\": \"" << pair.second << "\", \"includes\": " << count
+        << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace qntn::lint

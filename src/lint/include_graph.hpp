@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+/// \file include_graph.hpp
+/// Whole-repo include-graph analysis for qntn_lint: parse the
+/// `#include "..."` edges across src/, tools/, bench/, tests/ and
+/// examples/, aggregate them into the module dependency graph, and enforce
+/// the declared layer DAG. Two invariants are checked:
+///
+///   * **Layering** — every module sits in one layer of the table below,
+///     and a file may only include headers of its own module or of a
+///     strictly lower layer. An upward or sideways include is a
+///     `layer-violation`; a file in a directory missing from the table is
+///     a `layer-unknown-module` (the table must grow with the tree).
+///   * **Acyclicity** — the file-level include graph must be a DAG even
+///     inside one module; every strongly connected component is reported
+///     once as an `include-cycle` with the offending include chain.
+///
+/// The graph itself is exportable as DOT and JSON (CI uploads both), so
+/// the architecture diagram in the docs can never drift from the code.
+
+namespace qntn::lint {
+
+/// One module (= one directory) and its layer. Edges must go strictly
+/// down the layer ranks; modules sharing a rank are siblings that may not
+/// include each other.
+struct LayerEntry {
+  std::string_view module;  ///< "common", "geo", ..., "tools", "tests"
+  int rank = 0;
+};
+
+/// The declared layer table for this repository, lowest layer first:
+/// common → obs/geo/quantum/atmosphere → orbit/channel/net → em →
+/// sim → plan → core → lint → tools/bench/examples → tests.
+[[nodiscard]] const std::vector<LayerEntry>& default_layers();
+
+/// Module of a repo-relative path: the directory under src/ for library
+/// code ("src/geo/frames.hpp" → "geo"), the top-level directory otherwise
+/// ("tools/qntn_cli.cpp" → "tools"). Empty when the path matches neither.
+[[nodiscard]] std::string module_of(std::string_view path);
+
+/// One resolved `#include "..."` edge between two scanned files.
+struct IncludeEdge {
+  std::string from;      ///< repo-relative including file
+  std::size_t line = 0;  ///< 1-based line of the #include
+  std::string to;        ///< repo-relative included file
+};
+
+struct IncludeGraph {
+  std::vector<std::string> files;   ///< sorted repo-relative paths
+  std::vector<IncludeEdge> edges;   ///< sorted by (from, line)
+};
+
+/// Build the include graph from pre-loaded sources (path → text, paths
+/// repo-relative with forward slashes). Quoted includes are resolved
+/// against the including file's directory first, then against src/ (the
+/// repo's one include root); unresolved includes (system headers spelled
+/// with quotes, generated files) produce no edge.
+[[nodiscard]] IncludeGraph build_include_graph(
+    const std::map<std::string, std::string>& sources);
+
+/// Layer-DAG enforcement over the module-level aggregation of `graph`.
+/// Findings are raw (suppressions are applied by the tree pipeline).
+[[nodiscard]] std::vector<Finding> check_layering(
+    const IncludeGraph& graph, const std::vector<LayerEntry>& layers);
+
+/// File-level cycle detection (Tarjan SCC); one finding per cycle, at the
+/// lexicographically smallest member, naming the full include chain.
+[[nodiscard]] std::vector<Finding> check_include_cycles(
+    const IncludeGraph& graph);
+
+/// Module-level digraph in Graphviz DOT, one node per module (labelled
+/// with its layer), one edge per module pair (labelled with the number of
+/// file-level includes behind it). Deterministic: sorted by (rank, name).
+[[nodiscard]] std::string graph_dot(const IncludeGraph& graph,
+                                    const std::vector<LayerEntry>& layers);
+
+/// The same aggregation as stable JSON (`qntn-include-graph-v1`):
+/// `{"version", "files", "modules": [{name, layer, files}],
+///   "edges": [{from, to, includes}]}`.
+[[nodiscard]] std::string graph_json(const IncludeGraph& graph,
+                                     const std::vector<LayerEntry>& layers);
+
+}  // namespace qntn::lint

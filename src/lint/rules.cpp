@@ -124,19 +124,23 @@ const std::vector<std::regex>& compiled_patterns() {
   return lines;
 }
 
-/// `// lint: <token> [<token>...]` justification comments per 1-based line.
-[[nodiscard]] std::map<std::size_t, std::vector<std::string>> suppressions(
+}  // namespace
+
+std::map<std::size_t, std::vector<std::string>> find_suppressions(
     std::string_view text) {
   static const std::regex kLintComment(R"(//\s*lint:\s*([A-Za-z0-9_, -]+))");
   std::map<std::size_t, std::vector<std::string>> out;
-  const std::vector<std::string_view> lines = split_lines(text);
+  // Justifications are comments; literals must not fake them (rule
+  // messages and test fixtures quote `// lint: ...` in strings).
+  const std::string stripped = strip_strings_keep_comments(text);
+  const std::vector<std::string_view> lines = split_lines(stripped);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     std::cmatch match;
     if (!std::regex_search(lines[i].begin(), lines[i].end(), match,
                            kLintComment)) {
       continue;
     }
-    // Tokens are comma/space separated: `// lint: ordered-ok, float-ok`.
+    // Tokens are comma/space separated, e.g. "ordered-ok, float-ok".
     std::string token;
     for (const char c : match[1].str()) {
       if (c == ',' || c == ' ') {
@@ -151,7 +155,7 @@ const std::vector<std::regex>& compiled_patterns() {
   return out;
 }
 
-[[nodiscard]] bool suppressed(
+bool suppression_covers(
     const std::map<std::size_t, std::vector<std::string>>& tokens,
     std::size_t line, std::string_view token) {
   // A justification covers its own line and the line below it, so both
@@ -165,6 +169,14 @@ const std::vector<std::regex>& compiled_patterns() {
     }
   }
   return false;
+}
+
+namespace {
+
+[[nodiscard]] bool suppressed(
+    const std::map<std::size_t, std::vector<std::string>>& tokens,
+    std::size_t line, std::string_view token) {
+  return suppression_covers(tokens, line, token);
 }
 
 /// Names declared as std::unordered_{map,set} in this file: find each
@@ -261,11 +273,11 @@ void check_header_pragma(const RuleSpec& rule, std::string_view path,
   }
 }
 
-}  // namespace
-
-const std::vector<RuleSpec>& rules() { return rule_table(); }
-
-std::string strip_source(std::string_view text, bool strip_strings) {
+/// Shared literal/comment scanner behind the public strip entry points:
+/// comments are blanked when `strip_comments`, string/char literals when
+/// `strip_strings`; everything else (and the line structure) survives.
+std::string strip_impl(std::string_view text, bool strip_comments,
+                       bool strip_strings) {
   std::string out;
   out.reserve(text.size());
   enum class State { Code, LineComment, BlockComment, String, Char, RawString };
@@ -278,11 +290,11 @@ std::string strip_source(std::string_view text, bool strip_strings) {
       case State::Code:
         if (c == '/' && next == '/') {
           state = State::LineComment;
-          out += "  ";
+          out += strip_comments ? "  " : "//";
           ++i;
         } else if (c == '/' && next == '*') {
           state = State::BlockComment;
-          out += "  ";
+          out += strip_comments ? "  " : "/*";
           ++i;
         } else if (c == 'R' && next == '"' &&
                    (i == 0 || (!std::isalnum(static_cast<unsigned char>(
@@ -320,16 +332,16 @@ std::string strip_source(std::string_view text, bool strip_strings) {
           state = State::Code;
           out += c;
         } else {
-          out += ' ';
+          out += strip_comments ? ' ' : c;
         }
         break;
       case State::BlockComment:
         if (c == '*' && next == '/') {
           state = State::Code;
-          out += "  ";
+          out += strip_comments ? "  " : "*/";
           ++i;
         } else {
-          out += c == '\n' ? '\n' : ' ';
+          out += (c == '\n' || !strip_comments) ? c : ' ';
         }
         break;
       case State::String:
@@ -361,8 +373,9 @@ std::string strip_source(std::string_view text, bool strip_strings) {
   return out;
 }
 
-std::vector<Finding> check_source(std::string_view path,
-                                  std::string_view text) {
+std::vector<Finding> check_source_impl(std::string_view path,
+                                       std::string_view text,
+                                       bool honor_suppressions) {
   std::vector<Finding> findings;
   const std::string no_comments = strip_source(text, /*strip_strings=*/false);
   const std::string code_only = strip_source(text, /*strip_strings=*/true);
@@ -370,7 +383,8 @@ std::vector<Finding> check_source(std::string_view path,
       split_lines(no_comments);
   const std::vector<std::string_view> code_lines = split_lines(code_only);
   const std::map<std::size_t, std::vector<std::string>> tokens =
-      suppressions(text);
+      honor_suppressions ? find_suppressions(text)
+                         : std::map<std::size_t, std::vector<std::string>>{};
 
   const std::vector<RuleSpec>& table = rule_table();
   const std::vector<std::regex>& patterns = compiled_patterns();
@@ -406,6 +420,28 @@ std::vector<Finding> check_source(std::string_view path,
     }
   }
   return findings;
+}
+
+}  // namespace
+
+const std::vector<RuleSpec>& rules() { return rule_table(); }
+
+std::string strip_source(std::string_view text, bool strip_strings) {
+  return strip_impl(text, /*strip_comments=*/true, strip_strings);
+}
+
+std::string strip_strings_keep_comments(std::string_view text) {
+  return strip_impl(text, /*strip_comments=*/false, /*strip_strings=*/true);
+}
+
+std::vector<Finding> check_source(std::string_view path,
+                                  std::string_view text) {
+  return check_source_impl(path, text, /*honor_suppressions=*/true);
+}
+
+std::vector<Finding> check_source_raw(std::string_view path,
+                                      std::string_view text) {
+  return check_source_impl(path, text, /*honor_suppressions=*/false);
 }
 
 }  // namespace qntn::lint

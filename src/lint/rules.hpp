@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,9 +72,34 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> check_source(std::string_view path,
                                                 std::string_view text);
 
+/// Same scan as check_source but with `// lint: <token>` justifications
+/// ignored: every match is reported. The tree-level stale-suppression
+/// audit diffs this against the justification map to find suppressions
+/// whose rule no longer fires.
+[[nodiscard]] std::vector<Finding> check_source_raw(std::string_view path,
+                                                    std::string_view text);
+
+/// `// lint: <token> [...]` justification tokens per 1-based line.
+/// Extracted from string-stripped text, so a `// lint:` inside a string
+/// literal (a diagnostic message, a fixture) is not a justification.
+[[nodiscard]] std::map<std::size_t, std::vector<std::string>>
+find_suppressions(std::string_view text);
+
+/// Whether `tokens` (from find_suppressions) justifies a finding of
+/// `token`'s rule at `line`: a justification covers its own line and the
+/// line below it.
+[[nodiscard]] bool suppression_covers(
+    const std::map<std::size_t, std::vector<std::string>>& tokens,
+    std::size_t line, std::string_view token);
+
 /// Replace comments — and, when `strip_strings`, string/char literals —
 /// with spaces, preserving the line structure so line numbers still match.
 [[nodiscard]] std::string strip_source(std::string_view text,
                                        bool strip_strings);
+
+/// Replace string/char literals with spaces but keep comments (the text
+/// find_suppressions reads: justifications live in comments, and literals
+/// must not fake them).
+[[nodiscard]] std::string strip_strings_keep_comments(std::string_view text);
 
 }  // namespace qntn::lint

@@ -1,28 +1,65 @@
 #pragma once
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lint/rules.hpp"
 
 /// \file scan.hpp
 /// Repo-tree scanning for qntn_lint: enumerate the checked C++ sources
-/// under a repo root and run every rule over them. Shared between the
-/// qntn_lint CLI and the "repo is lint-clean" test so the two can never
-/// disagree about what is covered.
+/// under a repo root and run every pass over them — the per-file lexical
+/// rules (rules.hpp), the include-graph layering analyzer
+/// (include_graph.hpp), the cross-artifact consistency checks
+/// (consistency.hpp), and the stale-suppression audit (a `// lint:
+/// <token>` whose rule no longer fires on that line is itself a finding).
+/// Shared between the qntn_lint CLI and the "repo is lint-clean" test so
+/// the two can never disagree about what is covered.
 
 namespace qntn::lint {
 
 /// The directories checked under the repo root, in scan order.
 [[nodiscard]] const std::vector<std::string>& default_scan_dirs();
 
+/// Rules added by the tree-level passes (layering, cycles, consistency,
+/// stale-suppression audit), mirroring RuleSpec's name / justification
+/// token / message triple for `--list-rules` and the suppression filter.
+/// Rules with an empty token cannot be justified away: their findings
+/// point into docs/goldens, or are themselves about suppressions.
+struct PassRule {
+  std::string_view name;
+  std::string_view suppress;
+  std::string_view message;
+};
+[[nodiscard]] const std::vector<PassRule>& pass_rules();
+
 /// Repo-relative paths (forward slashes, sorted) of every .hpp/.cpp under
 /// the scan dirs. `tests/lint/fixtures` is excluded: those files are rule
 /// test data and violate the rules on purpose.
 [[nodiscard]] std::vector<std::string> list_sources(const std::string& root);
 
-/// Run every rule over every listed source. Findings come back sorted by
-/// (file, line) — the scan order — so output is deterministic.
+/// Every scanned source loaded once: the tree passes (include graph,
+/// consistency, suppression audit) all read from this map, and the CLI
+/// reuses it for `--graph-out`.
+struct TreeScan {
+  std::string root;
+  std::map<std::string, std::string> text;  ///< path → contents, sorted
+};
+[[nodiscard]] TreeScan load_tree(const std::string& root);
+
+/// Run every pass over a loaded tree. Findings come back sorted by
+/// (file, line, rule) so output is deterministic; `// lint: <token>`
+/// justifications are applied centrally (and audited — an unused one is a
+/// `stale-suppression` finding).
+[[nodiscard]] std::vector<Finding> check_tree(const TreeScan& scan);
+
+/// Convenience: load_tree + check_tree.
 [[nodiscard]] std::vector<Finding> check_tree(const std::string& root);
+
+/// Machine-readable findings document (schema `qntn-lint-v1`):
+/// `{"version", "files", "findings": [{file, line, rule, message}]}`.
+[[nodiscard]] std::string findings_json(const std::vector<Finding>& findings,
+                                        std::size_t files);
 
 }  // namespace qntn::lint

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::common {
+constexpr int answer() { return 42; }
+}  // namespace fixture::common

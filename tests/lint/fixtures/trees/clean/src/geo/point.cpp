@@ -1,0 +1,7 @@
+#include "common/util.hpp"
+
+namespace fixture::geo {
+
+int origin_tag() { return fixture::common::answer(); }
+
+}  // namespace fixture::geo

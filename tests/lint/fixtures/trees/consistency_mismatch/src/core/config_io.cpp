@@ -1,0 +1,24 @@
+#include <functional>
+#include <map>
+#include <string>
+
+namespace fixture::core {
+
+// Parse table: alpha and gamma are accepted keys.
+std::map<std::string, std::function<void(double)>> parse_table(double& alpha,
+                                                               double& gamma) {
+  return {
+      {"alpha", [&](double v) { alpha = v; }},
+      {"gamma", [&](double v) { gamma = v; }},
+  };
+}
+
+// Serializer: writes alpha and beta — beta is unparsed, gamma unserialized.
+std::string serialize(double alpha, double beta) {
+  std::string out;
+  out += "alpha = " + std::to_string(alpha) + "\n";
+  out += "beta = " + std::to_string(beta) + "\n";
+  return out;
+}
+
+}  // namespace fixture::core

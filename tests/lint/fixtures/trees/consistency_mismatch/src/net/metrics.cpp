@@ -1,0 +1,15 @@
+namespace obs {
+void count(const char*, long);
+struct Span {
+  explicit Span(const char*);
+};
+}  // namespace obs
+
+namespace fixture::net {
+
+void tick() {
+  obs::count("net.undocumented_counter", 1);
+  obs::Span span("net.undocumented_span");
+}
+
+}  // namespace fixture::net

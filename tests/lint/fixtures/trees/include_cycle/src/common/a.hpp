@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/b.hpp"
+
+namespace fixture {
+struct A {
+  int value = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/a.hpp"
+
+namespace fixture {
+struct B {
+  int value = 0;
+};
+}  // namespace fixture

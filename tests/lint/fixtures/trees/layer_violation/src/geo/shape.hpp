@@ -1,0 +1,9 @@
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace fixture::geo {
+struct Shape {
+  fixture::sim::Engine engine;  // geo (layer 1) must not reach sim (layer 4)
+};
+}  // namespace fixture::geo

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture::sim {
+struct Engine {
+  int steps = 0;
+};
+}  // namespace fixture::sim

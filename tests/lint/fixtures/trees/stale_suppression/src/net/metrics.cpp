@@ -1,0 +1,9 @@
+namespace fixture::net {
+
+// lint: ordered-ok
+int plain_sum(int a, int b) { return a + b; }
+
+// lint: bogus-token
+int plain_product(int a, int b) { return a * b; }
+
+}  // namespace fixture::net

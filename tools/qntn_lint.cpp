@@ -1,51 +1,84 @@
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "lint/include_graph.hpp"
 #include "lint/scan.hpp"
 
-/// qntn_lint: the project's domain linter. Enforces the determinism and
-/// hygiene invariants clang-tidy cannot know (see src/lint/rules.cpp for
-/// the rule table). Exit status 0 when the tree is clean, 1 when any rule
-/// fires, 2 on usage/IO errors. Diagnostics are one per line,
-/// `file:line: error: [rule] message`, so editors and CI annotate them.
+/// qntn_lint: the project's domain linter. Runs four passes over the tree
+/// (see src/lint/): the per-file determinism/hygiene rules, the
+/// include-graph layering analyzer, the cross-artifact consistency checks
+/// (counters/spans/config keys vs. docs and goldens), and the
+/// stale-suppression audit. Exit status 0 when the tree is clean, 1 when
+/// any rule fires, 2 on usage/IO errors. Diagnostics are one per line,
+/// `file:line: error: [rule] message`, so editors and CI annotate them;
+/// `--json` emits the same findings as a stable `qntn-lint-v1` document.
 
 namespace {
 
 void print_usage() {
   std::fputs(
-      "usage: qntn_lint [--root DIR] [--list-rules]\n"
+      "usage: qntn_lint [--root DIR] [--json] [--graph-out PREFIX]\n"
+      "                 [--list-rules]\n"
       "\n"
       "Checks the qntn source tree (src/ tools/ bench/ tests/ examples/\n"
       "under --root, default the current directory) against the project\n"
-      "lint rules. tests/lint/fixtures is excluded: it is the rule test\n"
-      "corpus and violates the rules on purpose.\n"
+      "lint rules: per-file determinism/hygiene checks, include-graph\n"
+      "layering, cross-artifact consistency (counters, spans, config\n"
+      "keys vs. docs/goldens), and a stale-suppression audit.\n"
+      "tests/lint/fixtures is excluded: it is the rule test corpus and\n"
+      "violates the rules on purpose.\n"
       "\n"
-      "  --root DIR    repository root to scan\n"
-      "  --list-rules  print the rule table and exit\n",
+      "  --root DIR          repository root to scan\n"
+      "  --json              print findings as qntn-lint-v1 JSON\n"
+      "  --graph-out PREFIX  write the module dependency graph as\n"
+      "                      PREFIX.dot and PREFIX.json\n"
+      "  --list-rules        print the rule table and exit\n",
       stderr);
 }
 
 void list_rules() {
   for (const qntn::lint::RuleSpec& rule : qntn::lint::rules()) {
-    std::printf("%-18s %s\n", std::string(rule.name).c_str(),
+    std::printf("%-24s %s\n", std::string(rule.name).c_str(),
                 std::string(rule.message).c_str());
     if (!rule.suppress.empty()) {
-      std::printf("%-18s   (justify with `// lint: %s`)\n", "",
+      std::printf("%-24s   (justify with `// lint: %s`)\n", "",
                   std::string(rule.suppress).c_str());
     }
   }
+  for (const qntn::lint::PassRule& rule : qntn::lint::pass_rules()) {
+    std::printf("%-24s %s\n", std::string(rule.name).c_str(),
+                std::string(rule.message).c_str());
+    if (!rule.suppress.empty()) {
+      std::printf("%-24s   (justify with `// lint: %s`)\n", "",
+                  std::string(rule.suppress).c_str());
+    }
+  }
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw qntn::Error("qntn_lint: cannot write " + path);
+  out << text;
+  if (!out) throw qntn::Error("qntn_lint: write failed: " + path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string graph_prefix;
+  bool as_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph-out") == 0 && i + 1 < argc) {
+      graph_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       list_rules();
       return 0;
@@ -61,13 +94,28 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const qntn::lint::TreeScan scan = qntn::lint::load_tree(root);
     const std::vector<qntn::lint::Finding> findings =
-        qntn::lint::check_tree(root);
+        qntn::lint::check_tree(scan);
+
+    if (!graph_prefix.empty()) {
+      const qntn::lint::IncludeGraph graph =
+          qntn::lint::build_include_graph(scan.text);
+      const auto& layers = qntn::lint::default_layers();
+      write_text(graph_prefix + ".dot", qntn::lint::graph_dot(graph, layers));
+      write_text(graph_prefix + ".json",
+                 qntn::lint::graph_json(graph, layers));
+    }
+
+    const std::size_t files = scan.text.size();
+    if (as_json) {
+      std::fputs(qntn::lint::findings_json(findings, files).c_str(), stdout);
+      return findings.empty() ? 0 : 1;
+    }
     for (const qntn::lint::Finding& f : findings) {
       std::printf("%s:%zu: error: [%s] %s\n", f.file.c_str(), f.line,
                   f.rule.c_str(), f.message.c_str());
     }
-    const std::size_t files = qntn::lint::list_sources(root).size();
     if (findings.empty()) {
       std::printf("qntn_lint: %zu files clean\n", files);
       return 0;
